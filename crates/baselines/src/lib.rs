@@ -1,0 +1,19 @@
+//! The paper's four directly-comparable methods (§6, §7.1): TNG, KERT,
+//! Turbo Topics, and PD-LDA, reimplemented in Rust so the runtime comparison
+//! of Table 3 is like-for-like on one runtime. Plain LDA lives in
+//! `topmine-lda` (it is PhraseLDA with singleton groups, exactly as the
+//! paper measures it).
+//!
+//! All four expose `fit(corpus, config)` and
+//! `summarize(corpus, n_unigrams, n_phrases) -> Vec<TopicSummary>`, the
+//! interchange format the evaluation harness consumes.
+
+pub mod kert;
+pub mod pdlda;
+pub mod tng;
+pub mod turbo;
+
+pub use kert::{KertConfig, KertError, KertModel};
+pub use pdlda::{PdLdaConfig, PdLdaModel};
+pub use tng::{TngConfig, TngModel};
+pub use turbo::{TurboConfig, TurboModel};

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for Algorithm 2 (phrase construction):
+//! per-document merge loop cost across significance thresholds, and the
+//! end-to-end segmentation pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use topmine_phrase::{
+    FrequentPhraseMiner, MinerConfig, PhraseConstructor, Segmenter, SegmenterConfig,
+};
+use topmine_synth::{generate, Profile};
+
+fn bench_construction_alpha(c: &mut Criterion) {
+    let synth = generate(Profile::DblpAbstracts, 0.03, 7);
+    let stats = FrequentPhraseMiner::new(5).mine(&synth.corpus);
+    let mut group = c.benchmark_group("alg2_construction_vs_alpha");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(synth.corpus.n_tokens() as u64));
+    for alpha in [1.0f64, 5.0, 20.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let ctor = PhraseConstructor::new(alpha);
+            b.iter(|| {
+                let mut n = 0usize;
+                for doc in &synth.corpus.docs {
+                    n += ctor.construct_doc(doc, &stats).len();
+                }
+                n
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_segmentation(c: &mut Criterion) {
+    let synth = generate(Profile::DblpTitles, 0.05, 7);
+    let mut group = c.benchmark_group("segmentation_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(synth.corpus.n_tokens() as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                let seg = Segmenter::new(SegmenterConfig {
+                    miner: MinerConfig {
+                        min_support: 5,
+                        n_threads: threads,
+                        ..MinerConfig::default()
+                    },
+                    alpha: 5.0,
+                    n_threads: threads,
+                });
+                b.iter(|| seg.segment(&synth.corpus).1.n_phrases());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction_alpha, bench_end_to_end_segmentation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the hot primitives: the significance
+//! score (Eq. 1), the Fx hash map keyed by phrase slices, and the Porter
+//! stemmer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use topmine_corpus::porter_stem;
+use topmine_phrase::significance;
+use topmine_util::FxHashMap;
+
+fn bench_significance(c: &mut Criterion) {
+    c.bench_function("significance_eq1", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f12 in 1..1000u64 {
+                acc += significance(
+                    black_box(f12),
+                    black_box(f12 * 3),
+                    black_box(f12 * 5),
+                    black_box(10_000_000),
+                );
+            }
+            acc
+        })
+    });
+}
+
+fn bench_phrase_hashing(c: &mut Criterion) {
+    let keys: Vec<Box<[u32]>> = (0..10_000u32)
+        .map(|i| vec![i % 512, (i * 7) % 512, (i * 13) % 512].into_boxed_slice())
+        .collect();
+    let mut group = c.benchmark_group("phrase_hash_map");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("fx_insert_lookup", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+            for k in &keys {
+                if let Some(v) = map.get_mut(k.as_ref()) {
+                    *v += 1;
+                } else {
+                    map.insert(k.clone(), 1);
+                }
+            }
+            map.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_stemmer(c: &mut Criterion) {
+    let words = [
+        "mining", "classification", "retrieval", "databases", "optimization", "networks",
+        "generational", "hopefulness", "controlled", "relational", "queries", "happiness",
+    ];
+    let mut group = c.benchmark_group("porter_stemmer");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("stem_batch", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in words {
+                total += porter_stem(black_box(w)).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_significance, bench_phrase_hashing, bench_stemmer);
+criterion_main!(benches);

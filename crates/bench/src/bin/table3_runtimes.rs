@@ -1,0 +1,125 @@
+//! **Table 3** — runtimes of PD-LDA, Turbo Topics, TNG, LDA, KERT, and
+//! ToPMine on four dataset configurations: sampled DBLP titles (k=5), full
+//! DBLP titles (k=30), sampled DBLP abstracts, full DBLP abstracts.
+//!
+//! Protocol follows the paper: every Gibbs method runs the same iteration
+//! budget; methods that are intractable at a configuration are run on a
+//! reduced budget and linearly extrapolated (cells marked `~`), and KERT's
+//! itemset mining on long documents is capped by a candidate budget whose
+//! exhaustion is reported as `NA` (the paper's >40GB memory cells).
+
+use topmine_bench::{banner, iters, scale, seed_for};
+use topmine_eval::{run_method, Method, MethodRunConfig};
+use topmine_synth::{generate, Profile, SynthCorpus};
+use topmine_util::timing::Timed;
+use topmine_util::Table;
+
+struct DatasetConfig {
+    label: &'static str,
+    synth: SynthCorpus,
+    k: usize,
+    /// Budget fraction for the slow methods (PD-LDA, Turbo Topics); 1.0 =
+    /// full run, <1.0 = reduced + extrapolated (paper's `~` cells).
+    slow_fraction: f64,
+}
+
+fn main() {
+    banner(
+        "Table 3: method runtimes across dataset sizes",
+        "PD-LDA/Turbo Topics are orders of magnitude slower; KERT OOMs on abstracts; ToPMine ≈ LDA",
+    );
+    let seed = seed_for("table3");
+    let gibbs_iters = iters(150); // paper: 1000
+    let s = scale();
+
+    let datasets = vec![
+        DatasetConfig {
+            label: "sampled dblp titles (k=5)",
+            synth: generate(Profile::DblpTitles, s * 0.1, seed),
+            k: 5,
+            slow_fraction: 0.2,
+        },
+        DatasetConfig {
+            label: "dblp titles (k=30)",
+            synth: generate(Profile::DblpTitles, s, seed),
+            k: 30,
+            slow_fraction: 0.05,
+        },
+        DatasetConfig {
+            label: "sampled dblp abstracts",
+            synth: generate(Profile::DblpAbstracts, s * 0.2, seed),
+            k: 5,
+            slow_fraction: 0.1,
+        },
+        DatasetConfig {
+            label: "dblp abstracts",
+            synth: generate(Profile::DblpAbstracts, s, seed),
+            k: 5,
+            slow_fraction: 0.02,
+        },
+    ];
+
+    let mut table = Table::new(
+        std::iter::once("Method".to_string()).chain(datasets.iter().map(|d| d.label.to_string())),
+    );
+
+    for method in Method::ALL {
+        let mut cells: Vec<String> = vec![method.name().to_string()];
+        for ds in &datasets {
+            let is_slow = matches!(method, Method::PdLda | Method::TurboTopics);
+            let fraction = if is_slow { ds.slow_fraction } else { 1.0 };
+            let run_iters = ((gibbs_iters as f64 * fraction).ceil() as usize).max(2);
+            let cfg = MethodRunConfig {
+                n_topics: ds.k,
+                iterations: run_iters,
+                min_support: topmine::ToPMineConfig::support_for_corpus(&ds.synth.corpus),
+                significance_alpha: 4.0,
+                seed,
+                // The memory ceiling: generous for titles, binding for the
+                // full abstracts corpus (long transactions).
+                kert_max_candidates: 1_000_000,
+                // "we do not perform hyperparameter optimization in our
+                // timed test to ensure a fair runtime evaluation"
+                optimize_hyperparams: false,
+                ..MethodRunConfig::default()
+            };
+            let run = run_method(method, &ds.synth.corpus, &cfg);
+            let cell = if let Some(f) = run.failure {
+                eprintln!("  [{}] {}: NA ({f})", ds.label, method.name());
+                "NA (memory)".to_string()
+            } else {
+                let timed = Timed {
+                    seconds: run.runtime_secs * (gibbs_iters as f64 / run_iters as f64),
+                    extrapolated: run_iters < gibbs_iters,
+                };
+                eprintln!(
+                    "  [{}] {}: {} ({} of {} iters)",
+                    ds.label,
+                    method.name(),
+                    timed.render(),
+                    run_iters,
+                    gibbs_iters
+                );
+                timed.render()
+            };
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+
+    println!("\n{}", table.to_aligned());
+    for ds in &datasets {
+        println!(
+            "  {}: {} docs, {} tokens, vocab {}",
+            ds.label,
+            ds.synth.corpus.n_docs(),
+            ds.synth.corpus.n_tokens(),
+            ds.synth.corpus.vocab_size()
+        );
+    }
+    println!(
+        "\n(~ = extrapolated from a reduced run, as in the paper; NA = KERT candidate budget \
+         exceeded, modeling the paper's >40GB memory cells. Expected shape: ToPMine within \
+         LDA's order of magnitude, PD-LDA and Turbo Topics orders of magnitude slower.)"
+    );
+}

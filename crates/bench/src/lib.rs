@@ -1,0 +1,114 @@
+//! Shared plumbing for the experiment binaries (one per paper table/figure)
+//! and the Criterion micro-benchmarks.
+//!
+//! Every binary honors two environment variables so the same code serves a
+//! quick smoke run and a full reproduction:
+//!
+//! * `TOPMINE_SCALE` — multiplies synthetic corpus document counts
+//!   (default 0.2; `1.0` is the DESIGN.md reproduction size).
+//! * `TOPMINE_ITERS` — overrides Gibbs sweep counts (default per binary;
+//!   the paper used 1000-3000).
+
+use std::io::Write as _;
+
+/// Corpus scale factor from `TOPMINE_SCALE` (default 0.2).
+pub fn scale() -> f64 {
+    std::env::var("TOPMINE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(0.2)
+}
+
+/// Gibbs iteration count from `TOPMINE_ITERS`, else `default`.
+pub fn iters(default: usize) -> usize {
+    std::env::var("TOPMINE_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&i| i > 0)
+        .unwrap_or(default)
+}
+
+/// Standard experiment banner: what artifact is being regenerated and with
+/// which knobs, so transcripts are self-describing.
+pub fn banner(artifact: &str, paper_claim: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "================================================================");
+    let _ = writeln!(out, "Reproducing: {artifact}");
+    let _ = writeln!(out, "Paper claim: {paper_claim}");
+    let _ = writeln!(
+        out,
+        "Knobs: TOPMINE_SCALE={} TOPMINE_ITERS={}",
+        scale(),
+        std::env::var("TOPMINE_ITERS").unwrap_or_else(|_| "(default)".into())
+    );
+    let _ = writeln!(out, "================================================================");
+}
+
+/// A fixed seed namespace so every binary is reproducible but distinct.
+pub fn seed_for(artifact: &str) -> u64 {
+    // FNV-1a over the artifact name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in artifact.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run ToPMine on a synthetic profile and return the generated corpus plus
+/// the fitted model — the shared core of the topic-table binaries
+/// (Tables 1, 4, 5, 6).
+pub fn fit_topmine_on_profile(
+    profile: topmine_synth::Profile,
+    corpus_scale: f64,
+    iterations: usize,
+    seed: u64,
+) -> (topmine_synth::SynthCorpus, topmine::ToPMineModel) {
+    let synth = topmine_synth::generate(profile, corpus_scale, seed);
+    let cfg = topmine::ToPMineConfig {
+        min_support: topmine::ToPMineConfig::support_for_corpus(&synth.corpus),
+        // With near-zero independence expectation sig ≈ sqrt(f12), so α
+        // controls the minimum segmented-phrase count (~α²). 3.0 suits the
+        // scaled-down default corpora; the paper's Figure 1 uses 5.
+        significance_alpha: 3.0,
+        n_topics: synth.n_topics,
+        iterations,
+        optimize_every: 50,
+        burn_in: iterations / 4,
+        seed,
+        ..topmine::ToPMineConfig::default()
+    };
+    let model = topmine::ToPMine::new(cfg).fit(&synth.corpus);
+    (synth, model)
+}
+
+/// Print a fitted model as a paper-style topic table (1-grams block above
+/// n-grams block) and return the rendered string.
+pub fn print_topic_table(
+    synth: &topmine_synth::SynthCorpus,
+    model: &topmine::ToPMineModel,
+    n_rows: usize,
+) -> String {
+    let summaries = model.summarize(&synth.corpus, n_rows, n_rows);
+    let rendered = topmine_lda::render_topic_table(&summaries, n_rows);
+    println!("{rendered}");
+    rendered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("fig6"), seed_for("fig6"));
+        assert_ne!(seed_for("fig6"), seed_for("fig7"));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(scale() > 0.0);
+        assert_eq!(iters(123), 123);
+    }
+}

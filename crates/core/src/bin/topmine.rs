@@ -1,0 +1,81 @@
+//! The `topmine` command-line tool: raw text file in, topical phrases out.
+//!
+//! ```text
+//! topmine --input corpus.txt --topics 20 --iterations 1000 --filter-background
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use topmine::cli::{parse_args, CliOptions, USAGE};
+use topmine::ToPMine;
+use topmine_corpus::{io as corpus_io, CorpusOptions, StopwordSet};
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &CliOptions) -> Result<(), String> {
+    let corpus_options = CorpusOptions {
+        stem: opts.stem,
+        remove_stopwords: opts.remove_stopwords,
+        keep_provenance: true,
+        min_token_len: 1,
+        stopwords: StopwordSet::english(),
+    };
+    let corpus = corpus_io::load_lines(Path::new(&opts.input), corpus_options)
+        .map_err(|e| format!("reading {}: {e}", opts.input))?;
+    eprintln!(
+        "corpus: {} documents, {} tokens, vocabulary {}",
+        corpus.n_docs(),
+        corpus.n_tokens(),
+        corpus.vocab_size()
+    );
+
+    let config = opts.pipeline_config(&corpus);
+    eprintln!(
+        "running ToPMine: K={}, iterations={}, min support={}, alpha={}",
+        config.n_topics, config.iterations, config.min_support, config.significance_alpha
+    );
+    let model = ToPMine::new(config).fit(&corpus);
+    eprintln!(
+        "segmented {} phrase instances ({} multi-word); phrase mining {:.2}s, topic modeling {:.2}s",
+        model.segmentation.n_phrases(),
+        model.segmentation.n_multiword(),
+        model.timing.phrase_mining_secs,
+        model.timing.topic_modeling_secs
+    );
+
+    let summaries = if opts.filter_background {
+        topmine_lda::summarize_topics_filtered(&model.model, &corpus, opts.top, opts.top, 0.75, 10)
+    } else {
+        model.summarize(&corpus, opts.top, opts.top)
+    };
+    let rendered = topmine_lda::render_topic_table(&summaries, opts.top);
+    println!("{rendered}");
+
+    if let Some(dir) = &opts.output_dir {
+        let dir = Path::new(dir);
+        corpus_io::save_corpus(&corpus, dir).map_err(|e| format!("writing corpus: {e}"))?;
+        std::fs::write(dir.join("topics.txt"), rendered.as_bytes())
+            .map_err(|e| format!("writing topics: {e}"))?;
+        eprintln!("artifacts written to {}", dir.display());
+    }
+    Ok(())
+}

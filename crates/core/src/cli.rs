@@ -1,0 +1,219 @@
+//! Command-line interface for the `topmine` binary.
+//!
+//! Argument parsing is hand-rolled (the offline dependency set has no
+//! `clap`) and lives here, separate from the binary, so it is unit-testable.
+
+use crate::pipeline::ToPMineConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Input text file: one document per line.
+    pub input: String,
+    /// Directory to write artifacts into (vocab, docs, topics); stdout only
+    /// when absent.
+    pub output_dir: Option<String>,
+    pub n_topics: usize,
+    pub iterations: usize,
+    /// `None` = derive from corpus size (the paper's linear-growth policy).
+    pub min_support: Option<u64>,
+    pub significance_alpha: f64,
+    pub n_threads: usize,
+    pub seed: u64,
+    /// Items per topic in the printed table.
+    pub top: usize,
+    pub stem: bool,
+    pub remove_stopwords: bool,
+    /// Apply the §8 background-phrase filter to the visualization.
+    pub filter_background: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            input: String::new(),
+            output_dir: None,
+            n_topics: 10,
+            iterations: 500,
+            min_support: None,
+            significance_alpha: 5.0,
+            n_threads: 1,
+            seed: 1,
+            top: 10,
+            stem: true,
+            remove_stopwords: true,
+            filter_background: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Derive the pipeline configuration for a given corpus.
+    pub fn pipeline_config(&self, corpus: &topmine_corpus::Corpus) -> ToPMineConfig {
+        ToPMineConfig {
+            min_support: self
+                .min_support
+                .unwrap_or_else(|| ToPMineConfig::support_for_corpus(corpus)),
+            significance_alpha: self.significance_alpha,
+            n_topics: self.n_topics,
+            iterations: self.iterations,
+            optimize_every: 25,
+            burn_in: self.iterations / 4,
+            n_threads: self.n_threads,
+            seed: self.seed,
+            ..ToPMineConfig::default()
+        }
+    }
+}
+
+/// Usage text printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+topmine — scalable topical phrase mining (El-Kishky et al., VLDB 2014)
+
+USAGE:
+    topmine --input FILE [OPTIONS]
+
+OPTIONS:
+    --input FILE          text corpus, one document per line (required)
+    --output-dir DIR      write vocab.tsv/docs.txt/topics.txt here
+    --topics K            number of topics              [default: 10]
+    --iterations N        Gibbs sweeps                  [default: 500]
+    --min-support N       phrase minimum support        [default: auto]
+    --alpha X             significance threshold        [default: 5.0]
+    --threads N           mining/segmentation threads   [default: 1]
+    --seed N              RNG seed                      [default: 1]
+    --top N               items per topic in output     [default: 10]
+    --no-stem             disable Porter stemming
+    --keep-stopwords      keep stop words in the mining stream
+    --filter-background   drop high-entropy background phrases (paper §8)
+    --help                print this message
+";
+
+/// Parse argv (without the program name). Returns `Err` with a message for
+/// the user on any problem; `Ok(None)` means `--help` was requested.
+pub fn parse_args<I, S>(args: I) -> Result<Option<CliOptions>, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut opts = CliOptions::default();
+    let mut args = args.into_iter().map(Into::into);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--input" => opts.input = need(&mut args, "--input")?,
+            "--output-dir" => opts.output_dir = Some(need(&mut args, "--output-dir")?),
+            "--topics" => {
+                opts.n_topics = parse_num(&need(&mut args, "--topics")?, "--topics")?;
+                if opts.n_topics == 0 {
+                    return Err("--topics must be at least 1".into());
+                }
+            }
+            "--iterations" => {
+                opts.iterations = parse_num(&need(&mut args, "--iterations")?, "--iterations")?
+            }
+            "--min-support" => {
+                opts.min_support =
+                    Some(parse_num(&need(&mut args, "--min-support")?, "--min-support")?)
+            }
+            "--alpha" => {
+                let v = need(&mut args, "--alpha")?;
+                opts.significance_alpha = v
+                    .parse()
+                    .map_err(|_| format!("--alpha: not a number: {v:?}"))?;
+            }
+            "--threads" => {
+                opts.n_threads = parse_num(&need(&mut args, "--threads")?, "--threads")?;
+                if opts.n_threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
+            "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
+            "--no-stem" => opts.stem = false,
+            "--keep-stopwords" => opts.remove_stopwords = false,
+            "--filter-background" => opts.filter_background = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("--input is required".into());
+    }
+    Ok(Some(opts))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: not a valid number: {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<CliOptions>, String> {
+        parse_args(args.iter().copied())
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let opts = parse(&["--input", "corpus.txt"]).unwrap().unwrap();
+        assert_eq!(opts.input, "corpus.txt");
+        assert_eq!(opts.n_topics, 10);
+        assert!(opts.stem);
+        assert!(opts.min_support.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let opts = parse(&[
+            "--input", "c.txt", "--output-dir", "out", "--topics", "25", "--iterations", "100",
+            "--min-support", "7", "--alpha", "3.5", "--threads", "4", "--seed", "42", "--top",
+            "5", "--no-stem", "--keep-stopwords", "--filter-background",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.output_dir.as_deref(), Some("out"));
+        assert_eq!(opts.n_topics, 25);
+        assert_eq!(opts.iterations, 100);
+        assert_eq!(opts.min_support, Some(7));
+        assert_eq!(opts.significance_alpha, 3.5);
+        assert_eq!(opts.n_threads, 4);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.top, 5);
+        assert!(!opts.stem);
+        assert!(!opts.remove_stopwords);
+        assert!(opts.filter_background);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+        assert_eq!(parse(&["--input", "x", "-h"]).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&[]).is_err()); // missing input
+        assert!(parse(&["--input"]).is_err()); // missing value
+        assert!(parse(&["--input", "x", "--topics", "zero"]).is_err());
+        assert!(parse(&["--input", "x", "--topics", "0"]).is_err());
+        assert!(parse(&["--input", "x", "--bogus"]).is_err());
+        assert!(parse(&["--input", "x", "--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn pipeline_config_uses_auto_support() {
+        use topmine_corpus::corpus_from_texts;
+        let corpus = corpus_from_texts(["data mining", "data mining again"]);
+        let opts = parse(&["--input", "x"]).unwrap().unwrap();
+        let cfg = opts.pipeline_config(&corpus);
+        assert_eq!(cfg.min_support, ToPMineConfig::support_for_corpus(&corpus));
+        let opts = parse(&["--input", "x", "--min-support", "9"]).unwrap().unwrap();
+        assert_eq!(opts.pipeline_config(&corpus).min_support, 9);
+    }
+}

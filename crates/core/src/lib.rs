@@ -1,0 +1,50 @@
+//! **ToPMine** — scalable topical phrase mining (El-Kishky et al., VLDB
+//! 2014), end to end.
+//!
+//! The framework has two parts (paper §3):
+//!
+//! 1. *Phrase mining with text segmentation*: frequent contiguous phrases
+//!    are mined with position-based Apriori pruning (Algorithm 1), then each
+//!    document is partitioned bottom-up by merging adjacent phrases whose
+//!    collocation significance (Eq. 1) clears a threshold α (Algorithm 2).
+//! 2. *Phrase-constrained topic modeling*: PhraseLDA runs collapsed Gibbs
+//!    sampling where every mined phrase is a clique forced to share one
+//!    topic (Eq. 7), and topics are visualized by most-probable unigrams
+//!    plus phrases ranked by topical frequency (Eq. 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use topmine::{ToPMine, ToPMineConfig};
+//! use topmine_corpus::corpus_from_texts;
+//!
+//! let texts = [
+//!     "mining frequent patterns without candidate generation",
+//!     "frequent pattern mining: current status and future directions",
+//!     "fast algorithms for mining association rules",
+//!     "mining frequent patterns in data streams",
+//!     "frequent pattern mining with constraints",
+//!     "a survey of frequent pattern mining",
+//! ];
+//! let corpus = corpus_from_texts(texts);
+//! let cfg = ToPMineConfig {
+//!     min_support: 3,
+//!     significance_alpha: 1.0,
+//!     n_topics: 2,
+//!     iterations: 30,
+//!     ..ToPMineConfig::default()
+//! };
+//! let model = ToPMine::new(cfg).fit(&corpus);
+//! let summaries = model.summarize(&corpus, 5, 5);
+//! assert_eq!(summaries.len(), 2);
+//! ```
+
+pub mod cli;
+pub mod pipeline;
+
+pub use pipeline::{RunTiming, ToPMine, ToPMineConfig, ToPMineModel};
+
+// Re-export the building blocks so downstream users need only this crate.
+pub use topmine_corpus as corpus;
+pub use topmine_lda as lda;
+pub use topmine_phrase as phrase;

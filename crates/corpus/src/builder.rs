@@ -1,0 +1,322 @@
+//! Building a [`Corpus`] from raw text (paper §7.1 preprocessing pipeline).
+
+use crate::doc::{Corpus, DocProvenance, Document};
+use crate::stem::porter_stem;
+use crate::stopwords::StopwordSet;
+use crate::tokenize::tokenize_chunks;
+use crate::vocab::Vocab;
+use topmine_util::FxHashMap;
+
+/// Preprocessing options.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Apply Porter stemming (paper: on).
+    pub stem: bool,
+    /// Remove English stop words from the mining stream (paper: on).
+    pub remove_stopwords: bool,
+    /// Keep surface provenance for unstemming / stop word reinsertion.
+    pub keep_provenance: bool,
+    /// Drop tokens shorter than this many characters (applied to the surface
+    /// form; 1 keeps everything).
+    pub min_token_len: usize,
+    /// Custom stop word set; defaults to the built-in English list.
+    pub stopwords: StopwordSet,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        Self {
+            stem: true,
+            remove_stopwords: true,
+            keep_provenance: true,
+            min_token_len: 1,
+            stopwords: StopwordSet::english(),
+        }
+    }
+}
+
+impl CorpusOptions {
+    /// Options matching the paper's preprocessing exactly.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// No stemming / no stop word removal / no provenance — raw id stream.
+    /// Used by the synthetic generators, which emit already-clean tokens.
+    pub fn raw() -> Self {
+        Self {
+            stem: false,
+            remove_stopwords: false,
+            keep_provenance: false,
+            min_token_len: 1,
+            stopwords: StopwordSet::none(),
+        }
+    }
+}
+
+/// Incremental corpus builder.
+#[derive(Debug)]
+pub struct CorpusBuilder {
+    options: CorpusOptions,
+    vocab: Vocab,
+    docs: Vec<Document>,
+    provenance: Vec<DocProvenance>,
+    /// stem id -> surface form -> count, for automatic unstemming.
+    surface_counts: FxHashMap<u32, FxHashMap<String, u32>>,
+}
+
+impl Default for CorpusBuilder {
+    fn default() -> Self {
+        Self::new(CorpusOptions::default())
+    }
+}
+
+impl CorpusBuilder {
+    pub fn new(options: CorpusOptions) -> Self {
+        Self {
+            options,
+            vocab: Vocab::new(),
+            docs: Vec::new(),
+            provenance: Vec::new(),
+            surface_counts: FxHashMap::default(),
+        }
+    }
+
+    /// Number of documents added so far.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Tokenize, stem, filter and append one document.
+    pub fn add_document(&mut self, text: &str) -> &mut Self {
+        let raw = tokenize_chunks(text);
+        let mut tokens: Vec<u32> = Vec::with_capacity(raw.len());
+        let mut chunk_ends: Vec<u32> = Vec::new();
+        let mut surface: Vec<String> = Vec::with_capacity(raw.len());
+        let mut origin: Vec<u32> = Vec::with_capacity(raw.len());
+        let mut current_chunk: Option<u32> = None;
+        let mut chunk_token_count = 0usize;
+
+        for tok in raw {
+            let surface_idx = surface.len() as u32;
+            if self.options.keep_provenance {
+                surface.push(tok.text.clone());
+            }
+            if current_chunk != Some(tok.chunk) {
+                // Close the previous chunk if it produced mining tokens.
+                if chunk_token_count > 0 {
+                    chunk_ends.push(tokens.len() as u32);
+                }
+                chunk_token_count = 0;
+                current_chunk = Some(tok.chunk);
+            }
+            if tok.text.chars().count() < self.options.min_token_len {
+                continue;
+            }
+            if self.options.remove_stopwords && self.options.stopwords.contains(&tok.text) {
+                continue;
+            }
+            let term = if self.options.stem {
+                porter_stem(&tok.text)
+            } else {
+                tok.text.clone()
+            };
+            if term.is_empty() {
+                continue;
+            }
+            let id = self.vocab.intern(&term);
+            if self.options.stem {
+                *self
+                    .surface_counts
+                    .entry(id)
+                    .or_default()
+                    .entry(tok.text)
+                    .or_insert(0) += 1;
+            }
+            tokens.push(id);
+            if self.options.keep_provenance {
+                origin.push(surface_idx);
+            }
+            chunk_token_count += 1;
+        }
+        if chunk_token_count > 0 {
+            chunk_ends.push(tokens.len() as u32);
+        }
+
+        self.docs.push(Document { tokens, chunk_ends });
+        if self.options.keep_provenance {
+            self.provenance.push(DocProvenance { surface, origin });
+        }
+        self
+    }
+
+    /// Add many documents.
+    pub fn add_documents<'a, I: IntoIterator<Item = &'a str>>(&mut self, texts: I) -> &mut Self {
+        for t in texts {
+            self.add_document(t);
+        }
+        self
+    }
+
+    /// Finish, producing the immutable [`Corpus`].
+    pub fn build(self) -> Corpus {
+        let unstem = if self.options.stem {
+            let mut table = vec![String::new(); self.vocab.len()];
+            for (id, forms) in &self.surface_counts {
+                // Most frequent surface form wins; ties break lexicographically
+                // for determinism.
+                if let Some((best, _)) = forms
+                    .iter()
+                    .max_by(|(wa, ca), (wb, cb)| ca.cmp(cb).then_with(|| wb.cmp(wa)))
+                {
+                    table[*id as usize] = best.clone();
+                }
+            }
+            Some(table)
+        } else {
+            None
+        };
+        let corpus = Corpus {
+            vocab: self.vocab,
+            docs: self.docs,
+            provenance: if self.options.keep_provenance {
+                Some(self.provenance)
+            } else {
+                None
+            },
+            unstem,
+        };
+        debug_assert!(corpus.validate().is_ok(), "built corpus must validate");
+        corpus
+    }
+}
+
+/// One-shot convenience: build a corpus from an iterator of texts with the
+/// paper's default preprocessing.
+pub fn corpus_from_texts<'a, I: IntoIterator<Item = &'a str>>(texts: I) -> Corpus {
+    let mut b = CorpusBuilder::default();
+    b.add_documents(texts);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwords_removed_but_surface_kept() {
+        let mut b = CorpusBuilder::default();
+        b.add_document("The mining of frequent patterns.");
+        let c = b.build();
+        // "the" and "of" are gone from the mining stream.
+        let words: Vec<&str> = c.docs[0]
+            .tokens
+            .iter()
+            .map(|&t| c.vocab.word(t))
+            .collect();
+        assert_eq!(words, vec!["mine", "frequent", "pattern"]);
+        // But the full span renders with them reinserted and unstemmed.
+        assert_eq!(c.render_span(0, 0, 3), "mining of frequent patterns");
+    }
+
+    #[test]
+    fn chunks_follow_punctuation() {
+        let mut b = CorpusBuilder::default();
+        b.add_document("frequent patterns, candidate generation; tree approach");
+        let c = b.build();
+        assert_eq!(c.docs[0].n_chunks(), 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn stopword_only_chunks_vanish() {
+        let mut b = CorpusBuilder::default();
+        b.add_document("data mining. and the of. query processing");
+        let c = b.build();
+        assert_eq!(c.docs[0].n_chunks(), 2);
+        assert_eq!(c.docs[0].n_tokens(), 4);
+    }
+
+    #[test]
+    fn unstemming_picks_most_frequent_surface() {
+        let mut b = CorpusBuilder::default();
+        b.add_document("mining mining mining mined");
+        let c = b.build();
+        let id = c.vocab.id("mine").unwrap();
+        assert_eq!(c.display_word(id), "mining");
+    }
+
+    #[test]
+    fn raw_options_skip_everything() {
+        let mut b = CorpusBuilder::new(CorpusOptions::raw());
+        b.add_document("the mining of patterns");
+        let c = b.build();
+        let words: Vec<&str> = c.docs[0]
+            .tokens
+            .iter()
+            .map(|&t| c.vocab.word(t))
+            .collect();
+        assert_eq!(words, vec!["the", "mining", "of", "patterns"]);
+        assert!(c.provenance.is_none());
+        assert!(c.unstem.is_none());
+    }
+
+    #[test]
+    fn empty_documents_are_kept_as_empty() {
+        let mut b = CorpusBuilder::default();
+        b.add_document("");
+        b.add_document("the of and");
+        let c = b.build();
+        assert_eq!(c.n_docs(), 2);
+        assert!(c.docs[0].is_empty());
+        assert!(c.docs[1].is_empty());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn min_token_len_filters() {
+        let opts = CorpusOptions {
+            min_token_len: 3,
+            remove_stopwords: false,
+            stem: false,
+            ..CorpusOptions::default()
+        };
+        let mut b = CorpusBuilder::new(opts);
+        b.add_document("an ox ate hay");
+        let c = b.build();
+        let words: Vec<&str> = c.docs[0]
+            .tokens
+            .iter()
+            .map(|&t| c.vocab.word(t))
+            .collect();
+        assert_eq!(words, vec!["ate", "hay"]);
+    }
+
+    #[test]
+    fn shared_vocab_across_documents() {
+        let c = corpus_from_texts(["data mining", "mining algorithms"]);
+        assert_eq!(c.n_docs(), 2);
+        let mine = c.vocab.id("mine").unwrap();
+        assert!(c.docs.iter().all(|d| d.tokens.contains(&mine)));
+    }
+
+    #[test]
+    fn example1_title_segmentation_shape() {
+        // Title 1 from the paper's Example 1 — after preprocessing the two
+        // chunks around ':' survive with content words only.
+        let c = corpus_from_texts([
+            "Mining frequent patterns without candidate generation: a frequent pattern tree approach.",
+        ]);
+        let d = &c.docs[0];
+        assert_eq!(d.n_chunks(), 2);
+        let words: Vec<&str> = d.tokens.iter().map(|&t| c.vocab.word(t)).collect();
+        // "without" and "a" are stop words; the rest stems as Porter dictates.
+        assert_eq!(
+            words,
+            vec![
+                "mine", "frequent", "pattern", "candid", "gener", "frequent", "pattern", "tree",
+                "approach"
+            ]
+        );
+    }
+}

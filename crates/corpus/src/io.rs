@@ -1,0 +1,253 @@
+//! File I/O for corpora and artifacts.
+//!
+//! The paper's datasets are line-oriented (one title / abstract / review per
+//! line); this module loads such files through the preprocessing pipeline
+//! and writes the two artifacts a downstream user keeps: the vocabulary and
+//! the mined/segmented documents (token ids with chunk structure), in plain
+//! TSV that any toolchain can consume.
+
+use crate::builder::{CorpusBuilder, CorpusOptions};
+use crate::doc::{Corpus, Document};
+use crate::vocab::Vocab;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Load a corpus from a text file with one document per line, applying the
+/// given preprocessing options. Empty lines become empty documents (so line
+/// numbers keep aligning with document ids).
+pub fn load_lines(path: &Path, options: CorpusOptions) -> io::Result<Corpus> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut builder = CorpusBuilder::new(options);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        builder.add_document(line.trim_end_matches(['\n', '\r']));
+    }
+    Ok(builder.build())
+}
+
+/// Write the vocabulary as `id<TAB>word` lines, in id order.
+pub fn save_vocab(vocab: &Vocab, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for (id, word) in vocab.iter() {
+        writeln!(out, "{id}\t{word}")?;
+    }
+    out.flush()
+}
+
+/// Read a vocabulary written by [`save_vocab`]. Ids must be dense and in
+/// order (the save format guarantees it); anything else is a data error.
+pub fn load_vocab(path: &Path) -> io::Result<Vocab> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut vocab = Vocab::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let (id_str, word) = line.split_once('\t').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vocab line {} is not id<TAB>word", line_no + 1),
+            )
+        })?;
+        let id: u32 = id_str.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vocab line {}: bad id {id_str:?}", line_no + 1),
+            )
+        })?;
+        let assigned = vocab.intern(word);
+        if assigned != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vocab line {}: id {id} out of order (expected {assigned})", line_no + 1),
+            ));
+        }
+    }
+    Ok(vocab)
+}
+
+/// Write the id-stream corpus: one document per line, chunks separated by
+/// `|`, token ids space-separated — e.g. `3 17 4 | 99 5`.
+pub fn save_documents(corpus: &Corpus, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for doc in &corpus.docs {
+        let mut first_chunk = true;
+        for chunk in doc.chunks() {
+            if !first_chunk {
+                write!(out, " | ")?;
+            }
+            first_chunk = false;
+            let mut first = true;
+            for &t in chunk {
+                if !first {
+                    write!(out, " ")?;
+                }
+                first = false;
+                write!(out, "{t}")?;
+            }
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Read documents written by [`save_documents`] against an existing
+/// vocabulary (ids are validated against its size).
+pub fn load_documents(path: &Path, vocab_size: usize) -> io::Result<Vec<Document>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut docs = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let mut chunks: Vec<Vec<u32>> = Vec::new();
+        for chunk_str in line.split('|') {
+            let mut chunk = Vec::new();
+            for tok in chunk_str.split_whitespace() {
+                let id: u32 = tok.parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("doc line {}: bad token {tok:?}", line_no + 1),
+                    )
+                })?;
+                if id as usize >= vocab_size {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("doc line {}: id {id} outside vocabulary", line_no + 1),
+                    ));
+                }
+                chunk.push(id);
+            }
+            if !chunk.is_empty() {
+                chunks.push(chunk);
+            }
+        }
+        docs.push(Document::from_chunks(chunks));
+    }
+    Ok(docs)
+}
+
+/// Round-trip convenience: save a whole corpus (vocab + documents) into a
+/// directory (`vocab.tsv`, `docs.txt`). Provenance is not persisted — it is
+/// a preprocessing byproduct, reproducible from the raw text.
+pub fn save_corpus(corpus: &Corpus, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    save_vocab(&corpus.vocab, &dir.join("vocab.tsv"))?;
+    save_documents(corpus, &dir.join("docs.txt"))
+}
+
+/// Load a corpus saved by [`save_corpus`].
+pub fn load_corpus(dir: &Path) -> io::Result<Corpus> {
+    let vocab = load_vocab(&dir.join("vocab.tsv"))?;
+    let docs = load_documents(&dir.join("docs.txt"), vocab.len())?;
+    let corpus = Corpus {
+        vocab,
+        docs,
+        provenance: None,
+        unstem: None,
+    };
+    corpus
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("topmine-io-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_lines_preserves_line_alignment() {
+        let dir = tmpdir("lines");
+        let path = dir.join("corpus.txt");
+        std::fs::write(&path, "data mining algorithms\n\nquery processing, index structures\n").unwrap();
+        let corpus = load_lines(&path, CorpusOptions::default()).unwrap();
+        assert_eq!(corpus.n_docs(), 3);
+        assert!(corpus.docs[1].is_empty());
+        assert_eq!(corpus.docs[2].n_chunks(), 2);
+        corpus.validate().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn vocab_roundtrip() {
+        let dir = tmpdir("vocab");
+        let mut vocab = Vocab::new();
+        for w in ["alpha", "beta", "words with spaces are impossible", "gamma"] {
+            // (the middle entry has no tab, spaces are fine)
+            vocab.intern(w);
+        }
+        let path = dir.join("vocab.tsv");
+        save_vocab(&vocab, &path).unwrap();
+        let loaded = load_vocab(&path).unwrap();
+        assert_eq!(loaded.len(), vocab.len());
+        for (id, w) in vocab.iter() {
+            assert_eq!(loaded.word(id), w);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corpus_roundtrip_with_chunks() {
+        let dir = tmpdir("corpus");
+        let mut b = CorpusBuilder::new(CorpusOptions::raw());
+        b.add_document("one two three, four five");
+        b.add_document("");
+        b.add_document("six");
+        let corpus = b.build();
+        save_corpus(&corpus, &dir).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.n_docs(), corpus.n_docs());
+        assert_eq!(loaded.n_tokens(), corpus.n_tokens());
+        for (a, b) in corpus.docs.iter().zip(&loaded.docs) {
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.chunk_ends, b.chunk_ends);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_data() {
+        let dir = tmpdir("corrupt");
+        std::fs::write(dir.join("vocab.tsv"), "0\ta\n2\tb\n").unwrap();
+        assert!(load_vocab(&dir.join("vocab.tsv")).is_err()); // gap in ids
+        std::fs::write(dir.join("vocab.tsv"), "0 a\n").unwrap();
+        assert!(load_vocab(&dir.join("vocab.tsv")).is_err()); // no tab
+        std::fs::write(dir.join("docs.txt"), "0 1 99\n").unwrap();
+        assert!(load_documents(&dir.join("docs.txt"), 2).is_err()); // id 99
+        std::fs::write(dir.join("docs.txt"), "0 x\n").unwrap();
+        assert!(load_documents(&dir.join("docs.txt"), 2).is_err()); // non-int
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn text_pipeline_to_disk_and_back() {
+        let dir = tmpdir("pipeline");
+        let path = dir.join("raw.txt");
+        std::fs::write(
+            &path,
+            "Mining frequent patterns without candidate generation.\nFrequent pattern mining: status.\n",
+        )
+        .unwrap();
+        let corpus = load_lines(&path, CorpusOptions::default()).unwrap();
+        save_corpus(&corpus, &dir).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        // Same mining stream; display metadata (unstem/provenance) is
+        // deliberately not persisted.
+        assert_eq!(loaded.n_tokens(), corpus.n_tokens());
+        assert!(loaded.unstem.is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,127 @@
+//! English stop words (paper §7.1: "We remove English stop words for the
+//! mining and topic modeling steps").
+//!
+//! The list below is the classic Snowball/SMART-style function-word core.
+//! Removal happens only in the *mining stream*; the surface stream keeps the
+//! words so visualization can reinsert them ("rice bean" -> "rice and beans").
+
+use topmine_util::FxHashSet;
+
+/// The built-in English stop word list.
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
+    "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
+    "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd", "i'll",
+    "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's",
+    "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on",
+    "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some",
+    "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn't", "we",
+    "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's", "when", "when's",
+    "where", "where's", "which", "while", "who", "who's", "whom", "why", "why's", "with",
+    "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've", "your", "yours",
+    "yourself", "yourselves", "via", "using", "toward", "towards", "upon", "also", "among",
+    "within", "without", "may", "might", "must", "shall", "will", "however", "thus", "hence",
+    "etc",
+];
+
+/// A fast membership set of stop words.
+#[derive(Debug, Clone)]
+pub struct StopwordSet {
+    words: FxHashSet<String>,
+}
+
+impl Default for StopwordSet {
+    fn default() -> Self {
+        Self::english()
+    }
+}
+
+impl StopwordSet {
+    /// The built-in English list.
+    pub fn english() -> Self {
+        Self::from_words(ENGLISH_STOPWORDS.iter().copied())
+    }
+
+    /// An empty set (stopword removal disabled).
+    pub fn none() -> Self {
+        Self {
+            words: FxHashSet::default(),
+        }
+    }
+
+    /// Build from an arbitrary word list (words are lowercased).
+    pub fn from_words<'a, I: IntoIterator<Item = &'a str>>(words: I) -> Self {
+        Self {
+            words: words.into_iter().map(|w| w.to_lowercase()).collect(),
+        }
+    }
+
+    /// Extend with extra words (e.g. corpus-specific background terms).
+    pub fn extend<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) {
+        self.words.extend(words.into_iter().map(|w| w.to_lowercase()));
+    }
+
+    #[inline]
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_list_contains_function_words() {
+        let sw = StopwordSet::english();
+        for w in ["the", "of", "and", "is", "for", "with", "a"] {
+            assert!(sw.contains(w), "{w} should be a stop word");
+        }
+        for w in ["database", "mining", "support", "vector"] {
+            assert!(!sw.contains(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_in_static_list() {
+        let set: FxHashSet<&str> = ENGLISH_STOPWORDS.iter().copied().collect();
+        assert_eq!(set.len(), ENGLISH_STOPWORDS.len());
+    }
+
+    #[test]
+    fn custom_lists_lowercase() {
+        let sw = StopwordSet::from_words(["FOO", "Bar"]);
+        assert!(sw.contains("foo"));
+        assert!(sw.contains("bar"));
+        assert_eq!(sw.len(), 2);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let sw = StopwordSet::none();
+        assert!(sw.is_empty());
+        assert!(!sw.contains("the"));
+    }
+
+    #[test]
+    fn extend_adds_words() {
+        let mut sw = StopwordSet::none();
+        sw.extend(["paper", "propose"]);
+        assert!(sw.contains("paper"));
+        assert_eq!(sw.len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Tokenization with phrase-invariant punctuation chunking (paper §4.1).
+//!
+//! "Separating each document into smaller segments by splitting on
+//! phrase-invariant punctuation (commas, periods, semicolons, etc) allows us
+//! to consider constant-size chunks of text at a time" — phrases must never
+//! cross such punctuation, and the miner/constructor operate per chunk.
+
+/// A single surface token with its chunk id within the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawToken {
+    /// Lowercased surface form, apostrophes normalized.
+    pub text: String,
+    /// 0-based index of the punctuation-delimited chunk this token is in.
+    pub chunk: u32,
+}
+
+/// Characters that end a chunk: no phrase may span them.
+#[inline]
+fn is_chunk_break(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '\u{201c}'
+            | '\u{201d}' | '\u{2026}' | '/' | '\\' | '|' | '\u{2014}' | '\u{2013}'
+    )
+}
+
+/// Characters that separate tokens without breaking a chunk.
+#[inline]
+fn is_token_sep(c: char) -> bool {
+    c.is_whitespace() || c == '-' || c == '_' || c == '*'
+}
+
+/// Is this a character that may appear inside a token?
+#[inline]
+fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '\''
+}
+
+/// Tokenize `text` into lowercased tokens annotated with chunk ids.
+///
+/// * Alphanumeric runs (plus apostrophes, which are preserved so contractions
+///   like "don't" match the stop word list) form tokens.
+/// * Hyphens split tokens but do not break chunks ("bag-of-words" becomes
+///   three tokens inside one chunk, so it may be mined as a phrase).
+/// * Sentence punctuation breaks chunks; a chunk id is only advanced when the
+///   current chunk is non-empty, so ")." does not create empty chunks.
+/// * Any other symbol is treated as a token separator.
+pub fn tokenize_chunks(text: &str) -> Vec<RawToken> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut chunk: u32 = 0;
+    let mut chunk_has_tokens = false;
+
+    let flush = |current: &mut String, out: &mut Vec<RawToken>, chunk: u32| -> bool {
+        if current.is_empty() {
+            return false;
+        }
+        // Strip leading/trailing apostrophes ("'tis", "dogs'").
+        let trimmed: &str = current.trim_matches('\'');
+        if trimmed.is_empty() {
+            current.clear();
+            return false;
+        }
+        out.push(RawToken {
+            text: trimmed.to_string(),
+            chunk,
+        });
+        current.clear();
+        true
+    };
+
+    for c in text.chars() {
+        if is_token_char(c) {
+            for lc in c.to_lowercase() {
+                current.push(lc);
+            }
+        } else if is_chunk_break(c) {
+            chunk_has_tokens |= flush(&mut current, &mut out, chunk);
+            if chunk_has_tokens {
+                chunk += 1;
+                chunk_has_tokens = false;
+            }
+        } else if is_token_sep(c) {
+            chunk_has_tokens |= flush(&mut current, &mut out, chunk);
+        } else {
+            // Unknown symbol: treat as separator.
+            chunk_has_tokens |= flush(&mut current, &mut out, chunk);
+        }
+    }
+    flush(&mut current, &mut out, chunk);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<(String, u32)> {
+        tokenize_chunks(text)
+            .into_iter()
+            .map(|t| (t.text, t.chunk))
+            .collect()
+    }
+
+    #[test]
+    fn simple_sentence() {
+        assert_eq!(
+            toks("Mining frequent patterns"),
+            vec![
+                ("mining".into(), 0),
+                ("frequent".into(), 0),
+                ("patterns".into(), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_breaks_chunks() {
+        // Title 1 from Example 1 of the paper.
+        let t = toks("Mining frequent patterns without candidate generation: a frequent pattern tree approach.");
+        let chunk0: Vec<&str> = t.iter().filter(|(_, c)| *c == 0).map(|(w, _)| w.as_str()).collect();
+        let chunk1: Vec<&str> = t.iter().filter(|(_, c)| *c == 1).map(|(w, _)| w.as_str()).collect();
+        assert_eq!(
+            chunk0,
+            vec!["mining", "frequent", "patterns", "without", "candidate", "generation"]
+        );
+        assert_eq!(
+            chunk1,
+            vec!["a", "frequent", "pattern", "tree", "approach"]
+        );
+    }
+
+    #[test]
+    fn hyphens_split_tokens_not_chunks() {
+        assert_eq!(
+            toks("bag-of-words model"),
+            vec![
+                ("bag".into(), 0),
+                ("of".into(), 0),
+                ("words".into(), 0),
+                ("model".into(), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn apostrophes_kept_inside() {
+        assert_eq!(toks("don't stop"), vec![("don't".into(), 0), ("stop".into(), 0)]);
+        assert_eq!(toks("dogs' toys"), vec![("dogs".into(), 0), ("toys".into(), 0)]);
+    }
+
+    #[test]
+    fn no_empty_chunks_from_adjacent_punctuation() {
+        let t = toks("end). (start");
+        assert_eq!(
+            t,
+            vec![("end".into(), 0), ("start".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(
+            toks("top 10 lists"),
+            vec![("top".into(), 0), ("10".into(), 0), ("lists".into(), 0)]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(toks("").is_empty());
+        assert!(toks("... !!! ---").is_empty());
+    }
+
+    #[test]
+    fn unicode_case_folding() {
+        let t = toks("Café SÃO");
+        assert_eq!(t[0].0, "café");
+        assert_eq!(t[1].0, "são");
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    #[test]
+    fn multibyte_punctuation_and_emoji_are_separators() {
+        let toks: Vec<String> = tokenize_chunks("great food 👍 nice place…really")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(toks, vec!["great", "food", "nice", "place", "really"]);
+    }
+
+    #[test]
+    fn ellipsis_breaks_chunks() {
+        let t = tokenize_chunks("first part… second part");
+        assert_eq!(t[1].chunk, 0);
+        assert_eq!(t[2].chunk, 1);
+    }
+
+    #[test]
+    fn long_mixed_garbage_does_not_panic() {
+        let input: String = (0u32..3000)
+            .map(|i| char::from_u32(i % 0x500 + 32).unwrap_or(' '))
+            .collect();
+        let _ = tokenize_chunks(&input);
+    }
+
+    #[test]
+    fn apostrophe_only_tokens_vanish() {
+        assert!(tokenize_chunks("'' ' ''' ").is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Phrase quality (paper §7.2, Figure 5): are the extracted phrases "real"
+//! phrases rather than agglomerations of topically-related words?
+//!
+//! The paper's experts rated quality 1-10. Our synthetic corpora give an
+//! *objective* oracle the paper didn't have: the planted phrase lexicon.
+//! A list item scores 1.0 if it is exactly a planted collocation, partial
+//! credit for containing one (the "key topical unigrams appended to common
+//! phrases" failure mode the paper attributes to KERT scores < 1), and 0
+//! for an agglomeration of words that never formed a planted phrase.
+
+use crate::cooccur::phrase_ids;
+use topmine_corpus::Corpus;
+use topmine_lda::TopicSummary;
+use topmine_synth::GroundTruth;
+
+/// Quality of a single extracted phrase against the planted lexicon.
+///
+/// * exact planted phrase → 1.0;
+/// * contains a planted phrase as a contiguous sub-sequence → the fraction
+///   of its tokens covered by the longest such sub-phrase (free riders get
+///   penalized proportionally to the junk they append);
+/// * no planted content → 0.0.
+pub fn phrase_quality(truth: &GroundTruth, phrase: &[u32]) -> f64 {
+    if phrase.len() < 2 {
+        return 0.0;
+    }
+    if truth.is_planted(phrase) {
+        return 1.0;
+    }
+    let mut best = 0usize;
+    for len in (2..phrase.len()).rev() {
+        for window in phrase.windows(len) {
+            if truth.is_planted(window) {
+                best = best.max(len);
+                break;
+            }
+        }
+        if best > 0 {
+            break;
+        }
+    }
+    best as f64 / phrase.len() as f64
+}
+
+/// Mean quality of one topic's top-`n` phrase list. Phrases that cannot be
+/// parsed back to vocabulary ids are scored 0 (they are junk renderings).
+/// Topics with no phrases at all score 0 — an empty list gives an expert
+/// nothing of quality to rate.
+pub fn topic_quality(
+    corpus: &Corpus,
+    truth: &GroundTruth,
+    summary: &TopicSummary,
+    top_n: usize,
+) -> f64 {
+    let phrases: Vec<&(String, u64)> = summary.top_phrases.iter().take(top_n).collect();
+    if phrases.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = phrases
+        .iter()
+        .map(|(p, _)| {
+            phrase_ids(corpus, p)
+                .map(|ids| phrase_quality(truth, &ids))
+                .unwrap_or(0.0)
+        })
+        .sum();
+    total / phrases.len() as f64
+}
+
+/// Per-topic quality scores for a whole method.
+pub fn method_quality(
+    corpus: &Corpus,
+    truth: &GroundTruth,
+    summaries: &[TopicSummary],
+    top_n: usize,
+) -> Vec<f64> {
+    summaries
+        .iter()
+        .map(|s| topic_quality(corpus, truth, s, top_n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topmine_util::FxHashSet;
+
+    fn truth_with(phrases: &[&[u32]]) -> GroundTruth {
+        let mut lexicon: FxHashSet<Box<[u32]>> = FxHashSet::default();
+        for p in phrases {
+            lexicon.insert(p.to_vec().into_boxed_slice());
+        }
+        GroundTruth {
+            phrase_lexicon: lexicon,
+            ..GroundTruth::default()
+        }
+    }
+
+    #[test]
+    fn exact_match_is_perfect() {
+        let t = truth_with(&[&[1, 2], &[3, 4, 5]]);
+        assert_eq!(phrase_quality(&t, &[1, 2]), 1.0);
+        assert_eq!(phrase_quality(&t, &[3, 4, 5]), 1.0);
+    }
+
+    #[test]
+    fn free_riders_get_partial_credit() {
+        let t = truth_with(&[&[1, 2]]);
+        // Planted bigram with one junk word appended: 2/3.
+        let q = phrase_quality(&t, &[1, 2, 9]);
+        assert!((q - 2.0 / 3.0).abs() < 1e-12);
+        // Junk on both sides: 2/4.
+        let q = phrase_quality(&t, &[8, 1, 2, 9]);
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agglomerations_score_zero() {
+        let t = truth_with(&[&[1, 2]]);
+        assert_eq!(phrase_quality(&t, &[2, 1]), 0.0); // wrong order
+        assert_eq!(phrase_quality(&t, &[5, 6, 7]), 0.0);
+        assert_eq!(phrase_quality(&t, &[1]), 0.0); // unigrams don't count
+    }
+
+    #[test]
+    fn longest_planted_subphrase_wins() {
+        let t = truth_with(&[&[1, 2], &[1, 2, 3]]);
+        // Contains both; the trigram gives 3/4, better than 2/4.
+        let q = phrase_quality(&t, &[1, 2, 3, 9]);
+        assert!((q - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topic_quality_averages_and_handles_empty() {
+        use topmine_corpus::Vocab;
+        let mut vocab = Vocab::new();
+        for w in ["w0", "w1", "w2"] {
+            vocab.intern(w);
+        }
+        let corpus = topmine_corpus::Corpus {
+            vocab,
+            docs: vec![],
+            provenance: None,
+            unstem: None,
+        };
+        let t = truth_with(&[&[0, 1]]);
+        let s = TopicSummary {
+            topic: 0,
+            top_unigrams: vec![],
+            top_phrases: vec![("w0 w1".into(), 5), ("w1 w2".into(), 3)],
+        };
+        let q = topic_quality(&corpus, &t, &s, 10);
+        assert!((q - 0.5).abs() < 1e-12, "q = {q}"); // (1.0 + 0.0) / 2
+        let empty = TopicSummary {
+            topic: 1,
+            top_unigrams: vec![],
+            top_phrases: vec![],
+        };
+        assert_eq!(topic_quality(&corpus, &t, &empty, 10), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Guard: KERT must finish on the ACL-scale corpus in bounded time (the
+//! regression that motivated the Eclat rewrite + linear completeness pass).
+use topmine_eval::{run_method, Method, MethodRunConfig};
+use topmine_synth::{generate, Profile};
+
+#[test]
+fn kert_completes_on_acl_scale_corpus() {
+    let s = generate(Profile::AclAbstracts, 0.2, 42);
+    let start = std::time::Instant::now();
+    let run = run_method(
+        Method::Kert,
+        &s.corpus,
+        &MethodRunConfig {
+            n_topics: s.n_topics,
+            iterations: 30,
+            min_support: 3,
+            seed: 7,
+            ..MethodRunConfig::default()
+        },
+    );
+    assert!(run.failure.is_none(), "KERT failed: {:?}", run.failure);
+    // Generous bound; the quadratic regression took tens of minutes.
+    assert!(
+        start.elapsed().as_secs() < 300,
+        "KERT took {:?}",
+        start.elapsed()
+    );
+    let n_phrases: usize = run.summaries.iter().map(|t| t.top_phrases.len()).sum();
+    assert!(n_phrases > 0, "KERT produced no phrases");
+}

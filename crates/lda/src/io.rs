@@ -1,0 +1,211 @@
+//! Model persistence: save/load a fitted topic model's distributions and
+//! the topic table, in plain TSV any downstream toolchain can read.
+//!
+//! What is persisted is the *inference result* (φ point estimates, the
+//! per-group topic assignments, hyperparameters) — enough to resume
+//! visualization, scoring, or fold-in without re-running Gibbs. The
+//! grouped-document stream itself is saved by `topmine_corpus::io`.
+
+use crate::sampler::PhraseLda;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write φ (K rows × V columns of probabilities) as TSV with a header row
+/// of word ids.
+pub fn save_phi(model: &PhraseLda, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let phi = model.phi();
+    write!(out, "topic")?;
+    for w in 0..model.vocab_size() {
+        write!(out, "\tw{w}")?;
+    }
+    writeln!(out)?;
+    for (t, row) in phi.iter().enumerate() {
+        write!(out, "{t}")?;
+        for p in row {
+            write!(out, "\t{p:.17e}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Read a φ matrix written by [`save_phi`]; returns `K × V` probabilities.
+pub fn load_phi(path: &Path) -> io::Result<Vec<Vec<f64>>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut rows = Vec::new();
+    let mut expected_cols: Option<usize> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue; // header
+        }
+        let mut fields = line.split('\t');
+        let _topic = fields.next();
+        let row: Result<Vec<f64>, _> = fields.map(str::parse).collect();
+        let row = row.map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("phi line {}: {e}", i + 1))
+        })?;
+        if let Some(c) = expected_cols {
+            if row.len() != c {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("phi line {}: ragged row ({} vs {c})", i + 1, row.len()),
+                ));
+            }
+        } else {
+            expected_cols = Some(row.len());
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty phi file"));
+    }
+    Ok(rows)
+}
+
+/// Write the per-group topic assignments: one line per document, topics
+/// space-separated in group order (`3 0 3 | 1` style is *not* used — group
+/// boundaries live with the saved corpus).
+pub fn save_assignments(model: &PhraseLda, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for d in 0..model.docs().n_docs() {
+        let n = model.docs().docs[d].n_groups();
+        for g in 0..n {
+            if g > 0 {
+                write!(out, " ")?;
+            }
+            write!(out, "{}", model.topic_of_group(d, g))?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Read assignments written by [`save_assignments`].
+pub fn load_assignments(path: &Path) -> io::Result<Vec<Vec<u16>>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut docs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let topics: Result<Vec<u16>, _> = line.split_whitespace().map(str::parse).collect();
+        docs.push(topics.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("assignments line {}: {e}", i + 1),
+            )
+        })?);
+    }
+    Ok(docs)
+}
+
+/// Write hyperparameters (asymmetric α vector and β) as `key<TAB>value`.
+pub fn save_hyperparameters(model: &PhraseLda, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "n_topics\t{}", model.n_topics())?;
+    writeln!(out, "vocab_size\t{}", model.vocab_size())?;
+    writeln!(out, "beta\t{:.10e}", model.beta())?;
+    for (t, a) in model.alpha().iter().enumerate() {
+        writeln!(out, "alpha{t}\t{a:.10e}")?;
+    }
+    out.flush()
+}
+
+/// Save the full model bundle (`phi.tsv`, `assignments.txt`, `hyper.tsv`)
+/// into a directory.
+pub fn save_model(model: &PhraseLda, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    save_phi(model, &dir.join("phi.tsv"))?;
+    save_assignments(model, &dir.join("assignments.txt"))?;
+    save_hyperparameters(model, &dir.join("hyper.tsv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GroupedDoc, GroupedDocs};
+    use crate::sampler::TopicModelConfig;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("topmine-lda-io-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn model() -> PhraseLda {
+        let docs = GroupedDocs {
+            docs: (0..10)
+                .map(|d| GroupedDoc {
+                    tokens: vec![d % 4, (d + 1) % 4, (d + 2) % 4],
+                    group_ends: vec![2, 3],
+                })
+                .collect(),
+            vocab_size: 4,
+        };
+        let mut m = PhraseLda::new(docs, TopicModelConfig::new(3).with_seed(5));
+        m.run(10);
+        m
+    }
+
+    #[test]
+    fn phi_roundtrip_preserves_probabilities() {
+        let dir = tmpdir("phi");
+        let m = model();
+        let path = dir.join("phi.tsv");
+        save_phi(&m, &path).unwrap();
+        let loaded = load_phi(&path).unwrap();
+        let phi = m.phi();
+        assert_eq!(loaded.len(), phi.len());
+        for (a, b) in phi.iter().zip(&loaded) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn assignments_roundtrip() {
+        let dir = tmpdir("assign");
+        let m = model();
+        let path = dir.join("assignments.txt");
+        save_assignments(&m, &path).unwrap();
+        let loaded = load_assignments(&path).unwrap();
+        assert_eq!(loaded.len(), 10);
+        for (d, topics) in loaded.iter().enumerate() {
+            assert_eq!(topics.len(), 2);
+            for (g, &t) in topics.iter().enumerate() {
+                assert_eq!(t, m.topic_of_group(d, g));
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bundle_save_and_hyper_content() {
+        let dir = tmpdir("bundle");
+        let m = model();
+        save_model(&m, &dir).unwrap();
+        assert!(dir.join("phi.tsv").exists());
+        assert!(dir.join("assignments.txt").exists());
+        let hyper = std::fs::read_to_string(dir.join("hyper.tsv")).unwrap();
+        assert!(hyper.contains("n_topics\t3"));
+        assert!(hyper.contains("beta\t"));
+        assert!(hyper.contains("alpha2\t"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_phi_rejects_ragged_and_empty() {
+        let dir = tmpdir("bad");
+        let path = dir.join("phi.tsv");
+        std::fs::write(&path, "topic\tw0\tw1\n0\t0.5\t0.5\n1\t1.0\n").unwrap();
+        assert!(load_phi(&path).is_err());
+        std::fs::write(&path, "topic\tw0\n").unwrap();
+        assert!(load_phi(&path).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,24 @@
+//! Topic modeling for ToPMine (paper §5).
+//!
+//! * [`model`] — the grouped-document representation: documents as
+//!   sequences of cliques (phrase instances), of which the bag-of-words LDA
+//!   input is the singleton-group special case.
+//! * [`sampler`] — the collapsed Gibbs sampler implementing Eq. 7 (and thus
+//!   plain LDA when every group has one token), training/held-out
+//!   perplexity, and Minka fixed-point hyperparameter optimization (§5.3).
+//! * [`io`] — TSV persistence for fitted models (φ, assignments,
+//!   hyperparameters).
+//! * [`viz`] — topical-frequency ranking (Eq. 8) and the table renderer
+//!   regenerating the layout of the paper's Tables 1 and 4-6.
+
+pub mod io;
+pub mod model;
+pub mod sampler;
+pub mod viz;
+
+pub use model::{GroupedDoc, GroupedDocs};
+pub use sampler::{FoldIn, PhraseLda, TopicModelConfig};
+pub use viz::{
+    background_phrases, render_topic_table, summarize_topics, summarize_topics_filtered,
+    topical_frequencies, TopicSummary,
+};

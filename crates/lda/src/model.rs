@@ -1,0 +1,241 @@
+//! Grouped-document representation shared by LDA and PhraseLDA.
+//!
+//! PhraseLDA's chain graph (paper Figure 2b) ties the latent topics of all
+//! tokens in a phrase into a clique that takes a single topic value. We
+//! therefore represent every document as a sequence of *groups*: a group is
+//! a phrase instance from the segmentation, or a single token when running
+//! plain LDA ("LDA is a special case of PhraseLDA", §7.4 — the same sampler
+//! serves both by varying the grouping).
+
+use topmine_corpus::Corpus;
+use topmine_phrase::Segmentation;
+
+/// One document as a sequence of token groups.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedDoc {
+    /// All tokens of the document, in order.
+    pub tokens: Vec<u32>,
+    /// Exclusive end offset of each group; last equals `tokens.len()`.
+    pub group_ends: Vec<u32>,
+}
+
+impl GroupedDoc {
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn n_groups(&self) -> usize {
+        self.group_ends.len()
+    }
+
+    /// Iterate `(start, end)` of each group.
+    pub fn group_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let starts = std::iter::once(0).chain(self.group_ends.iter().map(|&e| e as usize));
+        starts.zip(self.group_ends.iter().map(|&e| e as usize))
+    }
+
+    /// Token slice of group `g`.
+    pub fn group(&self, g: usize) -> &[u32] {
+        let start = if g == 0 {
+            0
+        } else {
+            self.group_ends[g - 1] as usize
+        };
+        &self.tokens[start..self.group_ends[g] as usize]
+    }
+}
+
+/// A whole corpus in grouped form.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedDocs {
+    pub docs: Vec<GroupedDoc>,
+    pub vocab_size: usize,
+}
+
+impl GroupedDocs {
+    /// Every token is its own group: plain LDA input (bag of words).
+    pub fn unigrams(corpus: &Corpus) -> Self {
+        let docs = corpus
+            .docs
+            .iter()
+            .map(|d| GroupedDoc {
+                tokens: d.tokens.clone(),
+                group_ends: (1..=d.tokens.len() as u32).collect(),
+            })
+            .collect();
+        Self {
+            docs,
+            vocab_size: corpus.vocab.len(),
+        }
+    }
+
+    /// Groups are the segmentation's phrase instances: PhraseLDA input
+    /// (bag of phrases).
+    pub fn from_segmentation(corpus: &Corpus, seg: &Segmentation) -> Self {
+        assert_eq!(
+            corpus.docs.len(),
+            seg.docs.len(),
+            "segmentation must cover the corpus"
+        );
+        let docs = corpus
+            .docs
+            .iter()
+            .zip(&seg.docs)
+            .map(|(d, s)| GroupedDoc {
+                tokens: d.tokens.clone(),
+                group_ends: s.spans.iter().map(|&(_, e)| e).collect(),
+            })
+            .collect();
+        Self {
+            docs,
+            vocab_size: corpus.vocab.len(),
+        }
+    }
+
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn n_tokens(&self) -> usize {
+        self.docs.iter().map(GroupedDoc::n_tokens).sum()
+    }
+
+    pub fn n_groups(&self) -> usize {
+        self.docs.iter().map(GroupedDoc::n_groups).sum()
+    }
+
+    /// Largest group size (clique width).
+    pub fn max_group_len(&self) -> usize {
+        self.docs
+            .iter()
+            .flat_map(|d| d.group_ranges().map(|(s, e)| e - s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Structural validation for tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, d) in self.docs.iter().enumerate() {
+            let mut prev = 0u32;
+            for &e in &d.group_ends {
+                if e <= prev {
+                    return Err(format!("doc {i}: group ends not increasing"));
+                }
+                prev = e;
+            }
+            if prev as usize != d.tokens.len() {
+                return Err(format!("doc {i}: groups do not cover tokens"));
+            }
+            if d.tokens.iter().any(|&t| t as usize >= self.vocab_size) {
+                return Err(format!("doc {i}: token outside vocabulary"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Split into `(train, heldout)` by assigning every `1/ratio`-th
+    /// document to the held-out set (deterministic round-robin, as is
+    /// conventional for perplexity evaluation).
+    pub fn split_heldout(&self, ratio: usize) -> (GroupedDocs, GroupedDocs) {
+        assert!(ratio >= 2, "ratio must be >= 2");
+        let mut train = Vec::new();
+        let mut held = Vec::new();
+        for (i, d) in self.docs.iter().enumerate() {
+            if i % ratio == ratio - 1 {
+                held.push(d.clone());
+            } else {
+                train.push(d.clone());
+            }
+        }
+        (
+            GroupedDocs {
+                docs: train,
+                vocab_size: self.vocab_size,
+            },
+            GroupedDocs {
+                docs: held,
+                vocab_size: self.vocab_size,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topmine_corpus::{Document, Vocab};
+
+    fn corpus() -> Corpus {
+        let mut vocab = Vocab::new();
+        for w in ["a", "b", "c", "d"] {
+            vocab.intern(w);
+        }
+        Corpus {
+            vocab,
+            docs: vec![
+                Document::single_chunk(vec![0, 1, 2, 3]),
+                Document::single_chunk(vec![2, 3]),
+                Document::single_chunk(vec![]),
+            ],
+            provenance: None,
+            unstem: None,
+        }
+    }
+
+    #[test]
+    fn unigram_grouping_is_lda_shape() {
+        let g = GroupedDocs::unigrams(&corpus());
+        g.validate().unwrap();
+        assert_eq!(g.n_docs(), 3);
+        assert_eq!(g.n_tokens(), 6);
+        assert_eq!(g.n_groups(), 6);
+        assert_eq!(g.max_group_len(), 1);
+        assert_eq!(g.docs[0].group(2), &[2]);
+    }
+
+    #[test]
+    fn segmentation_grouping_builds_cliques() {
+        use topmine_phrase::{SegmentedDoc, Segmentation};
+        let seg = Segmentation {
+            docs: vec![
+                SegmentedDoc {
+                    spans: vec![(0, 2), (2, 4)],
+                },
+                SegmentedDoc {
+                    spans: vec![(0, 1), (1, 2)],
+                },
+                SegmentedDoc { spans: vec![] },
+            ],
+            alpha: 5.0,
+        };
+        let g = GroupedDocs::from_segmentation(&corpus(), &seg);
+        g.validate().unwrap();
+        assert_eq!(g.n_groups(), 4);
+        assert_eq!(g.max_group_len(), 2);
+        assert_eq!(g.docs[0].group(0), &[0, 1]);
+        assert_eq!(g.docs[0].group(1), &[2, 3]);
+        let ranges: Vec<(usize, usize)> = g.docs[0].group_ranges().collect();
+        assert_eq!(ranges, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn heldout_split_partitions_docs() {
+        let g = GroupedDocs::unigrams(&corpus());
+        let (train, held) = g.split_heldout(3);
+        assert_eq!(train.n_docs(), 2);
+        assert_eq!(held.n_docs(), 1);
+        assert_eq!(train.n_docs() + held.n_docs(), g.n_docs());
+    }
+
+    #[test]
+    fn validate_detects_bad_groups() {
+        let g = GroupedDocs {
+            docs: vec![GroupedDoc {
+                tokens: vec![0, 1],
+                group_ends: vec![1],
+            }],
+            vocab_size: 2,
+        };
+        assert!(g.validate().is_err());
+    }
+}

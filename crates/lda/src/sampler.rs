@@ -1,0 +1,814 @@
+//! Collapsed Gibbs sampling for PhraseLDA (paper §5.3, Eq. 7).
+//!
+//! The sampler operates on *groups* (cliques). For a clique `C_{d,g}` of
+//! size `s` the posterior over its single topic value `k` is
+//!
+//! ```text
+//! p(C = k | W, Z¬C) ∝ ∏_{j=1..s} (α_k + N_dk¬C + j − 1)
+//!                     · (β_{w_j} + N_{w_j,k}¬C + m_j) / (Σβ + N_k¬C + j − 1)
+//! ```
+//!
+//! where `m_j` counts previous occurrences of word `w_j` *within the clique*
+//! (the exact Gamma-ratio form from the paper's appendix; Eq. 7 prints the
+//! common case of distinct words). With `s = 1` this reduces to the
+//! standard LDA update, so plain LDA is run through the identical code path
+//! with singleton groups — mirroring the paper's measurement setup ("the
+//! same JAVA implementation of PhraseLDA is used (as LDA is a special case
+//! of PhraseLDA)").
+
+use crate::model::GroupedDocs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topmine_util::stats::digamma;
+
+/// Sampler configuration.
+#[derive(Debug, Clone)]
+pub struct TopicModelConfig {
+    /// Number of topics K.
+    pub n_topics: usize,
+    /// Initial symmetric document-topic hyperparameter (each α_k starts at
+    /// this; optimization may make the vector asymmetric).
+    pub alpha: f64,
+    /// Symmetric topic-word hyperparameter β.
+    pub beta: f64,
+    /// RNG seed for initialization and sweeps.
+    pub seed: u64,
+    /// Optimize α (asymmetric) and β every this many sweeps via Minka's
+    /// fixed point; `0` disables (the paper disables it for timed runs).
+    pub optimize_every: usize,
+    /// Sweeps to run before the first hyperparameter update.
+    pub burn_in: usize,
+}
+
+impl Default for TopicModelConfig {
+    fn default() -> Self {
+        Self {
+            n_topics: 10,
+            alpha: 50.0 / 10.0,
+            beta: 0.01,
+            seed: 1,
+            optimize_every: 0,
+            burn_in: 50,
+        }
+    }
+}
+
+impl TopicModelConfig {
+    pub fn new(n_topics: usize) -> Self {
+        Self {
+            n_topics,
+            // The conventional LDA default α = 50/K used by MALLET.
+            alpha: 50.0 / n_topics as f64,
+            ..Self::default()
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_hyper_opt(mut self, every: usize, burn_in: usize) -> Self {
+        self.optimize_every = every;
+        self.burn_in = burn_in;
+        self
+    }
+}
+
+/// The PhraseLDA (and LDA) collapsed Gibbs sampler.
+#[derive(Debug, Clone)]
+pub struct PhraseLda {
+    docs: GroupedDocs,
+    k: usize,
+    v: usize,
+    /// Document-topic Dirichlet (asymmetric after optimization).
+    alpha: Vec<f64>,
+    /// Symmetric topic-word Dirichlet.
+    beta: f64,
+    /// N_{d,k}: tokens of doc d assigned to topic k (row-major d*K + k).
+    n_dk: Vec<u32>,
+    /// N_{x,k}: tokens of word x assigned to topic k (row-major x*K + k).
+    n_wk: Vec<u32>,
+    /// N_k: tokens assigned to topic k.
+    n_k: Vec<u64>,
+    /// Topic of each group: z[d][g].
+    z: Vec<Vec<u16>>,
+    rng: StdRng,
+    sweeps_done: usize,
+    config: TopicModelConfig,
+}
+
+impl PhraseLda {
+    /// Initialize with uniformly random topic assignments per group.
+    pub fn new(docs: GroupedDocs, config: TopicModelConfig) -> Self {
+        let k = config.n_topics;
+        assert!(k >= 1 && k <= u16::MAX as usize, "bad topic count");
+        assert!(config.alpha > 0.0 && config.beta > 0.0, "hyperparameters must be positive");
+        debug_assert!(docs.validate().is_ok());
+        let v = docs.vocab_size;
+        let d = docs.n_docs();
+        let mut model = Self {
+            k,
+            v,
+            alpha: vec![config.alpha; k],
+            beta: config.beta,
+            n_dk: vec![0; d * k],
+            n_wk: vec![0; v * k],
+            n_k: vec![0; k],
+            z: Vec::with_capacity(d),
+            rng: StdRng::seed_from_u64(config.seed),
+            sweeps_done: 0,
+            config,
+            docs,
+        };
+        for d in 0..model.docs.n_docs() {
+            let n_groups = model.docs.docs[d].n_groups();
+            let mut zs = Vec::with_capacity(n_groups);
+            for g in 0..n_groups {
+                let topic = model.rng.gen_range(0..model.k) as u16;
+                zs.push(topic);
+                model.add_group(d, g, topic);
+            }
+            model.z.push(zs);
+        }
+        model
+    }
+
+    /// Plain LDA over a corpus: singleton groups.
+    pub fn lda(corpus: &topmine_corpus::Corpus, config: TopicModelConfig) -> Self {
+        Self::new(GroupedDocs::unigrams(corpus), config)
+    }
+
+    #[inline]
+    fn group_range(&self, d: usize, g: usize) -> (usize, usize) {
+        let doc = &self.docs.docs[d];
+        let start = if g == 0 {
+            0
+        } else {
+            doc.group_ends[g - 1] as usize
+        };
+        (start, doc.group_ends[g] as usize)
+    }
+
+    #[inline]
+    fn add_group(&mut self, d: usize, g: usize, topic: u16) {
+        let kt = topic as usize;
+        let (start, end) = self.group_range(d, g);
+        for i in start..end {
+            let w = self.docs.docs[d].tokens[i] as usize;
+            self.n_wk[w * self.k + kt] += 1;
+        }
+        let s = (end - start) as u32;
+        self.n_dk[d * self.k + kt] += s;
+        self.n_k[kt] += s as u64;
+    }
+
+    #[inline]
+    fn remove_group(&mut self, d: usize, g: usize, topic: u16) {
+        let kt = topic as usize;
+        let (start, end) = self.group_range(d, g);
+        for i in start..end {
+            let w = self.docs.docs[d].tokens[i] as usize;
+            self.n_wk[w * self.k + kt] -= 1;
+        }
+        let s = (end - start) as u32;
+        self.n_dk[d * self.k + kt] -= s;
+        self.n_k[kt] -= s as u64;
+    }
+
+    /// One full Gibbs sweep over every group (Eq. 7 update per clique).
+    pub fn step(&mut self) {
+        let k = self.k;
+        let v_beta = self.v as f64 * self.beta;
+        let mut weights = vec![0.0f64; k];
+        // Scratch for within-clique word multiplicities.
+        let mut seen: Vec<(u32, u32)> = Vec::with_capacity(8);
+
+        for d in 0..self.docs.n_docs() {
+            let n_groups = self.z[d].len();
+            for g in 0..n_groups {
+                let old = self.z[d][g];
+                self.remove_group(d, g, old);
+
+                let (start, end) = self.group_range(d, g);
+                let s_len = end - start;
+
+                // Compute the K unnormalized posteriors.
+                for (t, weight_slot) in weights.iter_mut().enumerate() {
+                    let mut w_t = 1.0f64;
+                    let n_dk = self.n_dk[d * k + t] as f64;
+                    let n_k = self.n_k[t] as f64;
+                    let alpha_t = self.alpha[t];
+                    seen.clear();
+                    for (j, i) in (start..end).enumerate() {
+                        let w = self.docs.docs[d].tokens[i];
+                        // m = prior occurrences of w inside this clique.
+                        let m = match seen.iter_mut().find(|(sw, _)| *sw == w) {
+                            Some((_, c)) => {
+                                let m = *c;
+                                *c += 1;
+                                m
+                            }
+                            None => {
+                                seen.push((w, 1));
+                                0
+                            }
+                        };
+                        let num_doc = alpha_t + n_dk + j as f64;
+                        let num_word =
+                            self.beta + self.n_wk[w as usize * k + t] as f64 + m as f64;
+                        let den = v_beta + n_k + j as f64;
+                        w_t *= num_doc * num_word / den;
+                    }
+                    *weight_slot = w_t;
+                }
+                debug_assert!(
+                    weights.iter().all(|w| w.is_finite()),
+                    "non-finite sampling weight (group len {s_len})"
+                );
+
+                let new = sample_discrete(&mut self.rng, &weights) as u16;
+                self.z[d][g] = new;
+                self.add_group(d, g, new);
+            }
+        }
+        self.sweeps_done += 1;
+        if self.config.optimize_every > 0
+            && self.sweeps_done >= self.config.burn_in
+            && self.sweeps_done.is_multiple_of(self.config.optimize_every)
+        {
+            self.optimize_hyperparameters();
+        }
+    }
+
+    /// Run `iters` sweeps.
+    pub fn run(&mut self, iters: usize) {
+        for _ in 0..iters {
+            self.step();
+        }
+    }
+
+    /// Run `iters` sweeps, invoking `callback(sweep_index, &self)` after
+    /// each (used by the perplexity-vs-iteration experiments, Figures 6/7).
+    pub fn run_with<F: FnMut(usize, &Self)>(&mut self, iters: usize, mut callback: F) {
+        for _ in 0..iters {
+            self.step();
+            callback(self.sweeps_done, self);
+        }
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    pub fn n_topics(&self) -> usize {
+        self.k
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.v
+    }
+
+    pub fn docs(&self) -> &GroupedDocs {
+        &self.docs
+    }
+
+    pub fn sweeps_done(&self) -> usize {
+        self.sweeps_done
+    }
+
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Topic currently assigned to group `g` of document `d`.
+    pub fn topic_of_group(&self, d: usize, g: usize) -> u16 {
+        self.z[d][g]
+    }
+
+    /// Point estimate of the topic-word distribution φ (K × V).
+    pub fn phi(&self) -> Vec<Vec<f64>> {
+        let v_beta = self.v as f64 * self.beta;
+        (0..self.k)
+            .map(|t| {
+                let den = self.n_k[t] as f64 + v_beta;
+                (0..self.v)
+                    .map(|w| (self.n_wk[w * self.k + t] as f64 + self.beta) / den)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Point estimate of the document-topic distribution θ (D × K).
+    pub fn theta(&self) -> Vec<Vec<f64>> {
+        let alpha_sum: f64 = self.alpha.iter().sum();
+        (0..self.docs.n_docs())
+            .map(|d| {
+                let n_d = self.docs.docs[d].n_tokens() as f64;
+                let den = n_d + alpha_sum;
+                (0..self.k)
+                    .map(|t| (self.n_dk[d * self.k + t] as f64 + self.alpha[t]) / den)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Number of *effective* topics: topics holding at least `min_share` of
+    /// all assigned tokens. A cheap data-driven estimate of how many of the
+    /// K requested topics the corpus actually uses — a pragmatic stand-in
+    /// for the nonparametric prior the paper's §8 proposes as future work
+    /// (run with generous K, read off the occupied topics).
+    pub fn effective_topics(&self, min_share: f64) -> usize {
+        let total: u64 = self.n_k.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        self.n_k
+            .iter()
+            .filter(|&&c| c as f64 / total as f64 >= min_share)
+            .count()
+    }
+
+    /// Count of word `w` in topic `t`.
+    pub fn word_topic_count(&self, w: u32, t: usize) -> u32 {
+        self.n_wk[w as usize * self.k + t]
+    }
+
+    pub fn topic_count(&self, t: usize) -> u64 {
+        self.n_k[t]
+    }
+
+    // ----- perplexity ------------------------------------------------------
+
+    /// Training-corpus perplexity from the current counts:
+    /// `exp(−Σ log p(w|d) / N)` with `p(w|d) = Σ_k θ̂_dk φ̂_kw`.
+    ///
+    /// Tokens are scored individually for both LDA and PhraseLDA, so the
+    /// two models' curves are directly comparable (Figures 6 and 7).
+    pub fn perplexity(&self) -> f64 {
+        let mut log_lik = 0.0f64;
+        let mut n = 0u64;
+        let alpha_sum: f64 = self.alpha.iter().sum();
+        let v_beta = self.v as f64 * self.beta;
+        // Precompute φ column denominators.
+        let phi_den: Vec<f64> = (0..self.k).map(|t| self.n_k[t] as f64 + v_beta).collect();
+        for d in 0..self.docs.n_docs() {
+            let doc = &self.docs.docs[d];
+            if doc.tokens.is_empty() {
+                continue;
+            }
+            let theta_den = doc.n_tokens() as f64 + alpha_sum;
+            let theta: Vec<f64> = (0..self.k)
+                .map(|t| (self.n_dk[d * self.k + t] as f64 + self.alpha[t]) / theta_den)
+                .collect();
+            for &w in &doc.tokens {
+                let mut p = 0.0;
+                for t in 0..self.k {
+                    p += theta[t] * (self.n_wk[w as usize * self.k + t] as f64 + self.beta)
+                        / phi_den[t];
+                }
+                log_lik += p.ln();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return f64::NAN;
+        }
+        (-log_lik / n as f64).exp()
+    }
+
+    /// Held-out perplexity by document completion.
+    ///
+    /// For each held-out document, the even-indexed *groups* are observed
+    /// and the odd-indexed groups are scored — so two models sharing one
+    /// grouping score exactly the same unseen tokens. Fold-in estimates θ
+    /// with a short Gibbs chain over the observed half with φ frozen at the
+    /// training counts. `fold_in` selects the fold-in unit:
+    ///
+    /// * [`FoldIn::Groups`] — one topic per observed group (PhraseLDA's own
+    ///   inference assumption, Eq. 7 with frozen φ);
+    /// * [`FoldIn::Tokens`] — one topic per observed token (plain LDA).
+    ///
+    /// Comparing PhraseLDA(`Groups`) against LDA(`Tokens`) over the same
+    /// grouping evaluates each model under its own assumption on identical
+    /// unseen tokens — the paper's Figures 6 and 7 comparison.
+    pub fn heldout_perplexity(
+        &self,
+        heldout: &GroupedDocs,
+        fold_iters: usize,
+        seed: u64,
+        fold_in: FoldIn,
+    ) -> f64 {
+        assert_eq!(heldout.vocab_size, self.v, "vocabulary mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v_beta = self.v as f64 * self.beta;
+        let phi_den: Vec<f64> = (0..self.k).map(|t| self.n_k[t] as f64 + v_beta).collect();
+        let alpha_sum: f64 = self.alpha.iter().sum();
+
+        let mut log_lik = 0.0f64;
+        let mut n = 0u64;
+        let mut weights = vec![0.0f64; self.k];
+
+        for doc in &heldout.docs {
+            if doc.n_groups() < 2 {
+                continue;
+            }
+            // Observed half: even groups, as fold-in units.
+            let observed: Vec<(usize, usize)> = match fold_in {
+                FoldIn::Groups => doc
+                    .group_ranges()
+                    .enumerate()
+                    .filter(|(g, _)| g % 2 == 0)
+                    .map(|(_, r)| r)
+                    .collect(),
+                FoldIn::Tokens => doc
+                    .group_ranges()
+                    .enumerate()
+                    .filter(|(g, _)| g % 2 == 0)
+                    .flat_map(|(_, (s, e))| (s..e).map(|i| (i, i + 1)))
+                    .collect(),
+            };
+            let mut local_ndk = vec![0u32; self.k];
+            let mut local_z: Vec<u16> = Vec::with_capacity(observed.len());
+            let mut n_obs = 0u32;
+            for &(s, e) in &observed {
+                let t = rng.gen_range(0..self.k) as u16;
+                local_ndk[t as usize] += (e - s) as u32;
+                n_obs += (e - s) as u32;
+                local_z.push(t);
+            }
+            for _ in 0..fold_iters {
+                for (gi, &(s, e)) in observed.iter().enumerate() {
+                    let old = local_z[gi] as usize;
+                    local_ndk[old] -= (e - s) as u32;
+                    for t in 0..self.k {
+                        let mut w_t = 1.0f64;
+                        for (j, i) in (s..e).enumerate() {
+                            let w = doc.tokens[i] as usize;
+                            w_t *= (self.alpha[t] + local_ndk[t] as f64 + j as f64)
+                                * (self.n_wk[w * self.k + t] as f64 + self.beta)
+                                / phi_den[t];
+                        }
+                        weights[t] = w_t;
+                    }
+                    let new = sample_discrete(&mut rng, &weights);
+                    local_z[gi] = new as u16;
+                    local_ndk[new] += (e - s) as u32;
+                }
+            }
+            let theta_den = n_obs as f64 + alpha_sum;
+            let theta: Vec<f64> = (0..self.k)
+                .map(|t| (local_ndk[t] as f64 + self.alpha[t]) / theta_den)
+                .collect();
+            // Score the unseen half: odd groups.
+            for (g, (s, e)) in doc.group_ranges().enumerate() {
+                if g % 2 == 0 {
+                    continue;
+                }
+                for i in s..e {
+                    let w = doc.tokens[i] as usize;
+                    let mut p = 0.0;
+                    for t in 0..self.k {
+                        p += theta[t] * (self.n_wk[w * self.k + t] as f64 + self.beta)
+                            / phi_den[t];
+                    }
+                    log_lik += p.ln();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            return f64::NAN;
+        }
+        (-log_lik / n as f64).exp()
+    }
+
+    // ----- hyperparameter optimization (paper §5.3, Minka 2000) ------------
+
+    /// One round of Minka's fixed-point updates: asymmetric α, symmetric β.
+    pub fn optimize_hyperparameters(&mut self) {
+        self.optimize_alpha(3);
+        self.optimize_beta(3);
+    }
+
+    /// Fixed-point iteration for the document-topic Dirichlet:
+    /// `α_k ← α_k · (Σ_d ψ(N_dk + α_k) − D ψ(α_k)) / (Σ_d ψ(N_d + Σα) − D ψ(Σα))`.
+    pub fn optimize_alpha(&mut self, rounds: usize) {
+        let d_count = self.docs.n_docs();
+        if d_count == 0 {
+            return;
+        }
+        let doc_lens: Vec<f64> = self.docs.docs.iter().map(|d| d.n_tokens() as f64).collect();
+        for _ in 0..rounds {
+            let alpha_sum: f64 = self.alpha.iter().sum();
+            let den: f64 = doc_lens
+                .iter()
+                .map(|&n| digamma(n + alpha_sum))
+                .sum::<f64>()
+                - d_count as f64 * digamma(alpha_sum);
+            if den <= 0.0 {
+                return;
+            }
+            for t in 0..self.k {
+                let a = self.alpha[t];
+                let num: f64 = (0..d_count)
+                    .map(|d| digamma(self.n_dk[d * self.k + t] as f64 + a))
+                    .sum::<f64>()
+                    - d_count as f64 * digamma(a);
+                // Clamp to keep the Dirichlet proper even on degenerate counts.
+                self.alpha[t] = (a * num / den).clamp(1e-6, 1e4);
+            }
+        }
+    }
+
+    /// Fixed-point iteration for the symmetric topic-word Dirichlet β.
+    pub fn optimize_beta(&mut self, rounds: usize) {
+        let kv = (self.k * self.v) as f64;
+        if kv == 0.0 {
+            return;
+        }
+        for _ in 0..rounds {
+            let b = self.beta;
+            let num: f64 = self
+                .n_wk
+                .iter()
+                .map(|&c| digamma(c as f64 + b))
+                .sum::<f64>()
+                - kv * digamma(b);
+            let den: f64 = self
+                .n_k
+                .iter()
+                .map(|&c| digamma(c as f64 + self.v as f64 * b))
+                .sum::<f64>()
+                - self.k as f64 * digamma(self.v as f64 * b);
+            if den <= 0.0 {
+                return;
+            }
+            self.beta = (b * num / (self.v as f64 * den)).clamp(1e-6, 1e3);
+        }
+    }
+
+    /// Internal consistency check of all count tables (tests).
+    pub fn check_counts(&self) -> Result<(), String> {
+        let mut n_dk = vec![0u32; self.docs.n_docs() * self.k];
+        let mut n_wk = vec![0u32; self.v * self.k];
+        let mut n_k = vec![0u64; self.k];
+        for (d, doc) in self.docs.docs.iter().enumerate() {
+            for (g, (s, e)) in doc.group_ranges().enumerate() {
+                let t = self.z[d][g] as usize;
+                for i in s..e {
+                    n_wk[doc.tokens[i] as usize * self.k + t] += 1;
+                }
+                n_dk[d * self.k + t] += (e - s) as u32;
+                n_k[t] += (e - s) as u64;
+            }
+        }
+        if n_dk != self.n_dk {
+            return Err("n_dk out of sync".into());
+        }
+        if n_wk != self.n_wk {
+            return Err("n_wk out of sync".into());
+        }
+        if n_k != self.n_k {
+            return Err("n_k out of sync".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fold-in unit for [`PhraseLda::heldout_perplexity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldIn {
+    /// One topic per observed group — PhraseLDA's clique assumption.
+    Groups,
+    /// One topic per observed token — plain LDA.
+    Tokens,
+}
+
+/// Sample an index proportional to `weights` (unnormalized, non-negative).
+#[inline]
+fn sample_discrete(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Degenerate: all weights zero/over/underflowed — uniform fallback.
+        return rng.gen_range(0..weights.len());
+    }
+    let x = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GroupedDoc;
+
+    /// Two perfectly separable "topics": words 0-2 in even docs, 3-5 in odd.
+    fn separable_docs(group_len: usize) -> GroupedDocs {
+        let mut docs = Vec::new();
+        for d in 0..40 {
+            let base: u32 = if d % 2 == 0 { 0 } else { 3 };
+            let tokens: Vec<u32> = (0..24).map(|i| base + (i % 3) as u32).collect();
+            let group_ends = (1..=tokens.len() as u32 / group_len as u32)
+                .map(|g| g * group_len as u32)
+                .collect();
+            docs.push(GroupedDoc { tokens, group_ends });
+        }
+        GroupedDocs {
+            docs,
+            vocab_size: 6,
+        }
+    }
+
+    #[test]
+    fn counts_stay_consistent_through_sweeps() {
+        let mut m = PhraseLda::new(
+            separable_docs(2),
+            TopicModelConfig::new(3).with_seed(7),
+        );
+        m.check_counts().unwrap();
+        m.run(5);
+        m.check_counts().unwrap();
+        assert_eq!(m.sweeps_done(), 5);
+    }
+
+    #[test]
+    fn recovers_separable_topics() {
+        let mut m = PhraseLda::new(
+            separable_docs(1),
+            TopicModelConfig {
+                n_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                seed: 42,
+                optimize_every: 0,
+                burn_in: 0,
+            },
+        );
+        m.run(60);
+        // Words 0-2 should concentrate in one topic, 3-5 in the other.
+        let phi = m.phi();
+        let topic_of = |w: usize| if phi[0][w] > phi[1][w] { 0 } else { 1 };
+        let t0 = topic_of(0);
+        assert_eq!(topic_of(1), t0);
+        assert_eq!(topic_of(2), t0);
+        assert_eq!(topic_of(3), 1 - t0);
+        assert_eq!(topic_of(4), 1 - t0);
+        assert_eq!(topic_of(5), 1 - t0);
+        // And φ should be lopsided, not uniform.
+        assert!(phi[t0][0] > 0.2);
+        assert!(phi[t0][3] < 0.05);
+    }
+
+    #[test]
+    fn groups_share_one_topic() {
+        let mut m = PhraseLda::new(
+            separable_docs(4),
+            TopicModelConfig::new(4).with_seed(3),
+        );
+        m.run(3);
+        // The invariant is structural: z is stored per group, and counts
+        // move s tokens at a time; check_counts verifies the bookkeeping.
+        m.check_counts().unwrap();
+        // All four tokens of any group contribute to the same topic's n_wk.
+        let phi = m.phi();
+        assert_eq!(phi.len(), 4);
+    }
+
+    #[test]
+    fn phi_and_theta_are_distributions() {
+        let mut m = PhraseLda::new(
+            separable_docs(2),
+            TopicModelConfig::new(3).with_seed(11),
+        );
+        m.run(5);
+        for row in m.phi() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi row sums to {s}");
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+        for row in m.theta() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "theta row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn perplexity_decreases_with_training() {
+        let mut m = PhraseLda::new(
+            separable_docs(1),
+            TopicModelConfig {
+                n_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                seed: 5,
+                optimize_every: 0,
+                burn_in: 0,
+            },
+        );
+        let before = m.perplexity();
+        m.run(50);
+        let after = m.perplexity();
+        assert!(
+            after < before,
+            "perplexity should fall: {before} -> {after}"
+        );
+        // Perfectly separable vocab of 6 with 2 topics of 3 words each:
+        // ideal per-token perplexity approaches 3.
+        assert!(after < 4.5, "after = {after}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let cfg = TopicModelConfig::new(3).with_seed(99);
+        let mut a = PhraseLda::new(separable_docs(2), cfg.clone());
+        let mut b = PhraseLda::new(separable_docs(2), cfg);
+        a.run(10);
+        b.run(10);
+        assert_eq!(a.z, b.z);
+        assert_eq!(a.perplexity(), b.perplexity());
+    }
+
+    #[test]
+    fn hyperparameter_optimization_moves_and_stays_positive() {
+        let mut m = PhraseLda::new(
+            separable_docs(1),
+            TopicModelConfig {
+                n_topics: 2,
+                alpha: 2.0,
+                beta: 0.5,
+                seed: 8,
+                optimize_every: 0,
+                burn_in: 0,
+            },
+        );
+        m.run(30);
+        let alpha_before = m.alpha().to_vec();
+        let beta_before = m.beta();
+        m.optimize_hyperparameters();
+        assert!(m.alpha().iter().all(|&a| a > 0.0));
+        assert!(m.beta() > 0.0);
+        // Sharply concentrated corpus: both should shrink.
+        assert!(m.alpha().iter().sum::<f64>() < alpha_before.iter().sum::<f64>());
+        assert!(m.beta() < beta_before);
+        m.check_counts().unwrap();
+    }
+
+    #[test]
+    fn heldout_perplexity_is_finite_and_better_than_uniform() {
+        let all = separable_docs(1);
+        let (train, held) = all.split_heldout(4);
+        let mut m = PhraseLda::new(
+            train,
+            TopicModelConfig {
+                n_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                seed: 21,
+                optimize_every: 0,
+                burn_in: 0,
+            },
+        );
+        m.run(60);
+        let pp = m.heldout_perplexity(&held, 20, 1, FoldIn::Tokens);
+        assert!(pp.is_finite());
+        // Uniform over V=6 would give 6.
+        assert!(pp < 6.0, "held-out perplexity {pp}");
+    }
+
+    #[test]
+    fn run_with_reports_every_sweep() {
+        let mut m = PhraseLda::new(separable_docs(2), TopicModelConfig::new(2).with_seed(1));
+        let mut seen = Vec::new();
+        m.run_with(4, |i, model| {
+            seen.push((i, model.sweeps_done()));
+        });
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn empty_docs_are_tolerated() {
+        let docs = GroupedDocs {
+            docs: vec![
+                GroupedDoc::default(),
+                GroupedDoc {
+                    tokens: vec![0, 1],
+                    group_ends: vec![2],
+                },
+            ],
+            vocab_size: 2,
+        };
+        let mut m = PhraseLda::new(docs, TopicModelConfig::new(2).with_seed(2));
+        m.run(3);
+        m.check_counts().unwrap();
+        assert!(m.perplexity().is_finite());
+    }
+}

@@ -1,0 +1,431 @@
+//! Bottom-up phrase construction — the paper's Algorithm 2.
+//!
+//! Each punctuation chunk starts as a sequence of single-token phrase
+//! instances. A max-heap keyed by the significance score (Eq. 1) repeatedly
+//! selects the adjacent pair whose merge is most significant; the pair is
+//! merged into one phrase instance and the heap is updated with the new
+//! instance's left and right neighbors. Construction stops when the best
+//! candidate falls below the threshold `α` (the dashed line in the paper's
+//! Figure 1) or everything merged into one phrase. The surviving instances
+//! form a partition of the chunk — the "bag of phrases".
+//!
+//! Because a merged phrase is treated as *one unit* in later significance
+//! computations, long phrases must justify themselves against their two
+//! constituent sub-phrases (not against all their unigrams), which is the
+//! paper's answer to the "free-rider" problem.
+//!
+//! Complexity: each chunk of length `m` performs at most `m−1` merges, each
+//! `O(log m)` heap work (lazy deletion via version stamps), matching the
+//! paper's `O(log N_d)` per-merge claim.
+
+use crate::counter::PhraseStats;
+use crate::significance::significance;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use topmine_corpus::Document;
+
+/// One recorded merge (for the Figure 1 dendrogram and debugging).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeStep {
+    /// 0-based merge iteration within the chunk.
+    pub iteration: usize,
+    /// Chunk-relative `[start, end)` of the left phrase instance.
+    pub left: (u32, u32),
+    /// Chunk-relative `[start, end)` of the right phrase instance.
+    pub right: (u32, u32),
+    /// Significance of this merge at the time it was taken.
+    pub significance: f64,
+}
+
+/// The sequence of merges performed on one chunk.
+pub type MergeTrace = Vec<MergeStep>;
+
+/// Partition of a chunk into phrase spans (chunk-relative, contiguous,
+/// covering every token exactly once).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPartition {
+    pub spans: Vec<(u32, u32)>,
+}
+
+/// Max-heap entry: a candidate merge of two adjacent phrase instances.
+/// `*_version` stamps invalidate the entry lazily if either side changed.
+#[derive(Debug)]
+struct Candidate {
+    sig: f64,
+    left: u32,
+    right: u32,
+    left_version: u32,
+    right_version: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on significance; ties prefer the leftmost pair so
+        // construction is deterministic.
+        self.sig
+            .partial_cmp(&other.sig)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.left.cmp(&self.left))
+    }
+}
+
+/// Mutable node state for the in-place linked list of phrase instances.
+struct Nodes<'a> {
+    tokens: &'a [u32],
+    start: Vec<u32>,
+    end: Vec<u32>,
+    prev: Vec<i32>,
+    next: Vec<i32>,
+    alive: Vec<bool>,
+    version: Vec<u32>,
+}
+
+impl<'a> Nodes<'a> {
+    fn new(tokens: &'a [u32]) -> Self {
+        let n = tokens.len();
+        Self {
+            tokens,
+            start: (0..n as u32).collect(),
+            end: (1..=n as u32).collect(),
+            prev: (0..n as i32).map(|i| i - 1).collect(),
+            next: (0..n as i32).map(|i| if i + 1 < n as i32 { i + 1 } else { -1 }).collect(),
+            alive: vec![true; n],
+            version: vec![0; n],
+        }
+    }
+
+    fn span(&self, i: u32) -> &[u32] {
+        &self.tokens[self.start[i as usize] as usize..self.end[i as usize] as usize]
+    }
+}
+
+/// Score the merge of nodes `(a, b)` and push it if it can ever be taken.
+fn push_candidate(heap: &mut BinaryHeap<Candidate>, nodes: &Nodes, stats: &PhraseStats, alpha: f64, a: u32, b: u32) {
+    let f1 = stats.count(nodes.span(a));
+    let f2 = stats.count(nodes.span(b));
+    let merged = &nodes.tokens
+        [nodes.start[a as usize] as usize..nodes.end[b as usize] as usize];
+    let f12 = stats.count(merged);
+    let sig = significance(f12, f1, f2, stats.total_tokens);
+    // Entries below α can never be merged (their score is immutable until a
+    // neighbor merge invalidates them), so skip the heap traffic.
+    if sig >= alpha {
+        heap.push(Candidate {
+            sig,
+            left: a,
+            right: b,
+            left_version: nodes.version[a as usize],
+            right_version: nodes.version[b as usize],
+        });
+    }
+}
+
+/// Run Algorithm 2 on one chunk. If `trace` is given, every merge is
+/// recorded in order.
+pub fn construct_chunk(
+    tokens: &[u32],
+    stats: &PhraseStats,
+    alpha: f64,
+    mut trace: Option<&mut MergeTrace>,
+) -> ChunkPartition {
+    let n = tokens.len();
+    if n == 0 {
+        return ChunkPartition { spans: Vec::new() };
+    }
+    let mut nodes = Nodes::new(tokens);
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n);
+    for i in 0..n.saturating_sub(1) as u32 {
+        push_candidate(&mut heap, &nodes, stats, alpha, i, i + 1);
+    }
+
+    let mut iteration = 0usize;
+    while let Some(cand) = heap.pop() {
+        let (a, b) = (cand.left as usize, cand.right as usize);
+        // Lazy invalidation: either side changed or died since scoring.
+        if !nodes.alive[a]
+            || !nodes.alive[b]
+            || nodes.version[a] != cand.left_version
+            || nodes.version[b] != cand.right_version
+            || nodes.next[a] != cand.right as i32
+        {
+            continue;
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(MergeStep {
+                iteration,
+                left: (nodes.start[a], nodes.end[a]),
+                right: (nodes.start[b], nodes.end[b]),
+                significance: cand.sig,
+            });
+        }
+        iteration += 1;
+        // Merge b into a.
+        nodes.end[a] = nodes.end[b];
+        nodes.alive[b] = false;
+        nodes.version[a] = nodes.version[a].wrapping_add(1);
+        let after = nodes.next[b];
+        nodes.next[a] = after;
+        if after >= 0 {
+            nodes.prev[after as usize] = a as i32;
+        }
+        // Re-score against the new neighbors (Algorithm 2 line 8).
+        let before = nodes.prev[a];
+        if before >= 0 {
+            push_candidate(&mut heap, &nodes, stats, alpha, before as u32, a as u32);
+        }
+        if after >= 0 {
+            push_candidate(&mut heap, &nodes, stats, alpha, a as u32, after as u32);
+        }
+    }
+
+    // Collect surviving instances left-to-right. Node 0 is always a head
+    // (merges only ever kill the right member).
+    let mut spans = Vec::new();
+    let mut cursor = 0i32;
+    while cursor >= 0 {
+        let i = cursor as usize;
+        debug_assert!(nodes.alive[i]);
+        spans.push((nodes.start[i], nodes.end[i]));
+        cursor = nodes.next[i];
+    }
+    ChunkPartition { spans }
+}
+
+/// Convenience wrapper applying [`construct_chunk`] to every chunk of a
+/// document, producing document-relative spans.
+#[derive(Debug, Clone, Copy)]
+pub struct PhraseConstructor {
+    /// Significance threshold α.
+    pub alpha: f64,
+}
+
+impl PhraseConstructor {
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha }
+    }
+
+    /// Partition a whole document; spans are document-relative.
+    pub fn construct_doc(&self, doc: &Document, stats: &PhraseStats) -> Vec<(u32, u32)> {
+        self.construct_doc_impl(doc, stats, None).0
+    }
+
+    /// Same, also returning the concatenated merge trace (chunk-relative
+    /// spans are shifted to document offsets).
+    pub fn construct_doc_traced(
+        &self,
+        doc: &Document,
+        stats: &PhraseStats,
+    ) -> (Vec<(u32, u32)>, MergeTrace) {
+        let mut trace = MergeTrace::new();
+        let spans = self.construct_doc_impl(doc, stats, Some(&mut trace)).0;
+        (spans, trace)
+    }
+
+    fn construct_doc_impl(
+        &self,
+        doc: &Document,
+        stats: &PhraseStats,
+        mut trace: Option<&mut MergeTrace>,
+    ) -> (Vec<(u32, u32)>, ()) {
+        let mut spans = Vec::with_capacity(doc.n_tokens());
+        for (cstart, cend) in doc.chunk_ranges() {
+            let chunk = &doc.tokens[cstart..cend];
+            let mut local_trace = trace.as_ref().map(|_| MergeTrace::new());
+            let part = construct_chunk(chunk, stats, self.alpha, local_trace.as_mut());
+            for (s, e) in part.spans {
+                spans.push((s + cstart as u32, e + cstart as u32));
+            }
+            if let (Some(trace), Some(local)) = (trace.as_deref_mut(), local_trace) {
+                for mut step in local {
+                    step.left.0 += cstart as u32;
+                    step.left.1 += cstart as u32;
+                    step.right.0 += cstart as u32;
+                    step.right.1 += cstart as u32;
+                    trace.push(step);
+                }
+            }
+        }
+        (spans, ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topmine_util::FxHashMap;
+
+    /// Hand-assembled stats: unigram counts + frequent n-gram counts.
+    fn stats(unigrams: Vec<u64>, ngrams: &[(&[u32], u64)], total: u64) -> PhraseStats {
+        let mut map: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+        let mut max_len = 1;
+        for (p, c) in ngrams {
+            map.insert(p.to_vec().into_boxed_slice(), *c);
+            max_len = max_len.max(p.len());
+        }
+        PhraseStats {
+            unigram_counts: unigrams,
+            ngram_counts: map,
+            total_tokens: total,
+            min_support: 1,
+            max_len,
+        }
+    }
+
+    fn spans_of(tokens: &[u32], st: &PhraseStats, alpha: f64) -> Vec<(u32, u32)> {
+        construct_chunk(tokens, st, alpha, None).spans
+    }
+
+    #[test]
+    fn empty_and_singleton_chunks() {
+        let st = stats(vec![10, 10], &[], 100);
+        assert!(spans_of(&[], &st, 1.0).is_empty());
+        assert_eq!(spans_of(&[0], &st, 1.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn significant_bigram_merges() {
+        // Words 0,1 strongly collocated; word 2 independent.
+        let st = stats(
+            vec![50, 50, 1000],
+            &[(&[0, 1], 45)],
+            100_000,
+        );
+        assert_eq!(spans_of(&[0, 1, 2], &st, 3.0), vec![(0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn high_alpha_keeps_singletons() {
+        let st = stats(vec![50, 50], &[(&[0, 1], 45)], 100_000);
+        assert_eq!(spans_of(&[0, 1], &st, 1e9), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn unseen_pairs_never_merge() {
+        // Even with an absurdly permissive (finite) α, a pair whose merge
+        // was never observed as a frequent phrase cannot merge.
+        let st = stats(vec![100, 100], &[], 10_000);
+        assert_eq!(spans_of(&[0, 1], &st, -1e300), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn greedy_order_prefers_strongest_pair() {
+        // Chunk [0 1 2]. sig(1,2) >> sig(0,1); once (1 2) exists, 0 cannot
+        // join because the trigram is unseen. A left-to-right merger would
+        // have produced (0 1)(2) instead.
+        let st = stats(
+            vec![500, 40, 40, 0],
+            &[(&[0, 1], 6), (&[1, 2], 38)],
+            100_000,
+        );
+        assert_eq!(spans_of(&[0, 1, 2], &st, 2.0), vec![(0, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn builds_trigram_through_two_merges() {
+        // "support vector machine": all three pairwise-composable counts
+        // present; trigram frequent so the second merge sees a real count.
+        let st = stats(
+            vec![60, 55, 70],
+            &[(&[0, 1], 50), (&[1, 2], 48), (&[0, 1, 2], 46)],
+            1_000_000,
+        );
+        assert_eq!(spans_of(&[0, 1, 2], &st, 3.0), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn free_rider_does_not_extend_phrase() {
+        // (0 1) is a real collocation; token 2 is a very common word that
+        // follows everything. The trigram count equals exactly what chance
+        // predicts given (0 1) and 2, so its significance is ~0 < α.
+        let l = 1_000_000u64;
+        let f01 = 500u64;
+        let f2 = 50_000u64;
+        let chance = (f01 as f64 * f2 as f64 / l as f64) as u64; // 25
+        let st = stats(
+            vec![600, 550, f2],
+            &[(&[0, 1], f01), (&[1, 2], 30), (&[0, 1, 2], chance)],
+            l,
+        );
+        let spans = spans_of(&[0, 1, 2], &st, 3.0);
+        assert_eq!(spans, vec![(0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn partition_always_covers_chunk() {
+        let st = stats(
+            vec![10, 20, 30, 40, 50],
+            &[(&[0, 1], 9), (&[2, 3], 8), (&[1, 2], 7)],
+            1_000,
+        );
+        for len in 0..5usize {
+            let tokens: Vec<u32> = (0..len as u32).collect();
+            let spans = spans_of(&tokens, &st, 0.5);
+            // Coverage: concatenation of spans == chunk.
+            let mut pos = 0u32;
+            for &(s, e) in &spans {
+                assert_eq!(s, pos);
+                assert!(e > s);
+                pos = e;
+            }
+            assert_eq!(pos as usize, len);
+        }
+    }
+
+    #[test]
+    fn merge_trace_records_iterations_and_spans() {
+        let st = stats(
+            vec![60, 55, 70],
+            &[(&[0, 1], 50), (&[1, 2], 48), (&[0, 1, 2], 46)],
+            1_000_000,
+        );
+        let mut trace = MergeTrace::new();
+        let part = construct_chunk(&[0, 1, 2], &st, 3.0, Some(&mut trace));
+        assert_eq!(part.spans, vec![(0, 3)]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].iteration, 0);
+        assert_eq!(trace[1].iteration, 1);
+        // Second merge is between a 2-token phrase and a 1-token phrase.
+        let width = |s: (u32, u32)| s.1 - s.0;
+        assert_eq!(width(trace[1].left) + width(trace[1].right), 3);
+        assert!(trace[0].significance >= 3.0);
+    }
+
+    #[test]
+    fn doc_level_spans_respect_chunks() {
+        use topmine_corpus::Document;
+        // Two chunks: [0 1] and [0 1]; bigram frequent. Spans must not span
+        // the chunk boundary even though tokens 1,0 are adjacent in the doc.
+        let st = stats(vec![50, 50], &[(&[0, 1], 45)], 100_000);
+        let doc = Document::from_chunks([&[0u32, 1][..], &[0, 1]]);
+        let spans = PhraseConstructor::new(2.0).construct_doc(&doc, &st);
+        assert_eq!(spans, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn traced_doc_spans_match_untraced() {
+        use topmine_corpus::Document;
+        let st = stats(
+            vec![60, 55, 70, 5],
+            &[(&[0, 1], 50), (&[1, 2], 48), (&[0, 1, 2], 46)],
+            1_000_000,
+        );
+        let doc = Document::from_chunks([&[0u32, 1, 2][..], &[3, 0, 1]]);
+        let ctor = PhraseConstructor::new(2.0);
+        let plain = ctor.construct_doc(&doc, &st);
+        let (traced, trace) = ctor.construct_doc_traced(&doc, &st);
+        assert_eq!(plain, traced);
+        // Trace spans from the second chunk are document-relative.
+        assert!(trace.iter().any(|s| s.left.0 >= 3 || s.right.0 >= 3));
+    }
+}

@@ -1,0 +1,175 @@
+//! Aggregate phrase counts (`C` in the paper's Algorithm 1).
+//!
+//! Unigram counts are kept densely for *every* word (they are needed as the
+//! Bernoulli success probabilities in the significance null model, Eq. 1),
+//! while multi-word counts are kept sparsely and contain only phrases that
+//! met minimum support.
+
+use topmine_util::FxHashMap;
+
+/// A phrase *type*: its word ids, in order.
+pub type Phrase = Box<[u32]>;
+
+/// Output of frequent phrase mining: all aggregate statistics that the
+/// construction stage (and later topical-frequency ranking) needs.
+#[derive(Debug, Clone, Default)]
+pub struct PhraseStats {
+    /// Count of every word id (dense; includes infrequent words).
+    pub unigram_counts: Vec<u64>,
+    /// Counts of frequent phrases of length >= 2.
+    pub ngram_counts: FxHashMap<Phrase, u64>,
+    /// Total number of tokens `L` in the mined corpus.
+    pub total_tokens: u64,
+    /// The minimum support `ε` the miner was run with.
+    pub min_support: u64,
+    /// Longest phrase length that produced at least one frequent phrase.
+    pub max_len: usize,
+}
+
+impl PhraseStats {
+    /// Corpus frequency `f(P)` of an arbitrary phrase. Unigrams always have
+    /// an exact count; unseen/infrequent n-grams report 0 (they can never be
+    /// merged, which is exactly the implicit filtering the paper describes).
+    pub fn count(&self, phrase: &[u32]) -> u64 {
+        match phrase.len() {
+            0 => 0,
+            1 => self
+                .unigram_counts
+                .get(phrase[0] as usize)
+                .copied()
+                .unwrap_or(0),
+            _ => self.ngram_counts.get(phrase).copied().unwrap_or(0),
+        }
+    }
+
+    /// Empirical Bernoulli probability `p(P) = f(P) / L` (Eq. 1's null).
+    pub fn prob(&self, phrase: &[u32]) -> f64 {
+        if self.total_tokens == 0 {
+            return 0.0;
+        }
+        self.count(phrase) as f64 / self.total_tokens as f64
+    }
+
+    /// Is `phrase` frequent (support >= ε)?
+    pub fn is_frequent(&self, phrase: &[u32]) -> bool {
+        self.count(phrase) >= self.min_support
+    }
+
+    /// Number of frequent phrases of length >= 2.
+    pub fn n_frequent_ngrams(&self) -> usize {
+        self.ngram_counts.len()
+    }
+
+    /// Number of frequent unigrams.
+    pub fn n_frequent_unigrams(&self) -> usize {
+        self.unigram_counts
+            .iter()
+            .filter(|&&c| c >= self.min_support)
+            .count()
+    }
+
+    /// Iterate all frequent phrases (length >= 1) with their counts.
+    /// Unigram phrases are materialized lazily.
+    pub fn iter_frequent(&self) -> impl Iterator<Item = (Phrase, u64)> + '_ {
+        let unigrams = self
+            .unigram_counts
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c >= self.min_support)
+            .map(|(w, &c)| (vec![w as u32].into_boxed_slice(), c));
+        let ngrams = self
+            .ngram_counts
+            .iter()
+            .map(|(p, &c)| (p.clone(), c));
+        unigrams.chain(ngrams)
+    }
+
+    /// Verify the Apriori invariant: every contiguous sub-phrase of a stored
+    /// frequent n-gram is itself frequent, and its count is no smaller.
+    /// Used by integration and property tests.
+    pub fn check_downward_closure(&self) -> Result<(), String> {
+        for (phrase, &count) in &self.ngram_counts {
+            if count < self.min_support {
+                return Err(format!("stored n-gram below support: {phrase:?} = {count}"));
+            }
+            for window in [phrase.len() - 1, 1] {
+                if window == 0 {
+                    continue;
+                }
+                for sub in phrase.windows(window) {
+                    let sub_count = self.count(sub);
+                    if sub_count < count {
+                        return Err(format!(
+                            "sub-phrase {sub:?} ({sub_count}) rarer than super-phrase {phrase:?} ({count})"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> PhraseStats {
+        let mut ngram_counts = FxHashMap::default();
+        ngram_counts.insert(vec![0u32, 1].into_boxed_slice(), 5u64);
+        PhraseStats {
+            unigram_counts: vec![10, 7, 3],
+            ngram_counts,
+            total_tokens: 20,
+            min_support: 3,
+            max_len: 2,
+        }
+    }
+
+    #[test]
+    fn counts_and_probs() {
+        let s = stats();
+        assert_eq!(s.count(&[0]), 10);
+        assert_eq!(s.count(&[0, 1]), 5);
+        assert_eq!(s.count(&[1, 0]), 0);
+        assert_eq!(s.count(&[]), 0);
+        assert_eq!(s.count(&[99]), 0);
+        assert!((s.prob(&[0]) - 0.5).abs() < 1e-12);
+        assert_eq!(s.prob(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn frequency_threshold() {
+        let s = stats();
+        assert!(s.is_frequent(&[0]));
+        assert!(s.is_frequent(&[2])); // count 3 == min support
+        assert!(s.is_frequent(&[0, 1]));
+        assert!(!s.is_frequent(&[1, 2]));
+        assert_eq!(s.n_frequent_unigrams(), 3);
+        assert_eq!(s.n_frequent_ngrams(), 1);
+    }
+
+    #[test]
+    fn iter_frequent_includes_unigrams_and_ngrams() {
+        let s = stats();
+        let all: Vec<(Phrase, u64)> = s.iter_frequent().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().any(|(p, c)| p.len() == 2 && *c == 5));
+    }
+
+    #[test]
+    fn downward_closure_checker_detects_violation() {
+        let mut s = stats();
+        assert!(s.check_downward_closure().is_ok());
+        // Make the bigram more frequent than its first word.
+        s.unigram_counts[0] = 2;
+        assert!(s.check_downward_closure().is_err());
+    }
+
+    #[test]
+    fn empty_corpus_probs_are_zero() {
+        let s = PhraseStats::default();
+        assert_eq!(s.prob(&[0]), 0.0);
+        assert_eq!(s.count(&[0]), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Phrase mining for ToPMine (paper §4).
+//!
+//! Two stages, exactly as the paper structures them:
+//!
+//! 1. **Frequent phrase mining** ([`miner`], paper Algorithm 1): collect
+//!    aggregate counts `C(P)` of every contiguous phrase meeting a minimum
+//!    support `ε`, using *position-based Apriori pruning* (active indices)
+//!    and *data antimonotonicity* (documents that produce no frequent
+//!    n-grams are dropped before level n+1).
+//! 2. **Phrase construction / segmentation** ([`construction`], Algorithm 2):
+//!    per document, greedily merge the adjacent pair of phrase instances with
+//!    the highest **significance** ([`significance()`], Eq. 1) until no merge
+//!    reaches the threshold `α`; the surviving pieces partition the document
+//!    into a *bag of phrases*.
+//!
+//! [`segmenter`] wires both stages over a whole corpus and produces the
+//! [`Segmentation`] consumed by PhraseLDA.
+
+pub mod construction;
+pub mod counter;
+pub mod miner;
+pub mod segmenter;
+pub mod significance;
+
+pub use construction::{construct_chunk, ChunkPartition, MergeTrace, PhraseConstructor};
+pub use counter::{Phrase, PhraseStats};
+pub use miner::{FrequentPhraseMiner, MinerConfig};
+pub use segmenter::{SegmentedDoc, Segmentation, Segmenter, SegmenterConfig};
+pub use significance::{significance, significance_pmi};

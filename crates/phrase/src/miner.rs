@@ -1,0 +1,498 @@
+//! Frequent phrase mining — the paper's Algorithm 1.
+//!
+//! An increasing-size sliding window over the corpus counts candidate
+//! phrases level by level (bigrams, trigrams, ...). Two prunes keep the
+//! candidate space sparse:
+//!
+//! * **Position-based Apriori pruning** (downward closure): a list of
+//!   *active indices* per document records the positions whose length-(n−1)
+//!   phrase is frequent; a length-n candidate at position `i` is counted only
+//!   if both `i` and `i+1` are active — i.e. both constituent (n−1)-grams are
+//!   frequent.
+//! * **Data antimonotonicity**: a document whose active index set becomes
+//!   empty can never again produce a frequent phrase and is dropped from all
+//!   further levels, giving the algorithm a natural termination criterion.
+//!
+//! Documents are additionally *chunked* at phrase-invariant punctuation
+//! (paper §4.1): no candidate may cross a chunk boundary, which bounds the
+//! per-document work by the (constant) chunk size and makes the whole miner
+//! effectively linear in corpus size.
+
+use crate::counter::{Phrase, PhraseStats};
+use topmine_corpus::{Corpus, Document};
+use topmine_util::FxHashMap;
+
+/// Configuration for [`FrequentPhraseMiner`].
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Minimum support ε: a phrase is frequent iff its count reaches this.
+    pub min_support: u64,
+    /// Hard cap on phrase length; `0` means unbounded (terminate naturally).
+    pub max_phrase_len: usize,
+    /// Worker threads for the counting passes; `1` runs sequentially.
+    pub n_threads: usize,
+    /// Disable the data-antimonotonicity document drop (ablation knob; the
+    /// result is identical, only slower).
+    pub disable_doc_pruning: bool,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 5,
+            max_phrase_len: 0,
+            n_threads: 1,
+            disable_doc_pruning: false,
+        }
+    }
+}
+
+/// The Algorithm 1 miner.
+#[derive(Debug, Clone, Default)]
+pub struct FrequentPhraseMiner {
+    config: MinerConfig,
+}
+
+/// Per-document mining state: the active indices of the current level and
+/// the (lazily built) chunk-limit table.
+struct DocState {
+    doc_idx: usize,
+    /// Sorted positions whose current-level (n−1)-gram is frequent and fits
+    /// inside its chunk.
+    active: Vec<u32>,
+    /// `limit[i]` = exclusive end of the chunk containing position `i`.
+    limit: Vec<u32>,
+}
+
+impl FrequentPhraseMiner {
+    pub fn new(min_support: u64) -> Self {
+        Self {
+            config: MinerConfig {
+                min_support,
+                ..MinerConfig::default()
+            },
+        }
+    }
+
+    pub fn with_config(config: MinerConfig) -> Self {
+        assert!(config.min_support >= 1, "min support must be at least 1");
+        Self { config }
+    }
+
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Run Algorithm 1 over `corpus`, returning all aggregate counts.
+    pub fn mine(&self, corpus: &Corpus) -> PhraseStats {
+        let eps = self.config.min_support.max(1);
+
+        // Level 1: dense unigram counts (the paper's line 3).
+        let mut unigram_counts = vec![0u64; corpus.vocab.len()];
+        let mut total_tokens = 0u64;
+        for doc in &corpus.docs {
+            total_tokens += doc.tokens.len() as u64;
+            for &t in &doc.tokens {
+                unigram_counts[t as usize] += 1;
+            }
+        }
+
+        let mut stats = PhraseStats {
+            unigram_counts,
+            ngram_counts: FxHashMap::default(),
+            total_tokens,
+            min_support: eps,
+            max_len: 1,
+        };
+
+        // Initialize per-document active sets (line 2): every position whose
+        // unigram is frequent.
+        let mut states: Vec<DocState> = corpus
+            .docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(doc_idx, doc)| DocState {
+                doc_idx,
+                active: (0..doc.tokens.len() as u32)
+                    .filter(|&i| stats.unigram_counts[doc.tokens[i as usize] as usize] >= eps)
+                    .collect(),
+                limit: chunk_limits(doc),
+            })
+            .collect();
+        states.retain(|s| !s.active.is_empty() || self.config.disable_doc_pruning);
+
+        let mut n = 2usize; // current candidate length (line 4)
+        while !states.is_empty() {
+            if self.config.max_phrase_len != 0 && n > self.config.max_phrase_len {
+                break;
+            }
+            // Count level-n candidates (lines 12-15).
+            let level_counts = if self.config.n_threads > 1 {
+                count_level_parallel(corpus, &states, n, self.config.n_threads)
+            } else {
+                let mut counts = FxHashMap::default();
+                for st in &states {
+                    count_level_doc(&corpus.docs[st.doc_idx], st, n, &mut counts);
+                }
+                counts
+            };
+
+            // Prune to frequent phrases (line 22's filter, applied per level).
+            let mut any_frequent = false;
+            for (phrase, count) in level_counts {
+                if count >= eps {
+                    stats.ngram_counts.insert(phrase, count);
+                    any_frequent = true;
+                }
+            }
+            if !any_frequent {
+                break;
+            }
+            stats.max_len = n;
+
+            // Advance active indices (line 7) and drop exhausted documents
+            // (lines 9-10, data antimonotonicity).
+            for st in &mut states {
+                let doc = &corpus.docs[st.doc_idx];
+                let ng = &stats.ngram_counts;
+                st.active.retain(|&i| {
+                    let i = i as usize;
+                    i + n <= st.limit[i] as usize
+                        && ng
+                            .get(&doc.tokens[i..i + n])
+                            .is_some_and(|&c| c >= eps)
+                });
+            }
+            if !self.config.disable_doc_pruning {
+                states.retain(|s| !s.active.is_empty());
+            } else {
+                // Keep documents alive but stop once *all* are exhausted.
+                if states.iter().all(|s| s.active.is_empty()) {
+                    break;
+                }
+            }
+            n += 1;
+        }
+
+        debug_assert!(stats.check_downward_closure().is_ok());
+        stats
+    }
+}
+
+/// Build the chunk-limit table: `limit[i]` is the exclusive end of the chunk
+/// containing token `i`.
+fn chunk_limits(doc: &Document) -> Vec<u32> {
+    let mut limit = vec![0u32; doc.tokens.len()];
+    for (start, end) in doc.chunk_ranges() {
+        for l in &mut limit[start..end] {
+            *l = end as u32;
+        }
+    }
+    limit
+}
+
+/// Count all level-`n` candidate occurrences of one document into `counts`.
+///
+/// A candidate at active position `i` is counted iff `i+1` is also active
+/// (both constituent (n−1)-grams frequent — downward closure) and the n-gram
+/// fits inside `i`'s chunk.
+fn count_level_doc(
+    doc: &Document,
+    st: &DocState,
+    n: usize,
+    counts: &mut FxHashMap<Phrase, u64>,
+) {
+    let active = &st.active;
+    for w in active.windows(2) {
+        let (i, j) = (w[0] as usize, w[1] as usize);
+        if j != i + 1 {
+            continue; // not adjacent: prefix or suffix (n−1)-gram infrequent
+        }
+        if i + n > st.limit[i] as usize {
+            continue; // would cross a chunk boundary
+        }
+        let window = &doc.tokens[i..i + n];
+        if let Some(c) = counts.get_mut(window) {
+            *c += 1;
+        } else {
+            counts.insert(window.to_vec().into_boxed_slice(), 1);
+        }
+    }
+}
+
+/// Map-reduce version of the counting pass: documents are sharded across
+/// `n_threads` scoped threads with thread-local counters that are merged.
+fn count_level_parallel(
+    corpus: &Corpus,
+    states: &[DocState],
+    n: usize,
+    n_threads: usize,
+) -> FxHashMap<Phrase, u64> {
+    let n_threads = n_threads.min(states.len().max(1));
+    if n_threads <= 1 {
+        let mut counts = FxHashMap::default();
+        for st in states {
+            count_level_doc(&corpus.docs[st.doc_idx], st, n, &mut counts);
+        }
+        return counts;
+    }
+    let chunk_size = states.len().div_ceil(n_threads);
+    let locals: Vec<FxHashMap<Phrase, u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = states
+            .chunks(chunk_size)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut local = FxHashMap::default();
+                    for st in shard {
+                        count_level_doc(&corpus.docs[st.doc_idx], st, n, &mut local);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mining worker panicked"))
+            .collect()
+    });
+
+    // Merge into the largest map to minimize rehashing.
+    let mut iter = locals.into_iter();
+    let mut merged = iter.next().unwrap_or_default();
+    for local in iter {
+        if local.len() > merged.len() {
+            let small = std::mem::replace(&mut merged, local);
+            for (k, v) in small {
+                *merged.entry(k).or_insert(0) += v;
+            }
+        } else {
+            for (k, v) in local {
+                *merged.entry(k).or_insert(0) += v;
+            }
+        }
+    }
+    merged
+}
+
+/// Reference miner used by tests: enumerate every within-chunk n-gram
+/// (2 ≤ n ≤ `max_len`), count by type, and keep those meeting support.
+/// Quadratic and allocation-happy, but obviously correct.
+pub fn naive_frequent_phrases(
+    corpus: &Corpus,
+    min_support: u64,
+    max_len: usize,
+) -> FxHashMap<Phrase, u64> {
+    let mut all: FxHashMap<Phrase, u64> = FxHashMap::default();
+    for doc in &corpus.docs {
+        for chunk in doc.chunks() {
+            for n in 2..=max_len.min(chunk.len()) {
+                for window in chunk.windows(n) {
+                    *all
+                        .entry(window.to_vec().into_boxed_slice())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    all.retain(|_, c| *c >= min_support);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topmine_corpus::Vocab;
+
+    /// Corpus of integer token docs; one chunk per inner slice group.
+    fn corpus(docs: &[&[&[u32]]]) -> Corpus {
+        let mut max_id = 0u32;
+        for d in docs {
+            for c in *d {
+                for &t in *c {
+                    max_id = max_id.max(t);
+                }
+            }
+        }
+        let mut vocab = Vocab::new();
+        for i in 0..=max_id {
+            vocab.intern(&format!("w{i}"));
+        }
+        Corpus {
+            vocab,
+            docs: docs
+                .iter()
+                .map(|d| Document::from_chunks(d.iter().copied()))
+                .collect(),
+            provenance: None,
+            unstem: None,
+        }
+    }
+
+    #[test]
+    fn counts_simple_bigrams() {
+        // "a b" appears 3 times; support 2.
+        let c = corpus(&[&[&[0, 1, 2]], &[&[0, 1]], &[&[0, 1, 3]]]);
+        let stats = FrequentPhraseMiner::new(2).mine(&c);
+        assert_eq!(stats.count(&[0, 1]), 3);
+        assert_eq!(stats.count(&[1, 2]), 0); // once only
+        assert_eq!(stats.total_tokens, 8);
+        assert_eq!(stats.max_len, 2);
+    }
+
+    #[test]
+    fn trigram_requires_frequent_constituents() {
+        // "a b c" twice, support 2: both "a b" and "b c" reach 2, so the
+        // trigram is counted and frequent.
+        let c = corpus(&[&[&[0, 1, 2]], &[&[0, 1, 2]]]);
+        let stats = FrequentPhraseMiner::new(2).mine(&c);
+        assert_eq!(stats.count(&[0, 1, 2]), 2);
+        assert_eq!(stats.max_len, 3);
+        // Nothing of length 4 exists.
+        assert_eq!(stats.count(&[0, 1, 2, 0]), 0);
+    }
+
+    #[test]
+    fn phrases_never_cross_chunk_boundaries() {
+        // "a b" always split across chunks -> never counted.
+        let c = corpus(&[&[&[0], &[1]], &[&[0], &[1]], &[&[0], &[1]]]);
+        let stats = FrequentPhraseMiner::new(2).mine(&c);
+        assert_eq!(stats.count(&[0, 1]), 0);
+        assert_eq!(stats.n_frequent_ngrams(), 0);
+        // Unigrams still counted.
+        assert_eq!(stats.count(&[0]), 3);
+    }
+
+    #[test]
+    fn min_support_filters_candidates() {
+        let c = corpus(&[&[&[0, 1]], &[&[0, 1]], &[&[2, 3]]]);
+        let stats = FrequentPhraseMiner::new(2).mine(&c);
+        assert!(stats.is_frequent(&[0, 1]));
+        assert!(!stats.is_frequent(&[2, 3]));
+        assert_eq!(stats.n_frequent_ngrams(), 1);
+    }
+
+    #[test]
+    fn overlapping_occurrences_count_per_position() {
+        // "a a a a": bigram "a a" occurs at 3 positions.
+        let c = corpus(&[&[&[0, 0, 0, 0]], &[&[0, 0, 0, 0]]]);
+        let stats = FrequentPhraseMiner::new(2).mine(&c);
+        assert_eq!(stats.count(&[0, 0]), 6);
+        assert_eq!(stats.count(&[0, 0, 0]), 4);
+        assert_eq!(stats.count(&[0, 0, 0, 0]), 2);
+    }
+
+    #[test]
+    fn max_phrase_len_caps_levels() {
+        let c = corpus(&[&[&[0, 1, 2, 3]], &[&[0, 1, 2, 3]]]);
+        let cfg = MinerConfig {
+            min_support: 2,
+            max_phrase_len: 2,
+            ..MinerConfig::default()
+        };
+        let stats = FrequentPhraseMiner::with_config(cfg).mine(&c);
+        assert_eq!(stats.max_len, 2);
+        assert_eq!(stats.count(&[0, 1, 2]), 0);
+        assert_eq!(stats.count(&[0, 1]), 2);
+    }
+
+    #[test]
+    fn doc_pruning_does_not_change_result() {
+        let docs: &[&[&[u32]]] = &[
+            &[&[0, 1, 2, 0, 1]],
+            &[&[5, 6], &[0, 1]],
+            &[&[7, 8, 9]],
+            &[&[0, 1, 2]],
+        ];
+        let c = corpus(docs);
+        let with = FrequentPhraseMiner::new(2).mine(&c);
+        let without = FrequentPhraseMiner::with_config(MinerConfig {
+            min_support: 2,
+            disable_doc_pruning: true,
+            ..MinerConfig::default()
+        })
+        .mine(&c);
+        assert_eq!(with.ngram_counts, without.ngram_counts);
+        assert_eq!(with.max_len, without.max_len);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Deterministic pseudo-random corpus with heavy repetition.
+        let mut docs: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut x = 42u64;
+        for _ in 0..64 {
+            let mut doc = Vec::new();
+            for _ in 0..4 {
+                let mut chunk = Vec::new();
+                for _ in 0..12 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    chunk.push(((x >> 33) % 7) as u32);
+                }
+                doc.push(chunk);
+            }
+            docs.push(doc);
+        }
+        let doc_slices: Vec<Vec<&[u32]>> = docs
+            .iter()
+            .map(|d| d.iter().map(|c| c.as_slice()).collect())
+            .collect();
+        let doc_refs: Vec<&[&[u32]]> = doc_slices.iter().map(|d| d.as_slice()).collect();
+        let c = corpus(&doc_refs);
+        let seq = FrequentPhraseMiner::new(4).mine(&c);
+        let par = FrequentPhraseMiner::with_config(MinerConfig {
+            min_support: 4,
+            n_threads: 4,
+            ..MinerConfig::default()
+        })
+        .mine(&c);
+        assert_eq!(seq.ngram_counts, par.ngram_counts);
+        assert_eq!(seq.unigram_counts, par.unigram_counts);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let mut docs: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..40 {
+            let mut doc = Vec::new();
+            for _ in 0..3 {
+                let mut chunk = Vec::new();
+                for _ in 0..10 {
+                    x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    chunk.push(((x >> 33) % 5) as u32);
+                }
+                doc.push(chunk);
+            }
+            docs.push(doc);
+        }
+        let doc_slices: Vec<Vec<&[u32]>> = docs
+            .iter()
+            .map(|d| d.iter().map(|c| c.as_slice()).collect())
+            .collect();
+        let doc_refs: Vec<&[&[u32]]> = doc_slices.iter().map(|d| d.as_slice()).collect();
+        let c = corpus(&doc_refs);
+        let stats = FrequentPhraseMiner::new(3).mine(&c);
+        let naive = naive_frequent_phrases(&c, 3, 32);
+        assert_eq!(stats.ngram_counts, naive);
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_docs() {
+        let c = corpus(&[&[], &[&[]]]);
+        let stats = FrequentPhraseMiner::new(1).mine(&c);
+        assert_eq!(stats.total_tokens, 0);
+        assert_eq!(stats.n_frequent_ngrams(), 0);
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let c = corpus(&[
+            &[&[0, 1, 2, 3, 0, 1, 2, 3]],
+            &[&[0, 1, 2, 3]],
+            &[&[1, 2, 3, 0]],
+        ]);
+        let stats = FrequentPhraseMiner::new(2).mine(&c);
+        stats.check_downward_closure().unwrap();
+    }
+}

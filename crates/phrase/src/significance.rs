@@ -1,0 +1,159 @@
+//! The collocation significance score (paper §4.2.1, Eq. 1).
+//!
+//! Null hypothesis h0: the corpus is a sequence of `L` independent Bernoulli
+//! trials, so the count of the concatenation `P1 ⊕ P2` is binomial with mean
+//! `μ0 = L · p(P1) · p(P2)`, approximately normal for large `L`. The sample
+//! variance is estimated by the observed count itself (the paper's
+//! `σ² ≈ f(P1 ⊕ P2)`), giving
+//!
+//! ```text
+//! sig(P1, P2) ≈ (f(P1 ⊕ P2) − μ0) / sqrt(f(P1 ⊕ P2))
+//! ```
+//!
+//! — the number of standard deviations the observed co-occurrence sits above
+//! independence; a generalization of the t-statistic used to find dependent
+//! bigrams. Crucially the null treats *each existing phrase as one unit*,
+//! which is what defeats the "free-rider" problem for long phrases.
+
+/// Significance of merging two adjacent phrases (Eq. 1).
+///
+/// * `f12` — corpus count of the concatenated phrase `P1 ⊕ P2`.
+/// * `f1`, `f2` — corpus counts of the constituents.
+/// * `total_tokens` — `L`, the corpus token count.
+///
+/// Returns `f64::NEG_INFINITY` when the merged phrase was never observed
+/// (or the corpus is empty): such a pair must never win a merge.
+///
+/// ```
+/// use topmine_phrase::significance;
+/// // "strong tea": co-occurs far beyond chance in a 1M-token corpus.
+/// let strong = significance(180, 2000, 2200, 1_000_000);
+/// // "powerful tea": co-occurs at chance level.
+/// let powerful = significance(4, 1900, 2200, 1_000_000);
+/// assert!(strong > 10.0 && powerful < 1.0);
+/// ```
+pub fn significance(f12: u64, f1: u64, f2: u64, total_tokens: u64) -> f64 {
+    if f12 == 0 || total_tokens == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let l = total_tokens as f64;
+    let p1 = f1 as f64 / l;
+    let p2 = f2 as f64 / l;
+    let mu0 = l * p1 * p2;
+    let observed = f12 as f64;
+    (observed - mu0) / observed.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_collocation_scores_high() {
+        // "support vector": both words appear 100 times in a 100k corpus and
+        // *always* together -> expected-by-chance is 0.1, observed 100.
+        let sig = significance(100, 100, 100, 100_000);
+        assert!(sig > 9.0, "sig = {sig}");
+    }
+
+    #[test]
+    fn independent_pair_scores_near_zero() {
+        // Observed exactly matches the independence expectation:
+        // mu0 = L * (1000/L) * (1000/L) = 10 with L = 100k -> sig = 0.
+        let sig = significance(10, 1000, 1000, 100_000);
+        assert!(sig.abs() < 1e-9, "sig = {sig}");
+    }
+
+    #[test]
+    fn under_represented_pair_is_negative() {
+        // Co-occurring less than chance ("powerful tea" in the paper's
+        // strong-tea/powerful-tea example).
+        let sig = significance(2, 2000, 2000, 100_000);
+        assert!(sig < 0.0, "sig = {sig}");
+    }
+
+    #[test]
+    fn unseen_merge_is_never_selected() {
+        assert_eq!(significance(0, 50, 50, 1000), f64::NEG_INFINITY);
+        assert_eq!(significance(5, 5, 5, 0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn monotone_in_observed_count() {
+        // With constituents fixed, more co-occurrence is more significant.
+        let l = 1_000_000;
+        let mut prev = f64::NEG_INFINITY;
+        for f12 in [1u64, 5, 25, 125, 625] {
+            let s = significance(f12, 10_000, 10_000, l);
+            assert!(s > prev, "not monotone at f12={f12}: {s} <= {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // f12=9, f1=30, f2=60, L=1800: mu0 = 1800*(30/1800)*(60/1800) = 1.0
+        // sig = (9-1)/3 = 8/3.
+        let s = significance(9, 30, 60, 1800);
+        assert!((s - 8.0 / 3.0).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn free_rider_is_penalized_relative_to_true_collocation() {
+        // A genuine 2-phrase collocation [AB][C] where ABC almost always
+        // co-occur vs. a free-rider where C is common everywhere and ABC
+        // co-occurrence is only what chance predicts.
+        let l = 1_000_000;
+        let genuine = significance(500, 600, 700, l);
+        let mu_matched = (600.0 * 50_000.0 / l as f64) as u64; // = 30
+        let free_rider = significance(mu_matched, 600, 50_000, l);
+        assert!(genuine > 5.0 * free_rider.max(0.1), "genuine={genuine} free={free_rider}");
+    }
+}
+
+/// Pointwise mutual information of an adjacent pair, `ln(p12 / (p1 p2))` —
+/// the classic collocation measure Eq. 1 is compared against in the
+/// ablations. PMI normalizes away the observed count entirely, so a pair
+/// seen twice can outscore one seen a thousand times; the paper's
+/// significance score keeps the count in the numerator (deviation measured
+/// in standard deviations), which is what suppresses rare-coincidence and
+/// free-rider merges.
+pub fn significance_pmi(f12: u64, f1: u64, f2: u64, total_tokens: u64) -> f64 {
+    if f12 == 0 || f1 == 0 || f2 == 0 || total_tokens == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let l = total_tokens as f64;
+    ((f12 as f64 / l) / ((f1 as f64 / l) * (f2 as f64 / l))).ln()
+}
+
+#[cfg(test)]
+mod pmi_tests {
+    use super::*;
+
+    #[test]
+    fn pmi_favors_rare_coincidences_where_sig_does_not() {
+        let l = 1_000_000;
+        // A pair seen twice, components seen twice: PMI is enormous.
+        let rare_pmi = significance_pmi(2, 2, 2, l);
+        let common_pmi = significance_pmi(500, 600, 700, l);
+        assert!(rare_pmi > common_pmi);
+        // Eq. 1 ranks them the other way: evidence matters.
+        let rare_sig = significance(2, 2, 2, l);
+        let common_sig = significance(500, 600, 700, l);
+        assert!(common_sig > rare_sig);
+    }
+
+    #[test]
+    fn pmi_zero_for_independence() {
+        // f12 exactly matches chance: ln(1) = 0.
+        let pmi = significance_pmi(10, 1000, 10_000, 1_000_000);
+        assert!(pmi.abs() < 1e-9, "pmi = {pmi}");
+    }
+
+    #[test]
+    fn pmi_degenerate_inputs() {
+        assert_eq!(significance_pmi(0, 5, 5, 100), f64::NEG_INFINITY);
+        assert_eq!(significance_pmi(5, 0, 5, 100), f64::NEG_INFINITY);
+        assert_eq!(significance_pmi(5, 5, 5, 0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,551 @@
+//! The corpus simulator.
+//!
+//! Documents are produced by an LDA-like generative process **with planted
+//! collocations**: each draw first picks a topic from the document's
+//! Dirichlet-distributed topic mixture, then emits either a topical phrase
+//! (all of whose tokens appear contiguously and share the topic), a topical
+//! unigram, or background material (weakly topical words, boilerplate
+//! phrases, and a Zipf long tail). Punctuation-style chunk breaks are
+//! inserted between draws.
+//!
+//! Because phrases are emitted atomically, their corpus frequency is far
+//! above what the independence null model of Eq. 1 predicts — exactly the
+//! statistical signal the paper's phrase mining is designed to detect — and
+//! the planted spans/lexicon double as ground truth for the phrase-quality
+//! evaluation the paper had to source from human experts.
+
+use crate::lexicon::{BackgroundSpec, TopicSpec};
+use crate::random::{dirichlet, sample_index, WeightedPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topmine_corpus::{Corpus, Document, Vocab};
+use topmine_util::FxHashSet;
+
+/// Full configuration of a synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Profile name (for reports).
+    pub name: String,
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Units per document, drawn uniformly from this inclusive range. A
+    /// *unit* is one generative draw: a phrase (2+ tokens) or one unigram.
+    pub units_per_doc: (usize, usize),
+    /// Probability a topical draw emits a phrase rather than a unigram.
+    pub phrase_prob: f64,
+    /// Probability a draw emits background material instead of topical.
+    pub background_prob: f64,
+    /// Probability a background unigram comes from the Zipf long tail.
+    pub tail_prob: f64,
+    /// Number of long-tail filler words (`tail000`, ...). Inflates the
+    /// vocabulary the way real corpora's hapax tail does.
+    pub tail_vocab: usize,
+    /// Probability of a chunk break (punctuation) after each unit.
+    pub punct_prob: f64,
+    /// Symmetric Dirichlet hyperparameter for document-topic mixtures.
+    pub doc_topic_alpha: f64,
+    /// Zipf exponent for within-pool rank weights.
+    pub zipf_exponent: f64,
+    /// Rare *topical* words appended to each topic's unigram pool (named
+    /// `t{k}rare{j}`), continuing the Zipf tail. Real topical vocabularies
+    /// are long-tailed; this sparsity is what makes tying phrase tokens to
+    /// one topic (PhraseLDA) pay off in held-out perplexity.
+    pub rare_words_per_topic: usize,
+    /// Rare topical *phrases* per topic, built from pairs of the rare
+    /// words and planted in the lexicon like any other collocation.
+    pub rare_phrases_per_topic: usize,
+    /// The topical lexicons.
+    pub topics: Vec<TopicSpec>,
+    /// The shared background pool.
+    pub background: BackgroundSpec,
+}
+
+/// Ground truth retained from generation.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Planted topic of every mining token, parallel to `corpus.docs`.
+    pub token_topics: Vec<Vec<u16>>,
+    /// Which tokens are background noise (not topical), parallel arrays.
+    pub token_is_background: Vec<Vec<bool>>,
+    /// Planted phrase spans per document (document-relative, disjoint).
+    pub phrase_spans: Vec<Vec<(u32, u32)>>,
+    /// All planted multi-word phrases as id sequences (topical and
+    /// background boilerplate).
+    pub phrase_lexicon: FxHashSet<Box<[u32]>>,
+    /// Topic names, indexed by planted topic id.
+    pub topic_names: Vec<String>,
+}
+
+impl GroundTruth {
+    /// Is this exact id sequence a planted phrase?
+    pub fn is_planted(&self, phrase: &[u32]) -> bool {
+        self.phrase_lexicon.contains(phrase)
+    }
+
+    pub fn n_topics(&self) -> usize {
+        self.topic_names.len()
+    }
+}
+
+/// A generated corpus bundled with its ground truth.
+#[derive(Debug, Clone)]
+pub struct SynthCorpus {
+    pub corpus: Corpus,
+    pub truth: GroundTruth,
+    pub profile: String,
+    pub n_topics: usize,
+}
+
+/// Pre-interned, pre-weighted pools for one topic.
+struct TopicPools {
+    unigrams: WeightedPool<u32>,
+    phrases: WeightedPool<Box<[u32]>>,
+}
+
+/// The generator. Construction interns every lexicon entry; [`Self::generate`]
+/// is then deterministic given a seed.
+pub struct CorpusGenerator {
+    config: GeneratorConfig,
+    vocab: Vocab,
+    topic_pools: Vec<TopicPools>,
+    bg_unigrams: WeightedPool<u32>,
+    bg_phrases: WeightedPool<Box<[u32]>>,
+    tail_words: WeightedPool<u32>,
+    lexicon: FxHashSet<Box<[u32]>>,
+}
+
+impl CorpusGenerator {
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(!config.topics.is_empty(), "need at least one topic");
+        assert!(config.n_docs > 0, "need at least one document");
+        assert!(
+            config.units_per_doc.0 >= 1 && config.units_per_doc.0 <= config.units_per_doc.1,
+            "bad unit range"
+        );
+        let mut vocab = Vocab::new();
+        let s = config.zipf_exponent;
+        let mut lexicon: FxHashSet<Box<[u32]>> = FxHashSet::default();
+
+        let intern_phrase = |vocab: &mut Vocab, p: &str| -> Box<[u32]> {
+            p.split_whitespace()
+                .map(|w| vocab.intern(w))
+                .collect::<Vec<u32>>()
+                .into_boxed_slice()
+        };
+
+        let topic_pools = config
+            .topics
+            .iter()
+            .enumerate()
+            .map(|(k, t)| {
+                // Rare topical words continue the Zipf tail after the
+                // hand-written pool.
+                let rare_words: Vec<u32> = (0..config.rare_words_per_topic)
+                    .map(|j| vocab.intern(&format!("t{k}rare{j:03}")))
+                    .collect();
+                let unigram_pairs: Vec<(u32, f64)> = t
+                    .unigrams
+                    .iter()
+                    .map(|w| vocab.intern(w))
+                    .chain(rare_words.iter().copied())
+                    .enumerate()
+                    .map(|(r, id)| (id, 1.0 / ((r + 1) as f64).powf(s)))
+                    .collect();
+                let mut phrase_entries: Vec<Box<[u32]>> = t
+                    .phrases
+                    .iter()
+                    .map(|p| {
+                        let ids = intern_phrase(&mut vocab, p);
+                        lexicon.insert(ids.clone());
+                        ids
+                    })
+                    .collect();
+                if !rare_words.is_empty() {
+                    for j in 0..config.rare_phrases_per_topic {
+                        let n = rare_words.len();
+                        let a = rare_words[(2 * j) % n];
+                        let b = rare_words[(2 * j + 1) % n];
+                        let ids: Box<[u32]> = vec![a, b].into_boxed_slice();
+                        lexicon.insert(ids.clone());
+                        phrase_entries.push(ids);
+                    }
+                }
+                let phrase_pairs: Vec<(Box<[u32]>, f64)> = phrase_entries
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, ids)| (ids, 1.0 / ((r + 1) as f64).powf(s)))
+                    .collect();
+                TopicPools {
+                    unigrams: WeightedPool::new(unigram_pairs),
+                    phrases: WeightedPool::new(phrase_pairs),
+                }
+            })
+            .collect();
+
+        let bg_unigrams = WeightedPool::zipf(
+            config
+                .background
+                .unigrams
+                .iter()
+                .map(|w| vocab.intern(w))
+                .collect(),
+            s,
+        );
+        let bg_phrases = WeightedPool::zipf(
+            config
+                .background
+                .phrases
+                .iter()
+                .map(|p| {
+                    let ids = intern_phrase(&mut vocab, p);
+                    lexicon.insert(ids.clone());
+                    ids
+                })
+                .collect(),
+            s,
+        );
+        let tail_words = WeightedPool::zipf(
+            (0..config.tail_vocab)
+                .map(|i| vocab.intern(&format!("tail{i:04}")))
+                .collect::<Vec<u32>>(),
+            1.05,
+        );
+
+        Self {
+            config,
+            vocab,
+            topic_pools,
+            bg_unigrams,
+            bg_phrases,
+            tail_words,
+            lexicon,
+        }
+    }
+
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    pub fn n_topics(&self) -> usize {
+        self.config.topics.len()
+    }
+
+    /// Generate the corpus (and ground truth) deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> SynthCorpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = self.topic_pools.len();
+        let cfg = &self.config;
+
+        let mut docs = Vec::with_capacity(cfg.n_docs);
+        let mut truth = GroundTruth {
+            token_topics: Vec::with_capacity(cfg.n_docs),
+            token_is_background: Vec::with_capacity(cfg.n_docs),
+            phrase_spans: Vec::with_capacity(cfg.n_docs),
+            phrase_lexicon: self.lexicon.clone(),
+            topic_names: cfg.topics.iter().map(|t| t.name.to_string()).collect(),
+        };
+
+        for _ in 0..cfg.n_docs {
+            let theta = dirichlet(&mut rng, cfg.doc_topic_alpha, k);
+            let n_units = rng.gen_range(cfg.units_per_doc.0..=cfg.units_per_doc.1);
+
+            let mut tokens: Vec<u32> = Vec::with_capacity(n_units * 2);
+            let mut chunk_ends: Vec<u32> = Vec::new();
+            let mut topics: Vec<u16> = Vec::with_capacity(n_units * 2);
+            let mut is_bg: Vec<bool> = Vec::with_capacity(n_units * 2);
+            let mut spans: Vec<(u32, u32)> = Vec::new();
+
+            for _ in 0..n_units {
+                let z = sample_index(&mut rng, &theta) as u16;
+                let start = tokens.len() as u32;
+                if rng.gen_bool(cfg.background_prob) {
+                    // Background material.
+                    if !self.bg_phrases.is_empty() && rng.gen_bool(cfg.phrase_prob * 0.5) {
+                        let phrase = self.bg_phrases.sample(&mut rng);
+                        tokens.extend_from_slice(phrase);
+                        spans.push((start, tokens.len() as u32));
+                        for _ in 0..phrase.len() {
+                            topics.push(z);
+                            is_bg.push(true);
+                        }
+                    } else if !self.tail_words.is_empty() && rng.gen_bool(cfg.tail_prob) {
+                        tokens.push(*self.tail_words.sample(&mut rng));
+                        topics.push(z);
+                        is_bg.push(true);
+                    } else {
+                        tokens.push(*self.bg_unigrams.sample(&mut rng));
+                        topics.push(z);
+                        is_bg.push(true);
+                    }
+                } else {
+                    let pools = &self.topic_pools[z as usize];
+                    if rng.gen_bool(cfg.phrase_prob) {
+                        let phrase = pools.phrases.sample(&mut rng);
+                        tokens.extend_from_slice(phrase);
+                        spans.push((start, tokens.len() as u32));
+                        for _ in 0..phrase.len() {
+                            topics.push(z);
+                            is_bg.push(false);
+                        }
+                    } else {
+                        tokens.push(*pools.unigrams.sample(&mut rng));
+                        topics.push(z);
+                        is_bg.push(false);
+                    }
+                }
+                // Chunk break between units (never inside a phrase).
+                if rng.gen_bool(cfg.punct_prob) && !tokens.is_empty()
+                    && chunk_ends.last().copied() != Some(tokens.len() as u32) {
+                        chunk_ends.push(tokens.len() as u32);
+                    }
+            }
+            if chunk_ends.last().copied() != Some(tokens.len() as u32) && !tokens.is_empty() {
+                chunk_ends.push(tokens.len() as u32);
+            }
+
+            docs.push(Document { tokens, chunk_ends });
+            truth.token_topics.push(topics);
+            truth.token_is_background.push(is_bg);
+            truth.phrase_spans.push(spans);
+        }
+
+        let corpus = Corpus {
+            vocab: self.vocab.clone(),
+            docs,
+            provenance: None,
+            unstem: None,
+        };
+        debug_assert!(corpus.validate().is_ok());
+        SynthCorpus {
+            corpus,
+            truth,
+            profile: cfg.name.clone(),
+            n_topics: k,
+        }
+    }
+
+    /// Generate *surface text* documents: the same process rendered as raw
+    /// strings with stop words and punctuation interleaved, for exercising
+    /// the full tokenizer/stemmer/builder pipeline in examples and tests.
+    pub fn generate_texts(&self, seed: u64) -> Vec<String> {
+        const CONNECTIVES: &[&str] = &["the", "of", "a", "for", "with", "in", "on", "and"];
+        let synth = self.generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_7e47);
+        let mut out = Vec::with_capacity(synth.corpus.n_docs());
+        for (d, doc) in synth.corpus.docs.iter().enumerate() {
+            let spans = &synth.truth.phrase_spans[d];
+            let mut span_iter = spans.iter().peekable();
+            let mut text = String::new();
+            for (start, end) in doc.chunk_ranges() {
+                let mut i = start;
+                while i < end {
+                    // Never interrupt a planted phrase with a connective.
+                    let phrase_end = span_iter
+                        .peek()
+                        .filter(|&&&(s, _)| s as usize == i)
+                        .map(|&&(_, e)| e as usize);
+                    let unit_end = if let Some(e) = phrase_end {
+                        span_iter.next();
+                        e
+                    } else {
+                        i + 1
+                    };
+                    if !text.is_empty() && !text.ends_with(['.', ',']) && rng.gen_bool(0.25) {
+                        text.push(' ');
+                        text.push_str(CONNECTIVES[rng.gen_range(0..CONNECTIVES.len())]);
+                    }
+                    for t in i..unit_end {
+                        if !text.is_empty() {
+                            text.push(' ');
+                        }
+                        text.push_str(synth.corpus.vocab.word(doc.tokens[t]));
+                    }
+                    i = unit_end;
+                }
+                text.push(if rng.gen_bool(0.5) { '.' } else { ',' });
+            }
+            out.push(text);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::{cs_background, cs_topics};
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            name: "test".into(),
+            n_docs: 50,
+            units_per_doc: (6, 12),
+            phrase_prob: 0.4,
+            background_prob: 0.2,
+            tail_prob: 0.3,
+            tail_vocab: 30,
+            punct_prob: 0.15,
+            doc_topic_alpha: 0.2,
+            zipf_exponent: 0.8,
+            rare_words_per_topic: 12,
+            rare_phrases_per_topic: 6,
+            topics: cs_topics(),
+            background: cs_background(),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = CorpusGenerator::new(small_config());
+        let a = g.generate(99);
+        let b = g.generate(99);
+        assert_eq!(a.corpus.n_docs(), b.corpus.n_docs());
+        for (da, db) in a.corpus.docs.iter().zip(&b.corpus.docs) {
+            assert_eq!(da.tokens, db.tokens);
+            assert_eq!(da.chunk_ends, db.chunk_ends);
+        }
+        assert_eq!(a.truth.phrase_spans, b.truth.phrase_spans);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = CorpusGenerator::new(small_config());
+        let a = g.generate(1);
+        let b = g.generate(2);
+        assert_ne!(
+            a.corpus.docs.iter().map(|d| d.tokens.clone()).collect::<Vec<_>>(),
+            b.corpus.docs.iter().map(|d| d.tokens.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corpus_is_structurally_valid() {
+        let g = CorpusGenerator::new(small_config());
+        let s = g.generate(7);
+        s.corpus.validate().unwrap();
+        assert_eq!(s.corpus.n_docs(), 50);
+        assert_eq!(s.n_topics, 7);
+        // Ground-truth arrays are parallel.
+        for (d, doc) in s.corpus.docs.iter().enumerate() {
+            assert_eq!(s.truth.token_topics[d].len(), doc.n_tokens());
+            assert_eq!(s.truth.token_is_background[d].len(), doc.n_tokens());
+        }
+    }
+
+    #[test]
+    fn planted_spans_are_disjoint_in_order_and_within_chunks() {
+        let g = CorpusGenerator::new(small_config());
+        let s = g.generate(13);
+        for (d, spans) in s.truth.phrase_spans.iter().enumerate() {
+            let doc = &s.corpus.docs[d];
+            let mut prev_end = 0u32;
+            for &(a, b) in spans {
+                assert!(a >= prev_end, "overlapping spans in doc {d}");
+                assert!(b > a);
+                assert!((b as usize) <= doc.n_tokens());
+                prev_end = b;
+                // Span lies within one chunk.
+                let inside = doc
+                    .chunk_ranges()
+                    .any(|(cs, ce)| cs <= a as usize && b as usize <= ce);
+                assert!(inside, "span ({a},{b}) crosses a chunk in doc {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_spans_match_lexicon_entries() {
+        let g = CorpusGenerator::new(small_config());
+        let s = g.generate(21);
+        let mut n_spans = 0;
+        for (d, spans) in s.truth.phrase_spans.iter().enumerate() {
+            let doc = &s.corpus.docs[d];
+            for &(a, b) in spans {
+                n_spans += 1;
+                let seq = &doc.tokens[a as usize..b as usize];
+                assert!(
+                    s.truth.is_planted(seq),
+                    "span not in lexicon: {:?}",
+                    s.corpus.vocab.render(seq)
+                );
+            }
+        }
+        assert!(n_spans > 50, "too few phrases planted: {n_spans}");
+    }
+
+    #[test]
+    fn topical_tokens_follow_their_topic_pool() {
+        let g = CorpusGenerator::new(small_config());
+        let s = g.generate(5);
+        // Every non-background unigram token belongs to its planted topic's
+        // pools (unigram or phrase vocabulary).
+        let topic_vocab: Vec<FxHashSet<u32>> = g
+            .config
+            .topics
+            .iter()
+            .map(|t| {
+                t.unigrams
+                    .iter()
+                    .map(|w| s.corpus.vocab.id(w).unwrap())
+                    .chain(
+                        t.phrases
+                            .iter()
+                            .flat_map(|p| p.split_whitespace())
+                            .map(|w| s.corpus.vocab.id(w).unwrap()),
+                    )
+                    .collect()
+            })
+            .collect();
+        for d in 0..s.corpus.n_docs() {
+            let doc = &s.corpus.docs[d];
+            for (i, &t) in doc.tokens.iter().enumerate() {
+                if !s.truth.token_is_background[d][i] {
+                    let z = s.truth.token_topics[d][i] as usize;
+                    let word = s.corpus.vocab.word(t);
+                    assert!(
+                        topic_vocab[z].contains(&t) || word.starts_with(&format!("t{z}rare")),
+                        "token '{word}' not in topic {z} vocab"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_words_appear_but_rarely_dominate() {
+        let g = CorpusGenerator::new(small_config());
+        let s = g.generate(3);
+        let counts = s.corpus.word_counts();
+        let tail_total: u64 = s
+            .corpus
+            .vocab
+            .iter()
+            .filter(|(_, w)| w.starts_with("tail"))
+            .map(|(id, _)| counts[id as usize])
+            .sum();
+        let total = s.corpus.n_tokens() as u64;
+        assert!(tail_total > 0, "no tail words generated");
+        assert!(
+            (tail_total as f64) < 0.15 * total as f64,
+            "tail dominates: {tail_total}/{total}"
+        );
+    }
+
+    #[test]
+    fn surface_texts_roundtrip_through_builder() {
+        use topmine_corpus::CorpusBuilder;
+        let mut cfg = small_config();
+        cfg.n_docs = 20;
+        let g = CorpusGenerator::new(cfg);
+        let texts = g.generate_texts(11);
+        assert_eq!(texts.len(), 20);
+        let mut b = CorpusBuilder::default();
+        for t in &texts {
+            assert!(!t.is_empty());
+            b.add_document(t);
+        }
+        let c = b.build();
+        c.validate().unwrap();
+        assert!(c.n_tokens() > 100);
+    }
+}

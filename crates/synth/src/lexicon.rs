@@ -1,0 +1,652 @@
+//! Topic lexicons for the synthetic corpora.
+//!
+//! Each lexicon is seeded from the paper's own result tables (Tables 1, 4,
+//! 5, 6) so that a correct reproduction produces visualizations directly
+//! comparable to the published ones: the planted phrases *are* the phrases
+//! the paper reports discovering. Weights follow a Zipf-like decay by rank.
+
+/// A topic's word and phrase pools.
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// Short human-readable name (used in reports and ground truth).
+    pub name: &'static str,
+    /// Topical unigrams, most characteristic first.
+    pub unigrams: &'static [&'static str],
+    /// Topical multi-word phrases, most characteristic first. Words within a
+    /// phrase are space-separated; they are emitted contiguously.
+    pub phrases: &'static [&'static str],
+}
+
+/// Background material shared by every topic of a corpus profile: the
+/// high-frequency, weakly-topical words and boilerplate phrases the paper
+/// observes polluting Yelp/abstract topics ("good", "paper we propose").
+#[derive(Debug, Clone)]
+pub struct BackgroundSpec {
+    pub unigrams: &'static [&'static str],
+    pub phrases: &'static [&'static str],
+}
+
+/// Computer-science topics (DBLP titles/abstracts, 20Conf). The five topics
+/// mirror the paper's Table 4 (search/optimization, NLP, ML, PL, DM) plus
+/// the Table 1 IR topic and a databases topic for breadth.
+pub fn cs_topics() -> Vec<TopicSpec> {
+    vec![
+        TopicSpec {
+            name: "search-optimization",
+            unigrams: &[
+                "problem", "algorithm", "optimal", "solution", "search", "solve", "constraint",
+                "programming", "heuristic", "genetic", "optimization", "space", "function",
+                "objective", "evolutionary", "local", "global", "cost", "bound", "approximation",
+            ],
+            phrases: &[
+                "genetic algorithm",
+                "optimization problem",
+                "optimal solution",
+                "solve this problem",
+                "evolutionary algorithm",
+                "local search",
+                "search space",
+                "optimization algorithm",
+                "search algorithm",
+                "objective function",
+                "approximation algorithm",
+                "np hard",
+                "simulated annealing",
+                "branch and bound",
+            ],
+        },
+        TopicSpec {
+            name: "nlp",
+            unigrams: &[
+                "word", "language", "text", "speech", "recognition", "character", "translation",
+                "sentence", "grammar", "parsing", "corpus", "semantic", "syntactic", "lexical",
+                "discourse", "morphology", "tagging", "dialogue", "linguistic", "phoneme",
+            ],
+            phrases: &[
+                "natural language",
+                "speech recognition",
+                "language model",
+                "natural language processing",
+                "machine translation",
+                "recognition system",
+                "context free grammars",
+                "sign language",
+                "recognition rate",
+                "character recognition",
+                "word sense disambiguation",
+                "part of speech tagging",
+                "named entity recognition",
+                "statistical machine translation",
+            ],
+        },
+        TopicSpec {
+            name: "machine-learning",
+            unigrams: &[
+                "data", "method", "learning", "clustering", "classification", "based", "feature",
+                "proposed", "classifier", "model", "training", "kernel", "supervised", "label",
+                "regression", "accuracy", "prediction", "ensemble", "sample", "vector",
+            ],
+            phrases: &[
+                "data sets",
+                "support vector machine",
+                "learning algorithm",
+                "machine learning",
+                "feature selection",
+                "clustering algorithm",
+                "decision tree",
+                "training data",
+                "neural network",
+                "semi supervised learning",
+                "active learning",
+                "dimensionality reduction",
+                "markov blanket",
+                "nearest neighbor",
+            ],
+        },
+        TopicSpec {
+            name: "programming-languages",
+            unigrams: &[
+                "programming", "language", "code", "type", "object", "implementation", "compiler",
+                "java", "program", "execution", "memory", "runtime", "semantics", "static",
+                "dynamic", "analysis", "software", "abstraction", "verification", "concurrency",
+            ],
+            phrases: &[
+                "programming language",
+                "source code",
+                "object oriented",
+                "type system",
+                "data structure",
+                "program execution",
+                "run time",
+                "code generation",
+                "object oriented programming",
+                "java programs",
+                "static analysis",
+                "model checking",
+                "garbage collection",
+                "points to analysis",
+            ],
+        },
+        TopicSpec {
+            name: "data-mining",
+            unigrams: &[
+                "data", "patterns", "mining", "rules", "set", "event", "time", "association",
+                "stream", "large", "frequent", "itemset", "discovery", "sequence", "temporal",
+                "spatial", "series", "anomaly", "outlier", "scalable",
+            ],
+            phrases: &[
+                "data mining",
+                "data sets",
+                "association rules",
+                "data streams",
+                "time series",
+                "data collection",
+                "data analysis",
+                "mining algorithms",
+                "spatio temporal",
+                "frequent itemsets",
+                "frequent pattern mining",
+                "candidate generation",
+                "frequent patterns",
+                "sequential patterns",
+            ],
+        },
+        TopicSpec {
+            name: "information-retrieval",
+            unigrams: &[
+                "search", "web", "retrieval", "information", "based", "model", "document",
+                "query", "text", "social", "user", "ranking", "relevance", "engine", "page",
+                "network", "topic", "content", "click", "index",
+            ],
+            phrases: &[
+                "information retrieval",
+                "social networks",
+                "web search",
+                "search engine",
+                "information extraction",
+                "web pages",
+                "question answering",
+                "text classification",
+                "collaborative filtering",
+                "topic model",
+                "relevance feedback",
+                "query expansion",
+                "link analysis",
+                "learning to rank",
+            ],
+        },
+        TopicSpec {
+            name: "databases",
+            unigrams: &[
+                "database", "system", "query", "transaction", "storage", "index", "relational",
+                "schema", "processing", "distributed", "concurrency", "recovery", "join",
+                "optimization", "xml", "view", "cache", "disk", "parallel", "log",
+            ],
+            phrases: &[
+                "database systems",
+                "query processing",
+                "query optimization",
+                "concurrency control",
+                "b tree",
+                "relational databases",
+                "main memory",
+                "transaction processing",
+                "data integration",
+                "query language",
+                "access methods",
+                "buffer management",
+            ],
+        },
+    ]
+}
+
+/// Background pool for scientific abstracts: the boilerplate the paper calls
+/// out in §8 ("background phrases like 'paper we propose' and 'proposed
+/// method' ... due to their ubiquity in the corpus").
+pub fn cs_background() -> BackgroundSpec {
+    BackgroundSpec {
+        unigrams: &[
+            "paper", "approach", "results", "show", "present", "new", "propose", "based",
+            "performance", "evaluation", "experimental", "study", "novel", "framework",
+            "technique", "problem", "method", "system", "analysis", "application",
+        ],
+        phrases: &[
+            "paper we propose",
+            "proposed method",
+            "experimental results",
+            "state of the art",
+            "results show",
+            "case study",
+            "real world",
+        ],
+    }
+}
+
+/// News topics mirroring the paper's Table 5 (AP News 1989): environment,
+/// Christianity, Palestine/Israel conflict, Bush (senior) administration,
+/// and health care.
+pub fn news_topics() -> Vec<TopicSpec> {
+    vec![
+        TopicSpec {
+            name: "environment-energy",
+            unigrams: &[
+                "plant", "nuclear", "environmental", "energy", "waste", "department", "power",
+                "chemical", "pollution", "cleanup", "gas", "fuel", "radiation", "toxic",
+                "emissions", "reactor", "safety", "contamination", "acid", "river",
+            ],
+            phrases: &[
+                "energy department",
+                "environmental protection agency",
+                "nuclear weapons",
+                "acid rain",
+                "nuclear power plant",
+                "hazardous waste",
+                "savannah river",
+                "rocky flats",
+                "nuclear power",
+                "natural gas",
+                "greenhouse effect",
+                "clean air",
+            ],
+        },
+        TopicSpec {
+            name: "religion",
+            unigrams: &[
+                "church", "catholic", "religious", "bishop", "pope", "roman", "jewish", "rev",
+                "john", "christian", "faith", "priest", "worship", "congregation", "prayer",
+                "baptist", "lutheran", "vatican", "clergy", "parish",
+            ],
+            phrases: &[
+                "roman catholic",
+                "pope john paul",
+                "john paul",
+                "catholic church",
+                "anti semitism",
+                "baptist church",
+                "lutheran church",
+                "episcopal church",
+                "church members",
+                "religious freedom",
+                "holy land",
+            ],
+        },
+        TopicSpec {
+            name: "israel-palestine",
+            unigrams: &[
+                "palestinian", "israeli", "israel", "arab", "plo", "army", "reported", "west",
+                "bank", "gaza", "occupied", "territories", "soldiers", "uprising", "jerusalem",
+                "radio", "violence", "leadership", "militants", "peace",
+            ],
+            phrases: &[
+                "gaza strip",
+                "west bank",
+                "palestine liberation organization",
+                "united states",
+                "arab reports",
+                "prime minister",
+                "yitzhak shamir",
+                "israel radio",
+                "occupied territories",
+                "occupied west bank",
+                "peace process",
+                "israeli army",
+            ],
+        },
+        TopicSpec {
+            name: "bush-administration",
+            unigrams: &[
+                "bush", "house", "senate", "year", "bill", "president", "congress", "tax",
+                "budget", "committee", "administration", "federal", "vote", "republican",
+                "democrat", "spending", "deficit", "legislation", "capital", "washington",
+            ],
+            phrases: &[
+                "president bush",
+                "white house",
+                "bush administration",
+                "house and senate",
+                "members of congress",
+                "defense secretary",
+                "capital gains tax",
+                "pay raise",
+                "house members",
+                "committee chairman",
+                "federal budget",
+                "tax increase",
+            ],
+        },
+        TopicSpec {
+            name: "health-care",
+            unigrams: &[
+                "drug", "aid", "health", "hospital", "medical", "patients", "research", "test",
+                "study", "disease", "doctors", "treatment", "virus", "cancer", "infection",
+                "vaccine", "clinical", "care", "epidemic", "blood",
+            ],
+            phrases: &[
+                "health care",
+                "medical center",
+                "united states",
+                "aids virus",
+                "drug abuse",
+                "food and drug administration",
+                "aids patients",
+                "centers for disease control",
+                "heart disease",
+                "drug testing",
+                "public health",
+                "blood pressure",
+            ],
+        },
+    ]
+}
+
+pub fn news_background() -> BackgroundSpec {
+    BackgroundSpec {
+        unigrams: &[
+            "officials", "people", "government", "state", "told", "news", "week", "million",
+            "country", "national", "public", "report", "spokesman", "city", "time", "group",
+            "percent", "monday", "thursday", "friday",
+        ],
+        phrases: &["news conference", "last week", "associated press", "per cent"],
+    }
+}
+
+/// Yelp review topics mirroring the paper's Table 6: breakfast/coffee,
+/// Asian/Chinese food, hotels, grocery stores, Mexican food.
+pub fn yelp_topics() -> Vec<TopicSpec> {
+    vec![
+        TopicSpec {
+            name: "breakfast-coffee",
+            unigrams: &[
+                "coffee", "ice", "cream", "flavor", "egg", "chocolate", "breakfast", "tea",
+                "cake", "sweet", "toast", "pancakes", "syrup", "bacon", "waffle", "muffin",
+                "latte", "espresso", "donut", "brunch",
+            ],
+            phrases: &[
+                "ice cream",
+                "iced tea",
+                "french toast",
+                "hash browns",
+                "frozen yogurt",
+                "eggs benedict",
+                "peanut butter",
+                "cup of coffee",
+                "iced coffee",
+                "scrambled eggs",
+                "whipped cream",
+                "orange juice",
+            ],
+        },
+        TopicSpec {
+            name: "asian-food",
+            unigrams: &[
+                "food", "ordered", "chicken", "roll", "sushi", "restaurant", "dish", "rice",
+                "noodles", "soup", "spicy", "sauce", "beef", "shrimp", "tofu", "curry", "menu",
+                "lunch", "dinner", "flavor",
+            ],
+            phrases: &[
+                "spring rolls",
+                "fried rice",
+                "egg rolls",
+                "chinese food",
+                "pad thai",
+                "dim sum",
+                "thai food",
+                "lunch specials",
+                "sushi rolls",
+                "miso soup",
+                "orange chicken",
+                "noodle soup",
+            ],
+        },
+        TopicSpec {
+            name: "hotels",
+            unigrams: &[
+                "room", "parking", "hotel", "stay", "nice", "pool", "area", "staff", "desk",
+                "clean", "bed", "lobby", "casino", "view", "night", "front", "floor", "check",
+                "resort", "strip",
+            ],
+            phrases: &[
+                "parking lot",
+                "front desk",
+                "spring training",
+                "staying at the hotel",
+                "dog park",
+                "room was clean",
+                "pool area",
+                "staff is friendly",
+                "free wifi",
+                "valet parking",
+                "room service",
+                "lazy river",
+            ],
+        },
+        TopicSpec {
+            name: "shopping",
+            unigrams: &[
+                "store", "shop", "prices", "find", "buy", "selection", "items", "grocery",
+                "market", "mall", "clothes", "deals", "cheap", "products", "staff", "aisles",
+                "produce", "fresh", "brands", "stock",
+            ],
+            phrases: &[
+                "grocery store",
+                "great selection",
+                "farmer's market",
+                "great prices",
+                "parking lot",
+                "wal mart",
+                "shopping center",
+                "prices are reasonable",
+                "love this place",
+                "customer service",
+                "whole foods",
+                "trader joe's",
+            ],
+        },
+        TopicSpec {
+            name: "mexican-food",
+            unigrams: &[
+                "good", "food", "place", "burger", "ordered", "fries", "chicken", "tacos",
+                "cheese", "salsa", "burrito", "beans", "chips", "carne", "asada", "guacamole",
+                "margarita", "enchilada", "taco", "quesadilla",
+            ],
+            phrases: &[
+                "mexican food",
+                "chips and salsa",
+                "hot dog",
+                "rice and beans",
+                "sweet potato fries",
+                "carne asada",
+                "mac and cheese",
+                "fish tacos",
+                "happy hour",
+                "green chile",
+                "street tacos",
+                "refried beans",
+            ],
+        },
+    ]
+}
+
+pub fn yelp_background() -> BackgroundSpec {
+    BackgroundSpec {
+        unigrams: &[
+            "good", "place", "great", "love", "time", "service", "really", "nice", "best",
+            "pretty", "definitely", "little", "friendly", "delicious", "amazing", "worth",
+            "recommend", "staff", "price", "experience",
+        ],
+        phrases: &[
+            "food was good",
+            "pretty good",
+            "great place",
+            "love this place",
+            "highly recommend",
+            "come back",
+            "first time",
+        ],
+    }
+}
+
+/// ACL-abstract-like NLP subtopics (small corpus, 2K abstracts in the paper).
+pub fn acl_topics() -> Vec<TopicSpec> {
+    vec![
+        TopicSpec {
+            name: "parsing",
+            unigrams: &[
+                "parsing", "grammar", "parser", "tree", "syntactic", "dependency", "sentence",
+                "structure", "treebank", "derivation", "constituent", "formalism", "rules",
+                "ambiguity", "chart",
+            ],
+            phrases: &[
+                "dependency parsing",
+                "context free grammar",
+                "parse trees",
+                "syntactic structure",
+                "penn treebank",
+                "tree adjoining grammar",
+                "phrase structure",
+                "chart parsing",
+            ],
+        },
+        TopicSpec {
+            name: "machine-translation",
+            unigrams: &[
+                "translation", "bilingual", "alignment", "source", "target", "english",
+                "french", "decoder", "phrase", "reordering", "fluency", "parallel", "bleu",
+                "corpus", "sentence",
+            ],
+            phrases: &[
+                "machine translation",
+                "statistical machine translation",
+                "word alignment",
+                "parallel corpus",
+                "target language",
+                "source language",
+                "translation model",
+                "bleu score",
+            ],
+        },
+        TopicSpec {
+            name: "speech",
+            unigrams: &[
+                "speech", "recognition", "acoustic", "phoneme", "speaker", "audio", "spoken",
+                "prosody", "utterance", "transcription", "error", "rate", "signal", "hmm",
+                "decoding",
+            ],
+            phrases: &[
+                "speech recognition",
+                "language model",
+                "acoustic model",
+                "word error rate",
+                "spoken language",
+                "hidden markov model",
+                "speaker adaptation",
+                "speech synthesis",
+            ],
+        },
+        TopicSpec {
+            name: "semantics",
+            unigrams: &[
+                "semantic", "word", "meaning", "sense", "lexical", "similarity", "ontology",
+                "relation", "representation", "logic", "inference", "knowledge", "concept",
+                "predicate", "embedding",
+            ],
+            phrases: &[
+                "word sense disambiguation",
+                "semantic role labeling",
+                "lexical semantics",
+                "semantic similarity",
+                "word senses",
+                "knowledge base",
+                "semantic representation",
+                "logical form",
+            ],
+        },
+        TopicSpec {
+            name: "discourse-sentiment",
+            unigrams: &[
+                "discourse", "sentiment", "opinion", "text", "document", "classification",
+                "review", "topic", "annotation", "coherence", "summarization", "polarity",
+                "subjective", "corpus", "feature",
+            ],
+            phrases: &[
+                "sentiment analysis",
+                "opinion mining",
+                "discourse structure",
+                "text summarization",
+                "sentiment classification",
+                "discourse relations",
+                "topic models",
+                "product reviews",
+            ],
+        },
+    ]
+}
+
+pub fn acl_background() -> BackgroundSpec {
+    BackgroundSpec {
+        unigrams: &[
+            "paper", "approach", "results", "show", "present", "model", "method", "system",
+            "task", "performance", "propose", "evaluation", "based", "corpus", "data",
+        ],
+        phrases: &["paper we present", "experimental results", "state of the art"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topmine_util::FxHashSet;
+
+    fn check_topics(topics: &[TopicSpec]) {
+        assert!(topics.len() >= 5);
+        for t in topics {
+            assert!(t.unigrams.len() >= 10, "{} unigram pool too small", t.name);
+            assert!(t.phrases.len() >= 8, "{} phrase pool too small", t.name);
+            for p in t.phrases {
+                assert!(
+                    p.split_whitespace().count() >= 2,
+                    "{} phrase '{p}' is not multi-word",
+                    t.name
+                );
+            }
+            // No duplicates within pools.
+            let us: FxHashSet<&str> = t.unigrams.iter().copied().collect();
+            assert_eq!(us.len(), t.unigrams.len(), "{} dup unigrams", t.name);
+            let ps: FxHashSet<&str> = t.phrases.iter().copied().collect();
+            assert_eq!(ps.len(), t.phrases.len(), "{} dup phrases", t.name);
+        }
+    }
+
+    #[test]
+    fn all_lexicons_are_well_formed() {
+        check_topics(&cs_topics());
+        check_topics(&news_topics());
+        check_topics(&yelp_topics());
+        check_topics(&acl_topics());
+    }
+
+    #[test]
+    fn paper_table_phrases_are_planted() {
+        // Spot-check phrases the paper reports (Tables 1, 4, 5, 6).
+        let cs: Vec<&str> = cs_topics().iter().flat_map(|t| t.phrases).copied().collect();
+        for p in ["support vector machine", "information retrieval", "data mining", "frequent pattern mining"] {
+            assert!(cs.contains(&p), "missing cs phrase {p}");
+        }
+        let news: Vec<&str> = news_topics().iter().flat_map(|t| t.phrases).copied().collect();
+        for p in ["white house", "gaza strip", "health care", "acid rain"] {
+            assert!(news.contains(&p), "missing news phrase {p}");
+        }
+        let yelp: Vec<&str> = yelp_topics().iter().flat_map(|t| t.phrases).copied().collect();
+        for p in ["ice cream", "spring rolls", "front desk", "chips and salsa"] {
+            assert!(yelp.contains(&p), "missing yelp phrase {p}");
+        }
+    }
+
+    #[test]
+    fn backgrounds_have_material() {
+        for bg in [cs_background(), news_background(), yelp_background(), acl_background()] {
+            assert!(bg.unigrams.len() >= 10);
+            assert!(!bg.phrases.is_empty());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Dataset profiles matching the shapes of the paper's six corpora (§7.1).
+//!
+//! The absolute sizes are scaled down to laptop-friendly defaults (the paper
+//! used 1.9M DBLP titles and a 39M-token abstract corpus); the `scale`
+//! parameter multiplies document counts for the scalability experiments
+//! (Figure 8 sweeps it). What each profile preserves is the *shape* that
+//! drives the evaluation: title corpora are short and phrase-dense, abstract
+//! and news corpora are long with boilerplate background, Yelp is noisy with
+//! sentiment background dominating (which is why the paper finds its topical
+//! phrases lower-quality).
+
+use crate::gen::{CorpusGenerator, GeneratorConfig, SynthCorpus};
+use crate::lexicon::{
+    acl_background, acl_topics, cs_background, cs_topics, news_background, news_topics,
+    yelp_background, yelp_topics,
+};
+
+/// The six dataset profiles of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// 1.9M short CS paper titles in the paper.
+    DblpTitles,
+    /// 44K titles from 20 AI/DB/DM/IR/ML/NLP conferences.
+    Conf20,
+    /// 529K CS abstracts, 39M tokens — the paper's largest long-text corpus.
+    DblpAbstracts,
+    /// 106K full AP news articles (1989).
+    ApNews,
+    /// 2K ACL abstracts — the paper's smallest corpus.
+    AclAbstracts,
+    /// 230K noisy Yelp reviews.
+    YelpReviews,
+}
+
+impl Profile {
+    pub const ALL: [Profile; 6] = [
+        Profile::DblpTitles,
+        Profile::Conf20,
+        Profile::DblpAbstracts,
+        Profile::ApNews,
+        Profile::AclAbstracts,
+        Profile::YelpReviews,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::DblpTitles => "dblp-titles",
+            Profile::Conf20 => "20conf",
+            Profile::DblpAbstracts => "dblp-abstracts",
+            Profile::ApNews => "ap-news",
+            Profile::AclAbstracts => "acl-abstracts",
+            Profile::YelpReviews => "yelp-reviews",
+        }
+    }
+}
+
+/// Build the generator configuration for `profile`, with document count
+/// scaled by `scale` (1.0 = default reproduction size).
+pub fn profile_config(profile: Profile, scale: f64) -> GeneratorConfig {
+    assert!(scale > 0.0, "scale must be positive");
+    let docs = |base: usize| ((base as f64 * scale).round() as usize).max(8);
+    match profile {
+        Profile::DblpTitles => GeneratorConfig {
+            name: profile.name().into(),
+            n_docs: docs(20_000),
+            units_per_doc: (4, 9),
+            phrase_prob: 0.45,
+            background_prob: 0.12,
+            tail_prob: 0.35,
+            tail_vocab: 600,
+            punct_prob: 0.08,
+            doc_topic_alpha: 0.08,
+            zipf_exponent: 0.75,
+            rare_words_per_topic: 200,
+            rare_phrases_per_topic: 80,
+            topics: cs_topics(),
+            background: cs_background(),
+        },
+        Profile::Conf20 => GeneratorConfig {
+            name: profile.name().into(),
+            n_docs: docs(6_000),
+            units_per_doc: (4, 9),
+            phrase_prob: 0.45,
+            background_prob: 0.10,
+            tail_prob: 0.30,
+            tail_vocab: 400,
+            punct_prob: 0.08,
+            doc_topic_alpha: 0.06,
+            zipf_exponent: 0.75,
+            rare_words_per_topic: 150,
+            rare_phrases_per_topic: 60,
+            topics: cs_topics(),
+            background: cs_background(),
+        },
+        Profile::DblpAbstracts => GeneratorConfig {
+            name: profile.name().into(),
+            n_docs: docs(2_500),
+            units_per_doc: (60, 140),
+            phrase_prob: 0.30,
+            background_prob: 0.25,
+            tail_prob: 0.35,
+            tail_vocab: 1_500,
+            punct_prob: 0.12,
+            doc_topic_alpha: 0.15,
+            zipf_exponent: 0.8,
+            rare_words_per_topic: 400,
+            rare_phrases_per_topic: 150,
+            topics: cs_topics(),
+            background: cs_background(),
+        },
+        Profile::ApNews => GeneratorConfig {
+            name: profile.name().into(),
+            n_docs: docs(1_800),
+            units_per_doc: (90, 220),
+            phrase_prob: 0.25,
+            background_prob: 0.30,
+            tail_prob: 0.40,
+            tail_vocab: 2_000,
+            punct_prob: 0.12,
+            doc_topic_alpha: 0.10,
+            zipf_exponent: 0.8,
+            rare_words_per_topic: 400,
+            rare_phrases_per_topic: 150,
+            topics: news_topics(),
+            background: news_background(),
+        },
+        Profile::AclAbstracts => GeneratorConfig {
+            name: profile.name().into(),
+            n_docs: docs(1_500),
+            units_per_doc: (40, 100),
+            phrase_prob: 0.32,
+            background_prob: 0.22,
+            tail_prob: 0.30,
+            tail_vocab: 700,
+            punct_prob: 0.12,
+            doc_topic_alpha: 0.12,
+            zipf_exponent: 0.8,
+            rare_words_per_topic: 250,
+            rare_phrases_per_topic: 100,
+            topics: acl_topics(),
+            background: acl_background(),
+        },
+        Profile::YelpReviews => GeneratorConfig {
+            name: profile.name().into(),
+            n_docs: docs(4_000),
+            units_per_doc: (20, 80),
+            phrase_prob: 0.25,
+            // Yelp's defining property in the paper: "a plethora of
+            // background words and phrases such as 'good', 'love', and
+            // 'great'" that depress phrase quality.
+            background_prob: 0.45,
+            tail_prob: 0.35,
+            tail_vocab: 1_200,
+            punct_prob: 0.15,
+            doc_topic_alpha: 0.25,
+            zipf_exponent: 0.75,
+            rare_words_per_topic: 500,
+            rare_phrases_per_topic: 200,
+            topics: yelp_topics(),
+            background: yelp_background(),
+        },
+    }
+}
+
+/// Build the generator for a profile.
+pub fn generator(profile: Profile, scale: f64) -> CorpusGenerator {
+    CorpusGenerator::new(profile_config(profile, scale))
+}
+
+/// One-call corpus generation.
+pub fn generate(profile: Profile, scale: f64, seed: u64) -> SynthCorpus {
+    generator(profile, scale).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_generate_valid_corpora() {
+        for p in Profile::ALL {
+            let s = generate(p, 0.02, 42);
+            s.corpus.validate().unwrap();
+            assert!(s.corpus.n_docs() >= 8, "{}: too few docs", p.name());
+            assert!(s.corpus.n_tokens() > 0);
+            assert!(s.n_topics >= 5);
+            assert_eq!(s.profile, p.name());
+        }
+    }
+
+    #[test]
+    fn titles_are_short_and_abstracts_long() {
+        let titles = generate(Profile::DblpTitles, 0.02, 1);
+        let abstracts = generate(Profile::DblpAbstracts, 0.05, 1);
+        let avg = |s: &crate::gen::SynthCorpus| {
+            s.corpus.n_tokens() as f64 / s.corpus.n_docs() as f64
+        };
+        assert!(avg(&titles) < 15.0, "titles avg {}", avg(&titles));
+        assert!(avg(&abstracts) > 60.0, "abstracts avg {}", avg(&abstracts));
+    }
+
+    #[test]
+    fn yelp_has_heaviest_background() {
+        let yelp = generate(Profile::YelpReviews, 0.02, 3);
+        let conf = generate(Profile::Conf20, 0.02, 3);
+        let bg_frac = |s: &crate::gen::SynthCorpus| {
+            let total: usize = s.truth.token_is_background.iter().map(|v| v.len()).sum();
+            let bg: usize = s
+                .truth
+                .token_is_background
+                .iter()
+                .map(|v| v.iter().filter(|&&b| b).count())
+                .sum();
+            bg as f64 / total as f64
+        };
+        assert!(bg_frac(&yelp) > bg_frac(&conf) + 0.15);
+    }
+
+    #[test]
+    fn scale_controls_document_count() {
+        let small = profile_config(Profile::Conf20, 0.01);
+        let large = profile_config(Profile::Conf20, 0.1);
+        assert_eq!(small.n_docs, 60);
+        assert_eq!(large.n_docs, 600);
+    }
+}

@@ -1,0 +1,208 @@
+//! Sampling primitives for the corpus simulator: weighted discrete pools
+//! with Zipf-decayed weights, and Dirichlet draws via Marsaglia–Tsang gamma
+//! sampling (hand-rolled; `rand_distr` is outside the offline dependency
+//! set and the two routines below are small and well-tested).
+
+use rand::Rng;
+
+/// A discrete distribution over items, sampled by binary search over the
+/// cumulative weight table.
+#[derive(Debug, Clone)]
+pub struct WeightedPool<T> {
+    items: Vec<T>,
+    cum: Vec<f64>,
+}
+
+impl<T> WeightedPool<T> {
+    /// Build from `(item, weight)` pairs; weights must be positive.
+    pub fn new(pairs: Vec<(T, f64)>) -> Self {
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cum = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            assert!(w > 0.0, "weights must be positive");
+            acc += w;
+            items.push(item);
+            cum.push(acc);
+        }
+        Self { items, cum }
+    }
+
+    /// Build with Zipf-like rank weights `1 / (rank + 1)^s`.
+    pub fn zipf(items: Vec<T>, s: f64) -> Self {
+        let n = items.len();
+        let pairs = items
+            .into_iter()
+            .zip((0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)))
+            .collect();
+        Self::new(pairs)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Sample one item (panics on an empty pool).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &T {
+        let total = *self.cum.last().expect("sample from empty pool");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cum.partition_point(|&c| c <= x);
+        &self.items[idx.min(self.items.len() - 1)]
+    }
+
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+/// One standard normal via Box–Muller.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Gamma(shape, 1) sample by Marsaglia–Tsang (2000); the `shape < 1` case is
+/// boosted through Gamma(shape + 1).
+pub fn gamma_sample<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// A symmetric Dirichlet(α) draw of dimension `k`.
+pub fn dirichlet<R: Rng>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k > 0);
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate underflow (tiny α): fall back to a random vertex.
+        let winner = rng.gen_range(0..k);
+        draws.iter_mut().for_each(|d| *d = 0.0);
+        draws[winner] = 1.0;
+        return draws;
+    }
+    draws.iter_mut().for_each(|d| *d /= sum);
+    draws
+}
+
+/// Sample an index from a normalized (or unnormalized) weight slice.
+pub fn sample_index<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let x = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_pool_respects_weights() {
+        let pool = WeightedPool::new(vec![("a", 9.0), ("b", 1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = 0;
+        for _ in 0..10_000 {
+            if *pool.sample(&mut rng) == "a" {
+                a += 1;
+            }
+        }
+        assert!((8500..9500).contains(&a), "a drawn {a} times");
+    }
+
+    #[test]
+    fn zipf_pool_orders_by_rank() {
+        let pool = WeightedPool::zipf(vec![0usize, 1, 2, 3], 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[*pool.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &shape in &[0.3, 1.0, 2.5, 10.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &alpha in &[0.05, 0.5, 5.0] {
+            let theta = dirichlet(&mut rng, alpha, 10);
+            assert_eq!(theta.len(), 10);
+            assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(theta.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut top_mass = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let theta = dirichlet(&mut rng, 0.05, 20);
+            top_mass += theta.iter().cloned().fold(0.0, f64::max);
+        }
+        assert!(top_mass / trials as f64 > 0.6);
+    }
+
+    #[test]
+    fn sample_index_covers_support() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = [0.2, 0.0, 0.8];
+        let mut seen = [0usize; 3];
+        for _ in 0..5000 {
+            seen[sample_index(&mut rng, &w)] += 1;
+        }
+        assert!(seen[0] > 500);
+        assert_eq!(seen[1], 0);
+        assert!(seen[2] > 3000);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fx-style fast hashing.
+//!
+//! The phrase miner keys hash tables with short `u32` sequences and hashes
+//! hundreds of millions of keys on large corpora. The default SipHash 1-3 is
+//! collision-resistant but slow for such keys; the Fx algorithm (rotate, xor,
+//! multiply per machine word, as used by rustc/Firefox) is an order of
+//! magnitude faster and adequate here because keys are not attacker
+//! controlled. Hand-rolled to keep the dependency set minimal.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash algorithm (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic [`Hasher`] for trusted keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "ab" and "ab\0" (as padded words) differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let key: Vec<u32> = vec![17, 91, 3];
+        assert_eq!(hash_one(&key), hash_one(&key));
+    }
+
+    #[test]
+    fn distinguishes_permutations() {
+        assert_ne!(hash_one(&[1u32, 2, 3]), hash_one(&[3u32, 2, 1]));
+    }
+
+    #[test]
+    fn distinguishes_prefixes() {
+        assert_ne!(hash_one(&[1u32, 2]), hash_one(&[1u32, 2, 0]));
+    }
+
+    #[test]
+    fn byte_tail_length_matters() {
+        // Regression for the remainder-padding path: same padded word, different lengths.
+        let mut a = FxHasher::default();
+        a.write(&[7, 0, 0]);
+        let mut b = FxHasher::default();
+        b.write(&[7, 0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(vec![i, i + 1].into_boxed_slice(), u64::from(i));
+        }
+        for i in 0..1000u32 {
+            assert_eq!(map[&vec![i, i + 1].into_boxed_slice()], u64::from(i));
+        }
+    }
+
+    #[test]
+    fn reasonable_distribution_over_small_ints() {
+        // 4k sequential ids must not collapse into few buckets of the low bits.
+        let mut buckets = [0u32; 64];
+        for i in 0..4096u32 {
+            let h = hash_one(&i);
+            buckets[(h >> 58) as usize] += 1;
+        }
+        let max = buckets.iter().copied().max().unwrap();
+        // Perfectly uniform would be 64 per bucket; allow generous slack.
+        assert!(max < 64 * 4, "top bits badly skewed: max bucket {max}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Statistics helpers used across the evaluation harness.
+//!
+//! The paper's user studies (§7.2) standardize each rater's scores into
+//! z-scores before averaging across raters; [`z_scores`] implements exactly
+//! that transform. [`RunningStats`] is a Welford accumulator used by the
+//! timing harness to report stable means over repeated runs.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance (dividing by `n`); `0.0` for an empty slice.
+pub fn population_variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn population_std(values: &[f64]) -> f64 {
+    population_variance(values).sqrt()
+}
+
+/// Standardize `values` to z-scores: `(x - mean) / std`.
+///
+/// If the standard deviation is zero (all raters gave identical scores) every
+/// z-score is defined as `0.0`, matching the convention that a constant rater
+/// carries no ranking information.
+pub fn z_scores(values: &[f64]) -> Vec<f64> {
+    let m = mean(values);
+    let s = population_std(values);
+    if s == 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - m) / s).collect()
+}
+
+/// Numerically-stable running mean/variance (Welford's algorithm).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the observations seen so far.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Natural-log digamma function ψ(x) via the standard asymptotic expansion.
+///
+/// Needed by Minka's fixed-point Dirichlet hyperparameter updates (paper §5.3
+/// cites Minka 2000). Accurate to ~1e-12 for x > 0 after argument shifting.
+pub fn digamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0, "digamma requires x > 0, got {x}");
+    let mut result = 0.0;
+    // Shift x upward until the asymptotic series is accurate.
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    // ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n})
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
+}
+
+/// Natural log of the Gamma function via the Lanczos approximation.
+///
+/// Used for closed-form `P(Z, W)` evaluations in tests of the collapsed Gibbs
+/// samplers (the LDA joint of the paper's Appendix is a ratio of Gammas).
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!(close(mean(&v), 2.5, 1e-12));
+        assert!(close(population_variance(&v), 1.25, 1e-12));
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_std(&[]), 0.0);
+        assert!(z_scores(&[]).is_empty());
+    }
+
+    #[test]
+    fn z_scores_standardize() {
+        let z = z_scores(&[1.0, 2.0, 3.0]);
+        assert!(close(mean(&z), 0.0, 1e-12));
+        assert!(close(population_std(&z), 1.0, 1e-12));
+        assert!(z[0] < z[1] && z[1] < z[2]);
+    }
+
+    #[test]
+    fn z_scores_constant_input() {
+        assert_eq!(z_scores(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let values = [3.0, -1.0, 4.5, 0.25, 9.0, 2.0];
+        let mut rs = RunningStats::new();
+        for &v in &values {
+            rs.push(v);
+        }
+        assert_eq!(rs.count(), values.len() as u64);
+        assert!(close(rs.mean(), mean(&values), 1e-12));
+        assert!(close(rs.variance(), population_variance(&values), 1e-12));
+        assert_eq!(rs.min(), -1.0);
+        assert_eq!(rs.max(), 9.0);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // ψ(1) = −γ (Euler–Mascheroni)
+        assert!(close(digamma(1.0), -0.577_215_664_901_532_9, 1e-10));
+        // ψ(0.5) = −γ − 2 ln 2
+        assert!(close(digamma(0.5), -1.963_510_026_021_423_5, 1e-10));
+        // Recurrence ψ(x+1) = ψ(x) + 1/x
+        for &x in &[0.3, 1.7, 4.2, 11.0] {
+            assert!(close(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10));
+        }
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(n) = (n−1)!
+        assert!(close(ln_gamma(1.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(5.0), 24.0_f64.ln(), 1e-10));
+        // Γ(0.5) = sqrt(pi)
+        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10));
+        // Recurrence Γ(x+1) = x Γ(x)
+        for &x in &[0.4, 2.3, 7.7] {
+            assert!(close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-9));
+        }
+    }
+}

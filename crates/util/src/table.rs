@@ -1,0 +1,200 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every table/figure bin in `topmine-bench` prints its rows through this
+//! writer so the reproduction artifacts have one consistent, diffable format
+//! (aligned text, markdown, or TSV).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the header with empty column names.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if row.len() > self.header.len() {
+            // Header grows; re-pad rows already inserted.
+            self.header.resize(row.len(), String::new());
+            for r in &mut self.rows {
+                r.resize(self.header.len(), String::new());
+            }
+        }
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Render as space-aligned plain text with a rule under the header.
+    pub fn to_aligned(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing pad spaces for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let cell = |s: &str| s.replace('|', "\\|");
+        let _ = write!(out, "|");
+        for h in &self.header {
+            let _ = write!(out, " {} |", cell(h));
+        }
+        out.push('\n');
+        let _ = write!(out, "|");
+        for _ in &self.header {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for c in row {
+                let _ = write!(out, " {} |", cell(c));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as tab-separated values (one header line, then rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with a fixed number of decimals, trimming `-0`.
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    let s = format!("{value:.decimals$}");
+    if s.starts_with("-0.") && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Format a duration in seconds with adaptive units, mirroring how the paper
+/// reports Table 3 cells ("67(s)", "3.04 (hrs)", "20.44(days)").
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 120.0 {
+        format!("{secs:.2}(s)")
+    } else if secs < 2.0 * 3600.0 {
+        format!("{:.2}(min)", secs / 60.0)
+    } else if secs < 48.0 * 3600.0 {
+        format!("{:.2}(hrs)", secs / 3600.0)
+    } else {
+        format!("{:.2}(days)", secs / 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_output_pads_columns() {
+        let mut t = Table::new(["method", "time"]);
+        t.row(["ToPMine", "67"]).row(["Turbo Topics", "24048"]);
+        let s = t.to_aligned();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("ToPMine"));
+    }
+
+    #[test]
+    fn markdown_escapes_pipes() {
+        let mut t = Table::new(["a"]);
+        t.row(["x|y"]);
+        assert!(t.to_markdown().contains("x\\|y"));
+    }
+
+    #[test]
+    fn tsv_roundtrip_shape() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert_eq!(tsv.lines().nth(1).unwrap(), "1\t2");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        assert_eq!(t.n_rows(), 2);
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().nth(1).unwrap().split('\t').count(), 4);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(-0.0001, 2), "0.00");
+        assert_eq!(fmt_secs(65.0), "65.00(s)");
+        assert_eq!(fmt_secs(3.04 * 3600.0), "3.04(hrs)");
+        assert_eq!(fmt_secs(20.44 * 86_400.0), "20.44(days)");
+    }
+}

@@ -1,0 +1,150 @@
+//! Wall-clock measurement helpers for the scalability experiments.
+//!
+//! Figure 8 and Table 3 are runtime measurements. The harness needs (a) a
+//! stopwatch with labeled laps (to decompose ToPMine into phrase-mining and
+//! topic-modeling time) and (b) a helper that times a closure, optionally
+//! extrapolating from a reduced workload the way the paper does for
+//! intractable cells ("~" entries in Table 3).
+
+use std::time::{Duration, Instant};
+
+/// A stopwatch that records labeled laps.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+    last: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Self {
+            started: now,
+            last: now,
+            laps: Vec::new(),
+        }
+    }
+
+    /// Record the time since the previous lap (or start) under `label`.
+    pub fn lap(&mut self, label: impl Into<String>) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last;
+        self.last = now;
+        self.laps.push((label.into(), d));
+        d
+    }
+
+    /// Total elapsed time since construction.
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+
+    /// Sum of laps whose label equals `label`.
+    pub fn lap_total(&self, label: &str) -> Duration {
+        self.laps
+            .iter()
+            .filter(|(l, _)| l == label)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+}
+
+/// Result of timing a (possibly reduced) workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timed {
+    /// Estimated seconds for the *full* workload.
+    pub seconds: f64,
+    /// True when `seconds` was linearly extrapolated from a reduced run,
+    /// mirroring the paper's "~" cells in Table 3.
+    pub extrapolated: bool,
+}
+
+impl Timed {
+    /// Render like the paper's Table 3 cells: extrapolated values get "~".
+    pub fn render(&self) -> String {
+        let base = crate::table::fmt_secs(self.seconds);
+        if self.extrapolated {
+            format!("~{base}")
+        } else {
+            base
+        }
+    }
+}
+
+/// Time `f()` as-is.
+pub fn time<F: FnOnce()>(f: F) -> Timed {
+    let start = Instant::now();
+    f();
+    Timed {
+        seconds: start.elapsed().as_secs_f64(),
+        extrapolated: false,
+    }
+}
+
+/// Time `f()`, which executes `ran` units of a workload of `full` units, and
+/// linearly extrapolate to the full size (the paper's protocol for Table 3
+/// cells where a method is intractable: "we estimate the runtime based on a
+/// smaller number of iterations").
+pub fn time_extrapolated<F: FnOnce()>(ran: u64, full: u64, f: F) -> Timed {
+    assert!(ran > 0, "reduced workload must be non-empty");
+    let start = Instant::now();
+    f();
+    let elapsed = start.elapsed().as_secs_f64();
+    if ran >= full {
+        Timed {
+            seconds: elapsed,
+            extrapolated: false,
+        }
+    } else {
+        Timed {
+            seconds: elapsed * (full as f64 / ran as f64),
+            extrapolated: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate() {
+        let mut sw = Stopwatch::new();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap("a");
+        std::thread::sleep(Duration::from_millis(2));
+        sw.lap("b");
+        sw.lap("a");
+        assert_eq!(sw.laps().len(), 3);
+        assert!(sw.lap_total("a") >= Duration::from_millis(2));
+        assert!(sw.total() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn extrapolation_scales_linearly() {
+        let t = time_extrapolated(10, 1000, || {
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        assert!(t.extrapolated);
+        assert!(t.seconds >= 0.5 - 1e-9, "expected >= 0.5s, got {}", t.seconds);
+        assert!(t.render().starts_with('~'));
+    }
+
+    #[test]
+    fn full_runs_are_not_marked() {
+        let t = time_extrapolated(10, 10, || {});
+        assert!(!t.extrapolated);
+        assert!(!t.render().starts_with('~'));
+    }
+}

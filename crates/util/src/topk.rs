@@ -1,0 +1,158 @@
+//! Bounded top-k selection.
+//!
+//! Topic visualization repeatedly needs "the N most probable items" out of a
+//! vocabulary- or phrase-table-sized candidate set. Keeping a size-k min-heap
+//! is `O(n log k)` and avoids sorting the full table.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry ordering by score ascending (min-heap via `Reverse`
+/// semantics done manually so ties break deterministically on the payload).
+#[derive(Debug, Clone, PartialEq)]
+struct Entry<T> {
+    score: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T: PartialEq> Eq for Entry<T> {}
+
+impl<T: PartialEq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the *smallest* on top.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            // Later insertions lose ties so results are insertion-stable.
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Keeps the `k` highest-scoring items pushed into it.
+///
+/// Ties are broken in favor of earlier insertions, which makes topic-phrase
+/// listings deterministic given deterministic iteration order upstream.
+#[derive(Debug)]
+pub struct TopK<T> {
+    k: usize,
+    seq: u64,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T: PartialEq> TopK<T> {
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer an item; it is kept only if it ranks in the current top-k.
+    pub fn push(&mut self, score: f64, item: T) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = Entry {
+            score,
+            seq: self.seq,
+            item,
+        };
+        self.seq += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            return;
+        }
+        // `peek` is the current minimum; replace it only if strictly better,
+        // or equal-but-earlier never replaces (stability).
+        if let Some(min) = self.heap.peek() {
+            if entry.score > min.score {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consume, returning `(score, item)` sorted by score descending
+    /// (insertion order breaks ties).
+    pub fn into_sorted_vec(self) -> Vec<(f64, T)> {
+        let mut v: Vec<Entry<T>> = self.heap.into_vec();
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        v.into_iter().map(|e| (e.score, e.item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_highest_k() {
+        let mut tk = TopK::new(3);
+        for (i, &s) in [5.0, 1.0, 9.0, 3.0, 7.0, 2.0].iter().enumerate() {
+            tk.push(s, i);
+        }
+        let got = tk.into_sorted_vec();
+        let items: Vec<usize> = got.iter().map(|&(_, i)| i).collect();
+        assert_eq!(items, vec![2, 4, 0]); // scores 9, 7, 5
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut tk = TopK::new(10);
+        tk.push(1.0, "a");
+        tk.push(2.0, "b");
+        let got = tk.into_sorted_vec();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, "b");
+    }
+
+    #[test]
+    fn k_zero_accepts_nothing() {
+        let mut tk = TopK::new(0);
+        tk.push(1.0, 1);
+        assert!(tk.is_empty());
+        assert!(tk.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn ties_are_insertion_stable() {
+        let mut tk = TopK::new(2);
+        tk.push(1.0, "first");
+        tk.push(1.0, "second");
+        tk.push(1.0, "third");
+        let got = tk.into_sorted_vec();
+        let items: Vec<&str> = got.iter().map(|&(_, i)| i).collect();
+        assert_eq!(items, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let mut tk = TopK::new(2);
+        tk.push(f64::NAN, 1);
+        tk.push(1.0, 2);
+        tk.push(2.0, 3);
+        assert_eq!(tk.len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Side-by-side comparison of ToPMine against the paper's baselines on one
+//! corpus: topical phrases from ToPMine, TNG, KERT, Turbo Topics, and
+//! PD-LDA, plus each method's runtime — a miniature of the paper's §7.
+//!
+//! Run: `cargo run --release --example compare_methods`
+
+use topmine_eval::{run_method, Method, MethodRunConfig};
+use topmine_synth::{generate, Profile};
+
+fn main() {
+    let synth = generate(Profile::Conf20, 0.05, 20);
+    let corpus = &synth.corpus;
+    println!(
+        "20Conf-like corpus: {} titles, {} tokens\n",
+        corpus.n_docs(),
+        corpus.n_tokens()
+    );
+
+    let cfg = MethodRunConfig {
+        n_topics: synth.n_topics,
+        iterations: 100,
+        min_support: topmine::ToPMineConfig::support_for_corpus(corpus),
+        significance_alpha: 3.0,
+        seed: 20,
+        n_unigrams: 5,
+        n_phrases: 5,
+        ..MethodRunConfig::default()
+    };
+
+    for method in Method::PHRASE_METHODS {
+        let run = run_method(method, corpus, &cfg);
+        println!("=== {} ({:.2}s) ===", method.name(), run.runtime_secs);
+        if let Some(failure) = &run.failure {
+            println!("  failed: {failure}");
+            continue;
+        }
+        for s in &run.summaries {
+            let phrases: Vec<&str> = s.top_phrases.iter().map(|(p, _)| p.as_str()).collect();
+            if phrases.is_empty() {
+                continue;
+            }
+            println!("  topic {}: {}", s.topic + 1, phrases.join(" | "));
+        }
+        println!();
+    }
+    println!("planted topics: {}", synth.truth.topic_names.join(", "));
+}

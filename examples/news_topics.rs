@@ -1,0 +1,39 @@
+//! Topical phrases from news articles (the paper's Table 5 scenario).
+//!
+//! Runs ToPMine on the AP-News-like synthetic corpus and prints the topic
+//! table: environment/energy, religion, Israel/Palestine, the Bush
+//! administration, and health care, with phrases like "environmental
+//! protection agency" and "white house".
+//!
+//! Run: `cargo run --release --example news_topics`
+
+use topmine::{ToPMine, ToPMineConfig};
+use topmine_lda::render_topic_table;
+use topmine_synth::{generate, Profile};
+
+fn main() {
+    let synth = generate(Profile::ApNews, 0.15, 1989);
+    let corpus = &synth.corpus;
+    println!(
+        "AP-News-like corpus: {} articles, {} tokens, vocabulary {}",
+        corpus.n_docs(),
+        corpus.n_tokens(),
+        corpus.vocab_size()
+    );
+
+    let model = ToPMine::new(ToPMineConfig {
+        min_support: ToPMineConfig::support_for_corpus(corpus),
+        significance_alpha: 3.0,
+        n_topics: synth.n_topics,
+        iterations: 250,
+        optimize_every: 25,
+        burn_in: 50,
+        seed: 1989,
+        ..ToPMineConfig::default()
+    })
+    .fit(corpus);
+
+    let summaries = model.summarize(corpus, 8, 8);
+    println!("\n{}", render_topic_table(&summaries, 8));
+    println!("planted topics were: {}", synth.truth.topic_names.join(", "));
+}

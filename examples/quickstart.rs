@@ -1,0 +1,72 @@
+//! Quickstart: the full ToPMine pipeline on raw text.
+//!
+//! Feeds surface-text CS paper titles (with stop words and punctuation)
+//! through the complete preprocessing pipeline — tokenization, punctuation
+//! chunking, Porter stemming, stop word removal — then mines phrases,
+//! segments, runs PhraseLDA, and prints topics with automatically
+//! unstemmed phrases.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use topmine::{ToPMine, ToPMineConfig};
+use topmine_corpus::CorpusBuilder;
+use topmine_synth::{generator, Profile};
+
+fn main() {
+    // Surface text from the 20Conf-like generator: realistic CS titles with
+    // function words and punctuation, e.g.
+    // "frequent pattern mining for the data streams."
+    let texts = generator(Profile::Conf20, 0.1).generate_texts(42);
+    println!("corpus: {} raw documents; first three:", texts.len());
+    for t in texts.iter().take(3) {
+        println!("  {t}");
+    }
+
+    // Full preprocessing (paper §7.1): lowercase, chunk at punctuation,
+    // Porter-stem, drop stop words, keep provenance for display.
+    let mut builder = CorpusBuilder::default();
+    for t in &texts {
+        builder.add_document(t);
+    }
+    let corpus = builder.build();
+    println!(
+        "\npreprocessed: {} docs, {} tokens, vocabulary {}",
+        corpus.n_docs(),
+        corpus.n_tokens(),
+        corpus.vocab_size()
+    );
+
+    let config = ToPMineConfig {
+        min_support: ToPMineConfig::support_for_corpus(&corpus),
+        significance_alpha: 3.0,
+        n_topics: 7,
+        iterations: 200,
+        optimize_every: 25,
+        burn_in: 50,
+        seed: 7,
+        ..ToPMineConfig::default()
+    };
+    let model = ToPMine::new(config).fit(&corpus);
+    println!(
+        "segmentation: {} phrase instances ({} multi-word); perplexity {:.1}",
+        model.segmentation.n_phrases(),
+        model.segmentation.n_multiword(),
+        model.perplexity()
+    );
+    println!(
+        "timing: phrase mining {:.2}s, topic modeling {:.2}s\n",
+        model.timing.phrase_mining_secs, model.timing.topic_modeling_secs
+    );
+
+    for summary in model.summarize(&corpus, 6, 6) {
+        println!("Topic {}:", summary.topic + 1);
+        let unigrams: Vec<&str> = summary.top_unigrams.iter().map(|(w, _)| w.as_str()).collect();
+        println!("  terms:   {}", unigrams.join(", "));
+        let phrases: Vec<String> = summary
+            .top_phrases
+            .iter()
+            .map(|(p, c)| format!("{p} ({c})"))
+            .collect();
+        println!("  phrases: {}", phrases.join(", "));
+    }
+}

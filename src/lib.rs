@@ -1,0 +1,12 @@
+//! Umbrella crate for the ToPMine reproduction workspace: re-exports
+//! every member crate so the root examples and integration tests have one
+//! import surface. See the README for the crate map.
+
+pub use topmine;
+pub use topmine_baselines as baselines;
+pub use topmine_corpus as corpus;
+pub use topmine_eval as eval;
+pub use topmine_lda as lda;
+pub use topmine_phrase as phrase;
+pub use topmine_synth as synth;
+pub use topmine_util as util;

@@ -1,0 +1,92 @@
+//! Disk round-trips across the pipeline: raw text file → preprocessed
+//! corpus → saved artifacts → reloaded corpus → identical model behaviour.
+
+use std::path::PathBuf;
+use topmine::{ToPMine, ToPMineConfig};
+use topmine_corpus::{io as corpus_io, CorpusOptions};
+use topmine_synth::{generator, Profile};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("topmine-roundtrip-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn text_file_to_artifacts_and_back() {
+    let dir = tmpdir("full");
+    let raw_path = dir.join("raw.txt");
+
+    // Write a realistic raw text corpus to disk.
+    let texts = generator(Profile::Conf20, 0.04).generate_texts(33);
+    std::fs::write(&raw_path, texts.join("\n")).unwrap();
+
+    // Load through the paper's preprocessing.
+    let corpus = corpus_io::load_lines(&raw_path, CorpusOptions::default()).unwrap();
+    assert_eq!(corpus.n_docs(), texts.len());
+    corpus.validate().unwrap();
+
+    // Persist and reload the id-stream artifacts.
+    corpus_io::save_corpus(&corpus, &dir).unwrap();
+    let reloaded = corpus_io::load_corpus(&dir).unwrap();
+    assert_eq!(reloaded.n_docs(), corpus.n_docs());
+    assert_eq!(reloaded.n_tokens(), corpus.n_tokens());
+    assert_eq!(reloaded.vocab_size(), corpus.vocab_size());
+
+    // The reloaded corpus drives the pipeline to the *same* result (the
+    // mining stream is identical; only display metadata was dropped).
+    let cfg = ToPMineConfig {
+        min_support: 4,
+        significance_alpha: 3.0,
+        n_topics: 5,
+        iterations: 30,
+        seed: 12,
+        ..ToPMineConfig::default()
+    };
+    let a = ToPMine::new(cfg.clone()).fit(&corpus);
+    let b = ToPMine::new(cfg).fit(&reloaded);
+    assert_eq!(a.segmentation.n_phrases(), b.segmentation.n_phrases());
+    assert_eq!(a.segmentation.n_multiword(), b.segmentation.n_multiword());
+    assert_eq!(a.perplexity(), b.perplexity());
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cli_options_drive_the_pipeline() {
+    use topmine::cli::parse_args;
+    let dir = tmpdir("cli");
+    let raw_path = dir.join("raw.txt");
+    let texts = generator(Profile::Conf20, 0.02).generate_texts(7);
+    std::fs::write(&raw_path, texts.join("\n")).unwrap();
+
+    let opts = parse_args([
+        "--input",
+        raw_path.to_str().unwrap(),
+        "--topics",
+        "4",
+        "--iterations",
+        "20",
+        "--min-support",
+        "3",
+        "--alpha",
+        "2.0",
+        "--seed",
+        "9",
+    ])
+    .unwrap()
+    .unwrap();
+
+    let corpus = corpus_io::load_lines(
+        std::path::Path::new(&opts.input),
+        CorpusOptions::default(),
+    )
+    .unwrap();
+    let model = ToPMine::new(opts.pipeline_config(&corpus)).fit(&corpus);
+    assert_eq!(model.model.n_topics(), 4);
+    assert!(model.perplexity().is_finite());
+    model.segmentation.validate(&corpus).unwrap();
+
+    let _ = std::fs::remove_dir_all(dir);
+}
