@@ -80,7 +80,10 @@ impl std::fmt::Display for KertError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KertError::CandidateBudgetExceeded { budget } => {
-                write!(f, "KERT itemset mining exceeded candidate budget ({budget})")
+                write!(
+                    f,
+                    "KERT itemset mining exceeded candidate budget ({budget})"
+                )
             }
         }
     }
@@ -141,15 +144,10 @@ impl KertModel {
         let mut budget = cfg.max_candidates;
         let mut topic_itemsets: Vec<FxHashMap<Itemset, u32>> = Vec::with_capacity(k);
         for txns in &transactions {
-            let sets = mine_itemsets(
-                txns,
-                cfg.min_support,
-                cfg.max_pattern_len,
-                &mut budget,
-            )
-            .ok_or(KertError::CandidateBudgetExceeded {
-                budget: cfg.max_candidates,
-            })?;
+            let sets = mine_itemsets(txns, cfg.min_support, cfg.max_pattern_len, &mut budget)
+                .ok_or(KertError::CandidateBudgetExceeded {
+                    budget: cfg.max_candidates,
+                })?;
             topic_itemsets.push(sets);
         }
 
@@ -233,7 +231,12 @@ impl KertModel {
     }
 
     /// Per-topic summaries in the common interchange format.
-    pub fn summarize(&self, corpus: &Corpus, n_unigrams: usize, n_phrases: usize) -> Vec<TopicSummary> {
+    pub fn summarize(
+        &self,
+        corpus: &Corpus,
+        n_unigrams: usize,
+        n_phrases: usize,
+    ) -> Vec<TopicSummary> {
         let phi = self.lda.phi();
         (0..self.cfg.n_topics)
             .map(|t| {

@@ -256,8 +256,15 @@ impl PdLdaModel {
         for i in s..e {
             let ctx_start = s.max(i.saturating_sub(self.cfg.max_ngram as u32 - 1));
             let ctx = &doc.tokens[ctx_start as usize..i as usize];
-            self.lm
-                .add(&mut self.rng, t, ctx, doc.tokens[i as usize], disc, theta, v);
+            self.lm.add(
+                &mut self.rng,
+                t,
+                ctx,
+                doc.tokens[i as usize],
+                disc,
+                theta,
+                v,
+            );
         }
         self.n_dk[d * self.cfg.n_topics + t as usize] += 1;
         self.n_d[d] += 1;
@@ -275,7 +282,8 @@ impl PdLdaModel {
                 for i in s..e {
                     let ctx_start = s.max(i.saturating_sub(self.cfg.max_ngram as u32 - 1));
                     let ctx = doc.tokens[ctx_start as usize..i as usize].to_vec();
-                    self.lm.remove(&mut self.rng, t, &ctx, doc.tokens[i as usize]);
+                    self.lm
+                        .remove(&mut self.rng, t, &ctx, doc.tokens[i as usize]);
                 }
                 self.n_dk[d * self.cfg.n_topics + t as usize] -= 1;
                 self.n_d[d] -= 1;
@@ -300,8 +308,7 @@ impl PdLdaModel {
                     let mut weights: Vec<f64> = Vec::with_capacity(max_len * k);
                     for len in 1..=max_len {
                         for t in 0..k {
-                            let topic_f = (self.cfg.alpha
-                                + self.n_dk[d * k + t] as f64)
+                            let topic_f = (self.cfg.alpha + self.n_dk[d * k + t] as f64)
                                 / (k as f64 * self.cfg.alpha + self.n_d[d] as f64);
                             let mut seq_p = 1.0f64;
                             for j in 0..len {
@@ -336,7 +343,12 @@ impl PdLdaModel {
 
     /// Summaries: unigram probabilities from the topic PYP roots, phrases
     /// from multi-word segments of the final state.
-    pub fn summarize(&self, corpus: &Corpus, n_unigrams: usize, n_phrases: usize) -> Vec<TopicSummary> {
+    pub fn summarize(
+        &self,
+        corpus: &Corpus,
+        n_unigrams: usize,
+        n_phrases: usize,
+    ) -> Vec<TopicSummary> {
         let k = self.cfg.n_topics;
         // Unigram counts per topic from root restaurants.
         let mut uni_top: Vec<TopK<u32>> = (0..k).map(|_| TopK::new(n_unigrams)).collect();
@@ -358,15 +370,16 @@ impl PdLdaModel {
             for &(s, e, t) in segs {
                 if e - s >= 2 {
                     let key = (
-                        doc.tokens[s as usize..e as usize].to_vec().into_boxed_slice(),
+                        doc.tokens[s as usize..e as usize]
+                            .to_vec()
+                            .into_boxed_slice(),
                         t,
                     );
                     *tf.entry(key).or_insert(0) += 1;
                 }
             }
         }
-        let mut phrase_top: Vec<TopK<Box<[u32]>>> =
-            (0..k).map(|_| TopK::new(n_phrases)).collect();
+        let mut phrase_top: Vec<TopK<Box<[u32]>>> = (0..k).map(|_| TopK::new(n_phrases)).collect();
         let mut entries: Vec<(&topmine_lda::viz::PhraseTopic, &u64)> = tf.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         for ((p, t), &c) in entries {

@@ -165,7 +165,11 @@ impl TngModel {
                     }
                     // The successor's status count is keyed by (z_i, w):
                     // temporarily remove it so the move is exchangeable.
-                    let succ_x = if i + 1 < end { Some(self.x[d][i + 1]) } else { None };
+                    let succ_x = if i + 1 < end {
+                        Some(self.x[d][i + 1])
+                    } else {
+                        None
+                    };
                     if let Some(sx) = succ_x {
                         self.q.get_mut(&(old_z, w)).expect("succ q")[sx as usize] -= 1;
                     }
@@ -190,14 +194,10 @@ impl TngModel {
                             let q = self.q.get(&(pz, pw)).copied().unwrap_or([0, 0]);
                             let status1 = (self.cfg.gamma1 + q[1] as f64)
                                 / (self.cfg.gamma0 + self.cfg.gamma1 + (q[0] + q[1]) as f64);
-                            let m = self
-                                .m_bigram
-                                .get(&(t as u16, pw, w))
-                                .copied()
-                                .unwrap_or(0) as f64;
+                            let m =
+                                self.m_bigram.get(&(t as u16, pw, w)).copied().unwrap_or(0) as f64;
                             let mc = self.m_ctx.get(&(t as u16, pw)).copied().unwrap_or(0) as f64;
-                            let big = (self.cfg.delta + m)
-                                / (self.v as f64 * self.cfg.delta + mc);
+                            let big = (self.cfg.delta + m) / (self.v as f64 * self.cfg.delta + mc);
                             weights[k + t] = doc_f * big * status1;
                         }
                     }
@@ -237,7 +237,12 @@ impl TngModel {
 
     /// Extract phrases: maximal `x = 1` chains; phrase topic = topic of the
     /// final word (original TNG convention). Returns per-topic summaries.
-    pub fn summarize(&self, corpus: &Corpus, n_unigrams: usize, n_phrases: usize) -> Vec<TopicSummary> {
+    pub fn summarize(
+        &self,
+        corpus: &Corpus,
+        n_unigrams: usize,
+        n_phrases: usize,
+    ) -> Vec<TopicSummary> {
         let k = self.cfg.n_topics;
         // Phrase TF per topic.
         let mut tf: FxHashMap<topmine_lda::viz::PhraseTopic, u64> = FxHashMap::default();
@@ -260,8 +265,7 @@ impl TngModel {
                 }
             }
         }
-        let mut phrase_top: Vec<TopK<Box<[u32]>>> =
-            (0..k).map(|_| TopK::new(n_phrases)).collect();
+        let mut phrase_top: Vec<TopK<Box<[u32]>>> = (0..k).map(|_| TopK::new(n_phrases)).collect();
         let mut tf_entries: Vec<(&topmine_lda::viz::PhraseTopic, &u64)> = tf.iter().collect();
         tf_entries.sort_by(|a, b| a.0.cmp(b.0));
         for ((phrase, topic), &c) in tf_entries {
@@ -316,8 +320,8 @@ impl TngModel {
                         n_wk[w as usize * k + z as usize] += 1;
                     }
                     if i > start {
-                        q.entry((self.z[d][i - 1], doc.tokens[i - 1])).or_insert([0, 0])
-                            [x as usize] += 1;
+                        q.entry((self.z[d][i - 1], doc.tokens[i - 1]))
+                            .or_insert([0, 0])[x as usize] += 1;
                     }
                 }
             }
@@ -469,6 +473,9 @@ mod planted_tests {
                     .unwrap_or(false)
             })
             .count();
-        assert!(planted_hits >= 3, "only {planted_hits} planted phrases found");
+        assert!(
+            planted_hits >= 3,
+            "only {planted_hits} planted phrases found"
+        );
     }
 }

@@ -117,8 +117,7 @@ impl TurboModel {
         for _round in 0..cfg.max_rounds {
             let mut merged_any = false;
             for t in 0..k as u16 {
-                let significant =
-                    significant_pairs(corpus, &units, t, &cfg, &mut rng);
+                let significant = significant_pairs(corpus, &units, t, &cfg, &mut rng);
                 if significant.is_empty() {
                     continue;
                 }
@@ -162,7 +161,12 @@ impl TurboModel {
         self.cfg.n_topics
     }
 
-    pub fn summarize(&self, corpus: &Corpus, n_unigrams: usize, n_phrases: usize) -> Vec<TopicSummary> {
+    pub fn summarize(
+        &self,
+        corpus: &Corpus,
+        n_unigrams: usize,
+        n_phrases: usize,
+    ) -> Vec<TopicSummary> {
         let phi = self.lda.phi();
         (0..self.cfg.n_topics)
             .map(|t| {
@@ -196,7 +200,8 @@ fn g2(k11: f64, k12: f64, k21: f64, k22: f64) -> f64 {
     let row2 = k21 + k22;
     let col1 = k11 + k21;
     let col2 = k12 + k22;
-    2.0 * (ll(k11, 1.0) + ll(k12, 1.0) + ll(k21, 1.0) + ll(k22, 1.0) - ll(row1, 1.0)
+    2.0 * (ll(k11, 1.0) + ll(k12, 1.0) + ll(k21, 1.0) + ll(k22, 1.0)
+        - ll(row1, 1.0)
         - ll(row2, 1.0)
         - ll(col1, 1.0)
         - ll(col2, 1.0)
@@ -205,11 +210,7 @@ fn g2(k11: f64, k12: f64, k21: f64, k22: f64) -> f64 {
 
 /// Adjacency slots for topic `t`: every (left unit key, right unit key)
 /// where both units carry topic `t` and sit adjacently inside one chunk.
-fn adjacency_slots(
-    corpus: &Corpus,
-    units: &[Vec<Unit>],
-    t: u16,
-) -> (Vec<UnitPair>, usize) {
+fn adjacency_slots(corpus: &Corpus, units: &[Vec<Unit>], t: u16) -> (Vec<UnitPair>, usize) {
     let mut slots = Vec::new();
     for (d, doc_units) in units.iter().enumerate() {
         let doc = &corpus.docs[d];
@@ -287,7 +288,10 @@ fn significant_pairs(
             }
             let s = g2(k11, k12, k21, k22.max(0.0));
             best = best.max(s);
-            scored.push(((l.to_vec().into_boxed_slice(), r.to_vec().into_boxed_slice()), s));
+            scored.push((
+                (l.to_vec().into_boxed_slice(), r.to_vec().into_boxed_slice()),
+                s,
+            ));
         }
         (best, scored)
     };
@@ -318,12 +322,7 @@ fn significant_pairs(
 
 /// Merge every adjacent occurrence of the given significant pairs (topic
 /// `t`); returns whether anything merged.
-fn merge_pairs(
-    corpus: &Corpus,
-    units: &mut [Vec<Unit>],
-    t: u16,
-    significant: &[UnitPair],
-) -> bool {
+fn merge_pairs(corpus: &Corpus, units: &mut [Vec<Unit>], t: u16, significant: &[UnitPair]) -> bool {
     use topmine_util::FxHashSet;
     let sig: FxHashSet<(&[u32], &[u32])> = significant
         .iter()
@@ -402,8 +401,7 @@ mod tests {
         assert!(n_phrases > 0, "turbo topics found no phrases");
         // At least one discovered phrase should be a planted collocation.
         let planted_hit = summaries.iter().flat_map(|s| &s.top_phrases).any(|(p, _)| {
-            let ids: Option<Vec<u32>> =
-                p.split(' ').map(|w| s.corpus.vocab.id(w)).collect();
+            let ids: Option<Vec<u32>> = p.split(' ').map(|w| s.corpus.vocab.id(w)).collect();
             ids.map(|ids| s.truth.is_planted(&ids)).unwrap_or(false)
         });
         assert!(planted_hit, "no planted phrase discovered");

@@ -55,5 +55,9 @@ fn bench_end_to_end_segmentation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction_alpha, bench_end_to_end_segmentation);
+criterion_group!(
+    benches,
+    bench_construction_alpha,
+    bench_end_to_end_segmentation
+);
 criterion_main!(benches);

@@ -48,8 +48,18 @@ fn bench_phrase_hashing(c: &mut Criterion) {
 
 fn bench_stemmer(c: &mut Criterion) {
     let words = [
-        "mining", "classification", "retrieval", "databases", "optimization", "networks",
-        "generational", "hopefulness", "controlled", "relational", "queries", "happiness",
+        "mining",
+        "classification",
+        "retrieval",
+        "databases",
+        "optimization",
+        "networks",
+        "generational",
+        "hopefulness",
+        "controlled",
+        "relational",
+        "queries",
+        "happiness",
     ];
     let mut group = c.benchmark_group("porter_stemmer");
     group.throughput(Throughput::Elements(words.len() as u64));
@@ -65,5 +75,10 @@ fn bench_stemmer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_significance, bench_phrase_hashing, bench_stemmer);
+criterion_group!(
+    benches,
+    bench_significance,
+    bench_phrase_hashing,
+    bench_stemmer
+);
 criterion_main!(benches);

@@ -63,7 +63,10 @@ fn ablation_chunking(synth: &SynthCorpus) {
         unstem: None,
     };
     let mut table = Table::new(["variant", "frequent n-grams", "max len", "mine time (s)"]);
-    for (label, corpus) in [("chunked (paper)", &synth.corpus), ("unchunked", &unchunked)] {
+    for (label, corpus) in [
+        ("chunked (paper)", &synth.corpus),
+        ("unchunked", &unchunked),
+    ] {
         let t = std::time::Instant::now();
         let stats = FrequentPhraseMiner::new(eps).mine(corpus);
         table.row([
@@ -101,7 +104,11 @@ fn ablation_doc_pruning(synth: &SynthCorpus) {
     println!("{}", table.to_aligned());
     println!(
         "(results identical: {})",
-        if results[0] == results[1] { "yes" } else { "NO — BUG" }
+        if results[0] == results[1] {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
     );
 }
 
@@ -110,7 +117,13 @@ fn ablation_alpha(synth: &SynthCorpus) {
     println!("\n--- (c) significance threshold α sweep ---");
     let eps = support(&synth.corpus);
     let stats = FrequentPhraseMiner::new(eps).mine(&synth.corpus);
-    let mut table = Table::new(["alpha", "phrases", "multi-word", "avg len", "planted precision"]);
+    let mut table = Table::new([
+        "alpha",
+        "phrases",
+        "multi-word",
+        "avg len",
+        "planted precision",
+    ]);
     for alpha in [0.5, 2.0, 5.0, 10.0, 25.0] {
         let seg = Segmenter::new(SegmenterConfig {
             miner: MinerConfig {
@@ -122,16 +135,17 @@ fn ablation_alpha(synth: &SynthCorpus) {
         })
         .segment_with_stats(&synth.corpus, &stats);
         let counts = seg.phrase_counts(&synth.corpus);
-        let multi: u64 = counts.iter().filter(|(p, _)| p.len() > 1).map(|(_, c)| *c).sum();
+        let multi: u64 = counts
+            .iter()
+            .filter(|(p, _)| p.len() > 1)
+            .map(|(_, c)| *c)
+            .sum();
         let planted: u64 = counts
             .iter()
             .filter(|(p, _)| p.len() > 1 && synth.truth.is_planted(p))
             .map(|(_, c)| *c)
             .sum();
-        let total_tokens: u64 = counts
-            .iter()
-            .map(|(p, c)| p.len() as u64 * *c)
-            .sum();
+        let total_tokens: u64 = counts.iter().map(|(p, c)| p.len() as u64 * *c).sum();
         table.row([
             format!("{alpha}"),
             seg.n_phrases().to_string(),
@@ -174,7 +188,10 @@ fn ablation_min_support(synth: &SynthCorpus) {
         table.row([
             eps.to_string(),
             stats.n_frequent_ngrams().to_string(),
-            format!("{:.3}", hits as f64 / stats.n_frequent_ngrams().max(1) as f64),
+            format!(
+                "{:.3}",
+                hits as f64 / stats.n_frequent_ngrams().max(1) as f64
+            ),
             format!("{:.3}", found as f64 / planted.len().max(1) as f64),
         ]);
     }
@@ -189,7 +206,10 @@ fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
     let (_, seg) = Segmenter::with_params(eps, 4.0).segment(&synth.corpus);
     let sweeps = iters(150);
     let mut table = Table::new(["variant", "perplexity", "alpha sum", "beta"]);
-    for (label, optimize_every) in [("fixed hyperparameters", 0usize), ("optimized (paper §5.3)", 25)] {
+    for (label, optimize_every) in [
+        ("fixed hyperparameters", 0usize),
+        ("optimized (paper §5.3)", 25),
+    ] {
         let mut m = PhraseLda::new(
             GroupedDocs::from_segmentation(&synth.corpus, &seg),
             TopicModelConfig {
@@ -216,7 +236,9 @@ fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
 /// token stream — what fraction of planted phrase instances end up with all
 /// tokens in one topic?
 fn ablation_clique_potential(synth: &SynthCorpus, seed: u64) {
-    println!("\n--- (f) clique potential: PhraseLDA vs LDA topic agreement within planted phrases ---");
+    println!(
+        "\n--- (f) clique potential: PhraseLDA vs LDA topic agreement within planted phrases ---"
+    );
     let eps = support(&synth.corpus);
     let (_, seg) = Segmenter::with_params(eps, 4.0).segment(&synth.corpus);
     let sweeps = iters(150);
@@ -228,7 +250,10 @@ fn ablation_clique_potential(synth: &SynthCorpus, seed: u64) {
         optimize_every: 0,
         burn_in: 0,
     };
-    let mut phrase_lda = PhraseLda::new(GroupedDocs::from_segmentation(&synth.corpus, &seg), cfg.clone());
+    let mut phrase_lda = PhraseLda::new(
+        GroupedDocs::from_segmentation(&synth.corpus, &seg),
+        cfg.clone(),
+    );
     phrase_lda.run(sweeps);
     let mut lda = PhraseLda::new(GroupedDocs::unigrams(&synth.corpus), cfg);
     lda.run(sweeps);
@@ -337,7 +362,11 @@ fn ablation_scoring_measure(synth: &SynthCorpus) {
         format!("{sig_p:.3}"),
         sig_med.to_string(),
     ]);
-    table.row(["plain PMI".to_string(), format!("{pmi_p:.3}"), pmi_med.to_string()]);
+    table.row([
+        "plain PMI".to_string(),
+        format!("{pmi_p:.3}"),
+        pmi_med.to_string(),
+    ]);
     println!("{}", table.to_aligned());
     println!(
         "(PMI tops out on the rarest pairs — low median count — while Eq. 1 ranks by evidence;          on real corpora the rare tail is noise, which is the §4.2.1 argument)"

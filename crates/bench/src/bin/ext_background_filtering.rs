@@ -35,7 +35,11 @@ fn main() {
 
     let before = summarize_topics(&model.model, corpus, 5, 6);
     let after = summarize_topics_filtered(&model.model, corpus, 5, 6, 0.75, 10);
-    let mut table = Table::new(["topic", "top phrases (unfiltered)", "top phrases (filtered)"]);
+    let mut table = Table::new([
+        "topic",
+        "top phrases (unfiltered)",
+        "top phrases (filtered)",
+    ]);
     for (b, a) in before.iter().zip(&after) {
         let join = |s: &topmine_lda::TopicSummary| {
             s.top_phrases

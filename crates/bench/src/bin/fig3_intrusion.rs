@@ -16,8 +16,10 @@ fn main() {
     );
     let seed = seed_for("fig3");
     let mut table = Table::new(["method", "ACL", "20Conf"]);
-    let mut rows: Vec<(Method, Vec<f64>)> =
-        Method::PHRASE_METHODS.iter().map(|&m| (m, Vec::new())).collect();
+    let mut rows: Vec<(Method, Vec<f64>)> = Method::PHRASE_METHODS
+        .iter()
+        .map(|&m| (m, Vec::new()))
+        .collect();
 
     for profile in [Profile::AclAbstracts, Profile::Conf20] {
         let synth = generate(profile, scale(), seed);
@@ -63,8 +65,13 @@ fn main() {
     }
     for (m, scores) in rows {
         table.row(
-            std::iter::once(m.name().to_string())
-                .chain(scores.iter().map(|s| if s.is_nan() { "n/a".to_string() } else { format!("{s:.2}") })),
+            std::iter::once(m.name().to_string()).chain(scores.iter().map(|s| {
+                if s.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    format!("{s:.2}")
+                }
+            })),
         );
     }
     println!("\n{}", table.to_aligned());

@@ -4,8 +4,8 @@
 
 use topmine_bench::{banner, iters, scale, seed_for};
 use topmine_eval::{
-    coherence::method_coherence, run_method, run_panel, CooccurrenceIndex, Method,
-    MethodRunConfig, PanelConfig,
+    coherence::method_coherence, run_method, run_panel, CooccurrenceIndex, Method, MethodRunConfig,
+    PanelConfig,
 };
 use topmine_synth::{generate, Profile};
 use topmine_util::Table;
@@ -17,8 +17,10 @@ fn main() {
     );
     let seed = seed_for("fig4");
     let mut table = Table::new(["method", "ACL", "20Conf"]);
-    let mut per_method: Vec<(Method, Vec<f64>)> =
-        Method::PHRASE_METHODS.iter().map(|&m| (m, Vec::new())).collect();
+    let mut per_method: Vec<(Method, Vec<f64>)> = Method::PHRASE_METHODS
+        .iter()
+        .map(|&m| (m, Vec::new()))
+        .collect();
 
     for profile in [Profile::AclAbstracts, Profile::Conf20] {
         let synth = generate(profile, scale(), seed);
@@ -58,8 +60,7 @@ fn main() {
     }
     for (m, scores) in per_method {
         table.row(
-            std::iter::once(m.name().to_string())
-                .chain(scores.iter().map(|s| format!("{s:+.3}"))),
+            std::iter::once(m.name().to_string()).chain(scores.iter().map(|s| format!("{s:+.3}"))),
         );
     }
     println!("\n{}", table.to_aligned());

@@ -16,8 +16,10 @@ fn main() {
     );
     let seed = seed_for("fig5");
     let mut table = Table::new(["method", "ACL", "20Conf"]);
-    let mut per_method: Vec<(Method, Vec<f64>)> =
-        Method::PHRASE_METHODS.iter().map(|&m| (m, Vec::new())).collect();
+    let mut per_method: Vec<(Method, Vec<f64>)> = Method::PHRASE_METHODS
+        .iter()
+        .map(|&m| (m, Vec::new()))
+        .collect();
 
     for profile in [Profile::AclAbstracts, Profile::Conf20] {
         let synth = generate(profile, scale(), seed);
@@ -55,8 +57,7 @@ fn main() {
     }
     for (m, scores) in per_method {
         table.row(
-            std::iter::once(m.name().to_string())
-                .chain(scores.iter().map(|s| format!("{s:+.3}"))),
+            std::iter::once(m.name().to_string()).chain(scores.iter().map(|s| format!("{s:+.3}"))),
         );
     }
     println!("\n{}", table.to_aligned());

@@ -31,8 +31,14 @@ fn main() {
     let mut table = Table::new(["Terms", "Phrases"]);
     for i in 0..11 {
         table.row([
-            ir.top_unigrams.get(i).map(|(w, _)| w.clone()).unwrap_or_default(),
-            ir.top_phrases.get(i).map(|(p, _)| p.clone()).unwrap_or_default(),
+            ir.top_unigrams
+                .get(i)
+                .map(|(w, _)| w.clone())
+                .unwrap_or_default(),
+            ir.top_phrases
+                .get(i)
+                .map(|(p, _)| p.clone())
+                .unwrap_or_default(),
         ]);
     }
     println!("{}", table.to_aligned());

@@ -12,12 +12,8 @@ fn main() {
         "Table 5: ToPMine topics on AP News articles (unigrams + phrases per topic)",
         "news topics with phrases like 'environmental protection agency', 'white house', 'health care'",
     );
-    let (synth, model) = fit_topmine_on_profile(
-        Profile::ApNews,
-        scale(),
-        iters(300),
-        seed_for("table5"),
-    );
+    let (synth, model) =
+        fit_topmine_on_profile(Profile::ApNews, scale(), iters(300), seed_for("table5"));
     eprintln!(
         "corpus: {} docs, {} tokens; segmentation: {} multi-word instances; perplexity {:.1}",
         synth.corpus.n_docs(),

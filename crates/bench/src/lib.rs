@@ -33,7 +33,10 @@ pub fn iters(default: usize) -> usize {
 /// which knobs, so transcripts are self-describing.
 pub fn banner(artifact: &str, paper_claim: &str) {
     let mut out = std::io::stdout().lock();
-    let _ = writeln!(out, "================================================================");
+    let _ = writeln!(
+        out,
+        "================================================================"
+    );
     let _ = writeln!(out, "Reproducing: {artifact}");
     let _ = writeln!(out, "Paper claim: {paper_claim}");
     let _ = writeln!(
@@ -42,7 +45,10 @@ pub fn banner(artifact: &str, paper_claim: &str) {
         scale(),
         std::env::var("TOPMINE_ITERS").unwrap_or_else(|_| "(default)".into())
     );
-    let _ = writeln!(out, "================================================================");
+    let _ = writeln!(
+        out,
+        "================================================================"
+    );
 }
 
 /// A fixed seed namespace so every binary is reproducible but distinct.

@@ -99,7 +99,8 @@ where
     let mut opts = CliOptions::default();
     let mut args = args.into_iter().map(Into::into);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
-        args.next().ok_or_else(|| format!("{flag} requires a value"))
+        args.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -116,8 +117,10 @@ where
                 opts.iterations = parse_num(&need(&mut args, "--iterations")?, "--iterations")?
             }
             "--min-support" => {
-                opts.min_support =
-                    Some(parse_num(&need(&mut args, "--min-support")?, "--min-support")?)
+                opts.min_support = Some(parse_num(
+                    &need(&mut args, "--min-support")?,
+                    "--min-support",
+                )?)
             }
             "--alpha" => {
                 let v = need(&mut args, "--alpha")?;
@@ -171,9 +174,27 @@ mod tests {
     #[test]
     fn all_flags() {
         let opts = parse(&[
-            "--input", "c.txt", "--output-dir", "out", "--topics", "25", "--iterations", "100",
-            "--min-support", "7", "--alpha", "3.5", "--threads", "4", "--seed", "42", "--top",
-            "5", "--no-stem", "--keep-stopwords", "--filter-background",
+            "--input",
+            "c.txt",
+            "--output-dir",
+            "out",
+            "--topics",
+            "25",
+            "--iterations",
+            "100",
+            "--min-support",
+            "7",
+            "--alpha",
+            "3.5",
+            "--threads",
+            "4",
+            "--seed",
+            "42",
+            "--top",
+            "5",
+            "--no-stem",
+            "--keep-stopwords",
+            "--filter-background",
         ])
         .unwrap()
         .unwrap();
@@ -213,7 +234,9 @@ mod tests {
         let opts = parse(&["--input", "x"]).unwrap().unwrap();
         let cfg = opts.pipeline_config(&corpus);
         assert_eq!(cfg.min_support, ToPMineConfig::support_for_corpus(&corpus));
-        let opts = parse(&["--input", "x", "--min-support", "9"]).unwrap().unwrap();
+        let opts = parse(&["--input", "x", "--min-support", "9"])
+            .unwrap()
+            .unwrap();
         assert_eq!(opts.pipeline_config(&corpus).min_support, 9);
     }
 }

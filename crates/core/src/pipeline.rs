@@ -233,8 +233,14 @@ mod tests {
         let model = ToPMine::new(quick_config(k)).fit(&corpus);
         let summaries = model.summarize(&corpus, 10, 10);
         assert_eq!(summaries.len(), k);
-        let with_phrases = summaries.iter().filter(|s| !s.top_phrases.is_empty()).count();
-        assert!(with_phrases >= k - 1, "{with_phrases}/{k} topics have phrases");
+        let with_phrases = summaries
+            .iter()
+            .filter(|s| !s.top_phrases.is_empty())
+            .count();
+        assert!(
+            with_phrases >= k - 1,
+            "{with_phrases}/{k} topics have phrases"
+        );
     }
 
     #[test]

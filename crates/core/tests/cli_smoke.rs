@@ -1,0 +1,148 @@
+//! End-to-end smoke tests for the `topmine` binary: run the real
+//! executable on a tiny corpus file and check exit status and output
+//! shape. `CARGO_BIN_EXE_topmine` is provided by Cargo for integration
+//! tests of packages with a binary target.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const CORPUS: &str = "\
+mining frequent patterns without candidate generation
+frequent pattern mining current status and future directions
+fast algorithms for mining association rules in large databases
+mining frequent patterns in data streams
+frequent pattern mining with constraints
+a survey of frequent pattern mining
+information retrieval with query expansion
+query expansion for information retrieval systems
+evaluating information retrieval and query expansion models
+latent semantic indexing for information retrieval
+query expansion using lexical semantic relations
+a study of information retrieval evaluation measures
+";
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("topmine_cli_smoke_{name}_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_topmine"))
+}
+
+#[test]
+fn runs_on_tiny_corpus_and_prints_topics() {
+    let dir = scratch_dir("basic");
+    let input = dir.join("corpus.txt");
+    std::fs::write(&input, CORPUS).unwrap();
+
+    let out = bin()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--topics",
+            "2",
+            "--iterations",
+            "30",
+            "--min-support",
+            "3",
+            "--alpha",
+            "1.0",
+            "--seed",
+            "7",
+            "--top",
+            "5",
+        ])
+        .output()
+        .expect("failed to launch the topmine binary");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status.code()
+    );
+    // The progress log reports the corpus; the table reports both topics
+    // (1-indexed, matching the paper's table layout).
+    assert!(stderr.contains("12 documents"), "stderr:\n{stderr}");
+    assert!(stdout.contains("Topic 1"), "stdout:\n{stdout}");
+    assert!(stdout.contains("Topic 2"), "stdout:\n{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn writes_artifacts_to_output_dir() {
+    let dir = scratch_dir("artifacts");
+    let input = dir.join("corpus.txt");
+    std::fs::write(&input, CORPUS).unwrap();
+    let out_dir = dir.join("run1");
+
+    let out = bin()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--output-dir",
+            out_dir.to_str().unwrap(),
+            "--topics",
+            "2",
+            "--iterations",
+            "20",
+            "--min-support",
+            "3",
+        ])
+        .output()
+        .expect("failed to launch the topmine binary");
+    assert!(
+        out.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let topics = out_dir.join("topics.txt");
+    assert!(topics.is_file(), "missing {}", topics.display());
+    let rendered = std::fs::read_to_string(&topics).unwrap();
+    assert!(rendered.contains("Topic"), "topics.txt:\n{rendered}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn missing_input_fails_with_usage_on_stderr() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--input is required"), "stderr:\n{stderr}");
+    assert!(stderr.contains("USAGE"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn bad_flag_fails_cleanly() {
+    let out = bin()
+        .args(["--input", "x.txt", "--bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error_not_a_panic() {
+    let out = bin()
+        .args(["--input", "/nonexistent/definitely_missing.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}

@@ -209,11 +209,7 @@ mod tests {
         b.add_document("The mining of frequent patterns.");
         let c = b.build();
         // "the" and "of" are gone from the mining stream.
-        let words: Vec<&str> = c.docs[0]
-            .tokens
-            .iter()
-            .map(|&t| c.vocab.word(t))
-            .collect();
+        let words: Vec<&str> = c.docs[0].tokens.iter().map(|&t| c.vocab.word(t)).collect();
         assert_eq!(words, vec!["mine", "frequent", "pattern"]);
         // But the full span renders with them reinserted and unstemmed.
         assert_eq!(c.render_span(0, 0, 3), "mining of frequent patterns");
@@ -251,11 +247,7 @@ mod tests {
         let mut b = CorpusBuilder::new(CorpusOptions::raw());
         b.add_document("the mining of patterns");
         let c = b.build();
-        let words: Vec<&str> = c.docs[0]
-            .tokens
-            .iter()
-            .map(|&t| c.vocab.word(t))
-            .collect();
+        let words: Vec<&str> = c.docs[0].tokens.iter().map(|&t| c.vocab.word(t)).collect();
         assert_eq!(words, vec!["the", "mining", "of", "patterns"]);
         assert!(c.provenance.is_none());
         assert!(c.unstem.is_none());
@@ -284,11 +276,7 @@ mod tests {
         let mut b = CorpusBuilder::new(opts);
         b.add_document("an ox ate hay");
         let c = b.build();
-        let words: Vec<&str> = c.docs[0]
-            .tokens
-            .iter()
-            .map(|&t| c.vocab.word(t))
-            .collect();
+        let words: Vec<&str> = c.docs[0].tokens.iter().map(|&t| c.vocab.word(t)).collect();
         assert_eq!(words, vec!["ate", "hay"]);
     }
 

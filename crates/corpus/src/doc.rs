@@ -317,12 +317,7 @@ mod tests {
     #[test]
     fn provenance_render_reinserts_stopwords() {
         let p = DocProvenance {
-            surface: vec![
-                "rice".into(),
-                "and".into(),
-                "beans".into(),
-                "today".into(),
-            ],
+            surface: vec!["rice".into(), "and".into(), "beans".into(), "today".into()],
             // mining stream = [rice, beans, today] (stop word "and" removed)
             origin: vec![0, 2, 3],
         };

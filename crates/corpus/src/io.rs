@@ -66,7 +66,10 @@ pub fn load_vocab(path: &Path) -> io::Result<Vocab> {
         if assigned != id {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("vocab line {}: id {id} out of order (expected {assigned})", line_no + 1),
+                format!(
+                    "vocab line {}: id {id} out of order (expected {assigned})",
+                    line_no + 1
+                ),
             ));
         }
     }
@@ -162,7 +165,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("topmine-io-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("topmine-io-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -172,7 +176,11 @@ mod tests {
     fn load_lines_preserves_line_alignment() {
         let dir = tmpdir("lines");
         let path = dir.join("corpus.txt");
-        std::fs::write(&path, "data mining algorithms\n\nquery processing, index structures\n").unwrap();
+        std::fs::write(
+            &path,
+            "data mining algorithms\n\nquery processing, index structures\n",
+        )
+        .unwrap();
         let corpus = load_lines(&path, CorpusOptions::default()).unwrap();
         assert_eq!(corpus.n_docs(), 3);
         assert!(corpus.docs[1].is_empty());

@@ -436,8 +436,16 @@ mod tests {
     #[test]
     fn stemming_is_idempotent_on_common_words() {
         for w in [
-            "running", "classification", "retrieval", "generation", "support", "machines",
-            "learning", "collaborative", "filtering", "answering",
+            "running",
+            "classification",
+            "retrieval",
+            "generation",
+            "support",
+            "machines",
+            "learning",
+            "collaborative",
+            "filtering",
+            "answering",
         ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);

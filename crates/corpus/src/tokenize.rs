@@ -19,8 +19,26 @@ pub struct RawToken {
 fn is_chunk_break(c: char) -> bool {
     matches!(
         c,
-        '.' | ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '\u{201c}'
-            | '\u{201d}' | '\u{2026}' | '/' | '\\' | '|' | '\u{2014}' | '\u{2013}'
+        '.' | ','
+            | ';'
+            | ':'
+            | '!'
+            | '?'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '"'
+            | '\u{201c}'
+            | '\u{201d}'
+            | '\u{2026}'
+            | '/'
+            | '\\'
+            | '|'
+            | '\u{2014}'
+            | '\u{2013}'
     )
 }
 
@@ -118,16 +136,28 @@ mod tests {
     fn punctuation_breaks_chunks() {
         // Title 1 from Example 1 of the paper.
         let t = toks("Mining frequent patterns without candidate generation: a frequent pattern tree approach.");
-        let chunk0: Vec<&str> = t.iter().filter(|(_, c)| *c == 0).map(|(w, _)| w.as_str()).collect();
-        let chunk1: Vec<&str> = t.iter().filter(|(_, c)| *c == 1).map(|(w, _)| w.as_str()).collect();
+        let chunk0: Vec<&str> = t
+            .iter()
+            .filter(|(_, c)| *c == 0)
+            .map(|(w, _)| w.as_str())
+            .collect();
+        let chunk1: Vec<&str> = t
+            .iter()
+            .filter(|(_, c)| *c == 1)
+            .map(|(w, _)| w.as_str())
+            .collect();
         assert_eq!(
             chunk0,
-            vec!["mining", "frequent", "patterns", "without", "candidate", "generation"]
+            vec![
+                "mining",
+                "frequent",
+                "patterns",
+                "without",
+                "candidate",
+                "generation"
+            ]
         );
-        assert_eq!(
-            chunk1,
-            vec!["a", "frequent", "pattern", "tree", "approach"]
-        );
+        assert_eq!(chunk1, vec!["a", "frequent", "pattern", "tree", "approach"]);
     }
 
     #[test]
@@ -145,17 +175,20 @@ mod tests {
 
     #[test]
     fn apostrophes_kept_inside() {
-        assert_eq!(toks("don't stop"), vec![("don't".into(), 0), ("stop".into(), 0)]);
-        assert_eq!(toks("dogs' toys"), vec![("dogs".into(), 0), ("toys".into(), 0)]);
+        assert_eq!(
+            toks("don't stop"),
+            vec![("don't".into(), 0), ("stop".into(), 0)]
+        );
+        assert_eq!(
+            toks("dogs' toys"),
+            vec![("dogs".into(), 0), ("toys".into(), 0)]
+        );
     }
 
     #[test]
     fn no_empty_chunks_from_adjacent_punctuation() {
         let t = toks("end). (start");
-        assert_eq!(
-            t,
-            vec![("end".into(), 0), ("start".into(), 1)]
-        );
+        assert_eq!(t, vec![("end".into(), 0), ("start".into(), 1)]);
     }
 
     #[test]

@@ -39,13 +39,21 @@ impl Contingency {
 
     fn row_sums(&self) -> Vec<u64> {
         (0..self.n_rows)
-            .map(|r| self.counts[r * self.n_cols..(r + 1) * self.n_cols].iter().sum())
+            .map(|r| {
+                self.counts[r * self.n_cols..(r + 1) * self.n_cols]
+                    .iter()
+                    .sum()
+            })
             .collect()
     }
 
     fn col_sums(&self) -> Vec<u64> {
         (0..self.n_cols)
-            .map(|c| (0..self.n_rows).map(|r| self.counts[r * self.n_cols + c]).sum())
+            .map(|c| {
+                (0..self.n_rows)
+                    .map(|r| self.counts[r * self.n_cols + c])
+                    .sum()
+            })
             .collect()
     }
 

@@ -127,15 +127,17 @@ pub fn run_annotators(
     let mut correct_per_annotator = vec![0usize; cfg.n_annotators];
     let mut abstain_per_annotator = vec![0usize; cfg.n_annotators];
     for q in questions {
-        // Score each option: mean NPMI with the other three (computed once,
-        // noise differs per annotator).
+        // Score each option: mean word-backed NPMI with the other three
+        // (computed once, noise differs per annotator). The backoff keeps
+        // the score informative on short-document corpora where whole
+        // phrases almost never share a document.
         let base: Vec<f64> = (0..q.options.len())
             .map(|i| {
                 let mut total = 0.0;
                 let mut n = 0;
                 for j in 0..q.options.len() {
                     if i != j {
-                        total += index.npmi(corpus, &q.options[i], &q.options[j]);
+                        total += index.npmi_backoff(corpus, &q.options[i], &q.options[j]);
                         n += 1;
                     }
                 }
@@ -149,7 +151,11 @@ pub fn run_annotators(
                 .collect();
             // Lowest mean co-occurrence = suspected intruder.
             let mut order: Vec<usize> = (0..noisy.len()).collect();
-            order.sort_by(|&x, &y| noisy[x].partial_cmp(&noisy[y]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&x, &y| {
+                noisy[x]
+                    .partial_cmp(&noisy[y])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let margin = noisy[order[1]] - noisy[order[0]];
             if margin < cfg.abstain_margin {
                 abstain_per_annotator[a] += 1;

@@ -220,7 +220,12 @@ mod tests {
         };
         for m in Method::PHRASE_METHODS {
             let run = run_method(m, &s.corpus, &cfg);
-            assert!(run.failure.is_none(), "{} failed: {:?}", m.name(), run.failure);
+            assert!(
+                run.failure.is_none(),
+                "{} failed: {:?}",
+                m.name(),
+                run.failure
+            );
             assert_eq!(run.summaries.len(), s.n_topics, "{}", m.name());
             assert!(run.runtime_secs > 0.0);
         }

@@ -124,13 +124,19 @@ mod tests {
                     ..PanelConfig::default()
                 },
             );
-            assert!(scores[0].z_score > scores[1].z_score, "flipped at seed {seed}");
+            assert!(
+                scores[0].z_score > scores[1].z_score,
+                "flipped at seed {seed}"
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let methods = vec![("a".to_string(), vec![0.3, 0.6]), ("b".to_string(), vec![0.5, 0.2])];
+        let methods = vec![
+            ("a".to_string(), vec![0.3, 0.6]),
+            ("b".to_string(), vec![0.5, 0.2]),
+        ];
         let cfg = PanelConfig::default();
         let x = run_panel(&methods, &cfg);
         let y = run_panel(&methods, &cfg);
@@ -139,7 +145,10 @@ mod tests {
 
     #[test]
     fn empty_method_scores_are_tolerated() {
-        let methods = vec![("empty".to_string(), vec![]), ("full".to_string(), vec![0.5])];
+        let methods = vec![
+            ("empty".to_string(), vec![]),
+            ("full".to_string(), vec![0.5]),
+        ];
         let scores = run_panel(&methods, &PanelConfig::default());
         assert_eq!(scores.len(), 2);
         assert_eq!(scores[0].raw, 0.0);

@@ -45,7 +45,10 @@ pub fn load_phi(path: &Path) -> io::Result<Vec<Vec<f64>>> {
         let _topic = fields.next();
         let row: Result<Vec<f64>, _> = fields.map(str::parse).collect();
         let row = row.map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("phi line {}: {e}", i + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("phi line {}: {e}", i + 1),
+            )
         })?;
         if let Some(c) = expected_cols {
             if row.len() != c {

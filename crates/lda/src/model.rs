@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn segmentation_grouping_builds_cliques() {
-        use topmine_phrase::{SegmentedDoc, Segmentation};
+        use topmine_phrase::{Segmentation, SegmentedDoc};
         let seg = Segmentation {
             docs: vec![
                 SegmentedDoc {

@@ -103,7 +103,10 @@ impl PhraseLda {
     pub fn new(docs: GroupedDocs, config: TopicModelConfig) -> Self {
         let k = config.n_topics;
         assert!(k >= 1 && k <= u16::MAX as usize, "bad topic count");
-        assert!(config.alpha > 0.0 && config.beta > 0.0, "hyperparameters must be positive");
+        assert!(
+            config.alpha > 0.0 && config.beta > 0.0,
+            "hyperparameters must be positive"
+        );
         debug_assert!(docs.validate().is_ok());
         let v = docs.vocab_size;
         let d = docs.n_docs();
@@ -215,8 +218,7 @@ impl PhraseLda {
                             }
                         };
                         let num_doc = alpha_t + n_dk + j as f64;
-                        let num_word =
-                            self.beta + self.n_wk[w as usize * k + t] as f64 + m as f64;
+                        let num_word = self.beta + self.n_wk[w as usize * k + t] as f64 + m as f64;
                         let den = v_beta + n_k + j as f64;
                         w_t *= num_doc * num_word / den;
                     }
@@ -471,8 +473,7 @@ impl PhraseLda {
                     let w = doc.tokens[i] as usize;
                     let mut p = 0.0;
                     for t in 0..self.k {
-                        p += theta[t] * (self.n_wk[w * self.k + t] as f64 + self.beta)
-                            / phi_den[t];
+                        p += theta[t] * (self.n_wk[w * self.k + t] as f64 + self.beta) / phi_den[t];
                     }
                     log_lik += p.ln();
                     n += 1;
@@ -630,10 +631,7 @@ mod tests {
 
     #[test]
     fn counts_stay_consistent_through_sweeps() {
-        let mut m = PhraseLda::new(
-            separable_docs(2),
-            TopicModelConfig::new(3).with_seed(7),
-        );
+        let mut m = PhraseLda::new(separable_docs(2), TopicModelConfig::new(3).with_seed(7));
         m.check_counts().unwrap();
         m.run(5);
         m.check_counts().unwrap();
@@ -670,10 +668,7 @@ mod tests {
 
     #[test]
     fn groups_share_one_topic() {
-        let mut m = PhraseLda::new(
-            separable_docs(4),
-            TopicModelConfig::new(4).with_seed(3),
-        );
+        let mut m = PhraseLda::new(separable_docs(4), TopicModelConfig::new(4).with_seed(3));
         m.run(3);
         // The invariant is structural: z is stored per group, and counts
         // move s tokens at a time; check_counts verifies the bookkeeping.
@@ -685,10 +680,7 @@ mod tests {
 
     #[test]
     fn phi_and_theta_are_distributions() {
-        let mut m = PhraseLda::new(
-            separable_docs(2),
-            TopicModelConfig::new(3).with_seed(11),
-        );
+        let mut m = PhraseLda::new(separable_docs(2), TopicModelConfig::new(3).with_seed(11));
         m.run(5);
         for row in m.phi() {
             let s: f64 = row.iter().sum();

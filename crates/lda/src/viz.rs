@@ -101,7 +101,11 @@ pub fn render_topic_table(summaries: &[TopicSummary], n_rows: usize) -> String {
             .chain(summaries.iter().map(|s| format!("Topic {}", s.topic + 1))),
     );
     for r in 0..n_rows {
-        let mut row = vec![if r == 0 { "1-grams".to_string() } else { String::new() }];
+        let mut row = vec![if r == 0 {
+            "1-grams".to_string()
+        } else {
+            String::new()
+        }];
         for s in summaries {
             row.push(
                 s.top_unigrams
@@ -113,7 +117,11 @@ pub fn render_topic_table(summaries: &[TopicSummary], n_rows: usize) -> String {
         table.row(row);
     }
     for r in 0..n_rows {
-        let mut row = vec![if r == 0 { "n-grams".to_string() } else { String::new() }];
+        let mut row = vec![if r == 0 {
+            "n-grams".to_string()
+        } else {
+            String::new()
+        }];
         for s in summaries {
             row.push(
                 s.top_phrases

@@ -99,7 +99,9 @@ impl<'a> Nodes<'a> {
             start: (0..n as u32).collect(),
             end: (1..=n as u32).collect(),
             prev: (0..n as i32).map(|i| i - 1).collect(),
-            next: (0..n as i32).map(|i| if i + 1 < n as i32 { i + 1 } else { -1 }).collect(),
+            next: (0..n as i32)
+                .map(|i| if i + 1 < n as i32 { i + 1 } else { -1 })
+                .collect(),
             alive: vec![true; n],
             version: vec![0; n],
         }
@@ -111,11 +113,17 @@ impl<'a> Nodes<'a> {
 }
 
 /// Score the merge of nodes `(a, b)` and push it if it can ever be taken.
-fn push_candidate(heap: &mut BinaryHeap<Candidate>, nodes: &Nodes, stats: &PhraseStats, alpha: f64, a: u32, b: u32) {
+fn push_candidate(
+    heap: &mut BinaryHeap<Candidate>,
+    nodes: &Nodes,
+    stats: &PhraseStats,
+    alpha: f64,
+    a: u32,
+    b: u32,
+) {
     let f1 = stats.count(nodes.span(a));
     let f2 = stats.count(nodes.span(b));
-    let merged = &nodes.tokens
-        [nodes.start[a as usize] as usize..nodes.end[b as usize] as usize];
+    let merged = &nodes.tokens[nodes.start[a as usize] as usize..nodes.end[b as usize] as usize];
     let f12 = stats.count(merged);
     let sig = significance(f12, f1, f2, stats.total_tokens);
     // Entries below α can never be merged (their score is immutable until a
@@ -296,11 +304,7 @@ mod tests {
     #[test]
     fn significant_bigram_merges() {
         // Words 0,1 strongly collocated; word 2 independent.
-        let st = stats(
-            vec![50, 50, 1000],
-            &[(&[0, 1], 45)],
-            100_000,
-        );
+        let st = stats(vec![50, 50, 1000], &[(&[0, 1], 45)], 100_000);
         assert_eq!(spans_of(&[0, 1, 2], &st, 3.0), vec![(0, 2), (2, 3)]);
     }
 

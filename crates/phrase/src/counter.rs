@@ -77,10 +77,7 @@ impl PhraseStats {
             .enumerate()
             .filter(move |(_, &c)| c >= self.min_support)
             .map(|(w, &c)| (vec![w as u32].into_boxed_slice(), c));
-        let ngrams = self
-            .ngram_counts
-            .iter()
-            .map(|(p, &c)| (p.clone(), c));
+        let ngrams = self.ngram_counts.iter().map(|(p, &c)| (p.clone(), c));
         unigrams.chain(ngrams)
     }
 

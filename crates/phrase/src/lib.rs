@@ -25,5 +25,5 @@ pub mod significance;
 pub use construction::{construct_chunk, ChunkPartition, MergeTrace, PhraseConstructor};
 pub use counter::{Phrase, PhraseStats};
 pub use miner::{FrequentPhraseMiner, MinerConfig};
-pub use segmenter::{SegmentedDoc, Segmentation, Segmenter, SegmenterConfig};
+pub use segmenter::{Segmentation, SegmentedDoc, Segmenter, SegmenterConfig};
 pub use significance::{significance, significance_pmi};

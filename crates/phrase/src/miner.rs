@@ -159,9 +159,7 @@ impl FrequentPhraseMiner {
                 st.active.retain(|&i| {
                     let i = i as usize;
                     i + n <= st.limit[i] as usize
-                        && ng
-                            .get(&doc.tokens[i..i + n])
-                            .is_some_and(|&c| c >= eps)
+                        && ng.get(&doc.tokens[i..i + n]).is_some_and(|&c| c >= eps)
                 });
             }
             if !self.config.disable_doc_pruning {
@@ -197,12 +195,7 @@ fn chunk_limits(doc: &Document) -> Vec<u32> {
 /// A candidate at active position `i` is counted iff `i+1` is also active
 /// (both constituent (n−1)-grams frequent — downward closure) and the n-gram
 /// fits inside `i`'s chunk.
-fn count_level_doc(
-    doc: &Document,
-    st: &DocState,
-    n: usize,
-    counts: &mut FxHashMap<Phrase, u64>,
-) {
+fn count_level_doc(doc: &Document, st: &DocState, n: usize, counts: &mut FxHashMap<Phrase, u64>) {
     let active = &st.active;
     for w in active.windows(2) {
         let (i, j) = (w[0] as usize, w[1] as usize);
@@ -288,9 +281,7 @@ pub fn naive_frequent_phrases(
         for chunk in doc.chunks() {
             for n in 2..=max_len.min(chunk.len()) {
                 for window in chunk.windows(n) {
-                    *all
-                        .entry(window.to_vec().into_boxed_slice())
-                        .or_insert(0) += 1;
+                    *all.entry(window.to_vec().into_boxed_slice()).or_insert(0) += 1;
                 }
             }
         }
@@ -426,7 +417,9 @@ mod tests {
             for _ in 0..4 {
                 let mut chunk = Vec::new();
                 for _ in 0..12 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     chunk.push(((x >> 33) % 7) as u32);
                 }
                 doc.push(chunk);

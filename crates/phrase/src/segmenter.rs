@@ -108,7 +108,10 @@ impl Segmentation {
                 pos = e;
             }
             if pos as usize != doc.n_tokens() {
-                return Err(format!("doc {d}: partition covers {pos} of {} tokens", doc.n_tokens()));
+                return Err(format!(
+                    "doc {d}: partition covers {pos} of {} tokens",
+                    doc.n_tokens()
+                ));
             }
             // No span may cross a chunk boundary.
             let mut ends = doc.chunk_ends.iter().copied().peekable();
@@ -237,7 +240,9 @@ mod tests {
         // Vary the surrounding words so only "support vector machines" is a
         // consistent collocation (a fully repeated title would itself be
         // segmented as one long frequent phrase — correctly).
-        let verbs = ["study", "analysis", "survey", "review", "critique", "history"];
+        let verbs = [
+            "study", "analysis", "survey", "review", "critique", "history",
+        ];
         let mut texts = Vec::new();
         for i in 0..30 {
             texts.push(format!(
@@ -256,11 +261,13 @@ mod tests {
         let corpus = svm_corpus();
         let (stats, seg) = Segmenter::with_params(5, 4.0).segment(&corpus);
         seg.validate(&corpus).unwrap();
-        assert!(stats.count(&[
-            corpus.vocab.id("support").unwrap(),
-            corpus.vocab.id("vector").unwrap(),
-            corpus.vocab.id("machin").unwrap()
-        ]) >= 30);
+        assert!(
+            stats.count(&[
+                corpus.vocab.id("support").unwrap(),
+                corpus.vocab.id("vector").unwrap(),
+                corpus.vocab.id("machin").unwrap()
+            ]) >= 30
+        );
         let counts = seg.phrase_counts(&corpus);
         let svm: Vec<u32> = ["support", "vector", "machin"]
             .iter()

@@ -107,7 +107,10 @@ mod tests {
         let genuine = significance(500, 600, 700, l);
         let mu_matched = (600.0 * 50_000.0 / l as f64) as u64; // = 30
         let free_rider = significance(mu_matched, 600, 50_000, l);
-        assert!(genuine > 5.0 * free_rider.max(0.1), "genuine={genuine} free={free_rider}");
+        assert!(
+            genuine > 5.0 * free_rider.max(0.1),
+            "genuine={genuine} free={free_rider}"
+        );
     }
 }
 

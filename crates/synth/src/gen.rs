@@ -294,10 +294,12 @@ impl CorpusGenerator {
                     }
                 }
                 // Chunk break between units (never inside a phrase).
-                if rng.gen_bool(cfg.punct_prob) && !tokens.is_empty()
-                    && chunk_ends.last().copied() != Some(tokens.len() as u32) {
-                        chunk_ends.push(tokens.len() as u32);
-                    }
+                if rng.gen_bool(cfg.punct_prob)
+                    && !tokens.is_empty()
+                    && chunk_ends.last().copied() != Some(tokens.len() as u32)
+                {
+                    chunk_ends.push(tokens.len() as u32);
+                }
             }
             if chunk_ends.last().copied() != Some(tokens.len() as u32) && !tokens.is_empty() {
                 chunk_ends.push(tokens.len() as u32);
@@ -413,8 +415,16 @@ mod tests {
         let a = g.generate(1);
         let b = g.generate(2);
         assert_ne!(
-            a.corpus.docs.iter().map(|d| d.tokens.clone()).collect::<Vec<_>>(),
-            b.corpus.docs.iter().map(|d| d.tokens.clone()).collect::<Vec<_>>()
+            a.corpus
+                .docs
+                .iter()
+                .map(|d| d.tokens.clone())
+                .collect::<Vec<_>>(),
+            b.corpus
+                .docs
+                .iter()
+                .map(|d| d.tokens.clone())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -34,9 +34,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "search-optimization",
             unigrams: &[
-                "problem", "algorithm", "optimal", "solution", "search", "solve", "constraint",
-                "programming", "heuristic", "genetic", "optimization", "space", "function",
-                "objective", "evolutionary", "local", "global", "cost", "bound", "approximation",
+                "problem",
+                "algorithm",
+                "optimal",
+                "solution",
+                "search",
+                "solve",
+                "constraint",
+                "programming",
+                "heuristic",
+                "genetic",
+                "optimization",
+                "space",
+                "function",
+                "objective",
+                "evolutionary",
+                "local",
+                "global",
+                "cost",
+                "bound",
+                "approximation",
             ],
             phrases: &[
                 "genetic algorithm",
@@ -58,9 +75,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "nlp",
             unigrams: &[
-                "word", "language", "text", "speech", "recognition", "character", "translation",
-                "sentence", "grammar", "parsing", "corpus", "semantic", "syntactic", "lexical",
-                "discourse", "morphology", "tagging", "dialogue", "linguistic", "phoneme",
+                "word",
+                "language",
+                "text",
+                "speech",
+                "recognition",
+                "character",
+                "translation",
+                "sentence",
+                "grammar",
+                "parsing",
+                "corpus",
+                "semantic",
+                "syntactic",
+                "lexical",
+                "discourse",
+                "morphology",
+                "tagging",
+                "dialogue",
+                "linguistic",
+                "phoneme",
             ],
             phrases: &[
                 "natural language",
@@ -82,9 +116,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "machine-learning",
             unigrams: &[
-                "data", "method", "learning", "clustering", "classification", "based", "feature",
-                "proposed", "classifier", "model", "training", "kernel", "supervised", "label",
-                "regression", "accuracy", "prediction", "ensemble", "sample", "vector",
+                "data",
+                "method",
+                "learning",
+                "clustering",
+                "classification",
+                "based",
+                "feature",
+                "proposed",
+                "classifier",
+                "model",
+                "training",
+                "kernel",
+                "supervised",
+                "label",
+                "regression",
+                "accuracy",
+                "prediction",
+                "ensemble",
+                "sample",
+                "vector",
             ],
             phrases: &[
                 "data sets",
@@ -106,9 +157,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "programming-languages",
             unigrams: &[
-                "programming", "language", "code", "type", "object", "implementation", "compiler",
-                "java", "program", "execution", "memory", "runtime", "semantics", "static",
-                "dynamic", "analysis", "software", "abstraction", "verification", "concurrency",
+                "programming",
+                "language",
+                "code",
+                "type",
+                "object",
+                "implementation",
+                "compiler",
+                "java",
+                "program",
+                "execution",
+                "memory",
+                "runtime",
+                "semantics",
+                "static",
+                "dynamic",
+                "analysis",
+                "software",
+                "abstraction",
+                "verification",
+                "concurrency",
             ],
             phrases: &[
                 "programming language",
@@ -130,9 +198,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "data-mining",
             unigrams: &[
-                "data", "patterns", "mining", "rules", "set", "event", "time", "association",
-                "stream", "large", "frequent", "itemset", "discovery", "sequence", "temporal",
-                "spatial", "series", "anomaly", "outlier", "scalable",
+                "data",
+                "patterns",
+                "mining",
+                "rules",
+                "set",
+                "event",
+                "time",
+                "association",
+                "stream",
+                "large",
+                "frequent",
+                "itemset",
+                "discovery",
+                "sequence",
+                "temporal",
+                "spatial",
+                "series",
+                "anomaly",
+                "outlier",
+                "scalable",
             ],
             phrases: &[
                 "data mining",
@@ -154,9 +239,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "information-retrieval",
             unigrams: &[
-                "search", "web", "retrieval", "information", "based", "model", "document",
-                "query", "text", "social", "user", "ranking", "relevance", "engine", "page",
-                "network", "topic", "content", "click", "index",
+                "search",
+                "web",
+                "retrieval",
+                "information",
+                "based",
+                "model",
+                "document",
+                "query",
+                "text",
+                "social",
+                "user",
+                "ranking",
+                "relevance",
+                "engine",
+                "page",
+                "network",
+                "topic",
+                "content",
+                "click",
+                "index",
             ],
             phrases: &[
                 "information retrieval",
@@ -178,9 +280,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "databases",
             unigrams: &[
-                "database", "system", "query", "transaction", "storage", "index", "relational",
-                "schema", "processing", "distributed", "concurrency", "recovery", "join",
-                "optimization", "xml", "view", "cache", "disk", "parallel", "log",
+                "database",
+                "system",
+                "query",
+                "transaction",
+                "storage",
+                "index",
+                "relational",
+                "schema",
+                "processing",
+                "distributed",
+                "concurrency",
+                "recovery",
+                "join",
+                "optimization",
+                "xml",
+                "view",
+                "cache",
+                "disk",
+                "parallel",
+                "log",
             ],
             phrases: &[
                 "database systems",
@@ -206,9 +325,26 @@ pub fn cs_topics() -> Vec<TopicSpec> {
 pub fn cs_background() -> BackgroundSpec {
     BackgroundSpec {
         unigrams: &[
-            "paper", "approach", "results", "show", "present", "new", "propose", "based",
-            "performance", "evaluation", "experimental", "study", "novel", "framework",
-            "technique", "problem", "method", "system", "analysis", "application",
+            "paper",
+            "approach",
+            "results",
+            "show",
+            "present",
+            "new",
+            "propose",
+            "based",
+            "performance",
+            "evaluation",
+            "experimental",
+            "study",
+            "novel",
+            "framework",
+            "technique",
+            "problem",
+            "method",
+            "system",
+            "analysis",
+            "application",
         ],
         phrases: &[
             "paper we propose",
@@ -230,9 +366,26 @@ pub fn news_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "environment-energy",
             unigrams: &[
-                "plant", "nuclear", "environmental", "energy", "waste", "department", "power",
-                "chemical", "pollution", "cleanup", "gas", "fuel", "radiation", "toxic",
-                "emissions", "reactor", "safety", "contamination", "acid", "river",
+                "plant",
+                "nuclear",
+                "environmental",
+                "energy",
+                "waste",
+                "department",
+                "power",
+                "chemical",
+                "pollution",
+                "cleanup",
+                "gas",
+                "fuel",
+                "radiation",
+                "toxic",
+                "emissions",
+                "reactor",
+                "safety",
+                "contamination",
+                "acid",
+                "river",
             ],
             phrases: &[
                 "energy department",
@@ -252,9 +405,26 @@ pub fn news_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "religion",
             unigrams: &[
-                "church", "catholic", "religious", "bishop", "pope", "roman", "jewish", "rev",
-                "john", "christian", "faith", "priest", "worship", "congregation", "prayer",
-                "baptist", "lutheran", "vatican", "clergy", "parish",
+                "church",
+                "catholic",
+                "religious",
+                "bishop",
+                "pope",
+                "roman",
+                "jewish",
+                "rev",
+                "john",
+                "christian",
+                "faith",
+                "priest",
+                "worship",
+                "congregation",
+                "prayer",
+                "baptist",
+                "lutheran",
+                "vatican",
+                "clergy",
+                "parish",
             ],
             phrases: &[
                 "roman catholic",
@@ -273,9 +443,26 @@ pub fn news_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "israel-palestine",
             unigrams: &[
-                "palestinian", "israeli", "israel", "arab", "plo", "army", "reported", "west",
-                "bank", "gaza", "occupied", "territories", "soldiers", "uprising", "jerusalem",
-                "radio", "violence", "leadership", "militants", "peace",
+                "palestinian",
+                "israeli",
+                "israel",
+                "arab",
+                "plo",
+                "army",
+                "reported",
+                "west",
+                "bank",
+                "gaza",
+                "occupied",
+                "territories",
+                "soldiers",
+                "uprising",
+                "jerusalem",
+                "radio",
+                "violence",
+                "leadership",
+                "militants",
+                "peace",
             ],
             phrases: &[
                 "gaza strip",
@@ -295,9 +482,26 @@ pub fn news_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "bush-administration",
             unigrams: &[
-                "bush", "house", "senate", "year", "bill", "president", "congress", "tax",
-                "budget", "committee", "administration", "federal", "vote", "republican",
-                "democrat", "spending", "deficit", "legislation", "capital", "washington",
+                "bush",
+                "house",
+                "senate",
+                "year",
+                "bill",
+                "president",
+                "congress",
+                "tax",
+                "budget",
+                "committee",
+                "administration",
+                "federal",
+                "vote",
+                "republican",
+                "democrat",
+                "spending",
+                "deficit",
+                "legislation",
+                "capital",
+                "washington",
             ],
             phrases: &[
                 "president bush",
@@ -317,9 +521,26 @@ pub fn news_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "health-care",
             unigrams: &[
-                "drug", "aid", "health", "hospital", "medical", "patients", "research", "test",
-                "study", "disease", "doctors", "treatment", "virus", "cancer", "infection",
-                "vaccine", "clinical", "care", "epidemic", "blood",
+                "drug",
+                "aid",
+                "health",
+                "hospital",
+                "medical",
+                "patients",
+                "research",
+                "test",
+                "study",
+                "disease",
+                "doctors",
+                "treatment",
+                "virus",
+                "cancer",
+                "infection",
+                "vaccine",
+                "clinical",
+                "care",
+                "epidemic",
+                "blood",
             ],
             phrases: &[
                 "health care",
@@ -342,11 +563,33 @@ pub fn news_topics() -> Vec<TopicSpec> {
 pub fn news_background() -> BackgroundSpec {
     BackgroundSpec {
         unigrams: &[
-            "officials", "people", "government", "state", "told", "news", "week", "million",
-            "country", "national", "public", "report", "spokesman", "city", "time", "group",
-            "percent", "monday", "thursday", "friday",
+            "officials",
+            "people",
+            "government",
+            "state",
+            "told",
+            "news",
+            "week",
+            "million",
+            "country",
+            "national",
+            "public",
+            "report",
+            "spokesman",
+            "city",
+            "time",
+            "group",
+            "percent",
+            "monday",
+            "thursday",
+            "friday",
         ],
-        phrases: &["news conference", "last week", "associated press", "per cent"],
+        phrases: &[
+            "news conference",
+            "last week",
+            "associated press",
+            "per cent",
+        ],
     }
 }
 
@@ -357,9 +600,26 @@ pub fn yelp_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "breakfast-coffee",
             unigrams: &[
-                "coffee", "ice", "cream", "flavor", "egg", "chocolate", "breakfast", "tea",
-                "cake", "sweet", "toast", "pancakes", "syrup", "bacon", "waffle", "muffin",
-                "latte", "espresso", "donut", "brunch",
+                "coffee",
+                "ice",
+                "cream",
+                "flavor",
+                "egg",
+                "chocolate",
+                "breakfast",
+                "tea",
+                "cake",
+                "sweet",
+                "toast",
+                "pancakes",
+                "syrup",
+                "bacon",
+                "waffle",
+                "muffin",
+                "latte",
+                "espresso",
+                "donut",
+                "brunch",
             ],
             phrases: &[
                 "ice cream",
@@ -379,9 +639,26 @@ pub fn yelp_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "asian-food",
             unigrams: &[
-                "food", "ordered", "chicken", "roll", "sushi", "restaurant", "dish", "rice",
-                "noodles", "soup", "spicy", "sauce", "beef", "shrimp", "tofu", "curry", "menu",
-                "lunch", "dinner", "flavor",
+                "food",
+                "ordered",
+                "chicken",
+                "roll",
+                "sushi",
+                "restaurant",
+                "dish",
+                "rice",
+                "noodles",
+                "soup",
+                "spicy",
+                "sauce",
+                "beef",
+                "shrimp",
+                "tofu",
+                "curry",
+                "menu",
+                "lunch",
+                "dinner",
+                "flavor",
             ],
             phrases: &[
                 "spring rolls",
@@ -423,9 +700,26 @@ pub fn yelp_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "shopping",
             unigrams: &[
-                "store", "shop", "prices", "find", "buy", "selection", "items", "grocery",
-                "market", "mall", "clothes", "deals", "cheap", "products", "staff", "aisles",
-                "produce", "fresh", "brands", "stock",
+                "store",
+                "shop",
+                "prices",
+                "find",
+                "buy",
+                "selection",
+                "items",
+                "grocery",
+                "market",
+                "mall",
+                "clothes",
+                "deals",
+                "cheap",
+                "products",
+                "staff",
+                "aisles",
+                "produce",
+                "fresh",
+                "brands",
+                "stock",
             ],
             phrases: &[
                 "grocery store",
@@ -445,9 +739,26 @@ pub fn yelp_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "mexican-food",
             unigrams: &[
-                "good", "food", "place", "burger", "ordered", "fries", "chicken", "tacos",
-                "cheese", "salsa", "burrito", "beans", "chips", "carne", "asada", "guacamole",
-                "margarita", "enchilada", "taco", "quesadilla",
+                "good",
+                "food",
+                "place",
+                "burger",
+                "ordered",
+                "fries",
+                "chicken",
+                "tacos",
+                "cheese",
+                "salsa",
+                "burrito",
+                "beans",
+                "chips",
+                "carne",
+                "asada",
+                "guacamole",
+                "margarita",
+                "enchilada",
+                "taco",
+                "quesadilla",
             ],
             phrases: &[
                 "mexican food",
@@ -470,9 +781,26 @@ pub fn yelp_topics() -> Vec<TopicSpec> {
 pub fn yelp_background() -> BackgroundSpec {
     BackgroundSpec {
         unigrams: &[
-            "good", "place", "great", "love", "time", "service", "really", "nice", "best",
-            "pretty", "definitely", "little", "friendly", "delicious", "amazing", "worth",
-            "recommend", "staff", "price", "experience",
+            "good",
+            "place",
+            "great",
+            "love",
+            "time",
+            "service",
+            "really",
+            "nice",
+            "best",
+            "pretty",
+            "definitely",
+            "little",
+            "friendly",
+            "delicious",
+            "amazing",
+            "worth",
+            "recommend",
+            "staff",
+            "price",
+            "experience",
         ],
         phrases: &[
             "food was good",
@@ -492,9 +820,21 @@ pub fn acl_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "parsing",
             unigrams: &[
-                "parsing", "grammar", "parser", "tree", "syntactic", "dependency", "sentence",
-                "structure", "treebank", "derivation", "constituent", "formalism", "rules",
-                "ambiguity", "chart",
+                "parsing",
+                "grammar",
+                "parser",
+                "tree",
+                "syntactic",
+                "dependency",
+                "sentence",
+                "structure",
+                "treebank",
+                "derivation",
+                "constituent",
+                "formalism",
+                "rules",
+                "ambiguity",
+                "chart",
             ],
             phrases: &[
                 "dependency parsing",
@@ -510,9 +850,21 @@ pub fn acl_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "machine-translation",
             unigrams: &[
-                "translation", "bilingual", "alignment", "source", "target", "english",
-                "french", "decoder", "phrase", "reordering", "fluency", "parallel", "bleu",
-                "corpus", "sentence",
+                "translation",
+                "bilingual",
+                "alignment",
+                "source",
+                "target",
+                "english",
+                "french",
+                "decoder",
+                "phrase",
+                "reordering",
+                "fluency",
+                "parallel",
+                "bleu",
+                "corpus",
+                "sentence",
             ],
             phrases: &[
                 "machine translation",
@@ -528,8 +880,20 @@ pub fn acl_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "speech",
             unigrams: &[
-                "speech", "recognition", "acoustic", "phoneme", "speaker", "audio", "spoken",
-                "prosody", "utterance", "transcription", "error", "rate", "signal", "hmm",
+                "speech",
+                "recognition",
+                "acoustic",
+                "phoneme",
+                "speaker",
+                "audio",
+                "spoken",
+                "prosody",
+                "utterance",
+                "transcription",
+                "error",
+                "rate",
+                "signal",
+                "hmm",
                 "decoding",
             ],
             phrases: &[
@@ -546,9 +910,21 @@ pub fn acl_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "semantics",
             unigrams: &[
-                "semantic", "word", "meaning", "sense", "lexical", "similarity", "ontology",
-                "relation", "representation", "logic", "inference", "knowledge", "concept",
-                "predicate", "embedding",
+                "semantic",
+                "word",
+                "meaning",
+                "sense",
+                "lexical",
+                "similarity",
+                "ontology",
+                "relation",
+                "representation",
+                "logic",
+                "inference",
+                "knowledge",
+                "concept",
+                "predicate",
+                "embedding",
             ],
             phrases: &[
                 "word sense disambiguation",
@@ -564,9 +940,21 @@ pub fn acl_topics() -> Vec<TopicSpec> {
         TopicSpec {
             name: "discourse-sentiment",
             unigrams: &[
-                "discourse", "sentiment", "opinion", "text", "document", "classification",
-                "review", "topic", "annotation", "coherence", "summarization", "polarity",
-                "subjective", "corpus", "feature",
+                "discourse",
+                "sentiment",
+                "opinion",
+                "text",
+                "document",
+                "classification",
+                "review",
+                "topic",
+                "annotation",
+                "coherence",
+                "summarization",
+                "polarity",
+                "subjective",
+                "corpus",
+                "feature",
             ],
             phrases: &[
                 "sentiment analysis",
@@ -585,10 +973,27 @@ pub fn acl_topics() -> Vec<TopicSpec> {
 pub fn acl_background() -> BackgroundSpec {
     BackgroundSpec {
         unigrams: &[
-            "paper", "approach", "results", "show", "present", "model", "method", "system",
-            "task", "performance", "propose", "evaluation", "based", "corpus", "data",
+            "paper",
+            "approach",
+            "results",
+            "show",
+            "present",
+            "model",
+            "method",
+            "system",
+            "task",
+            "performance",
+            "propose",
+            "evaluation",
+            "based",
+            "corpus",
+            "data",
         ],
-        phrases: &["paper we present", "experimental results", "state of the art"],
+        phrases: &[
+            "paper we present",
+            "experimental results",
+            "state of the art",
+        ],
     }
 }
 
@@ -628,15 +1033,32 @@ mod tests {
     #[test]
     fn paper_table_phrases_are_planted() {
         // Spot-check phrases the paper reports (Tables 1, 4, 5, 6).
-        let cs: Vec<&str> = cs_topics().iter().flat_map(|t| t.phrases).copied().collect();
-        for p in ["support vector machine", "information retrieval", "data mining", "frequent pattern mining"] {
+        let cs: Vec<&str> = cs_topics()
+            .iter()
+            .flat_map(|t| t.phrases)
+            .copied()
+            .collect();
+        for p in [
+            "support vector machine",
+            "information retrieval",
+            "data mining",
+            "frequent pattern mining",
+        ] {
             assert!(cs.contains(&p), "missing cs phrase {p}");
         }
-        let news: Vec<&str> = news_topics().iter().flat_map(|t| t.phrases).copied().collect();
+        let news: Vec<&str> = news_topics()
+            .iter()
+            .flat_map(|t| t.phrases)
+            .copied()
+            .collect();
         for p in ["white house", "gaza strip", "health care", "acid rain"] {
             assert!(news.contains(&p), "missing news phrase {p}");
         }
-        let yelp: Vec<&str> = yelp_topics().iter().flat_map(|t| t.phrases).copied().collect();
+        let yelp: Vec<&str> = yelp_topics()
+            .iter()
+            .flat_map(|t| t.phrases)
+            .copied()
+            .collect();
         for p in ["ice cream", "spring rolls", "front desk", "chips and salsa"] {
             assert!(yelp.contains(&p), "missing yelp phrase {p}");
         }
@@ -644,7 +1066,12 @@ mod tests {
 
     #[test]
     fn backgrounds_have_material() {
-        for bg in [cs_background(), news_background(), yelp_background(), acl_background()] {
+        for bg in [
+            cs_background(),
+            news_background(),
+            yelp_background(),
+            acl_background(),
+        ] {
             assert!(bg.unigrams.len() >= 10);
             assert!(!bg.phrases.is_empty());
         }

@@ -192,9 +192,8 @@ mod tests {
     fn titles_are_short_and_abstracts_long() {
         let titles = generate(Profile::DblpTitles, 0.02, 1);
         let abstracts = generate(Profile::DblpAbstracts, 0.05, 1);
-        let avg = |s: &crate::gen::SynthCorpus| {
-            s.corpus.n_tokens() as f64 / s.corpus.n_docs() as f64
-        };
+        let avg =
+            |s: &crate::gen::SynthCorpus| s.corpus.n_tokens() as f64 / s.corpus.n_docs() as f64;
         assert!(avg(&titles) < 15.0, "titles avg {}", avg(&titles));
         assert!(avg(&abstracts) > 60.0, "abstracts avg {}", avg(&abstracts));
     }

@@ -129,7 +129,8 @@ pub fn digamma(mut x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n})
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
@@ -234,7 +235,11 @@ mod tests {
         assert!(close(ln_gamma(1.0), 0.0, 1e-10));
         assert!(close(ln_gamma(5.0), 24.0_f64.ln(), 1e-10));
         // Γ(0.5) = sqrt(pi)
-        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
         // Recurrence Γ(x+1) = x Γ(x)
         for &x in &[0.4, 2.3, 7.7] {
             assert!(close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-9));

@@ -137,7 +137,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         });
         assert!(t.extrapolated);
-        assert!(t.seconds >= 0.5 - 1e-9, "expected >= 0.5s, got {}", t.seconds);
+        assert!(
+            t.seconds >= 0.5 - 1e-9,
+            "expected >= 0.5s, got {}",
+            t.seconds
+        );
         assert!(t.render().starts_with('~'));
     }
 

@@ -60,7 +60,11 @@ fn main() {
 
     for summary in model.summarize(&corpus, 6, 6) {
         println!("Topic {}:", summary.topic + 1);
-        let unigrams: Vec<&str> = summary.top_unigrams.iter().map(|(w, _)| w.as_str()).collect();
+        let unigrams: Vec<&str> = summary
+            .top_unigrams
+            .iter()
+            .map(|(w, _)| w.as_str())
+            .collect();
         println!("  terms:   {}", unigrams.join(", "));
         let phrases: Vec<String> = summary
             .top_phrases

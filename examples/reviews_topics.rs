@@ -43,5 +43,8 @@ fn main() {
 
     let summaries = model.summarize(corpus, 8, 8);
     println!("\n{}", render_topic_table(&summaries, 8));
-    println!("planted topics were: {}", synth.truth.topic_names.join(", "));
+    println!(
+        "planted topics were: {}",
+        synth.truth.topic_names.join(", ")
+    );
 }

@@ -1,0 +1,98 @@
+//! Regression guard: the whole pipeline is a pure function of
+//! (corpus, config) — two fits with the same seed must agree bit-for-bit
+//! on the segmentation and every topic assignment, not just on summary
+//! statistics. Catches nondeterminism sneaking in through hash-map
+//! iteration order, thread scheduling, or RNG misuse.
+
+use topmine::{ToPMine, ToPMineConfig, ToPMineModel};
+use topmine_synth::{generate, Profile};
+
+fn fit(corpus: &topmine_corpus::Corpus, k: usize, n_threads: usize) -> ToPMineModel {
+    ToPMine::new(ToPMineConfig {
+        min_support: 4,
+        significance_alpha: 3.0,
+        n_topics: k,
+        iterations: 30,
+        optimize_every: 10,
+        burn_in: 5,
+        n_threads,
+        seed: 99,
+        ..ToPMineConfig::default()
+    })
+    .fit(corpus)
+}
+
+fn topic_assignments(model: &ToPMineModel) -> Vec<Vec<u16>> {
+    let docs = model.model.docs();
+    (0..docs.n_docs())
+        .map(|d| {
+            (0..docs.docs[d].group_ranges().count())
+                .map(|g| model.model.topic_of_group(d, g))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_reproduces_segmentation_and_topics() {
+    let synth = generate(Profile::Conf20, 0.06, 41);
+    let a = fit(&synth.corpus, synth.n_topics, 1);
+    let b = fit(&synth.corpus, synth.n_topics, 1);
+
+    assert_eq!(
+        a.segmentation.docs, b.segmentation.docs,
+        "segmentations diverged under identical seeds"
+    );
+    assert_eq!(
+        topic_assignments(&a),
+        topic_assignments(&b),
+        "topic assignments diverged under identical seeds"
+    );
+    assert_eq!(a.perplexity(), b.perplexity());
+    assert_eq!(
+        a.summarize(&synth.corpus, 8, 8)
+            .iter()
+            .map(|s| s.top_phrases.clone())
+            .collect::<Vec<_>>(),
+        b.summarize(&synth.corpus, 8, 8)
+            .iter()
+            .map(|s| s.top_phrases.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn parallel_mining_matches_sequential_fit() {
+    // Thread count affects scheduling, never results: the segmentation and
+    // the downstream model must be identical to the single-threaded run.
+    let synth = generate(Profile::DblpTitles, 0.02, 43);
+    let a = fit(&synth.corpus, synth.n_topics, 1);
+    let b = fit(&synth.corpus, synth.n_topics, 4);
+    assert_eq!(a.segmentation.docs, b.segmentation.docs);
+    assert_eq!(topic_assignments(&a), topic_assignments(&b));
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guards against the opposite failure: a seed that is silently ignored
+    // would make the reproducibility assertions above vacuous.
+    let synth = generate(Profile::Conf20, 0.06, 41);
+    let a = fit(&synth.corpus, synth.n_topics, 1);
+    let mut cfg = ToPMineConfig {
+        min_support: 4,
+        significance_alpha: 3.0,
+        n_topics: synth.n_topics,
+        iterations: 30,
+        optimize_every: 10,
+        burn_in: 5,
+        seed: 100,
+        ..ToPMineConfig::default()
+    };
+    cfg.n_threads = 1;
+    let c = ToPMine::new(cfg).fit(&synth.corpus);
+    assert_ne!(
+        topic_assignments(&a),
+        topic_assignments(&c),
+        "changing the seed changed nothing — is it actually wired through?"
+    );
+}

@@ -78,11 +78,8 @@ fn cli_options_drive_the_pipeline() {
     .unwrap()
     .unwrap();
 
-    let corpus = corpus_io::load_lines(
-        std::path::Path::new(&opts.input),
-        CorpusOptions::default(),
-    )
-    .unwrap();
+    let corpus =
+        corpus_io::load_lines(std::path::Path::new(&opts.input), CorpusOptions::default()).unwrap();
     let model = ToPMine::new(opts.pipeline_config(&corpus)).fit(&corpus);
     assert_eq!(model.model.n_topics(), 4);
     assert!(model.perplexity().is_finite());

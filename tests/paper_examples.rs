@@ -43,7 +43,8 @@ fn figure1_dendrogram_reproduces() {
     );
     let stats = FrequentPhraseMiner::new(5).mine(&corpus);
     let doc = corpus.docs.len() - 1;
-    let (spans, trace) = PhraseConstructor::new(5.0).construct_doc_traced(&corpus.docs[doc], &stats);
+    let (spans, trace) =
+        PhraseConstructor::new(5.0).construct_doc_traced(&corpus.docs[doc], &stats);
 
     let rendered: Vec<String> = spans
         .iter()
@@ -51,7 +52,11 @@ fn figure1_dendrogram_reproduces() {
         .collect();
     assert_eq!(
         rendered,
-        vec!["markov blanket", "feature selection", "support vector machines"],
+        vec![
+            "markov blanket",
+            "feature selection",
+            "support vector machines"
+        ],
         "partition mismatch"
     );
     // Four merges happened: sv, svm, mb, fs (sv first — the paper's tallest
@@ -96,7 +101,9 @@ fn example1_titles_segment_with_frequent_pattern_grouped() {
         "title 1 groups: {rendered1:?}"
     );
     assert!(
-        rendered1.iter().any(|p| p.contains("frequent pattern tree") || p == "frequent pattern"),
+        rendered1
+            .iter()
+            .any(|p| p.contains("frequent pattern tree") || p == "frequent pattern"),
         "title 1 second chunk groups: {rendered1:?}"
     );
 

@@ -15,10 +15,7 @@ use topmine_util::{z_scores, TopK};
 
 /// Strategy: a small corpus of token-id documents with chunking.
 fn arb_corpus(max_vocab: u32) -> impl Strategy<Value = Corpus> {
-    let doc = prop::collection::vec(
-        prop::collection::vec(0..max_vocab, 1..12),
-        1..4,
-    );
+    let doc = prop::collection::vec(prop::collection::vec(0..max_vocab, 1..12), 1..4);
     prop::collection::vec(doc, 1..24).prop_map(move |docs| {
         let mut vocab = Vocab::new();
         for i in 0..max_vocab {
@@ -26,10 +23,7 @@ fn arb_corpus(max_vocab: u32) -> impl Strategy<Value = Corpus> {
         }
         Corpus {
             vocab,
-            docs: docs
-                .into_iter()
-                .map(Document::from_chunks)
-                .collect(),
+            docs: docs.into_iter().map(Document::from_chunks).collect(),
             provenance: None,
             unstem: None,
         }
