@@ -1,0 +1,103 @@
+//! **serve_throughput** — docs/sec of the frozen-model query engine across
+//! worker counts, at `TOPMINE_SCALE`.
+//!
+//! Fits a ToPMine model on a synthetic DBLP-titles corpus, freezes it, and
+//! drives batched fold-in inference through `topmine_serve::QueryEngine`
+//! with 1, 2, 4, ... workers. Also sanity-checks determinism (every worker
+//! count must produce identical θ). The smoke-scale run writes a
+//! `BENCH_serve.json` snapshot to the working directory for CI trending.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use topmine_bench::{banner, fit_topmine_on_profile, iters, scale, seed_for};
+use topmine_serve::{InferConfig, QueryEngine};
+use topmine_synth::Profile;
+use topmine_util::Table;
+
+fn main() {
+    banner(
+        "serve_throughput: frozen-model inference docs/sec",
+        "serving is embarrassingly parallel over documents (immutable model, per-doc fold-in)",
+    );
+    let seed = seed_for("serve_throughput");
+    let s = scale();
+    let fit_iters = iters(60);
+
+    // Train and freeze.
+    let (synth, model) = fit_topmine_on_profile(Profile::DblpTitles, s, fit_iters, seed);
+    let frozen = model.freeze(&synth.corpus, &topmine_corpus::CorpusOptions::raw());
+    println!(
+        "frozen model: {} topics, vocabulary {}, {} lexicon phrases",
+        frozen.n_topics(),
+        frozen.vocab_size(),
+        frozen.lexicon.n_phrases()
+    );
+
+    // Query workload: unseen documents drawn from the same generator shape
+    // (different seed), rendered back to text so the full preprocess →
+    // segment → fold-in path is measured.
+    let queries: Vec<String> = topmine_synth::generate(Profile::DblpTitles, s, seed ^ 0x9e37)
+        .corpus
+        .docs
+        .iter()
+        .filter(|d| !d.is_empty())
+        .take(((2000.0 * s) as usize).max(200))
+        .map(|d| synth.corpus.render_phrase(&d.tokens))
+        .collect();
+    let config = InferConfig {
+        fold_iters: 15,
+        seed: 7,
+        top_topics: 3,
+    };
+    println!(
+        "workload: {} documents, {} fold-in sweeps",
+        queries.len(),
+        config.fold_iters
+    );
+
+    let model = Arc::new(frozen);
+    let mut table = Table::new(["workers", "secs", "docs/sec"]);
+    let mut baseline: Option<Vec<topmine_serve::DocInference>> = None;
+    let mut results: Vec<(usize, f64, f64)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = QueryEngine::new(Arc::clone(&model), workers);
+        let start = std::time::Instant::now();
+        let inferences = engine.infer_batch(&queries, &config);
+        let secs = start.elapsed().as_secs_f64();
+        let docs_per_sec = queries.len() as f64 / secs;
+        match &baseline {
+            None => baseline = Some(inferences),
+            Some(base) => assert_eq!(
+                base, &inferences,
+                "worker count must not change inference results"
+            ),
+        }
+        table.row([
+            workers.to_string(),
+            format!("{secs:.3}"),
+            format!("{docs_per_sec:.1}"),
+        ]);
+        results.push((workers, secs, docs_per_sec));
+    }
+    println!("{}", table.to_aligned());
+
+    // JSON snapshot for CI trending.
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"scale\":{s},\"n_queries\":{},\"fold_iters\":{},\"runs\":[",
+        queries.len(),
+        config.fold_iters
+    ));
+    for (i, (workers, secs, dps)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"workers\":{workers},\"secs\":{secs:.4},\"docs_per_sec\":{dps:.2}}}"
+        ));
+    }
+    json.push_str("]}");
+    let mut file = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    writeln!(file, "{json}").expect("write BENCH_serve.json");
+    println!("snapshot written to BENCH_serve.json");
+}

@@ -1,18 +1,23 @@
-//! The `topmine` command-line tool: raw text file in, topical phrases out.
+//! The `topmine` command-line tool: raw text file in, topical phrases out —
+//! plus serving: freeze a fitted model and query it over HTTP.
 //!
 //! ```text
-//! topmine --input corpus.txt --topics 20 --iterations 1000 --filter-background
+//! topmine --input corpus.txt --topics 20 --save-model bundle/
+//! topmine serve --model bundle/ --port 7878
+//! topmine infer --model bundle/ --input unseen.txt
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
-use topmine::cli::{parse_args, CliOptions, USAGE};
+use std::sync::Arc;
+use topmine::cli::{parse_command, CliOptions, Command, InferOptions, ServeOptions, USAGE};
 use topmine::ToPMine;
 use topmine_corpus::{io as corpus_io, CorpusOptions, StopwordSet};
+use topmine_serve::{FrozenModel, HttpServer, InferConfig, QueryEngine, ServerConfig};
 
 fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
-        Ok(Some(opts)) => opts,
+    let command = match parse_command(std::env::args().skip(1)) {
+        Ok(Some(command)) => command,
         Ok(None) => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -22,7 +27,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&opts) {
+    let result = match command {
+        Command::Fit(opts) => run_fit(&opts),
+        Command::Serve(opts) => run_serve(&opts),
+        Command::Infer(opts) => run_infer(&opts),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -31,7 +41,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(opts: &CliOptions) -> Result<(), String> {
+fn run_fit(opts: &CliOptions) -> Result<(), String> {
     let corpus_options = CorpusOptions {
         stem: opts.stem,
         remove_stopwords: opts.remove_stopwords,
@@ -39,7 +49,7 @@ fn run(opts: &CliOptions) -> Result<(), String> {
         min_token_len: 1,
         stopwords: StopwordSet::english(),
     };
-    let corpus = corpus_io::load_lines(Path::new(&opts.input), corpus_options)
+    let corpus = corpus_io::load_lines(Path::new(&opts.input), corpus_options.clone())
         .map_err(|e| format!("reading {}: {e}", opts.input))?;
     eprintln!(
         "corpus: {} documents, {} tokens, vocabulary {}",
@@ -76,6 +86,76 @@ fn run(opts: &CliOptions) -> Result<(), String> {
         std::fs::write(dir.join("topics.txt"), rendered.as_bytes())
             .map_err(|e| format!("writing topics: {e}"))?;
         eprintln!("artifacts written to {}", dir.display());
+    }
+    if let Some(dir) = &opts.save_model {
+        let dir = Path::new(dir);
+        let frozen = model.freeze(&corpus, &corpus_options);
+        frozen
+            .save(dir)
+            .map_err(|e| format!("writing model bundle: {e}"))?;
+        eprintln!(
+            "frozen model ({} topics, {} words, {} lexicon phrases) written to {}",
+            frozen.n_topics(),
+            frozen.vocab_size(),
+            frozen.lexicon.n_phrases(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+fn load_model(dir: &str) -> Result<FrozenModel, String> {
+    FrozenModel::load(Path::new(dir)).map_err(|e| format!("loading model {dir}: {e}"))
+}
+
+fn run_serve(opts: &ServeOptions) -> Result<(), String> {
+    let model = load_model(&opts.model_dir)?;
+    eprintln!(
+        "model: {} topics, vocabulary {}, {} lexicon phrases (trained on {} docs)",
+        model.n_topics(),
+        model.vocab_size(),
+        model.lexicon.n_phrases(),
+        model.header.n_docs
+    );
+    // Concurrency comes from the server's connection pool (one inference
+    // per connection, inline); the engine's own batch pool would sit idle
+    // behind HTTP, so keep it at one worker.
+    let engine = Arc::new(QueryEngine::new(Arc::new(model), 1));
+    let server = HttpServer::bind(
+        (opts.host.as_str(), opts.port),
+        engine,
+        ServerConfig {
+            n_threads: opts.n_threads,
+            infer_defaults: InferConfig {
+                fold_iters: opts.fold_iters,
+                seed: opts.seed,
+                top_topics: opts.top,
+            },
+        },
+    )
+    .map_err(|e| format!("binding {}:{}: {e}", opts.host, opts.port))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving bound address: {e}"))?;
+    eprintln!("listening on {addr} ({} workers)", opts.n_threads);
+    eprintln!("endpoints: GET /healthz, GET /model, POST /infer?seed=N&iters=N&top=N");
+    server.run().map_err(|e| format!("serving: {e}"))
+}
+
+fn run_infer(opts: &InferOptions) -> Result<(), String> {
+    let model = load_model(&opts.model_dir)?;
+    let engine = QueryEngine::new(Arc::new(model), opts.n_threads);
+    let text =
+        std::fs::read_to_string(&opts.input).map_err(|e| format!("reading {}: {e}", opts.input))?;
+    let docs: Vec<&str> = text.lines().collect();
+    let config = InferConfig {
+        fold_iters: opts.fold_iters,
+        seed: opts.seed,
+        top_topics: opts.top,
+    };
+    // One JSON object per input line, in input order.
+    for inference in engine.infer_batch(&docs, &config) {
+        println!("{}", topmine_serve::inference_json(&inference));
     }
     Ok(())
 }

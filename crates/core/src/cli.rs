@@ -2,6 +2,10 @@
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no
 //! `clap`) and lives here, separate from the binary, so it is unit-testable.
+//!
+//! Three commands share the binary: the original fit path (no subcommand,
+//! for compatibility), `topmine serve` (load a frozen bundle and answer
+//! HTTP queries), and `topmine infer` (one-shot fold-in over a file).
 
 use crate::pipeline::ToPMineConfig;
 
@@ -26,6 +30,8 @@ pub struct CliOptions {
     pub remove_stopwords: bool,
     /// Apply the §8 background-phrase filter to the visualization.
     pub filter_background: bool,
+    /// Freeze the fitted model into a serving bundle at this directory.
+    pub save_model: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -43,6 +49,7 @@ impl Default for CliOptions {
             stem: true,
             remove_stopwords: true,
             filter_background: false,
+            save_model: None,
         }
     }
 }
@@ -71,11 +78,14 @@ pub const USAGE: &str = "\
 topmine — scalable topical phrase mining (El-Kishky et al., VLDB 2014)
 
 USAGE:
-    topmine --input FILE [OPTIONS]
+    topmine --input FILE [OPTIONS]          fit a model (mine + segment + PhraseLDA)
+    topmine serve --model DIR --port N      serve a frozen model over HTTP
+    topmine infer --model DIR --input FILE  one-shot fold-in inference
 
-OPTIONS:
+FIT OPTIONS:
     --input FILE          text corpus, one document per line (required)
     --output-dir DIR      write vocab.tsv/docs.txt/topics.txt here
+    --save-model DIR      freeze the fitted model into a serving bundle
     --topics K            number of topics              [default: 10]
     --iterations N        Gibbs sweeps                  [default: 500]
     --min-support N       phrase minimum support        [default: auto]
@@ -87,7 +97,183 @@ OPTIONS:
     --keep-stopwords      keep stop words in the mining stream
     --filter-background   drop high-entropy background phrases (paper §8)
     --help                print this message
+
+SERVE OPTIONS:
+    --model DIR           frozen bundle from --save-model (required)
+    --port N              TCP port (0 = ephemeral)      [default: 7878]
+    --host ADDR           bind address                  [default: 127.0.0.1]
+    --threads N           connection worker threads     [default: 4]
+    --iters N             default fold-in sweeps        [default: 20]
+    --seed N              default RNG seed              [default: 1]
+    --top N               default top topics reported   [default: 3]
+
+INFER OPTIONS:
+    --model DIR           frozen bundle from --save-model (required)
+    --input FILE          documents to infer, one per line (required)
+    --threads N           inference worker threads      [default: 1]
+    --iters N             fold-in sweeps                [default: 20]
+    --seed N              RNG seed                      [default: 1]
+    --top N               top topics reported           [default: 3]
 ";
+
+/// Options of `topmine serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Frozen-model bundle directory.
+    pub model_dir: String,
+    pub host: String,
+    pub port: u16,
+    pub n_threads: usize,
+    /// Per-request inference defaults (overridable via query parameters).
+    pub fold_iters: usize,
+    pub seed: u64,
+    pub top: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            model_dir: String::new(),
+            host: "127.0.0.1".into(),
+            port: 7878,
+            n_threads: 4,
+            fold_iters: 20,
+            seed: 1,
+            top: 3,
+        }
+    }
+}
+
+/// Options of `topmine infer`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferOptions {
+    pub model_dir: String,
+    /// Input file: one document per line.
+    pub input: String,
+    pub n_threads: usize,
+    pub fold_iters: usize,
+    pub seed: u64,
+    pub top: usize,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        Self {
+            model_dir: String::new(),
+            input: String::new(),
+            n_threads: 1,
+            fold_iters: 20,
+            seed: 1,
+            top: 3,
+        }
+    }
+}
+
+/// One parsed invocation of the binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// The original pipeline run (no subcommand).
+    Fit(CliOptions),
+    Serve(ServeOptions),
+    Infer(InferOptions),
+}
+
+/// Parse argv (without the program name) into a [`Command`]. `Ok(None)`
+/// means `--help` was requested.
+pub fn parse_command<I, S>(args: I) -> Result<Option<Command>, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut args = args.into_iter().map(Into::into).peekable();
+    match args.peek().map(String::as_str) {
+        Some("serve") => {
+            args.next();
+            Ok(parse_serve_args(args)?.map(Command::Serve))
+        }
+        Some("infer") => {
+            args.next();
+            Ok(parse_infer_args(args)?.map(Command::Infer))
+        }
+        _ => Ok(parse_args(args)?.map(Command::Fit)),
+    }
+}
+
+fn parse_serve_args<I: Iterator<Item = String>>(
+    mut args: I,
+) -> Result<Option<ServeOptions>, String> {
+    let mut opts = ServeOptions::default();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--model" => opts.model_dir = need(&mut args, "--model")?,
+            "--host" => opts.host = need(&mut args, "--host")?,
+            "--port" => opts.port = parse_num(&need(&mut args, "--port")?, "--port")?,
+            "--threads" => {
+                opts.n_threads = parse_num(&need(&mut args, "--threads")?, "--threads")?;
+                if opts.n_threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--iters" => {
+                opts.fold_iters = parse_num(&need(&mut args, "--iters")?, "--iters")?;
+                if opts.fold_iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
+            "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
+            other => return Err(format!("serve: unknown argument: {other}")),
+        }
+    }
+    if opts.model_dir.is_empty() {
+        return Err("serve: --model is required".into());
+    }
+    Ok(Some(opts))
+}
+
+fn parse_infer_args<I: Iterator<Item = String>>(
+    mut args: I,
+) -> Result<Option<InferOptions>, String> {
+    let mut opts = InferOptions::default();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--model" => opts.model_dir = need(&mut args, "--model")?,
+            "--input" => opts.input = need(&mut args, "--input")?,
+            "--threads" => {
+                opts.n_threads = parse_num(&need(&mut args, "--threads")?, "--threads")?;
+                if opts.n_threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--iters" => {
+                opts.fold_iters = parse_num(&need(&mut args, "--iters")?, "--iters")?;
+                if opts.fold_iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
+            "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
+            other => return Err(format!("infer: unknown argument: {other}")),
+        }
+    }
+    if opts.model_dir.is_empty() {
+        return Err("infer: --model is required".into());
+    }
+    if opts.input.is_empty() {
+        return Err("infer: --input is required".into());
+    }
+    Ok(Some(opts))
+}
 
 /// Parse argv (without the program name). Returns `Err` with a message for
 /// the user on any problem; `Ok(None)` means `--help` was requested.
@@ -136,6 +322,7 @@ where
             }
             "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
             "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
+            "--save-model" => opts.save_model = Some(need(&mut args, "--save-model")?),
             "--no-stem" => opts.stem = false,
             "--keep-stopwords" => opts.remove_stopwords = false,
             "--filter-background" => opts.filter_background = true,
@@ -225,6 +412,117 @@ mod tests {
         assert!(parse(&["--input", "x", "--topics", "0"]).is_err());
         assert!(parse(&["--input", "x", "--bogus"]).is_err());
         assert!(parse(&["--input", "x", "--threads", "0"]).is_err());
+    }
+
+    fn command(args: &[&str]) -> Result<Option<Command>, String> {
+        parse_command(args.iter().copied())
+    }
+
+    #[test]
+    fn save_model_flag_is_parsed() {
+        let opts = parse(&["--input", "c.txt", "--save-model", "bundle"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.save_model.as_deref(), Some("bundle"));
+        assert!(parse(&["--input", "c.txt"])
+            .unwrap()
+            .unwrap()
+            .save_model
+            .is_none());
+        assert!(parse(&["--input", "c.txt", "--save-model"]).is_err());
+    }
+
+    #[test]
+    fn bare_args_parse_as_fit() {
+        match command(&["--input", "c.txt"]).unwrap().unwrap() {
+            Command::Fit(opts) => assert_eq!(opts.input, "c.txt"),
+            other => panic!("expected Fit, got {other:?}"),
+        }
+        assert_eq!(command(&["--help"]).unwrap(), None);
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        let cmd = command(&[
+            "serve",
+            "--model",
+            "bundle",
+            "--port",
+            "9000",
+            "--host",
+            "0.0.0.0",
+            "--threads",
+            "8",
+            "--iters",
+            "30",
+            "--seed",
+            "5",
+            "--top",
+            "4",
+        ])
+        .unwrap()
+        .unwrap();
+        match cmd {
+            Command::Serve(opts) => {
+                assert_eq!(opts.model_dir, "bundle");
+                assert_eq!(opts.port, 9000);
+                assert_eq!(opts.host, "0.0.0.0");
+                assert_eq!(opts.n_threads, 8);
+                assert_eq!(opts.fold_iters, 30);
+                assert_eq!(opts.seed, 5);
+                assert_eq!(opts.top, 4);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Defaults and error paths.
+        match command(&["serve", "--model", "m"]).unwrap().unwrap() {
+            Command::Serve(opts) => {
+                assert_eq!(opts.port, 7878);
+                assert_eq!(opts.host, "127.0.0.1");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(command(&["serve"]).is_err()); // missing --model
+        assert!(command(&["serve", "--model", "m", "--threads", "0"]).is_err());
+        assert!(command(&["serve", "--model", "m", "--port", "xyz"]).is_err());
+        assert!(command(&["serve", "--model", "m", "--bogus"]).is_err());
+        assert_eq!(command(&["serve", "--help"]).unwrap(), None);
+    }
+
+    #[test]
+    fn infer_subcommand_parses() {
+        let cmd = command(&[
+            "infer",
+            "--model",
+            "bundle",
+            "--input",
+            "docs.txt",
+            "--iters",
+            "15",
+            "--seed",
+            "3",
+            "--top",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .unwrap()
+        .unwrap();
+        match cmd {
+            Command::Infer(opts) => {
+                assert_eq!(opts.model_dir, "bundle");
+                assert_eq!(opts.input, "docs.txt");
+                assert_eq!(opts.fold_iters, 15);
+                assert_eq!(opts.seed, 3);
+                assert_eq!(opts.top, 2);
+                assert_eq!(opts.n_threads, 2);
+            }
+            other => panic!("expected Infer, got {other:?}"),
+        }
+        assert!(command(&["infer", "--model", "m"]).is_err()); // missing input
+        assert!(command(&["infer", "--input", "f"]).is_err()); // missing model
+        assert!(command(&["infer", "--model", "m", "--input", "f", "--iters", "0"]).is_err());
+        assert_eq!(command(&["infer", "-h"]).unwrap(), None);
     }
 
     #[test]

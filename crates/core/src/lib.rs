@@ -48,3 +48,4 @@ pub use pipeline::{RunTiming, ToPMine, ToPMineConfig, ToPMineModel};
 pub use topmine_corpus as corpus;
 pub use topmine_lda as lda;
 pub use topmine_phrase as phrase;
+pub use topmine_serve as serve;

@@ -119,6 +119,24 @@ pub struct ToPMineModel {
 }
 
 impl ToPMineModel {
+    /// Freeze the fitted model into a serving artifact: the phrase lexicon
+    /// becomes a prefix trie, φ/α/β are captured as point estimates, and
+    /// `options` records the preprocessing contract unseen text will be
+    /// held to. See `topmine_serve` for inference and the query server.
+    pub fn freeze(
+        &self,
+        corpus: &Corpus,
+        options: &topmine_corpus::CorpusOptions,
+    ) -> topmine_serve::FrozenModel {
+        topmine_serve::FrozenModel::freeze(
+            corpus,
+            &self.stats,
+            self.segmentation.alpha,
+            &self.model,
+            options,
+        )
+    }
+
     /// Topic summaries: top unigrams by φ, top phrases by topical frequency.
     pub fn summarize(
         &self,

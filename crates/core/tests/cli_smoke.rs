@@ -113,7 +113,180 @@ fn writes_artifacts_to_output_dir() {
 fn help_exits_zero_and_prints_usage() {
     let out = bin().arg("--help").output().unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("topmine serve"), "{stdout}");
+    assert!(stdout.contains("topmine infer"), "{stdout}");
+}
+
+#[test]
+fn save_model_then_infer_roundtrip() {
+    let dir = scratch_dir("save_infer");
+    let input = dir.join("corpus.txt");
+    std::fs::write(&input, CORPUS).unwrap();
+    let bundle = dir.join("bundle");
+
+    // Fit and freeze.
+    let out = bin()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--topics",
+            "2",
+            "--iterations",
+            "30",
+            "--min-support",
+            "3",
+            "--alpha",
+            "1.0",
+            "--seed",
+            "7",
+            "--save-model",
+            bundle.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    assert!(stderr.contains("frozen model"), "stderr:\n{stderr}");
+    for file in ["header.tsv", "vocab.tsv", "lexicon.tsv", "phi.tsv"] {
+        assert!(bundle.join(file).is_file(), "missing {file}");
+    }
+
+    // One-shot inference over unseen text; JSON-lines on stdout.
+    let unseen = dir.join("unseen.txt");
+    std::fs::write(
+        &unseen,
+        "frequent pattern mining for streams\nquery expansion for retrieval\n",
+    )
+    .unwrap();
+    let infer = |threads: &str| {
+        let out = bin()
+            .args([
+                "infer",
+                "--model",
+                bundle.to_str().unwrap(),
+                "--input",
+                unseen.to_str().unwrap(),
+                "--seed",
+                "9",
+                "--iters",
+                "25",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let stdout = infer("1");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "stdout:\n{stdout}");
+    for line in &lines {
+        assert!(line.starts_with("{\"n_tokens\":"), "line: {line}");
+        assert!(line.contains("\"theta\""), "line: {line}");
+        assert!(line.contains("\"top_topics\""), "line: {line}");
+    }
+    // Byte-identical across runs and thread counts (fixed seed).
+    assert_eq!(stdout, infer("1"));
+    assert_eq!(stdout, infer("4"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn infer_on_missing_bundle_is_a_clean_error() {
+    let out = bin()
+        .args([
+            "infer",
+            "--model",
+            "/nonexistent/bundle",
+            "--input",
+            "/nonexistent/docs.txt",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn serve_answers_http_requests() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = scratch_dir("serve");
+    let input = dir.join("corpus.txt");
+    std::fs::write(&input, CORPUS).unwrap();
+    let bundle = dir.join("bundle");
+    let out = bin()
+        .args([
+            "--input",
+            input.to_str().unwrap(),
+            "--topics",
+            "2",
+            "--iterations",
+            "20",
+            "--min-support",
+            "3",
+            "--save-model",
+            bundle.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Ephemeral port; the chosen address is announced on stderr.
+    let mut child = bin()
+        .args([
+            "serve",
+            "--model",
+            bundle.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after prefix")
+                .to_string();
+        }
+    };
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let body = "frequent pattern mining for data streams";
+    write!(
+        stream,
+        "POST /infer?seed=5 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"theta\""), "{response}");
+
+    child.kill().unwrap();
+    let _ = child.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -253,6 +253,15 @@ impl StopwordSet {
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
     }
+
+    /// The words of the set in sorted order — a canonical listing, so a set
+    /// persisted to a model bundle and reloaded compares (and serializes)
+    /// identically.
+    pub fn sorted_words(&self) -> Vec<&str> {
+        let mut words: Vec<&str> = self.words.iter().map(String::as_str).collect();
+        words.sort_unstable();
+        words
+    }
 }
 
 #[cfg(test)]
@@ -297,5 +306,14 @@ mod tests {
         sw.extend(["paper", "propose"]);
         assert!(sw.contains("paper"));
         assert_eq!(sw.len(), 2);
+    }
+
+    #[test]
+    fn sorted_words_is_canonical() {
+        let sw = StopwordSet::from_words(["zeta", "alpha", "Mid"]);
+        assert_eq!(sw.sorted_words(), vec!["alpha", "mid", "zeta"]);
+        // Round-trip through the listing reproduces the set.
+        let back = StopwordSet::from_words(sw.sorted_words());
+        assert_eq!(back.sorted_words(), sw.sorted_words());
     }
 }

@@ -11,13 +11,23 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+/// Version tag written at the top of `hyper.tsv`; [`load_hyperparameters`]
+/// (and thus [`load_model`]) refuses bundles carrying any other tag, with an
+/// error naming both versions instead of a panic further downstream.
+pub const LDA_BUNDLE_FORMAT: &str = "topmine-lda-bundle/1";
+
 /// Write φ (K rows × V columns of probabilities) as TSV with a header row
 /// of word ids.
 pub fn save_phi(model: &PhraseLda, path: &Path) -> io::Result<()> {
+    save_phi_matrix(&model.phi(), path)
+}
+
+/// Write an arbitrary `K × V` probability matrix in the [`save_phi`] format
+/// (17 significant digits, so every `f64` round-trips bit-exactly).
+pub fn save_phi_matrix(phi: &[Vec<f64>], path: &Path) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
-    let phi = model.phi();
     write!(out, "topic")?;
-    for w in 0..model.vocab_size() {
+    for w in 0..phi.first().map_or(0, Vec::len) {
         write!(out, "\tw{w}")?;
     }
     writeln!(out)?;
@@ -43,18 +53,29 @@ pub fn load_phi(path: &Path) -> io::Result<Vec<Vec<f64>>> {
         }
         let mut fields = line.split('\t');
         let _topic = fields.next();
-        let row: Result<Vec<f64>, _> = fields.map(str::parse).collect();
-        let row = row.map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("phi line {}: {e}", i + 1),
-            )
-        })?;
+        let mut row = Vec::new();
+        for (col, field) in fields.enumerate() {
+            let p: f64 = field.parse().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "phi line {}, column {}: not a float: {field:?}",
+                        i + 1,
+                        col + 2, // 1-indexed, counting the leading topic column
+                    ),
+                )
+            })?;
+            row.push(p);
+        }
         if let Some(c) = expected_cols {
             if row.len() != c {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("phi line {}: ragged row ({} vs {c})", i + 1, row.len()),
+                    format!(
+                        "phi line {}: ragged row ({} columns, expected {c})",
+                        i + 1,
+                        row.len()
+                    ),
                 ));
             }
         } else {
@@ -103,16 +124,142 @@ pub fn load_assignments(path: &Path) -> io::Result<Vec<Vec<u16>>> {
     Ok(docs)
 }
 
-/// Write hyperparameters (asymmetric α vector and β) as `key<TAB>value`.
+/// Write hyperparameters (asymmetric α vector and β) as `key<TAB>value`,
+/// prefixed with the [`LDA_BUNDLE_FORMAT`] version tag.
 pub fn save_hyperparameters(model: &PhraseLda, path: &Path) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "format\t{LDA_BUNDLE_FORMAT}")?;
     writeln!(out, "n_topics\t{}", model.n_topics())?;
     writeln!(out, "vocab_size\t{}", model.vocab_size())?;
-    writeln!(out, "beta\t{:.10e}", model.beta())?;
+    writeln!(out, "beta\t{:.17e}", model.beta())?;
     for (t, a) in model.alpha().iter().enumerate() {
-        writeln!(out, "alpha{t}\t{a:.10e}")?;
+        writeln!(out, "alpha{t}\t{a:.17e}")?;
     }
     out.flush()
+}
+
+/// The hyperparameter block of a saved bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperparameters {
+    pub n_topics: usize,
+    pub vocab_size: usize,
+    pub beta: f64,
+    /// Asymmetric document-topic Dirichlet, length `n_topics`.
+    pub alpha: Vec<f64>,
+}
+
+fn data_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Read a versioned `key<TAB>value` file: line 1 must be
+/// `format<TAB>expected_format` (any other version fails with an error
+/// naming both), empty lines are skipped, and the remaining pairs are
+/// returned with their 1-indexed line numbers. Shared by this crate's
+/// `hyper.tsv` and `topmine_serve`'s bundle `header.tsv` so the format
+/// plumbing cannot drift between them.
+pub fn read_versioned_kv(
+    path: &Path,
+    expected_format: &str,
+) -> io::Result<Vec<(usize, String, String)>> {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let reader = BufReader::new(File::open(path)?);
+    let mut pairs = Vec::new();
+    let mut format_seen = false;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let (key, value) = line
+            .split_once('\t')
+            .ok_or_else(|| data_err(format!("{name} line {line_no}: not key<TAB>value")))?;
+        if !format_seen {
+            if key != "format" {
+                return Err(data_err(format!(
+                    "{name} has no versioned header: expected `format\t{expected_format}` \
+                     on line 1, found key {key:?}"
+                )));
+            }
+            if value != expected_format {
+                return Err(data_err(format!(
+                    "unsupported model bundle format {value:?} (this build reads \
+                     {expected_format:?})"
+                )));
+            }
+            format_seen = true;
+            continue;
+        }
+        pairs.push((line_no, key.to_string(), value.to_string()));
+    }
+    if !format_seen {
+        return Err(data_err(format!(
+            "{name} is empty: expected a `format\t{expected_format}` versioned header"
+        )));
+    }
+    Ok(pairs)
+}
+
+/// Assemble `alphaN` key/value pairs into a dense α vector of length
+/// `n_topics`; errors name `context` (the file being parsed).
+pub fn assemble_alpha(
+    mut alphas: Vec<(usize, f64)>,
+    n_topics: usize,
+    context: &str,
+) -> io::Result<Vec<f64>> {
+    alphas.sort_by_key(|&(t, _)| t);
+    if alphas.len() != n_topics || alphas.iter().enumerate().any(|(i, &(t, _))| i != t) {
+        return Err(data_err(format!(
+            "{context} alpha vector is not dense 0..{n_topics}"
+        )));
+    }
+    Ok(alphas.into_iter().map(|(_, a)| a).collect())
+}
+
+/// Read hyperparameters written by [`save_hyperparameters`], verifying the
+/// format version first.
+pub fn load_hyperparameters(path: &Path) -> io::Result<Hyperparameters> {
+    let mut n_topics = None;
+    let mut vocab_size = None;
+    let mut beta = None;
+    let mut alphas: Vec<(usize, f64)> = Vec::new();
+    for (line_no, key, value) in read_versioned_kv(path, LDA_BUNDLE_FORMAT)? {
+        let bad_num = |k: &str| {
+            data_err(format!(
+                "hyper line {line_no}: bad number for {k}: {value:?}"
+            ))
+        };
+        match key.as_str() {
+            "n_topics" => n_topics = Some(value.parse().map_err(|_| bad_num("n_topics"))?),
+            "vocab_size" => vocab_size = Some(value.parse().map_err(|_| bad_num("vocab_size"))?),
+            "beta" => beta = Some(value.parse().map_err(|_| bad_num("beta"))?),
+            k if k.starts_with("alpha") => {
+                let t: usize = k["alpha".len()..]
+                    .parse()
+                    .map_err(|_| data_err(format!("hyper line {line_no}: bad key {k:?}")))?;
+                alphas.push((t, value.parse().map_err(|_| bad_num(k))?));
+            }
+            other => {
+                return Err(data_err(format!(
+                    "hyper line {line_no}: unknown key {other:?}"
+                )))
+            }
+        }
+    }
+    let n_topics = n_topics.ok_or_else(|| data_err("hyper.tsv missing n_topics".into()))?;
+    let vocab_size = vocab_size.ok_or_else(|| data_err("hyper.tsv missing vocab_size".into()))?;
+    let beta = beta.ok_or_else(|| data_err("hyper.tsv missing beta".into()))?;
+    let alpha = assemble_alpha(alphas, n_topics, "hyper.tsv")?;
+    Ok(Hyperparameters {
+        n_topics,
+        vocab_size,
+        beta,
+        alpha,
+    })
 }
 
 /// Save the full model bundle (`phi.tsv`, `assignments.txt`, `hyper.tsv`)
@@ -122,6 +269,52 @@ pub fn save_model(model: &PhraseLda, dir: &Path) -> io::Result<()> {
     save_phi(model, &dir.join("phi.tsv"))?;
     save_assignments(model, &dir.join("assignments.txt"))?;
     save_hyperparameters(model, &dir.join("hyper.tsv"))
+}
+
+/// A bundle read back from disk: everything [`save_model`] wrote.
+#[derive(Debug, Clone)]
+pub struct SavedModel {
+    pub phi: Vec<Vec<f64>>,
+    pub assignments: Vec<Vec<u16>>,
+    pub hyper: Hyperparameters,
+}
+
+/// Load the full bundle written by [`save_model`], cross-checking shapes:
+/// φ must be `n_topics × vocab_size` and every assignment must name a valid
+/// topic. All failures are `io::Error`s, never panics.
+pub fn load_model(dir: &Path) -> io::Result<SavedModel> {
+    let hyper = load_hyperparameters(&dir.join("hyper.tsv"))?;
+    let phi = load_phi(&dir.join("phi.tsv"))?;
+    if phi.len() != hyper.n_topics {
+        return Err(data_err(format!(
+            "phi has {} topics but hyper.tsv says {}",
+            phi.len(),
+            hyper.n_topics
+        )));
+    }
+    if let Some(row) = phi.iter().find(|r| r.len() != hyper.vocab_size) {
+        return Err(data_err(format!(
+            "phi rows have {} columns but hyper.tsv says vocab_size {}",
+            row.len(),
+            hyper.vocab_size
+        )));
+    }
+    let assignments = load_assignments(&dir.join("assignments.txt"))?;
+    if let Some(&t) = assignments
+        .iter()
+        .flatten()
+        .find(|&&t| t as usize >= hyper.n_topics)
+    {
+        return Err(data_err(format!(
+            "assignment topic {t} out of range (n_topics {})",
+            hyper.n_topics
+        )));
+    }
+    Ok(SavedModel {
+        phi,
+        assignments,
+        hyper,
+    })
 }
 
 #[cfg(test)]
@@ -209,6 +402,79 @@ mod tests {
         assert!(load_phi(&path).is_err());
         std::fs::write(&path, "topic\tw0\n").unwrap();
         assert!(load_phi(&path).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_phi_errors_name_line_and_column() {
+        let dir = tmpdir("badcell");
+        let path = dir.join("phi.tsv");
+        std::fs::write(&path, "topic\tw0\tw1\n0\t0.5\t0.5\n1\t0.25\toops\n").unwrap();
+        let err = load_phi(&path).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("column 3"), "{err}");
+        assert!(err.contains("oops"), "{err}");
+        // Ragged rows report both the found and expected column counts.
+        std::fs::write(&path, "topic\tw0\tw1\n0\t0.5\t0.5\n1\t1.0\n").unwrap();
+        let err = load_phi(&path).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("1 columns, expected 2"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn full_bundle_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let m = model();
+        save_model(&m, &dir).unwrap();
+        let loaded = load_model(&dir).unwrap();
+        assert_eq!(loaded.hyper.n_topics, m.n_topics());
+        assert_eq!(loaded.hyper.vocab_size, m.vocab_size());
+        assert_eq!(loaded.hyper.beta, m.beta());
+        assert_eq!(loaded.hyper.alpha, m.alpha());
+        assert_eq!(loaded.phi, m.phi());
+        assert_eq!(loaded.assignments.len(), m.docs().n_docs());
+        for (d, topics) in loaded.assignments.iter().enumerate() {
+            for (g, &t) in topics.iter().enumerate() {
+                assert_eq!(t, m.topic_of_group(d, g));
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clean_error() {
+        let dir = tmpdir("version");
+        let m = model();
+        save_model(&m, &dir).unwrap();
+        // A future-versioned bundle must be refused with a message naming
+        // both versions, not mis-parsed.
+        let hyper = dir.join("hyper.tsv");
+        let body = std::fs::read_to_string(&hyper).unwrap();
+        let tampered = body.replace(LDA_BUNDLE_FORMAT, "topmine-lda-bundle/99");
+        std::fs::write(&hyper, tampered).unwrap();
+        let err = load_model(&dir).unwrap_err().to_string();
+        assert!(err.contains("topmine-lda-bundle/99"), "{err}");
+        assert!(err.contains(LDA_BUNDLE_FORMAT), "{err}");
+        // A header-less file (the pre-versioning format) is also refused.
+        std::fs::write(&hyper, "n_topics\t3\nvocab_size\t4\nbeta\t1e-2\n").unwrap();
+        let err = load_model(&dir).unwrap_err().to_string();
+        assert!(err.contains("versioned header"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bundle_shape_mismatches_are_errors() {
+        let dir = tmpdir("shapes");
+        let m = model();
+        save_model(&m, &dir).unwrap();
+        // Drop a φ row: topic count disagrees with hyper.tsv.
+        let phi_path = dir.join("phi.tsv");
+        let body = std::fs::read_to_string(&phi_path).unwrap();
+        let truncated: Vec<&str> = body.lines().take(3).collect();
+        std::fs::write(&phi_path, truncated.join("\n")).unwrap();
+        let err = load_model(&dir).unwrap_err().to_string();
+        assert!(err.contains("2 topics"), "{err}");
         let _ = std::fs::remove_dir_all(dir);
     }
 }

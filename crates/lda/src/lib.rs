@@ -7,7 +7,7 @@
 //!   plain LDA when every group has one token), training/held-out
 //!   perplexity, and Minka fixed-point hyperparameter optimization (§5.3).
 //! * [`io`] — TSV persistence for fitted models (φ, assignments,
-//!   hyperparameters).
+//!   hyperparameters) behind a versioned bundle header.
 //! * [`viz`] — topical-frequency ranking (Eq. 8) and the table renderer
 //!   regenerating the layout of the paper's Tables 1 and 4-6.
 

@@ -18,7 +18,7 @@
 //! `O(log m)` heap work (lazy deletion via version stamps), matching the
 //! paper's `O(log N_d)` per-merge claim.
 
-use crate::counter::PhraseStats;
+use crate::counter::PhraseCounts;
 use crate::significance::significance;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -113,10 +113,10 @@ impl<'a> Nodes<'a> {
 }
 
 /// Score the merge of nodes `(a, b)` and push it if it can ever be taken.
-fn push_candidate(
+fn push_candidate<C: PhraseCounts + ?Sized>(
     heap: &mut BinaryHeap<Candidate>,
     nodes: &Nodes,
-    stats: &PhraseStats,
+    stats: &C,
     alpha: f64,
     a: u32,
     b: u32,
@@ -125,7 +125,7 @@ fn push_candidate(
     let f2 = stats.count(nodes.span(b));
     let merged = &nodes.tokens[nodes.start[a as usize] as usize..nodes.end[b as usize] as usize];
     let f12 = stats.count(merged);
-    let sig = significance(f12, f1, f2, stats.total_tokens);
+    let sig = significance(f12, f1, f2, stats.total_tokens());
     // Entries below α can never be merged (their score is immutable until a
     // neighbor merge invalidates them), so skip the heap traffic.
     if sig >= alpha {
@@ -141,9 +141,9 @@ fn push_candidate(
 
 /// Run Algorithm 2 on one chunk. If `trace` is given, every merge is
 /// recorded in order.
-pub fn construct_chunk(
+pub fn construct_chunk<C: PhraseCounts + ?Sized>(
     tokens: &[u32],
-    stats: &PhraseStats,
+    stats: &C,
     alpha: f64,
     mut trace: Option<&mut MergeTrace>,
 ) -> ChunkPartition {
@@ -224,26 +224,30 @@ impl PhraseConstructor {
     }
 
     /// Partition a whole document; spans are document-relative.
-    pub fn construct_doc(&self, doc: &Document, stats: &PhraseStats) -> Vec<(u32, u32)> {
+    pub fn construct_doc<C: PhraseCounts + ?Sized>(
+        &self,
+        doc: &Document,
+        stats: &C,
+    ) -> Vec<(u32, u32)> {
         self.construct_doc_impl(doc, stats, None).0
     }
 
     /// Same, also returning the concatenated merge trace (chunk-relative
     /// spans are shifted to document offsets).
-    pub fn construct_doc_traced(
+    pub fn construct_doc_traced<C: PhraseCounts + ?Sized>(
         &self,
         doc: &Document,
-        stats: &PhraseStats,
+        stats: &C,
     ) -> (Vec<(u32, u32)>, MergeTrace) {
         let mut trace = MergeTrace::new();
         let spans = self.construct_doc_impl(doc, stats, Some(&mut trace)).0;
         (spans, trace)
     }
 
-    fn construct_doc_impl(
+    fn construct_doc_impl<C: PhraseCounts + ?Sized>(
         &self,
         doc: &Document,
-        stats: &PhraseStats,
+        stats: &C,
         mut trace: Option<&mut MergeTrace>,
     ) -> (Vec<(u32, u32)>, ()) {
         let mut spans = Vec::with_capacity(doc.n_tokens());
@@ -271,6 +275,7 @@ impl PhraseConstructor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counter::PhraseStats;
     use topmine_util::FxHashMap;
 
     /// Hand-assembled stats: unigram counts + frequent n-gram counts.

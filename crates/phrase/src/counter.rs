@@ -10,6 +10,28 @@ use topmine_util::FxHashMap;
 /// A phrase *type*: its word ids, in order.
 pub type Phrase = Box<[u32]>;
 
+/// Read-only access to the phrase frequencies Algorithm 2 consumes.
+///
+/// [`PhraseStats`] (the miner's hash-map output) is the canonical
+/// implementation; `topmine_serve`'s frozen prefix trie is another. Phrase
+/// construction is generic over this trait, so unseen text can be segmented
+/// against any frozen lexicon without materializing a `PhraseStats`.
+pub trait PhraseCounts {
+    /// Corpus frequency `f(P)`; 0 for unseen/infrequent phrases.
+    fn count(&self, phrase: &[u32]) -> u64;
+
+    /// Total token count `L` of the corpus the lexicon was mined from.
+    fn total_tokens(&self) -> u64;
+
+    /// Empirical Bernoulli probability `p(P) = f(P) / L` (Eq. 1's null).
+    fn prob(&self, phrase: &[u32]) -> f64 {
+        if self.total_tokens() == 0 {
+            return 0.0;
+        }
+        self.count(phrase) as f64 / self.total_tokens() as f64
+    }
+}
+
 /// Output of frequent phrase mining: all aggregate statistics that the
 /// construction stage (and later topical-frequency ranking) needs.
 #[derive(Debug, Clone, Default)]
@@ -104,6 +126,16 @@ impl PhraseStats {
             }
         }
         Ok(())
+    }
+}
+
+impl PhraseCounts for PhraseStats {
+    fn count(&self, phrase: &[u32]) -> u64 {
+        PhraseStats::count(self, phrase)
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.total_tokens
     }
 }
 

@@ -23,7 +23,7 @@ pub mod segmenter;
 pub mod significance;
 
 pub use construction::{construct_chunk, ChunkPartition, MergeTrace, PhraseConstructor};
-pub use counter::{Phrase, PhraseStats};
+pub use counter::{Phrase, PhraseCounts, PhraseStats};
 pub use miner::{FrequentPhraseMiner, MinerConfig};
 pub use segmenter::{Segmentation, SegmentedDoc, Segmenter, SegmenterConfig};
 pub use significance::{significance, significance_pmi};

@@ -1,0 +1,203 @@
+//! The concurrent query engine: a fixed pool of worker threads sharing one
+//! `Arc<FrozenModel>`.
+//!
+//! The model is immutable after load, so workers need no locking — each
+//! fold-in pass touches only its own scratch state. Batch inference fans
+//! documents out over the pool and reassembles results in input order;
+//! document `i` always draws from [`InferConfig::seed_for_index`]`(i)`, so
+//! results are bit-identical whatever the worker count or scheduling.
+//! (The HTTP layer runs its own connection pool and calls the inline
+//! [`QueryEngine::infer`] path, so request handling never blocks a batch.)
+
+use crate::frozen::FrozenModel;
+use crate::infer::{DocInference, InferConfig};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A minimal fixed-size thread pool (no external dependencies): jobs are
+/// closures drained from one shared queue; dropping the pool joins all
+/// workers after the queue empties.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    pub fn new(n_threads: usize) -> Self {
+        let n_threads = n_threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..n_threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("topmine-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the dequeue, not the job.
+                        let job = match receiver.lock().expect("pool queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // all senders dropped
+                        };
+                        job();
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job; it runs on some worker as soon as one is free.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("pool workers exited early");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the queue; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Batched fold-in inference over a shared frozen model.
+pub struct QueryEngine {
+    model: Arc<FrozenModel>,
+    pool: ThreadPool,
+}
+
+impl QueryEngine {
+    pub fn new(model: Arc<FrozenModel>, n_threads: usize) -> Self {
+        Self {
+            model,
+            pool: ThreadPool::new(n_threads),
+        }
+    }
+
+    pub fn model(&self) -> &Arc<FrozenModel> {
+        &self.model
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.pool.n_threads()
+    }
+
+    /// Infer one document on the calling thread (no queueing); equals
+    /// `infer_batch(&[text])[0]`.
+    pub fn infer(&self, text: &str, config: &InferConfig) -> DocInference {
+        self.model
+            .infer_seeded(text, config, config.seed_for_index(0))
+    }
+
+    /// Fan a batch out over the pool; results come back in input order and
+    /// are independent of the worker count (per-index seeds). Must not be
+    /// called from inside one of this engine's own jobs (it waits for the
+    /// fan-out to finish).
+    pub fn infer_batch<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+        config: &InferConfig,
+    ) -> Vec<DocInference> {
+        let n = texts.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (tx, rx) = channel::<(usize, DocInference)>();
+        for (i, text) in texts.iter().enumerate() {
+            let tx = tx.clone();
+            let model = Arc::clone(&self.model);
+            let text = text.as_ref().to_string();
+            let config = config.clone();
+            self.pool.execute(move || {
+                let inference = model.infer_seeded(&text, &config, config.seed_for_index(i));
+                let _ = tx.send((i, inference));
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<DocInference>> = (0..n).map(|_| None).collect();
+        for (i, inference) in rx {
+            results[i] = Some(inference);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("worker completed every index"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::tests::tiny_model;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn batch_matches_single_and_is_ordered() {
+        let model = Arc::new(tiny_model());
+        let engine = QueryEngine::new(Arc::clone(&model), 3);
+        let texts: Vec<String> = (0..12)
+            .map(|i| format!("mining frequent patterns number {i}"))
+            .collect();
+        let cfg = InferConfig::default();
+        let batch = engine.infer_batch(&texts, &cfg);
+        assert_eq!(batch.len(), texts.len());
+        // Entry 0 must equal the single-document path.
+        assert_eq!(batch[0], engine.infer(&texts[0], &cfg));
+        // Every entry must equal a direct seeded call for its index.
+        for (i, (text, inference)) in texts.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                *inference,
+                model.infer_seeded(text, &cfg, cfg.seed_for_index(i))
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_identical_across_thread_counts() {
+        let model = Arc::new(tiny_model());
+        let texts: Vec<String> = (0..16)
+            .map(|i| format!("support vector machines task {i}, data streams"))
+            .collect();
+        let cfg = InferConfig::default();
+        let single = QueryEngine::new(Arc::clone(&model), 1).infer_batch(&texts, &cfg);
+        let many = QueryEngine::new(Arc::clone(&model), 8).infer_batch(&texts, &cfg);
+        assert_eq!(single, many);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = QueryEngine::new(Arc::new(tiny_model()), 2);
+        assert!(engine
+            .infer_batch::<&str>(&[], &InferConfig::default())
+            .is_empty());
+    }
+}

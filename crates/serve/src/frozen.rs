@@ -1,0 +1,780 @@
+//! The frozen-model artifact: an immutable, versioned, single-directory
+//! bundle holding everything fold-in inference over unseen text needs.
+//!
+//! A [`FrozenModel`] captures the three layers of a fitted ToPMine run:
+//!
+//! 1. the **preprocessing contract** — vocabulary, stemming/stop-word
+//!    configuration — so unseen text is normalized exactly as the training
+//!    corpus was;
+//! 2. the **phrase lexicon** as a [`PhraseTrie`], so unseen documents are
+//!    segmented by the same Algorithm 2 pass (via
+//!    `topmine_phrase`'s construction, which is generic over
+//!    [`PhraseCounts`](topmine_phrase::PhraseCounts));
+//! 3. the **topic model point estimate** — φ, the asymmetric α vector and
+//!    β — frozen for Eq. 7 fold-in.
+//!
+//! The on-disk layout is a directory of plain TSV files fronted by
+//! `header.tsv`, whose first line carries [`FROZEN_MODEL_FORMAT`]; loading
+//! any other version fails with an error naming both versions, never a
+//! panic.
+
+use crate::trie::PhraseTrie;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use topmine_corpus::{io as corpus_io, porter_stem, tokenize_chunks, Document, StopwordSet, Vocab};
+use topmine_lda::PhraseLda;
+use topmine_phrase::{PhraseConstructor, PhraseStats};
+
+/// Version tag on the first line of `header.tsv`.
+pub const FROZEN_MODEL_FORMAT: &str = "topmine-frozen-model/1";
+
+/// The preprocessing contract unseen text is held to (a persistable subset
+/// of `topmine_corpus::CorpusOptions` — the provenance switch is a training
+/// concern and deliberately absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessConfig {
+    /// Porter-stem every token.
+    pub stem: bool,
+    /// Drop stop words from the inference stream.
+    pub remove_stopwords: bool,
+    /// Drop surface tokens shorter than this many characters.
+    pub min_token_len: usize,
+    /// The stop word list itself (sorted; empty when removal is off), so a
+    /// bundle trained with a custom list reproduces it bit-for-bit.
+    pub stopwords: Vec<String>,
+}
+
+impl PreprocessConfig {
+    /// Capture the persistable parts of the training-side options.
+    pub fn from_corpus_options(options: &topmine_corpus::CorpusOptions) -> Self {
+        Self {
+            stem: options.stem,
+            remove_stopwords: options.remove_stopwords,
+            min_token_len: options.min_token_len,
+            stopwords: if options.remove_stopwords {
+                options
+                    .stopwords
+                    .sorted_words()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+impl Default for PreprocessConfig {
+    /// The paper's preprocessing (mirrors `CorpusOptions::default`).
+    fn default() -> Self {
+        Self::from_corpus_options(&topmine_corpus::CorpusOptions::default())
+    }
+}
+
+/// Bundle metadata: format version plus the training-corpus statistics that
+/// size every downstream structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelHeader {
+    pub n_topics: usize,
+    pub vocab_size: usize,
+    /// Documents in the training corpus.
+    pub n_docs: usize,
+    /// Tokens in the training corpus (the lexicon's `L`).
+    pub n_tokens: u64,
+    /// Significance threshold α the segmentation was (and will be) run with.
+    pub seg_alpha: f64,
+    /// Symmetric topic-word Dirichlet β.
+    pub beta: f64,
+}
+
+/// A fitted ToPMine model frozen for inference.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    pub header: ModelHeader,
+    pub preprocess: PreprocessConfig,
+    pub vocab: Vocab,
+    /// Display table: most frequent surface form per stem id (empty string
+    /// = fall back to the vocab word). Present iff training stemmed.
+    pub unstem: Option<Vec<String>>,
+    pub lexicon: PhraseTrie,
+    /// Topic-word point estimate, `n_topics × vocab_size`.
+    pub phi: Vec<Vec<f64>>,
+    /// Asymmetric document-topic Dirichlet, length `n_topics`.
+    pub alpha: Vec<f64>,
+    /// Membership set built from `preprocess.stopwords` (not persisted
+    /// separately).
+    stopword_set: StopwordSet,
+}
+
+/// A document preprocessed against a frozen vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct PreparedDoc {
+    /// The inference stream: known-word ids with chunk structure.
+    pub doc: Document,
+    /// Surface tokens that survived filtering but are outside the frozen
+    /// vocabulary (dropped from the stream).
+    pub n_oov: usize,
+}
+
+fn data_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn remove_if_present(path: &Path) -> io::Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+impl FrozenModel {
+    /// Freeze a fitted model. `stats` and `seg_alpha` are the mining-side
+    /// outputs (Algorithm 1 counts and the Algorithm 2 threshold), `model`
+    /// the trained sampler, `options` the preprocessing the corpus was
+    /// built with.
+    pub fn freeze(
+        corpus: &topmine_corpus::Corpus,
+        stats: &PhraseStats,
+        seg_alpha: f64,
+        model: &PhraseLda,
+        options: &topmine_corpus::CorpusOptions,
+    ) -> Self {
+        assert_eq!(
+            corpus.vocab.len(),
+            model.vocab_size(),
+            "corpus and sampler disagree on vocabulary size"
+        );
+        let preprocess = PreprocessConfig::from_corpus_options(options);
+        let stopword_set = StopwordSet::from_words(preprocess.stopwords.iter().map(String::as_str));
+        Self {
+            header: ModelHeader {
+                n_topics: model.n_topics(),
+                vocab_size: model.vocab_size(),
+                n_docs: corpus.n_docs(),
+                n_tokens: corpus.n_tokens() as u64,
+                seg_alpha,
+                beta: model.beta(),
+            },
+            preprocess,
+            vocab: corpus.vocab.clone(),
+            unstem: corpus.unstem.clone(),
+            lexicon: PhraseTrie::from_stats(stats),
+            phi: model.phi(),
+            alpha: model.alpha().to_vec(),
+            stopword_set,
+        }
+    }
+
+    /// Assemble a model from raw parts (tests, format converters). Shape
+    /// invariants are checked.
+    pub fn from_parts(
+        header: ModelHeader,
+        preprocess: PreprocessConfig,
+        vocab: Vocab,
+        unstem: Option<Vec<String>>,
+        lexicon: PhraseTrie,
+        phi: Vec<Vec<f64>>,
+        alpha: Vec<f64>,
+    ) -> io::Result<Self> {
+        let model = Self {
+            stopword_set: StopwordSet::from_words(preprocess.stopwords.iter().map(String::as_str)),
+            header,
+            preprocess,
+            vocab,
+            unstem,
+            lexicon,
+            phi,
+            alpha,
+        };
+        model.validate().map_err(data_err)?;
+        Ok(model)
+    }
+
+    /// Structural invariants every loaded/assembled model satisfies.
+    pub fn validate(&self) -> Result<(), String> {
+        let h = &self.header;
+        if self.vocab.len() != h.vocab_size {
+            return Err(format!(
+                "vocab has {} words, header says {}",
+                self.vocab.len(),
+                h.vocab_size
+            ));
+        }
+        if self.phi.len() != h.n_topics {
+            return Err(format!(
+                "phi has {} rows, header says {} topics",
+                self.phi.len(),
+                h.n_topics
+            ));
+        }
+        if let Some(row) = self.phi.iter().find(|r| r.len() != h.vocab_size) {
+            return Err(format!(
+                "phi row has {} columns, header says vocab_size {}",
+                row.len(),
+                h.vocab_size
+            ));
+        }
+        if self.alpha.len() != h.n_topics {
+            return Err(format!(
+                "alpha has {} entries, header says {} topics",
+                self.alpha.len(),
+                h.n_topics
+            ));
+        }
+        // NaN must fail too, so compare via the negation.
+        let positive = |x: f64| x > 0.0;
+        if !self.alpha.iter().copied().all(positive) || !positive(h.beta) {
+            return Err("hyperparameters must be positive".into());
+        }
+        if let Some(u) = &self.unstem {
+            if u.len() != h.vocab_size {
+                return Err("unstem table length mismatch".into());
+            }
+        }
+        Ok(())
+    }
+
+    pub fn n_topics(&self) -> usize {
+        self.header.n_topics
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.header.vocab_size
+    }
+
+    /// Preferred display string for one word id (unstemmed when possible).
+    pub fn display_word(&self, id: u32) -> &str {
+        match &self.unstem {
+            Some(table) if !table[id as usize].is_empty() => &table[id as usize],
+            _ => self.vocab.word(id),
+        }
+    }
+
+    /// Render a phrase of word ids for display.
+    pub fn display_phrase(&self, ids: &[u32]) -> String {
+        let mut s = String::new();
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(self.display_word(id));
+        }
+        s
+    }
+
+    /// Normalize unseen text exactly as training preprocessing did:
+    /// tokenize into chunks, filter by length and stop words, stem, then
+    /// map through the *frozen* vocabulary. Out-of-vocabulary terms are
+    /// dropped (and counted) — fold-in has no estimate for them.
+    pub fn prepare(&self, text: &str) -> PreparedDoc {
+        let mut chunks: Vec<Vec<u32>> = Vec::new();
+        let mut current_chunk: Option<u32> = None;
+        let mut n_oov = 0usize;
+        for tok in tokenize_chunks(text) {
+            if current_chunk != Some(tok.chunk) {
+                chunks.push(Vec::new());
+                current_chunk = Some(tok.chunk);
+            }
+            if tok.text.chars().count() < self.preprocess.min_token_len {
+                continue;
+            }
+            if self.preprocess.remove_stopwords && self.stopword_set.contains(&tok.text) {
+                continue;
+            }
+            let term = if self.preprocess.stem {
+                porter_stem(&tok.text)
+            } else {
+                tok.text
+            };
+            if term.is_empty() {
+                continue;
+            }
+            match self.vocab.id(&term) {
+                Some(id) => chunks.last_mut().expect("chunk open").push(id),
+                None => n_oov += 1,
+            }
+        }
+        PreparedDoc {
+            doc: Document::from_chunks(chunks),
+            n_oov,
+        }
+    }
+
+    /// Segment a prepared document against the frozen lexicon (Algorithm 2
+    /// with the trained counts and threshold).
+    pub fn segment(&self, doc: &Document) -> Vec<(u32, u32)> {
+        PhraseConstructor::new(self.header.seg_alpha).construct_doc(doc, &self.lexicon)
+    }
+
+    // ----- persistence ------------------------------------------------------
+
+    /// Write the bundle into `dir` (created if needed): `header.tsv`,
+    /// `vocab.tsv`, `lexicon.tsv`, `phi.tsv`, plus `stopwords.txt` and
+    /// `unstem.tsv` when applicable.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.save_header(&dir.join("header.tsv"))?;
+        corpus_io::save_vocab(&self.vocab, &dir.join("vocab.tsv"))?;
+        self.save_lexicon(&dir.join("lexicon.tsv"))?;
+        topmine_lda::io::save_phi_matrix(&self.phi, &dir.join("phi.tsv"))?;
+        // The optional files must not survive from a previous bundle saved
+        // into the same directory: load() treats their presence as meaning.
+        let stopwords_path = dir.join("stopwords.txt");
+        if self.preprocess.stopwords.is_empty() {
+            remove_if_present(&stopwords_path)?;
+        } else {
+            let mut out = BufWriter::new(File::create(&stopwords_path)?);
+            for w in &self.preprocess.stopwords {
+                writeln!(out, "{w}")?;
+            }
+            out.flush()?;
+        }
+        let unstem_path = dir.join("unstem.tsv");
+        match &self.unstem {
+            None => remove_if_present(&unstem_path)?,
+            Some(unstem) => {
+                let mut out = BufWriter::new(File::create(&unstem_path)?);
+                for (id, surface) in unstem.iter().enumerate() {
+                    if !surface.is_empty() {
+                        writeln!(out, "{id}\t{surface}")?;
+                    }
+                }
+                out.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn save_header(&self, path: &Path) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        let h = &self.header;
+        writeln!(out, "format\t{FROZEN_MODEL_FORMAT}")?;
+        writeln!(out, "n_topics\t{}", h.n_topics)?;
+        writeln!(out, "vocab_size\t{}", h.vocab_size)?;
+        writeln!(out, "n_docs\t{}", h.n_docs)?;
+        writeln!(out, "n_tokens\t{}", h.n_tokens)?;
+        writeln!(out, "seg_alpha\t{:.17e}", h.seg_alpha)?;
+        writeln!(out, "beta\t{:.17e}", h.beta)?;
+        writeln!(out, "min_support\t{}", self.lexicon.min_support())?;
+        writeln!(out, "stem\t{}", self.preprocess.stem)?;
+        writeln!(
+            out,
+            "remove_stopwords\t{}",
+            self.preprocess.remove_stopwords
+        )?;
+        writeln!(out, "min_token_len\t{}", self.preprocess.min_token_len)?;
+        for (t, a) in self.alpha.iter().enumerate() {
+            writeln!(out, "alpha{t}\t{a:.17e}")?;
+        }
+        out.flush()
+    }
+
+    fn save_lexicon(&self, path: &Path) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(
+            out,
+            "total_tokens\t{}",
+            topmine_phrase::PhraseCounts::total_tokens(&self.lexicon)
+        )?;
+        for (phrase, count) in self.lexicon.iter_phrases() {
+            write!(out, "{count}\t")?;
+            for (i, w) in phrase.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " ")?;
+                }
+                write!(out, "{w}")?;
+            }
+            writeln!(out)?;
+        }
+        out.flush()
+    }
+
+    /// Load a bundle written by [`FrozenModel::save`]. The header's format
+    /// line is checked first; every other failure (missing file, bad
+    /// number, shape mismatch) is an `io::Error` naming the file and line.
+    pub fn load(dir: &Path) -> io::Result<Self> {
+        let raw = RawHeader::load(&dir.join("header.tsv"))?;
+        let vocab = corpus_io::load_vocab(&dir.join("vocab.tsv"))?;
+        let lexicon = load_lexicon(&dir.join("lexicon.tsv"), raw.min_support)?;
+        let phi = topmine_lda::io::load_phi(&dir.join("phi.tsv"))?;
+        let stopwords_path = dir.join("stopwords.txt");
+        let stopwords = if stopwords_path.exists() {
+            let reader = BufReader::new(File::open(&stopwords_path)?);
+            let mut words = Vec::new();
+            for line in reader.lines() {
+                let line = line?;
+                if !line.is_empty() {
+                    words.push(line);
+                }
+            }
+            words
+        } else {
+            Vec::new()
+        };
+        let unstem_path = dir.join("unstem.tsv");
+        let unstem = if unstem_path.exists() {
+            let mut table = vec![String::new(); vocab.len()];
+            let reader = BufReader::new(File::open(&unstem_path)?);
+            for (i, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.is_empty() {
+                    continue;
+                }
+                let (id_str, surface) = line.split_once('\t').ok_or_else(|| {
+                    data_err(format!("unstem line {}: not id<TAB>surface", i + 1))
+                })?;
+                let id: usize = id_str
+                    .parse()
+                    .map_err(|_| data_err(format!("unstem line {}: bad id {id_str:?}", i + 1)))?;
+                if id >= table.len() {
+                    return Err(data_err(format!(
+                        "unstem line {}: id {id} outside vocabulary",
+                        i + 1
+                    )));
+                }
+                table[id] = surface.to_string();
+            }
+            Some(table)
+        } else {
+            None
+        };
+        Self::from_parts(
+            ModelHeader {
+                n_topics: raw.n_topics,
+                vocab_size: raw.vocab_size,
+                n_docs: raw.n_docs,
+                n_tokens: raw.n_tokens,
+                seg_alpha: raw.seg_alpha,
+                beta: raw.beta,
+            },
+            PreprocessConfig {
+                stem: raw.stem,
+                remove_stopwords: raw.remove_stopwords,
+                min_token_len: raw.min_token_len,
+                stopwords,
+            },
+            vocab,
+            unstem,
+            lexicon,
+            phi,
+            raw.alpha,
+        )
+    }
+}
+
+/// Parsed `header.tsv` before assembly.
+struct RawHeader {
+    n_topics: usize,
+    vocab_size: usize,
+    n_docs: usize,
+    n_tokens: u64,
+    seg_alpha: f64,
+    beta: f64,
+    min_support: u64,
+    stem: bool,
+    remove_stopwords: bool,
+    min_token_len: usize,
+    alpha: Vec<f64>,
+}
+
+impl RawHeader {
+    fn load(path: &Path) -> io::Result<Self> {
+        // The versioned key<TAB>value plumbing (format line, line-numbered
+        // errors) is shared with the LDA bundle format.
+        let pairs = topmine_lda::io::read_versioned_kv(path, FROZEN_MODEL_FORMAT)?;
+        let mut n_topics = None;
+        let mut vocab_size = None;
+        let mut n_docs = None;
+        let mut n_tokens = None;
+        let mut seg_alpha = None;
+        let mut beta = None;
+        let mut min_support = None;
+        let mut stem = None;
+        let mut remove_stopwords = None;
+        let mut min_token_len = None;
+        let mut alphas: Vec<(usize, f64)> = Vec::new();
+        for (line_no, key, value) in pairs {
+            macro_rules! parse_into {
+                ($slot:ident) => {
+                    $slot = Some(value.parse().map_err(|_| {
+                        data_err(format!(
+                            "header line {line_no}: bad value for {key}: {value:?}"
+                        ))
+                    })?)
+                };
+            }
+            match key.as_str() {
+                "n_topics" => parse_into!(n_topics),
+                "vocab_size" => parse_into!(vocab_size),
+                "n_docs" => parse_into!(n_docs),
+                "n_tokens" => parse_into!(n_tokens),
+                "seg_alpha" => parse_into!(seg_alpha),
+                "beta" => parse_into!(beta),
+                "min_support" => parse_into!(min_support),
+                "stem" => parse_into!(stem),
+                "remove_stopwords" => parse_into!(remove_stopwords),
+                "min_token_len" => parse_into!(min_token_len),
+                k if k.starts_with("alpha") => {
+                    let t: usize = k["alpha".len()..]
+                        .parse()
+                        .map_err(|_| data_err(format!("header line {line_no}: bad key {k:?}")))?;
+                    let a: f64 = value.parse().map_err(|_| {
+                        data_err(format!(
+                            "header line {line_no}: bad value for {k}: {value:?}"
+                        ))
+                    })?;
+                    alphas.push((t, a));
+                }
+                other => {
+                    return Err(data_err(format!(
+                        "header line {line_no}: unknown key {other:?}"
+                    )))
+                }
+            }
+        }
+        let missing = |k: &str| data_err(format!("header.tsv missing {k}"));
+        let n_topics = n_topics.ok_or_else(|| missing("n_topics"))?;
+        let alpha = topmine_lda::io::assemble_alpha(alphas, n_topics, "header.tsv")?;
+        Ok(Self {
+            n_topics,
+            vocab_size: vocab_size.ok_or_else(|| missing("vocab_size"))?,
+            n_docs: n_docs.ok_or_else(|| missing("n_docs"))?,
+            n_tokens: n_tokens.ok_or_else(|| missing("n_tokens"))?,
+            seg_alpha: seg_alpha.ok_or_else(|| missing("seg_alpha"))?,
+            beta: beta.ok_or_else(|| missing("beta"))?,
+            min_support: min_support.ok_or_else(|| missing("min_support"))?,
+            stem: stem.ok_or_else(|| missing("stem"))?,
+            remove_stopwords: remove_stopwords.ok_or_else(|| missing("remove_stopwords"))?,
+            min_token_len: min_token_len.ok_or_else(|| missing("min_token_len"))?,
+            alpha,
+        })
+    }
+}
+
+fn load_lexicon(path: &Path, min_support: u64) -> io::Result<PhraseTrie> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let first = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| data_err("lexicon.tsv is empty".into()))?;
+    let total_tokens: u64 = match first.split_once('\t') {
+        Some(("total_tokens", v)) => v
+            .parse()
+            .map_err(|_| data_err(format!("lexicon line 1: bad total_tokens {v:?}")))?,
+        _ => {
+            return Err(data_err(
+                "lexicon line 1: expected total_tokens\t<count>".into(),
+            ))
+        }
+    };
+    let mut trie = PhraseTrie::new(total_tokens, min_support);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = i + 2;
+        let (count_str, ids) = line
+            .split_once('\t')
+            .ok_or_else(|| data_err(format!("lexicon line {line_no}: not count<TAB>ids")))?;
+        let count: u64 = count_str
+            .parse()
+            .map_err(|_| data_err(format!("lexicon line {line_no}: bad count {count_str:?}")))?;
+        let mut phrase = Vec::new();
+        for tok in ids.split_whitespace() {
+            phrase.push(
+                tok.parse::<u32>().map_err(|_| {
+                    data_err(format!("lexicon line {line_no}: bad word id {tok:?}"))
+                })?,
+            );
+        }
+        if phrase.is_empty() || count == 0 {
+            return Err(data_err(format!(
+                "lexicon line {line_no}: empty phrase or zero count"
+            )));
+        }
+        trie.insert(&phrase, count);
+    }
+    Ok(trie)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use topmine_corpus::{corpus_from_texts, CorpusOptions};
+    use topmine_lda::{GroupedDocs, TopicModelConfig};
+    use topmine_phrase::Segmenter;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("topmine-frozen-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Fit a tiny but real model: mine + segment + a few Gibbs sweeps.
+    pub(crate) fn tiny_model() -> FrozenModel {
+        let texts: Vec<String> = (0..30)
+            .flat_map(|i| {
+                [
+                    format!("mining frequent patterns in data streams {i}"),
+                    format!("support vector machines for classification task {i}"),
+                ]
+            })
+            .collect();
+        let corpus = corpus_from_texts(texts.iter().map(String::as_str));
+        let (stats, seg) = Segmenter::with_params(5, 2.0).segment(&corpus);
+        let grouped = GroupedDocs::from_segmentation(&corpus, &seg);
+        let mut model = topmine_lda::PhraseLda::new(grouped, TopicModelConfig::new(2).with_seed(9));
+        model.run(30);
+        FrozenModel::freeze(&corpus, &stats, 2.0, &model, &CorpusOptions::default())
+    }
+
+    #[test]
+    fn freeze_captures_shapes() {
+        let m = tiny_model();
+        m.validate().unwrap();
+        assert_eq!(m.n_topics(), 2);
+        assert_eq!(m.phi.len(), 2);
+        assert_eq!(m.phi[0].len(), m.vocab_size());
+        assert!(m.lexicon.n_phrases() > 0);
+        assert!(m.unstem.is_some());
+        assert!(!m.preprocess.stopwords.is_empty());
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = tmpdir("roundtrip");
+        let m = tiny_model();
+        m.save(&dir).unwrap();
+        let loaded = FrozenModel::load(&dir).unwrap();
+        assert_eq!(loaded.header, m.header);
+        assert_eq!(loaded.preprocess, m.preprocess);
+        assert_eq!(loaded.phi, m.phi);
+        assert_eq!(loaded.alpha, m.alpha);
+        assert_eq!(loaded.lexicon, m.lexicon);
+        assert_eq!(loaded.vocab.len(), m.vocab.len());
+        for (id, w) in m.vocab.iter() {
+            assert_eq!(loaded.vocab.word(id), w);
+        }
+        assert_eq!(loaded.unstem, m.unstem);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clean_error() {
+        let dir = tmpdir("version");
+        let m = tiny_model();
+        m.save(&dir).unwrap();
+        let header = dir.join("header.tsv");
+        let body = std::fs::read_to_string(&header).unwrap();
+        std::fs::write(
+            &header,
+            body.replace(FROZEN_MODEL_FORMAT, "topmine-frozen-model/99"),
+        )
+        .unwrap();
+        let err = FrozenModel::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("topmine-frozen-model/99"), "{err}");
+        assert!(err.contains(FROZEN_MODEL_FORMAT), "{err}");
+        // Header-less bundles are refused too.
+        std::fs::write(&header, "n_topics\t2\n").unwrap();
+        let err = FrozenModel::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("versioned header"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_bundles_error_instead_of_panicking() {
+        let dir = tmpdir("corrupt");
+        let m = tiny_model();
+        m.save(&dir).unwrap();
+        std::fs::write(dir.join("lexicon.tsv"), "total_tokens\t10\n5\t1 x\n").unwrap();
+        let err = FrozenModel::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("lexicon line 2"), "{err}");
+        m.save(&dir).unwrap();
+        std::fs::write(dir.join("phi.tsv"), "topic\tw0\n0\tnope\n").unwrap();
+        assert!(FrozenModel::load(&dir).is_err());
+        m.save(&dir).unwrap();
+        std::fs::remove_file(dir.join("vocab.tsv")).unwrap();
+        assert!(FrozenModel::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn overwriting_a_bundle_drops_stale_optional_files() {
+        let dir = tmpdir("overwrite");
+        // First bundle: stemmed + stopwords → writes both optional files.
+        tiny_model().save(&dir).unwrap();
+        assert!(dir.join("unstem.tsv").exists());
+        assert!(dir.join("stopwords.txt").exists());
+        // Second bundle into the same directory: raw preprocessing, so the
+        // optional files must disappear, and the reload must reflect it.
+        let texts: Vec<String> = (0..20).map(|i| format!("alpha beta gamma {i}")).collect();
+        let mut builder = topmine_corpus::CorpusBuilder::new(CorpusOptions::raw());
+        builder.add_documents(texts.iter().map(String::as_str));
+        let corpus = builder.build();
+        let (stats, seg) = Segmenter::with_params(3, 2.0).segment(&corpus);
+        let grouped = GroupedDocs::from_segmentation(&corpus, &seg);
+        let mut model = topmine_lda::PhraseLda::new(grouped, TopicModelConfig::new(2).with_seed(1));
+        model.run(5);
+        let raw = FrozenModel::freeze(&corpus, &stats, 2.0, &model, &CorpusOptions::raw());
+        raw.save(&dir).unwrap();
+        assert!(!dir.join("unstem.tsv").exists());
+        assert!(!dir.join("stopwords.txt").exists());
+        let loaded = FrozenModel::load(&dir).unwrap();
+        assert!(loaded.unstem.is_none());
+        assert!(loaded.preprocess.stopwords.is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prepare_applies_frozen_preprocessing() {
+        let m = tiny_model();
+        let prepared = m.prepare("The support vector machines, for the data streams!");
+        // Stop words removed, stems mapped through the frozen vocab; the
+        // comma opens a new chunk.
+        let words: Vec<&str> = prepared
+            .doc
+            .tokens
+            .iter()
+            .map(|&t| m.vocab.word(t))
+            .collect();
+        assert_eq!(words, vec!["support", "vector", "machin", "data", "stream"]);
+        assert_eq!(prepared.doc.n_chunks(), 2);
+        assert_eq!(prepared.n_oov, 0);
+        // Unknown words are dropped and counted.
+        let prepared = m.prepare("support quux vector");
+        assert_eq!(prepared.n_oov, 1);
+        assert_eq!(prepared.doc.n_tokens(), 2);
+    }
+
+    #[test]
+    fn segment_finds_trained_phrases_in_unseen_text() {
+        let m = tiny_model();
+        let prepared = m.prepare("a study of support vector machines in practice");
+        let spans = m.segment(&prepared.doc);
+        // The trained collocation "support vector machin" segments as one
+        // multi-word phrase.
+        let svm: Vec<u32> = ["support", "vector", "machin"]
+            .iter()
+            .map(|w| m.vocab.id(w).unwrap())
+            .collect();
+        let found = spans
+            .iter()
+            .any(|&(s, e)| prepared.doc.tokens[s as usize..e as usize] == svm[..]);
+        assert!(found, "spans: {spans:?}");
+    }
+
+    #[test]
+    fn empty_text_prepares_to_empty_doc() {
+        let m = tiny_model();
+        let prepared = m.prepare("");
+        assert!(prepared.doc.is_empty());
+        assert!(m.segment(&prepared.doc).is_empty());
+    }
+}

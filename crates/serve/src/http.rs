@@ -1,0 +1,513 @@
+//! A minimal std-only HTTP/1.1 front end for the query engine.
+//!
+//! No async runtime (the build is offline): a `std::net::TcpListener`
+//! accept loop hands each connection to a fixed worker pool, one request
+//! per connection (`Connection: close`). The surface is deliberately tiny:
+//!
+//! * `GET /healthz` — liveness plus model shape;
+//! * `GET /model`   — bundle metadata (header + preprocessing contract);
+//! * `POST /infer`  — body is one plain-text document; query parameters
+//!   `seed`, `iters`, `top` override the per-request inference knobs.
+//!
+//! Responses are JSON, hand-rendered (no serde in the dependency set);
+//! floats use Rust's shortest round-trip `Display`, so a fixed seed yields
+//! byte-identical bodies across runs and thread counts.
+
+use crate::engine::{QueryEngine, ThreadPool};
+use crate::frozen::FROZEN_MODEL_FORMAT;
+use crate::infer::{DocInference, InferConfig};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Hard cap on request bodies (1 MiB) — inference input is one document.
+const MAX_BODY: usize = 1 << 20;
+/// Hard cap on the request head (request line + headers). Enforced via
+/// `Read::take`, so a newline-free request line cannot allocate past it.
+const MAX_HEAD: usize = 16 << 10;
+/// Socket read/write timeout: a stalled or silent client (slowloris) frees
+/// its worker after this long instead of occupying it forever.
+const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handling worker threads.
+    pub n_threads: usize,
+    /// Default inference knobs; `/infer` query parameters override per
+    /// request.
+    pub infer_defaults: InferConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            n_threads: 4,
+            infer_defaults: InferConfig::default(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct HttpServer {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    config: ServerConfig,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        engine: Arc<QueryEngine>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            config,
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until the process exits (the CLI path).
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop)
+    }
+
+    /// Serve on a background thread; the returned handle stops the accept
+    /// loop and joins it (tests, embedding).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_loop = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("topmine-serve-accept".into())
+            .spawn(move || {
+                let _ = self.accept_loop(&stop_loop);
+            })?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    fn accept_loop(&self, stop: &AtomicBool) -> io::Result<()> {
+        let pool = ThreadPool::new(self.config.n_threads);
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept error; keep serving
+            };
+            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            let engine = Arc::clone(&self.engine);
+            let defaults = self.config.infer_defaults.clone();
+            pool.execute(move || {
+                let _ = handle_connection(stream, &engine, &defaults);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a spawned server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connections
+    /// finish (the pool drains on drop).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+// ----- request handling -----------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: String,
+}
+
+#[derive(Debug, PartialEq)]
+struct HttpError {
+    status: u16,
+    message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &QueryEngine,
+    defaults: &InferConfig,
+) -> io::Result<()> {
+    // The take-limit caps how much a connection can make us buffer: the
+    // head cap up front, widened to admit the (already length-checked)
+    // body once the headers are parsed.
+    let mut reader = BufReader::new(stream.take(MAX_HEAD as u64));
+    let response = match read_request(&mut reader) {
+        Ok(req) => match route(&req, engine, defaults) {
+            Ok(body) => render_response(200, &body),
+            Err(e) => render_response(e.status, &error_json(&e.message)),
+        },
+        Err(e) => render_response(e.status, &error_json(&e.message)),
+    };
+    let mut stream = reader.into_inner().into_inner();
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, HttpError> {
+    let bad = |m: &str| HttpError::new(400, m);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|_| bad("unreadable request line"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(bad("not an HTTP/1.x request")),
+    }
+    let (method, target) = (method.to_string(), target.to_string());
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|_| bad("unreadable header"))?;
+        head_bytes += n;
+        if n == 0 {
+            // The head ended without a blank line: either the client hit
+            // the take-limit or closed the connection mid-head.
+            return if head_bytes >= MAX_HEAD {
+                Err(HttpError::new(431, "request head too large"))
+            } else {
+                Err(bad("truncated request head"))
+            };
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    // Widen the read cap for the declared (and now validated) body size;
+    // any body bytes already buffered were counted against the head cap.
+    reader.get_mut().set_limit(content_length as u64);
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| bad("body shorter than content-length"))?;
+    let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+
+    let (path, query) = parse_target(&target);
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Split a request target into path and `key=value` query pairs (no
+/// percent-decoding: the API's parameters are plain integers).
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => (
+            path.to_string(),
+            query
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (kv.to_string(), String::new()),
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn infer_config_from_query(
+    query: &[(String, String)],
+    defaults: &InferConfig,
+) -> Result<InferConfig, HttpError> {
+    let mut cfg = defaults.clone();
+    for (key, value) in query {
+        let bad = || HttpError::new(400, format!("bad value for {key}: {value:?}"));
+        match key.as_str() {
+            "seed" => cfg.seed = value.parse().map_err(|_| bad())?,
+            "iters" => {
+                cfg.fold_iters = value.parse().map_err(|_| bad())?;
+                if cfg.fold_iters == 0 || cfg.fold_iters > 10_000 {
+                    return Err(HttpError::new(400, "iters must be in 1..=10000"));
+                }
+            }
+            "top" => cfg.top_topics = value.parse().map_err(|_| bad())?,
+            other => return Err(HttpError::new(400, format!("unknown parameter {other:?}"))),
+        }
+    }
+    Ok(cfg)
+}
+
+fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<String, HttpError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let m = engine.model();
+            Ok(format!(
+                "{{\"status\":\"ok\",\"format\":{},\"topics\":{},\"vocab\":{}}}",
+                json_string(FROZEN_MODEL_FORMAT),
+                m.n_topics(),
+                m.vocab_size()
+            ))
+        }
+        ("GET", "/model") => {
+            let m = engine.model();
+            let h = &m.header;
+            Ok(format!(
+                "{{\"format\":{},\"topics\":{},\"vocab\":{},\"train_docs\":{},\
+                 \"train_tokens\":{},\"lexicon_phrases\":{},\"seg_alpha\":{},\"beta\":{},\
+                 \"stem\":{},\"remove_stopwords\":{}}}",
+                json_string(FROZEN_MODEL_FORMAT),
+                h.n_topics,
+                h.vocab_size,
+                h.n_docs,
+                h.n_tokens,
+                m.lexicon.n_phrases(),
+                h.seg_alpha,
+                h.beta,
+                m.preprocess.stem,
+                m.preprocess.remove_stopwords
+            ))
+        }
+        ("POST", "/infer") => {
+            let cfg = infer_config_from_query(&req.query, defaults)?;
+            if req.body.is_empty() {
+                return Err(HttpError::new(400, "empty body: send the document text"));
+            }
+            Ok(inference_json(&engine.infer(&req.body, &cfg)))
+        }
+        (_, "/healthz" | "/model" | "/infer") => Err(HttpError::new(
+            405,
+            format!("method {} not allowed", req.method),
+        )),
+        (_, path) => Err(HttpError::new(404, format!("no such endpoint: {path}"))),
+    }
+}
+
+fn render_response(status: u16, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+// ----- JSON rendering -------------------------------------------------------
+
+/// Escape and quote a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn error_json(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// Render a [`DocInference`] as the `/infer` response body.
+pub fn inference_json(inference: &DocInference) -> String {
+    let mut out = String::new();
+    out.push_str("{\"n_tokens\":");
+    out.push_str(&inference.n_tokens.to_string());
+    out.push_str(",\"n_oov\":");
+    out.push_str(&inference.n_oov.to_string());
+    out.push_str(",\"theta\":[");
+    for (i, t) in inference.theta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_string());
+    }
+    out.push_str("],\"top_topics\":[");
+    for (i, (topic, weight)) in inference.top_topics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"topic\":{topic},\"weight\":{weight}}}"));
+    }
+    out.push_str("],\"phrases\":[");
+    for (i, p) in inference.phrases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"text\":{},\"n_words\":{},\"topic\":{}}}",
+            json_string(&p.text),
+            p.words.len(),
+            p.topic
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing() {
+        let (path, query) = parse_target("/infer?seed=7&iters=30");
+        assert_eq!(path, "/infer");
+        assert_eq!(
+            query,
+            vec![
+                ("seed".to_string(), "7".to_string()),
+                ("iters".to_string(), "30".to_string())
+            ]
+        );
+        let (path, query) = parse_target("/healthz");
+        assert_eq!(path, "/healthz");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn query_overrides_defaults() {
+        let defaults = InferConfig::default();
+        let cfg = infer_config_from_query(
+            &[
+                ("seed".into(), "42".into()),
+                ("iters".into(), "5".into()),
+                ("top".into(), "2".into()),
+            ],
+            &defaults,
+        )
+        .unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.fold_iters, 5);
+        assert_eq!(cfg.top_topics, 2);
+        assert!(infer_config_from_query(&[("seed".into(), "x".into())], &defaults).is_err());
+        assert!(infer_config_from_query(&[("iters".into(), "0".into())], &defaults).is_err());
+        assert!(infer_config_from_query(&[("bogus".into(), "1".into())], &defaults).is_err());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let r = render_response(200, "{\"x\":1}");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 7\r\n"));
+        assert!(r.contains("Connection: close\r\n"));
+        assert!(r.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn inference_json_shape() {
+        use crate::infer::PhraseAssignment;
+        let inf = DocInference {
+            theta: vec![0.75, 0.25],
+            top_topics: vec![(0, 0.75)],
+            phrases: vec![PhraseAssignment {
+                text: "support vector".into(),
+                words: vec![1, 2],
+                topic: 0,
+            }],
+            n_tokens: 2,
+            n_oov: 1,
+        };
+        let json = inference_json(&inf);
+        assert_eq!(
+            json,
+            "{\"n_tokens\":2,\"n_oov\":1,\"theta\":[0.75,0.25],\
+             \"top_topics\":[{\"topic\":0,\"weight\":0.75}],\
+             \"phrases\":[{\"text\":\"support vector\",\"n_words\":2,\"topic\":0}]}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Fold-in inference over unseen documents (Eq. 7 with frozen φ).
+//!
+//! An unseen document is normalized and segmented against the frozen
+//! lexicon, then a short collapsed Gibbs chain runs over its phrase
+//! instances with the topic-word distribution held fixed at the trained
+//! point estimate. The phrase-clique constraint is preserved: a whole
+//! phrase instance takes one topic value, with the clique posterior
+//!
+//! ```text
+//! p(C = k | ...) ∝ ∏_{j=1..s} (α_k + n_dk + j − 1) · φ_{k, w_j}
+//! ```
+//!
+//! — Eq. 7's document side with the word side frozen. Everything is
+//! deterministic given the seed: same seed ⇒ bit-identical θ, topic
+//! ranking, and phrase annotations, regardless of which thread runs it.
+
+use crate::frozen::FrozenModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of one fold-in pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferConfig {
+    /// Gibbs sweeps over the document's phrase instances.
+    pub fold_iters: usize,
+    /// RNG seed; inference is a pure function of (model, text, config).
+    pub seed: u64,
+    /// How many `(topic, weight)` pairs to report in `top_topics`.
+    pub top_topics: usize,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        Self {
+            fold_iters: 20,
+            seed: 1,
+            top_topics: 3,
+        }
+    }
+}
+
+impl InferConfig {
+    /// The seed used for document `index` of a batch. Index 0 keeps the
+    /// configured seed, so a batch of one matches a single-document call;
+    /// later documents decorrelate via a SplitMix-style odd multiplier.
+    pub fn seed_for_index(&self, index: usize) -> u64 {
+        self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// One phrase instance of the segmented document with its sampled topic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhraseAssignment {
+    /// Display rendering (unstemmed when the bundle carries a table).
+    pub text: String,
+    /// Word ids of the instance (stemmed vocabulary ids).
+    pub words: Vec<u32>,
+    /// Topic the clique settled on in the final sweep.
+    pub topic: u16,
+}
+
+/// The inference result for one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocInference {
+    /// Document-topic distribution θ_d (length = n_topics, sums to 1).
+    pub theta: Vec<f64>,
+    /// `(topic, θ)` pairs sorted by weight descending, length ≤ top_topics.
+    pub top_topics: Vec<(usize, f64)>,
+    /// Per-phrase topic annotations, in document order.
+    pub phrases: Vec<PhraseAssignment>,
+    /// In-vocabulary tokens that entered inference.
+    pub n_tokens: usize,
+    /// Tokens dropped as out-of-vocabulary.
+    pub n_oov: usize,
+}
+
+impl FrozenModel {
+    /// Infer topics for one unseen document with the configured seed.
+    pub fn infer(&self, text: &str, config: &InferConfig) -> DocInference {
+        self.infer_seeded(text, config, config.seed)
+    }
+
+    /// Infer with an explicit seed (batch entry points pass
+    /// [`InferConfig::seed_for_index`]).
+    pub fn infer_seeded(&self, text: &str, config: &InferConfig, seed: u64) -> DocInference {
+        let prepared = self.prepare(text);
+        let spans = self.segment(&prepared.doc);
+        let k = self.n_topics();
+        let tokens = &prepared.doc.tokens;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Fold-in state: per-topic token counts for this document, one
+        // topic per phrase instance (clique).
+        let mut local_ndk = vec![0u32; k];
+        let mut z: Vec<u16> = Vec::with_capacity(spans.len());
+        for &(s, e) in &spans {
+            let t = rng.gen_range(0..k) as u16;
+            local_ndk[t as usize] += e - s;
+            z.push(t);
+        }
+
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..config.fold_iters {
+            for (g, &(s, e)) in spans.iter().enumerate() {
+                let old = z[g] as usize;
+                local_ndk[old] -= e - s;
+                for (t, slot) in weights.iter_mut().enumerate() {
+                    let mut w_t = 1.0f64;
+                    for (j, i) in (s as usize..e as usize).enumerate() {
+                        let w = tokens[i] as usize;
+                        w_t *= (self.alpha[t] + local_ndk[t] as f64 + j as f64) * self.phi[t][w];
+                    }
+                    *slot = w_t;
+                }
+                let new = sample_discrete(&mut rng, &weights) as u16;
+                z[g] = new;
+                local_ndk[new as usize] += e - s;
+            }
+        }
+
+        let alpha_sum: f64 = self.alpha.iter().sum();
+        let theta_den = tokens.len() as f64 + alpha_sum;
+        let theta: Vec<f64> = (0..k)
+            .map(|t| (local_ndk[t] as f64 + self.alpha[t]) / theta_den)
+            .collect();
+
+        let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
+        // Ties break on the lower topic id so the ranking is deterministic.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(config.top_topics);
+
+        let phrases = spans
+            .iter()
+            .zip(&z)
+            .map(|(&(s, e), &topic)| {
+                let words = tokens[s as usize..e as usize].to_vec();
+                PhraseAssignment {
+                    text: self.display_phrase(&words),
+                    words,
+                    topic,
+                }
+            })
+            .collect();
+
+        DocInference {
+            theta,
+            top_topics: ranked,
+            phrases,
+            n_tokens: tokens.len(),
+            n_oov: prepared.n_oov,
+        }
+    }
+}
+
+/// Sample an index proportional to `weights` (non-negative, unnormalized);
+/// uniform fallback when everything under/overflowed.
+fn sample_discrete(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return rng.gen_range(0..weights.len());
+    }
+    let x = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::tests::tiny_model;
+
+    #[test]
+    fn theta_is_a_distribution_and_deterministic() {
+        let m = tiny_model();
+        let cfg = InferConfig::default();
+        let a = m.infer("support vector machines for data streams", &cfg);
+        let b = m.infer("support vector machines for data streams", &cfg);
+        assert_eq!(a, b, "same seed must reproduce bit-identically");
+        let sum: f64 = a.theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "theta sums to {sum}");
+        assert_eq!(a.theta.len(), m.n_topics());
+        assert!(a.n_tokens > 0);
+        assert_eq!(a.top_topics.len(), 2.min(cfg.top_topics));
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_valid() {
+        let m = tiny_model();
+        let a = m.infer(
+            "mining frequent patterns",
+            &InferConfig {
+                seed: 1,
+                ..InferConfig::default()
+            },
+        );
+        let b = m.infer(
+            "mining frequent patterns",
+            &InferConfig {
+                seed: 2,
+                ..InferConfig::default()
+            },
+        );
+        for inf in [&a, &b] {
+            let sum: f64 = inf.theta.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn topical_documents_land_on_the_right_topic() {
+        let m = tiny_model();
+        let cfg = InferConfig {
+            fold_iters: 30,
+            ..InferConfig::default()
+        };
+        // The training corpus has two planted topics; held-out texts drawn
+        // from each should rank different top topics.
+        let stream = m.infer("mining frequent patterns in data streams", &cfg);
+        let svm = m.infer("support vector machines for classification", &cfg);
+        assert_ne!(
+            stream.top_topics[0].0, svm.top_topics[0].0,
+            "stream={:?} svm={:?}",
+            stream.top_topics, svm.top_topics
+        );
+        // And each should be confident about it.
+        assert!(stream.top_topics[0].1 > 0.5);
+        assert!(svm.top_topics[0].1 > 0.5);
+    }
+
+    #[test]
+    fn phrase_annotations_cover_the_document_in_order() {
+        let m = tiny_model();
+        let inf = m.infer(
+            "support vector machines, mining frequent patterns",
+            &InferConfig::default(),
+        );
+        let n_words: usize = inf.phrases.iter().map(|p| p.words.len()).sum();
+        assert_eq!(n_words, inf.n_tokens);
+        for p in &inf.phrases {
+            assert!((p.topic as usize) < m.n_topics());
+            assert!(!p.text.is_empty());
+        }
+        // The trained collocation appears as one multi-word annotation.
+        assert!(
+            inf.phrases.iter().any(|p| p.words.len() >= 2),
+            "phrases: {:?}",
+            inf.phrases
+        );
+    }
+
+    #[test]
+    fn empty_and_oov_documents_fall_back_to_the_prior() {
+        let m = tiny_model();
+        let inf = m.infer("zzzz qqqq xxxx", &InferConfig::default());
+        assert_eq!(inf.n_tokens, 0);
+        assert_eq!(inf.n_oov, 3);
+        assert!(inf.phrases.is_empty());
+        // θ is the normalized α prior.
+        let alpha_sum: f64 = m.alpha.iter().sum();
+        for (t, &th) in inf.theta.iter().enumerate() {
+            assert!((th - m.alpha[t] / alpha_sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_seed_zero_matches_single() {
+        let cfg = InferConfig::default();
+        assert_eq!(cfg.seed_for_index(0), cfg.seed);
+        assert_ne!(cfg.seed_for_index(1), cfg.seed_for_index(2));
+    }
+}

@@ -1,0 +1,58 @@
+//! Serving fitted ToPMine models (the reproduction's production seam).
+//!
+//! The paper's pipeline is batch-only: mine phrases, fit PhraseLDA, print
+//! topics. This crate adds the missing path from a fitted model to
+//! answering *"what are the topical phrases in this new document?"*, in
+//! three layers:
+//!
+//! * [`frozen`] — the **artifact**: [`FrozenModel`], an immutable,
+//!   versioned, single-directory bundle holding the preprocessing contract
+//!   (vocabulary, stemming, stop words), the phrase lexicon as a prefix
+//!   trie ([`PhraseTrie`]), and the topic model point estimate (φ, α, β);
+//! * [`infer`] — **fold-in inference**: segment unseen text with the
+//!   frozen lexicon (Algorithm 2 against the trie), then run a short
+//!   fixed-φ Gibbs chain preserving the phrase-clique constraint (Eq. 7)
+//!   to get θ, topic rankings, and per-phrase topic annotations —
+//!   deterministic given a seed;
+//! * [`engine`] / [`http`] — the **query engine and server**: an
+//!   `Arc<FrozenModel>`-sharing thread pool for batched inference, fronted
+//!   by a std-only HTTP/1.1 server (`topmine serve`); `topmine infer` is
+//!   the one-shot sibling.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use topmine_corpus::{corpus_from_texts, CorpusOptions};
+//! use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig};
+//! use topmine_phrase::Segmenter;
+//! use topmine_serve::{FrozenModel, InferConfig, QueryEngine};
+//!
+//! // Fit (normally done by the `topmine` CLI with `--save-model`).
+//! let texts: Vec<String> = (0..20)
+//!     .map(|i| format!("support vector machines for task {i}"))
+//!     .collect();
+//! let corpus = corpus_from_texts(texts.iter().map(String::as_str));
+//! let (stats, seg) = Segmenter::with_params(5, 2.0).segment(&corpus);
+//! let grouped = GroupedDocs::from_segmentation(&corpus, &seg);
+//! let mut lda = PhraseLda::new(grouped, TopicModelConfig::new(2).with_seed(7));
+//! lda.run(20);
+//!
+//! // Freeze, serve, infer.
+//! let frozen = FrozenModel::freeze(&corpus, &stats, 2.0, &lda, &CorpusOptions::default());
+//! let engine = QueryEngine::new(Arc::new(frozen), 2);
+//! let result = engine.infer("support vector machines in practice", &InferConfig::default());
+//! assert_eq!(result.theta.len(), 2);
+//! ```
+
+pub mod engine;
+pub mod frozen;
+pub mod http;
+pub mod infer;
+pub mod trie;
+
+pub use engine::{QueryEngine, ThreadPool};
+pub use frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig, FROZEN_MODEL_FORMAT};
+pub use http::{inference_json, HttpServer, ServerConfig, ServerHandle};
+pub use infer::{DocInference, InferConfig, PhraseAssignment};
+pub use trie::PhraseTrie;

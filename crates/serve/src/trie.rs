@@ -1,0 +1,276 @@
+//! The frozen phrase lexicon: a prefix trie over word-id sequences.
+//!
+//! Training mines phrase counts into a hash map ([`PhraseStats`]); serving
+//! freezes them into a trie so segmenting unseen text needs no hashing of
+//! owned keys, iteration order is canonical (lexicographic by word id —
+//! the serialization the bundle writes is diff-stable), and future
+//! extensions (prefix-guided candidate pruning, sharded lexicons) have a
+//! natural seam. The trie implements [`PhraseCounts`], so
+//! `topmine_phrase`'s Algorithm 2 runs against it unchanged.
+
+use topmine_phrase::{PhraseCounts, PhraseStats};
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TrieNode {
+    /// Corpus frequency of the phrase ending at this node (0 = prefix only).
+    count: u64,
+    /// `(word, child index)`, sorted by word for binary search.
+    children: Vec<(u32, u32)>,
+}
+
+/// An immutable phrase lexicon: every frequent phrase (and every unigram —
+/// Eq. 1's null model needs unigram probabilities even for infrequent
+/// words) with its corpus frequency.
+#[derive(Debug, Clone)]
+pub struct PhraseTrie {
+    /// Node 0 is the root (empty phrase; its count stays 0).
+    nodes: Vec<TrieNode>,
+    total_tokens: u64,
+    min_support: u64,
+    max_len: usize,
+    n_phrases: usize,
+}
+
+impl PhraseTrie {
+    pub fn new(total_tokens: u64, min_support: u64) -> Self {
+        Self {
+            nodes: vec![TrieNode::default()],
+            total_tokens,
+            min_support,
+            max_len: 0,
+            n_phrases: 0,
+        }
+    }
+
+    /// Freeze a miner's [`PhraseStats`] into a trie.
+    pub fn from_stats(stats: &PhraseStats) -> Self {
+        let mut trie = Self::new(stats.total_tokens, stats.min_support);
+        for (w, &c) in stats.unigram_counts.iter().enumerate() {
+            if c > 0 {
+                trie.insert(&[w as u32], c);
+            }
+        }
+        for (phrase, &c) in &stats.ngram_counts {
+            trie.insert(phrase, c);
+        }
+        trie
+    }
+
+    /// Insert (or overwrite) a phrase with its count. Zero counts and empty
+    /// phrases are ignored.
+    pub fn insert(&mut self, phrase: &[u32], count: u64) {
+        if phrase.is_empty() || count == 0 {
+            return;
+        }
+        let mut node = 0usize;
+        for &w in phrase {
+            node = match self.nodes[node]
+                .children
+                .binary_search_by_key(&w, |&(cw, _)| cw)
+            {
+                Ok(i) => self.nodes[node].children[i].1 as usize,
+                Err(i) => {
+                    let fresh = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].children.insert(i, (w, fresh));
+                    fresh as usize
+                }
+            };
+        }
+        if self.nodes[node].count == 0 {
+            self.n_phrases += 1;
+        }
+        self.nodes[node].count = count;
+        self.max_len = self.max_len.max(phrase.len());
+    }
+
+    fn find(&self, phrase: &[u32]) -> Option<usize> {
+        let mut node = 0usize;
+        for &w in phrase {
+            let children = &self.nodes[node].children;
+            node = children
+                .binary_search_by_key(&w, |&(cw, _)| cw)
+                .ok()
+                .map(|i| children[i].1 as usize)?;
+        }
+        Some(node)
+    }
+
+    /// Is `prefix` a prefix of any stored phrase? (The root matches the
+    /// empty prefix.)
+    pub fn has_prefix(&self, prefix: &[u32]) -> bool {
+        self.find(prefix).is_some()
+    }
+
+    /// Number of stored phrases (count > 0).
+    pub fn n_phrases(&self) -> usize {
+        self.n_phrases
+    }
+
+    pub fn min_support(&self) -> u64 {
+        self.min_support
+    }
+
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// All stored phrases with their counts, in lexicographic word-id order
+    /// — the canonical serialization order of the bundle's `lexicon.tsv`.
+    pub fn iter_phrases(&self) -> Vec<(Vec<u32>, u64)> {
+        let mut out = Vec::with_capacity(self.n_phrases);
+        let mut path = Vec::new();
+        self.dfs(0, &mut path, &mut out);
+        out
+    }
+
+    fn dfs(&self, node: usize, path: &mut Vec<u32>, out: &mut Vec<(Vec<u32>, u64)>) {
+        if self.nodes[node].count > 0 {
+            out.push((path.clone(), self.nodes[node].count));
+        }
+        for &(w, child) in &self.nodes[node].children {
+            path.push(w);
+            self.dfs(child as usize, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Equality is structural — same phrases, counts, and parameters — not
+/// layout: node indices depend on insertion order, and a trie rebuilt from
+/// its own serialization must compare equal.
+impl PartialEq for PhraseTrie {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_tokens == other.total_tokens
+            && self.min_support == other.min_support
+            && self.max_len == other.max_len
+            && self.n_phrases == other.n_phrases
+            && self.iter_phrases() == other.iter_phrases()
+    }
+}
+
+impl Eq for PhraseTrie {}
+
+impl PhraseCounts for PhraseTrie {
+    fn count(&self, phrase: &[u32]) -> u64 {
+        if phrase.is_empty() {
+            return 0;
+        }
+        self.find(phrase).map_or(0, |n| self.nodes[n].count)
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topmine_util::FxHashMap;
+
+    fn sample_stats() -> PhraseStats {
+        let mut ngram_counts = FxHashMap::default();
+        ngram_counts.insert(vec![0u32, 1].into_boxed_slice(), 5u64);
+        ngram_counts.insert(vec![0u32, 1, 2].into_boxed_slice(), 4u64);
+        ngram_counts.insert(vec![2u32, 0].into_boxed_slice(), 3u64);
+        PhraseStats {
+            unigram_counts: vec![10, 7, 6, 0],
+            ngram_counts,
+            total_tokens: 30,
+            min_support: 3,
+            max_len: 3,
+        }
+    }
+
+    #[test]
+    fn counts_match_stats() {
+        let stats = sample_stats();
+        let trie = PhraseTrie::from_stats(&stats);
+        for phrase in [
+            &[0u32][..],
+            &[1],
+            &[2],
+            &[3],
+            &[0, 1],
+            &[0, 1, 2],
+            &[2, 0],
+            &[1, 2],
+            &[0, 2],
+        ] {
+            assert_eq!(
+                PhraseCounts::count(&trie, phrase),
+                stats.count(phrase),
+                "phrase {phrase:?}"
+            );
+        }
+        assert_eq!(trie.total_tokens(), 30);
+        assert_eq!(trie.min_support(), 3);
+        assert_eq!(trie.max_len(), 3);
+        // 3 nonzero unigrams + 3 n-grams; the zero-count word 3 is absent.
+        assert_eq!(trie.n_phrases(), 6);
+    }
+
+    #[test]
+    fn prefix_queries() {
+        let trie = PhraseTrie::from_stats(&sample_stats());
+        assert!(trie.has_prefix(&[]));
+        assert!(trie.has_prefix(&[0, 1]));
+        assert!(trie.has_prefix(&[0, 1, 2]));
+        assert!(!trie.has_prefix(&[1, 0]));
+        assert!(!trie.has_prefix(&[3]));
+    }
+
+    #[test]
+    fn iteration_is_lexicographic_and_complete() {
+        let trie = PhraseTrie::from_stats(&sample_stats());
+        let phrases = trie.iter_phrases();
+        assert_eq!(phrases.len(), trie.n_phrases());
+        let mut sorted = phrases.clone();
+        sorted.sort();
+        assert_eq!(phrases, sorted, "DFS order must be lexicographic");
+        // Rebuilding from the iteration reproduces the trie exactly.
+        let mut rebuilt = PhraseTrie::new(trie.total_tokens(), trie.min_support());
+        for (p, c) in &phrases {
+            rebuilt.insert(p, *c);
+        }
+        assert_eq!(rebuilt, trie);
+    }
+
+    #[test]
+    fn insert_overwrites_without_double_counting() {
+        let mut trie = PhraseTrie::new(100, 2);
+        trie.insert(&[1, 2], 5);
+        trie.insert(&[1, 2], 9);
+        assert_eq!(trie.n_phrases(), 1);
+        assert_eq!(PhraseCounts::count(&trie, &[1, 2]), 9);
+        // A phrase whose prefix was only implicit gets its own count later.
+        trie.insert(&[1], 20);
+        assert_eq!(trie.n_phrases(), 2);
+        assert_eq!(PhraseCounts::count(&trie, &[1]), 20);
+    }
+
+    #[test]
+    fn empty_inputs_are_inert() {
+        let mut trie = PhraseTrie::new(10, 1);
+        trie.insert(&[], 5);
+        trie.insert(&[1], 0);
+        assert_eq!(trie.n_phrases(), 0);
+        assert_eq!(PhraseCounts::count(&trie, &[]), 0);
+        assert_eq!(PhraseCounts::count(&trie, &[1]), 0);
+    }
+
+    #[test]
+    fn segmentation_runs_off_the_trie() {
+        use topmine_phrase::construct_chunk;
+        // Words 0,1 strongly collocated; word 2 independent (mirrors the
+        // construction unit test, but through the trie).
+        let mut trie = PhraseTrie::new(100_000, 1);
+        trie.insert(&[0], 50);
+        trie.insert(&[1], 50);
+        trie.insert(&[2], 1000);
+        trie.insert(&[0, 1], 45);
+        let part = construct_chunk(&[0, 1, 2], &trie, 3.0, None);
+        assert_eq!(part.spans, vec![(0, 2), (2, 3)]);
+    }
+}

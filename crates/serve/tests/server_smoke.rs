@@ -1,0 +1,141 @@
+//! Server smoke test: bind an ephemeral port, fire concurrent requests
+//! from many client threads, and check status codes, response shape, and
+//! reproducibility (same body ⇒ same bytes for a fixed seed).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use topmine_corpus::{corpus_from_texts, CorpusOptions};
+use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig};
+use topmine_phrase::Segmenter;
+use topmine_serve::{FrozenModel, HttpServer, QueryEngine, ServerConfig};
+
+fn fitted_model() -> FrozenModel {
+    let texts: Vec<String> = (0..30)
+        .flat_map(|i| {
+            [
+                format!("mining frequent patterns in data streams {i}"),
+                format!("support vector machines for classification {i}"),
+            ]
+        })
+        .collect();
+    let corpus = corpus_from_texts(texts.iter().map(String::as_str));
+    let (stats, seg) = Segmenter::with_params(5, 2.0).segment(&corpus);
+    let grouped = GroupedDocs::from_segmentation(&corpus, &seg);
+    let mut lda = PhraseLda::new(grouped, TopicModelConfig::new(2).with_seed(3));
+    lda.run(30);
+    FrozenModel::freeze(&corpus, &stats, 2.0, &lda, &CorpusOptions::default())
+}
+
+/// One raw HTTP/1.1 request; returns (status, body).
+fn request(addr: std::net::SocketAddr, head: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let message = format!(
+        "{head} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn concurrent_infer_requests_get_consistent_answers() {
+    let engine = Arc::new(QueryEngine::new(Arc::new(fitted_model()), 2));
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            n_threads: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    // Health and metadata endpoints.
+    let (status, body) = request(addr, "GET /healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"topics\":2"), "{body}");
+    let (status, body) = request(addr, "GET /model", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("topmine-frozen-model/1"), "{body}");
+    assert!(body.contains("\"lexicon_phrases\""), "{body}");
+
+    // Concurrent clients: half send document A, half document B, all with
+    // the same seed. Within a group every response must be byte-identical.
+    let doc_a = "support vector machines for the streams of data";
+    let doc_b = "mining frequent patterns";
+    let responses: Vec<(usize, u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = if i % 2 == 0 { doc_a } else { doc_b };
+                    let (status, payload) =
+                        request(addr, "POST /infer?seed=42&iters=25&top=2", body);
+                    (i, status, payload)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, status, payload) in &responses {
+        assert_eq!(*status, 200, "request {i}: {payload}");
+        assert!(payload.contains("\"theta\""), "request {i}: {payload}");
+        assert!(payload.contains("\"phrases\""), "request {i}: {payload}");
+    }
+    let a_bodies: Vec<&String> = responses
+        .iter()
+        .filter(|(i, _, _)| i % 2 == 0)
+        .map(|(_, _, p)| p)
+        .collect();
+    let b_bodies: Vec<&String> = responses
+        .iter()
+        .filter(|(i, _, _)| i % 2 == 1)
+        .map(|(_, _, p)| p)
+        .collect();
+    assert!(a_bodies.windows(2).all(|w| w[0] == w[1]), "doc A diverged");
+    assert!(b_bodies.windows(2).all(|w| w[0] == w[1]), "doc B diverged");
+    assert_ne!(a_bodies[0], b_bodies[0], "different docs, same answer");
+
+    // Error paths: bad route, bad method, bad parameter, empty body.
+    assert_eq!(request(addr, "GET /nope", "").0, 404);
+    assert_eq!(request(addr, "GET /infer", "").0, 405);
+    assert_eq!(request(addr, "POST /infer?seed=abc", "text").0, 400);
+    assert_eq!(request(addr, "POST /infer", "").0, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn server_matches_direct_engine_inference() {
+    let engine = Arc::new(QueryEngine::new(Arc::new(fitted_model()), 1));
+    let handle = HttpServer::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let cfg = topmine_serve::InferConfig {
+        fold_iters: 20,
+        seed: 9,
+        top_topics: 3,
+    };
+    let text = "support vector machines, mining frequent patterns";
+    let direct = topmine_serve::inference_json(&engine.infer(text, &cfg));
+    let (status, body) = request(handle.addr(), "POST /infer?seed=9&iters=20&top=3", text);
+    assert_eq!(status, 200);
+    assert_eq!(body, direct, "HTTP body must equal direct inference JSON");
+    handle.shutdown();
+}

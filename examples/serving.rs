@@ -1,0 +1,93 @@
+//! Serving: train → freeze → save → load → query, end to end.
+//!
+//! Fits a small ToPMine model on surface text, freezes it into a
+//! single-directory bundle (what `topmine --save-model` writes), reloads
+//! it, and answers queries two ways: through the in-process
+//! `QueryEngine`, and over HTTP against a `topmine_serve::HttpServer`
+//! bound to an ephemeral port (what `topmine serve` runs).
+//!
+//! Run: `cargo run --release --example serving`
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use topmine_repro::corpus::{CorpusBuilder, CorpusOptions};
+use topmine_repro::serve::{FrozenModel, HttpServer, InferConfig, QueryEngine, ServerConfig};
+use topmine_repro::synth::{generator, Profile};
+use topmine_repro::topmine::{ToPMine, ToPMineConfig};
+
+fn main() {
+    // --- train ------------------------------------------------------------
+    let texts = generator(Profile::Conf20, 0.08).generate_texts(21);
+    let mut builder = CorpusBuilder::default();
+    for t in &texts {
+        builder.add_document(t);
+    }
+    let corpus = builder.build();
+    let config = ToPMineConfig {
+        min_support: ToPMineConfig::support_for_corpus(&corpus),
+        significance_alpha: 3.0,
+        n_topics: 5,
+        iterations: 60,
+        seed: 21,
+        ..ToPMineConfig::default()
+    };
+    let model = ToPMine::new(config).fit(&corpus);
+    println!(
+        "trained on {} docs ({} multi-word phrase instances segmented)",
+        corpus.n_docs(),
+        model.segmentation.n_multiword()
+    );
+
+    // --- freeze + round-trip through disk ----------------------------------
+    let bundle =
+        std::env::temp_dir().join(format!("topmine-serving-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bundle);
+    let frozen = model.freeze(&corpus, &CorpusOptions::default());
+    frozen.save(&bundle).expect("save bundle");
+    let loaded = FrozenModel::load(&bundle).expect("load bundle");
+    println!(
+        "frozen bundle at {}: {} topics, vocabulary {}, {} lexicon phrases",
+        bundle.display(),
+        loaded.n_topics(),
+        loaded.vocab_size(),
+        loaded.lexicon.n_phrases()
+    );
+
+    // --- in-process inference ----------------------------------------------
+    let engine = Arc::new(QueryEngine::new(Arc::new(loaded), 2));
+    let query = &texts[0];
+    let inference = engine.infer(query, &InferConfig::default());
+    println!("\nquery: {query}");
+    println!("  top topics: {:?}", inference.top_topics);
+    for p in inference.phrases.iter().filter(|p| p.words.len() > 1) {
+        println!("  phrase {:?} -> topic {}", p.text, p.topic);
+    }
+
+    // --- the same answer over HTTP ------------------------------------------
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.spawn().expect("spawn server");
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /infer?seed=1 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{query}",
+        query.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("");
+    println!("\nHTTP /infer on {addr}:");
+    println!("  {body}");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "unexpected: {response}"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&bundle);
+    println!("\nserver shut down cleanly");
+}

@@ -8,5 +8,6 @@ pub use topmine_corpus as corpus;
 pub use topmine_eval as eval;
 pub use topmine_lda as lda;
 pub use topmine_phrase as phrase;
+pub use topmine_serve as serve;
 pub use topmine_synth as synth;
 pub use topmine_util as util;
