@@ -1,18 +1,30 @@
 //! **serve_throughput** — docs/sec of the frozen-model query engine across
-//! worker counts, at `TOPMINE_SCALE`.
+//! worker counts, at `TOPMINE_SCALE`, against `TOPMINE_SHARDS` shards.
 //!
 //! Fits a ToPMine model on a synthetic DBLP-titles corpus, freezes it, and
 //! drives batched fold-in inference through `topmine_serve::QueryEngine`
-//! with 1, 2, 4, ... workers. Also sanity-checks determinism (every worker
-//! count must produce identical θ). The smoke-scale run writes a
-//! `BENCH_serve.json` snapshot to the working directory for CI trending.
+//! with 1, 2, 4, ... workers. `TOPMINE_SHARDS` (default 1) picks the
+//! backend: 1 serves the monolithic `FrozenModel`, N > 1 a vocabulary-
+//! range `ShardedModel` — and every run is checked bit-identical against
+//! the monolithic single-worker baseline, so the scatter-gather path is
+//! exercised (and its zero-divergence claim enforced) on every CI push.
+//! The smoke-scale run writes a `BENCH_serve.json` snapshot (including the
+//! shard count) to the working directory for CI trending.
 
 use std::io::Write as _;
 use std::sync::Arc;
 use topmine_bench::{banner, fit_topmine_on_profile, iters, scale, seed_for};
-use topmine_serve::{InferConfig, QueryEngine};
+use topmine_serve::{InferConfig, ModelBackend, QueryEngine, ShardedModel};
 use topmine_synth::Profile;
 use topmine_util::Table;
+
+fn shard_count() -> usize {
+    std::env::var("TOPMINE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
 
 fn main() {
     banner(
@@ -22,12 +34,13 @@ fn main() {
     let seed = seed_for("serve_throughput");
     let s = scale();
     let fit_iters = iters(60);
+    let shards = shard_count();
 
     // Train and freeze.
     let (synth, model) = fit_topmine_on_profile(Profile::DblpTitles, s, fit_iters, seed);
     let frozen = model.freeze(&synth.corpus, &topmine_corpus::CorpusOptions::raw());
     println!(
-        "frozen model: {} topics, vocabulary {}, {} lexicon phrases",
+        "frozen model: {} topics, vocabulary {}, {} lexicon phrases, {shards} shard(s)",
         frozen.n_topics(),
         frozen.vocab_size(),
         frozen.lexicon.n_phrases()
@@ -35,7 +48,7 @@ fn main() {
 
     // Query workload: unseen documents drawn from the same generator shape
     // (different seed), rendered back to text so the full preprocess →
-    // segment → fold-in path is measured.
+    // segment → scatter-gather → fold-in path is measured.
     let queries: Vec<String> = topmine_synth::generate(Profile::DblpTitles, s, seed ^ 0x9e37)
         .corpus
         .docs
@@ -55,12 +68,23 @@ fn main() {
         config.fold_iters
     );
 
-    let model = Arc::new(frozen);
+    // The correctness baseline is the monolithic model on one worker; when
+    // TOPMINE_SHARDS > 1 it is computed up front so every sharded run can
+    // be checked against it, otherwise the workers=1 run doubles as the
+    // baseline (no redundant extra pass).
+    let frozen = Arc::new(frozen);
+    let backend: Arc<dyn ModelBackend> = if shards > 1 {
+        Arc::new(ShardedModel::from_frozen(&frozen, shards).expect("shard model"))
+    } else {
+        frozen.clone()
+    };
+    let mut baseline =
+        (shards > 1).then(|| QueryEngine::new(frozen.clone(), 1).infer_batch(&queries, &config));
+
     let mut table = Table::new(["workers", "secs", "docs/sec"]);
-    let mut baseline: Option<Vec<topmine_serve::DocInference>> = None;
     let mut results: Vec<(usize, f64, f64)> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let engine = QueryEngine::new(Arc::clone(&model), workers);
+        let engine = QueryEngine::new(backend.clone(), workers);
         let start = std::time::Instant::now();
         let inferences = engine.infer_batch(&queries, &config);
         let secs = start.elapsed().as_secs_f64();
@@ -69,7 +93,7 @@ fn main() {
             None => baseline = Some(inferences),
             Some(base) => assert_eq!(
                 base, &inferences,
-                "worker count must not change inference results"
+                "worker/shard count must not change inference results"
             ),
         }
         table.row([
@@ -84,7 +108,7 @@ fn main() {
     // JSON snapshot for CI trending.
     let mut json = String::from("{");
     json.push_str(&format!(
-        "\"scale\":{s},\"n_queries\":{},\"fold_iters\":{},\"runs\":[",
+        "\"scale\":{s},\"shards\":{shards},\"n_queries\":{},\"fold_iters\":{},\"runs\":[",
         queries.len(),
         config.fold_iters
     ));
@@ -93,7 +117,7 @@ fn main() {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"workers\":{workers},\"secs\":{secs:.4},\"docs_per_sec\":{dps:.2}}}"
+            "{{\"workers\":{workers},\"shards\":{shards},\"secs\":{secs:.4},\"docs_per_sec\":{dps:.2}}}"
         ));
     }
     json.push_str("]}");

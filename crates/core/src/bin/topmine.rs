@@ -13,7 +13,9 @@ use std::sync::Arc;
 use topmine::cli::{parse_command, CliOptions, Command, InferOptions, ServeOptions, USAGE};
 use topmine::ToPMine;
 use topmine_corpus::{io as corpus_io, CorpusOptions, StopwordSet};
-use topmine_serve::{FrozenModel, HttpServer, InferConfig, QueryEngine, ServerConfig};
+use topmine_serve::{
+    load_bundle, HttpServer, InferConfig, ModelBackend, QueryEngine, ServerConfig, ShardedModel,
+};
 
 fn main() -> ExitCode {
     let command = match parse_command(std::env::args().skip(1)) {
@@ -90,37 +92,59 @@ fn run_fit(opts: &CliOptions) -> Result<(), String> {
     if let Some(dir) = &opts.save_model {
         let dir = Path::new(dir);
         let frozen = model.freeze(&corpus, &corpus_options);
-        frozen
-            .save(dir)
-            .map_err(|e| format!("writing model bundle: {e}"))?;
-        eprintln!(
-            "frozen model ({} topics, {} words, {} lexicon phrases) written to {}",
-            frozen.n_topics(),
-            frozen.vocab_size(),
-            frozen.lexicon.n_phrases(),
-            dir.display()
-        );
+        match opts.shards {
+            Some(n) => {
+                let sharded = ShardedModel::from_frozen(&frozen, n)
+                    .map_err(|e| format!("sharding model: {e}"))?;
+                sharded
+                    .save(dir)
+                    .map_err(|e| format!("writing sharded model bundle: {e}"))?;
+                eprintln!(
+                    "sharded model ({} topics, {} words, {} lexicon phrases, {n} shards) \
+                     written to {}",
+                    sharded.n_topics(),
+                    sharded.vocab_size(),
+                    sharded.n_phrases(),
+                    dir.display()
+                );
+            }
+            None => {
+                frozen
+                    .save(dir)
+                    .map_err(|e| format!("writing model bundle: {e}"))?;
+                eprintln!(
+                    "frozen model ({} topics, {} words, {} lexicon phrases) written to {}",
+                    frozen.n_topics(),
+                    frozen.vocab_size(),
+                    frozen.lexicon.n_phrases(),
+                    dir.display()
+                );
+            }
+        }
     }
     Ok(())
 }
 
-fn load_model(dir: &str) -> Result<FrozenModel, String> {
-    FrozenModel::load(Path::new(dir)).map_err(|e| format!("loading model {dir}: {e}"))
+/// Load either bundle layout (monolithic `header.tsv` or sharded
+/// `manifest.tsv`), auto-detected.
+fn load_model(dir: &str) -> Result<Arc<dyn ModelBackend>, String> {
+    load_bundle(Path::new(dir)).map_err(|e| format!("loading model {dir}: {e}"))
 }
 
 fn run_serve(opts: &ServeOptions) -> Result<(), String> {
     let model = load_model(&opts.model_dir)?;
     eprintln!(
-        "model: {} topics, vocabulary {}, {} lexicon phrases (trained on {} docs)",
+        "model: {} topics, vocabulary {}, {} lexicon phrases, {} shard(s) (trained on {} docs)",
         model.n_topics(),
         model.vocab_size(),
-        model.lexicon.n_phrases(),
-        model.header.n_docs
+        model.n_lexicon_phrases(),
+        model.n_shards(),
+        model.header().n_docs
     );
     // Concurrency comes from the server's connection pool (one inference
     // per connection, inline); the engine's own batch pool would sit idle
     // behind HTTP, so keep it at one worker.
-    let engine = Arc::new(QueryEngine::new(Arc::new(model), 1));
+    let engine = Arc::new(QueryEngine::new(model, 1));
     let server = HttpServer::bind(
         (opts.host.as_str(), opts.port),
         engine,
@@ -144,7 +168,7 @@ fn run_serve(opts: &ServeOptions) -> Result<(), String> {
 
 fn run_infer(opts: &InferOptions) -> Result<(), String> {
     let model = load_model(&opts.model_dir)?;
-    let engine = QueryEngine::new(Arc::new(model), opts.n_threads);
+    let engine = QueryEngine::new(model, opts.n_threads);
     let text =
         std::fs::read_to_string(&opts.input).map_err(|e| format!("reading {}: {e}", opts.input))?;
     let docs: Vec<&str> = text.lines().collect();

@@ -32,6 +32,10 @@ pub struct CliOptions {
     pub filter_background: bool,
     /// Freeze the fitted model into a serving bundle at this directory.
     pub save_model: Option<String>,
+    /// Partition the saved bundle into this many vocabulary-range shards
+    /// (`None` = the monolithic single-directory layout). Requires
+    /// `save_model`.
+    pub shards: Option<usize>,
 }
 
 impl Default for CliOptions {
@@ -50,6 +54,7 @@ impl Default for CliOptions {
             remove_stopwords: true,
             filter_background: false,
             save_model: None,
+            shards: None,
         }
     }
 }
@@ -86,6 +91,8 @@ FIT OPTIONS:
     --input FILE          text corpus, one document per line (required)
     --output-dir DIR      write vocab.tsv/docs.txt/topics.txt here
     --save-model DIR      freeze the fitted model into a serving bundle
+    --shards N            partition the saved bundle into N vocabulary-range
+                          shards (requires --save-model)  [default: monolithic]
     --topics K            number of topics              [default: 10]
     --iterations N        Gibbs sweeps                  [default: 500]
     --min-support N       phrase minimum support        [default: auto]
@@ -323,6 +330,13 @@ where
             "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
             "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
             "--save-model" => opts.save_model = Some(need(&mut args, "--save-model")?),
+            "--shards" => {
+                let n: usize = parse_num(&need(&mut args, "--shards")?, "--shards")?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                opts.shards = Some(n);
+            }
             "--no-stem" => opts.stem = false,
             "--keep-stopwords" => opts.remove_stopwords = false,
             "--filter-background" => opts.filter_background = true,
@@ -331,6 +345,9 @@ where
     }
     if opts.input.is_empty() {
         return Err("--input is required".into());
+    }
+    if opts.shards.is_some() && opts.save_model.is_none() {
+        return Err("--shards requires --save-model".into());
     }
     Ok(Some(opts))
 }
@@ -412,6 +429,29 @@ mod tests {
         assert!(parse(&["--input", "x", "--topics", "0"]).is_err());
         assert!(parse(&["--input", "x", "--bogus"]).is_err());
         assert!(parse(&["--input", "x", "--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn shards_flag_requires_save_model_and_a_positive_count() {
+        let opts = parse(&[
+            "--input",
+            "c.txt",
+            "--save-model",
+            "bundle",
+            "--shards",
+            "4",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.shards, Some(4));
+        assert!(parse(&["--input", "c.txt", "--save-model", "b"])
+            .unwrap()
+            .unwrap()
+            .shards
+            .is_none());
+        assert!(parse(&["--input", "c.txt", "--shards", "4"]).is_err());
+        assert!(parse(&["--input", "c.txt", "--save-model", "b", "--shards", "0"]).is_err());
+        assert!(parse(&["--input", "c.txt", "--save-model", "b", "--shards", "x"]).is_err());
     }
 
     fn command(args: &[&str]) -> Result<Option<Command>, String> {

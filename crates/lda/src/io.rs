@@ -152,6 +152,27 @@ fn data_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Write a versioned `key<TAB>value` file readable by
+/// [`read_versioned_kv`]: the `format` line first, then every pair in the
+/// given order. Values are written verbatim, so callers format floats
+/// themselves (the bundle convention is `{:.17e}` for exact round-trips).
+pub fn save_versioned_kv<K, V>(
+    path: &Path,
+    format: &str,
+    pairs: impl IntoIterator<Item = (K, V)>,
+) -> io::Result<()>
+where
+    K: std::fmt::Display,
+    V: std::fmt::Display,
+{
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "format\t{format}")?;
+    for (key, value) in pairs {
+        writeln!(out, "{key}\t{value}")?;
+    }
+    out.flush()
+}
+
 /// Read a versioned `key<TAB>value` file: line 1 must be
 /// `format<TAB>expected_format` (any other version fails with an error
 /// naming both), empty lines are skipped, and the remaining pairs are
@@ -460,6 +481,30 @@ mod tests {
         std::fs::write(&hyper, "n_topics\t3\nvocab_size\t4\nbeta\t1e-2\n").unwrap();
         let err = load_model(&dir).unwrap_err().to_string();
         assert!(err.contains("versioned header"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn versioned_kv_writer_roundtrips_through_the_reader() {
+        let dir = tmpdir("kv");
+        let path = dir.join("manifest.tsv");
+        save_versioned_kv(
+            &path,
+            "topmine-test-kv/1",
+            [
+                ("n_shards", "3".to_string()),
+                ("beta", format!("{:.17e}", 0.01f64)),
+            ],
+        )
+        .unwrap();
+        let pairs = read_versioned_kv(&path, "topmine-test-kv/1").unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].1, "n_shards");
+        assert_eq!(pairs[0].2, "3");
+        let beta: f64 = pairs[1].2.parse().unwrap();
+        assert_eq!(beta, 0.01);
+        // The reader still rejects the wrong version.
+        assert!(read_versioned_kv(&path, "topmine-test-kv/2").is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -121,10 +121,8 @@ fn push_candidate<C: PhraseCounts + ?Sized>(
     a: u32,
     b: u32,
 ) {
-    let f1 = stats.count(nodes.span(a));
-    let f2 = stats.count(nodes.span(b));
     let merged = &nodes.tokens[nodes.start[a as usize] as usize..nodes.end[b as usize] as usize];
-    let f12 = stats.count(merged);
+    let (f1, f2, f12) = stats.merge_counts(nodes.span(a), nodes.span(b), merged);
     let sig = significance(f12, f1, f2, stats.total_tokens());
     // Entries below α can never be merged (their score is immutable until a
     // neighbor merge invalidates them), so skip the heap traffic.

@@ -30,6 +30,16 @@ pub trait PhraseCounts {
         }
         self.count(phrase) as f64 / self.total_tokens() as f64
     }
+
+    /// The three counts that score one merge candidate in Algorithm 2:
+    /// `(f(left), f(right), f(left·right))` where `merged` is the
+    /// concatenation of `left` and `right`. `left` and `merged` share a
+    /// first word, so a lexicon partitioned by leading word (a sharded
+    /// backend) can resolve their owner once and batch the lookups; the
+    /// default is three independent [`PhraseCounts::count`] calls.
+    fn merge_counts(&self, left: &[u32], right: &[u32], merged: &[u32]) -> (u64, u64, u64) {
+        (self.count(left), self.count(right), self.count(merged))
+    }
 }
 
 /// Output of frequent phrase mining: all aggregate statistics that the

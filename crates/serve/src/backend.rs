@@ -1,0 +1,183 @@
+//! The `ModelBackend` seam: everything below the HTTP layer talks to a
+//! fitted model through this trait, so the serving stack is agnostic to
+//! how the model is materialized in memory — one monolithic
+//! [`FrozenModel`](crate::FrozenModel) bundle, or a
+//! [`ShardedModel`](crate::ShardedModel) composed of vocabulary-range
+//! shards in the parameter-server style (LightLDA's vocabulary-sliced
+//! workers are the reference design).
+//!
+//! The contract is the three things fold-in inference needs:
+//!
+//! 1. the **preprocessing contract** ([`ModelBackend::prepare`]) — unseen
+//!    text normalized exactly as training text was;
+//! 2. the **lexicon** ([`ModelBackend::segment`]) — Algorithm 2 against
+//!    the frozen phrase counts, wherever they live;
+//! 3. **φ access** ([`ModelBackend::gather_phi`]) — the scatter-gather
+//!    primitive: fetch the φ columns for a document's words from whichever
+//!    shard owns them, as one dense topic-major table.
+//!
+//! Every implementation must be *bit-identical* to every other for the
+//! same fitted model: `gather_phi` returns the exact trained `f64`s and
+//! `segment` the exact trained counts, so
+//! [`infer_doc`](crate::infer::infer_doc) produces the same θ, ranking,
+//! and annotations whatever the backend or shard count.
+
+use crate::frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig};
+use crate::sharded::ShardedModel;
+use std::hash::Hasher;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use topmine_corpus::Document;
+
+/// Read access to a fitted, frozen ToPMine model, however it is stored.
+///
+/// Object-safe on purpose: the [`QueryEngine`](crate::QueryEngine) and the
+/// HTTP layer hold an `Arc<dyn ModelBackend>` and never know which
+/// implementation is behind it.
+pub trait ModelBackend: Send + Sync {
+    /// Bundle metadata (topic/vocabulary shapes, training-corpus sizes,
+    /// segmentation threshold, β).
+    fn header(&self) -> &ModelHeader;
+
+    /// The preprocessing contract unseen text is held to.
+    fn preprocess(&self) -> &PreprocessConfig;
+
+    /// Asymmetric document-topic Dirichlet α, length `n_topics`.
+    fn alpha(&self) -> &[f64];
+
+    /// The on-disk format tag this backend was (or would be) persisted as.
+    fn format_tag(&self) -> &'static str;
+
+    /// How many vocabulary-range shards compose this backend (1 for the
+    /// monolithic bundle).
+    fn n_shards(&self) -> usize {
+        1
+    }
+
+    /// Total stored phrases across all shards of the lexicon.
+    fn n_lexicon_phrases(&self) -> usize;
+
+    /// Normalize unseen text with the frozen preprocessing contract and
+    /// map it through the frozen vocabulary.
+    fn prepare(&self, text: &str) -> PreparedDoc;
+
+    /// Segment a prepared document against the frozen lexicon (Algorithm 2
+    /// with the trained counts and threshold).
+    fn segment(&self, doc: &Document) -> Vec<(u32, u32)>;
+
+    /// Scatter-gather primitive: fetch `φ[·][w]` for each word of `words`
+    /// from its owning shard into one dense topic-major table — entry
+    /// `(t, j)` of the returned `n_topics × words.len()` row-major matrix
+    /// is the trained `φ[t][words[j]]`, bit-exact.
+    fn gather_phi(&self, words: &[u32]) -> Vec<f64>;
+
+    /// Preferred display string for one word id (unstemmed when the bundle
+    /// carries a surface table).
+    fn display_word(&self, id: u32) -> &str;
+
+    /// Render a phrase of word ids for display.
+    fn display_phrase(&self, ids: &[u32]) -> String {
+        let mut s = String::new();
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(self.display_word(id));
+        }
+        s
+    }
+
+    fn n_topics(&self) -> usize {
+        self.header().n_topics
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.header().vocab_size
+    }
+
+    /// Stable fingerprint of the loaded bundle, used to key the response
+    /// cache: two backends serving the same fitted model from the same
+    /// artifact version hash equally only if their headers, α, and lexicon
+    /// sizes agree, which is all one engine ever compares (its model never
+    /// changes after load).
+    fn fingerprint(&self) -> u64 {
+        let mut h = topmine_util::FxHasher::default();
+        let hd = self.header();
+        h.write_u64(hd.n_topics as u64);
+        h.write_u64(hd.vocab_size as u64);
+        h.write_u64(hd.n_docs as u64);
+        h.write_u64(hd.n_tokens);
+        h.write_u64(hd.seg_alpha.to_bits());
+        h.write_u64(hd.beta.to_bits());
+        h.write_u64(self.n_lexicon_phrases() as u64);
+        for &a in self.alpha() {
+            h.write_u64(a.to_bits());
+        }
+        h.finish()
+    }
+}
+
+/// Load a serving bundle from `dir`, auto-detecting the layout: a
+/// `manifest.tsv` marks the sharded format
+/// ([`SHARDED_MODEL_FORMAT`](crate::SHARDED_MODEL_FORMAT)), a
+/// `header.tsv` the monolithic one
+/// ([`FROZEN_MODEL_FORMAT`](crate::FROZEN_MODEL_FORMAT)). Both savers
+/// clean the other format's marker files, so a bundle directory is never
+/// ambiguous.
+pub fn load_bundle(dir: &Path) -> io::Result<Arc<dyn ModelBackend>> {
+    if dir.join("manifest.tsv").exists() {
+        Ok(Arc::new(ShardedModel::load(dir)?))
+    } else if dir.join("header.tsv").exists() {
+        Ok(Arc::new(FrozenModel::load(dir)?))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{}: neither manifest.tsv (sharded bundle) nor header.tsv \
+                 (monolithic bundle) found",
+                dir.display()
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::tests::tiny_model;
+
+    #[test]
+    fn fingerprint_is_stable_and_shape_sensitive() {
+        let m = tiny_model();
+        let a = ModelBackend::fingerprint(&m);
+        assert_eq!(a, ModelBackend::fingerprint(&m));
+        // A sharded view of the same model shares header/α/lexicon size, so
+        // it fingerprints identically — same artifact, same key space.
+        let sharded = ShardedModel::from_frozen(&m, 3).unwrap();
+        assert_eq!(a, ModelBackend::fingerprint(&sharded));
+        let mut other = tiny_model();
+        other.header.n_docs += 1;
+        assert_ne!(a, ModelBackend::fingerprint(&other));
+    }
+
+    #[test]
+    fn load_bundle_detects_both_layouts() {
+        let dir = std::env::temp_dir().join(format!("topmine-backend-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = tiny_model();
+        m.save(&dir).unwrap();
+        let backend = load_bundle(&dir).unwrap();
+        assert_eq!(backend.format_tag(), crate::FROZEN_MODEL_FORMAT);
+        assert_eq!(backend.n_shards(), 1);
+        ShardedModel::from_frozen(&m, 2)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+        let backend = load_bundle(&dir).unwrap();
+        assert_eq!(backend.format_tag(), crate::SHARDED_MODEL_FORMAT);
+        assert_eq!(backend.n_shards(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(load_bundle(&dir).is_err());
+    }
+}

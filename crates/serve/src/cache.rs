@@ -1,0 +1,285 @@
+//! Bounded LRU response cache in front of the query engine.
+//!
+//! `/infer` is a pure function of (bundle, text, seed, iters, top), so a
+//! repeated query can be answered from memory instead of burning another
+//! fold-in chain. Entries are keyed by an Fx hash of the full tuple (the
+//! bundle enters via [`ModelBackend::fingerprint`]
+//! (crate::ModelBackend::fingerprint)); the stored key is compared on
+//! every hit, so a hash collision degrades to a miss, never a wrong
+//! answer. Eviction is exact LRU via an intrusive doubly-linked list over
+//! a slab — O(1) get/put. Hit/miss counters are exposed through
+//! [`CacheStats`] (surfaced by `GET /healthz`).
+
+use crate::infer::{DocInference, InferConfig};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use topmine_util::{FxHashMap, FxHasher};
+
+/// The full identity of one cacheable inference call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CacheKey {
+    pub fingerprint: u64,
+    pub seed: u64,
+    pub fold_iters: usize,
+    pub top_topics: usize,
+    pub text: String,
+}
+
+impl CacheKey {
+    pub(crate) fn new(fingerprint: u64, text: &str, config: &InferConfig) -> Self {
+        Self {
+            fingerprint,
+            seed: config.seed,
+            fold_iters: config.fold_iters,
+            top_topics: config.top_topics,
+            text: text.to_string(),
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.fingerprint);
+        h.write_u64(self.seed);
+        h.write_u64(self.fold_iters as u64);
+        h.write_u64(self.top_topics as u64);
+        h.write(self.text.as_bytes());
+        h.finish()
+    }
+}
+
+/// Counter snapshot for observability endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: DocInference,
+    prev: usize,
+    next: usize,
+}
+
+/// Map + recency list, guarded by one mutex (lookups are a hash probe and
+/// two pointer swaps — contention is negligible next to a fold-in chain).
+struct LruInner {
+    map: FxHashMap<u64, usize>,
+    slots: Vec<Entry>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruInner {
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+}
+
+/// A bounded, thread-safe, exact-LRU map from inference calls to their
+/// results.
+pub struct ResponseCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses (`capacity >= 1`; the
+    /// engine represents "no cache" as no cache, not capacity 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "use Option<ResponseCache> for no cache");
+        Self {
+            inner: Mutex::new(LruInner {
+                map: FxHashMap::default(),
+                slots: Vec::new(),
+                head: NIL,
+                tail: NIL,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<DocInference> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let hit = match inner.map.get(&key.hash()) {
+            Some(&slot) if inner.slots[slot].key == *key => {
+                inner.detach(slot);
+                inner.push_front(slot);
+                Some(inner.slots[slot].value.clone())
+            }
+            _ => None,
+        };
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    pub(crate) fn put(&self, key: CacheKey, value: DocInference) {
+        let hash = key.hash();
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if let Some(&slot) = inner.map.get(&hash) {
+            // Same hash: refresh (same key) or displace (collision) — either
+            // way the slot now answers for this key.
+            inner.slots[slot].key = key;
+            inner.slots[slot].value = value;
+            inner.detach(slot);
+            inner.push_front(slot);
+            return;
+        }
+        let slot = if inner.slots.len() < self.capacity {
+            inner.slots.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            inner.slots.len() - 1
+        } else {
+            // Evict the least recently used entry and reuse its slot.
+            let victim = inner.tail;
+            let old_hash = inner.slots[victim].key.hash();
+            inner.map.remove(&old_hash);
+            inner.detach(victim);
+            inner.slots[victim].key = key;
+            inner.slots[victim].value = value;
+            victim
+        };
+        inner.map.insert(hash, slot);
+        inner.push_front(slot);
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache lock poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(text: &str, seed: u64) -> CacheKey {
+        CacheKey::new(
+            42,
+            text,
+            &InferConfig {
+                seed,
+                ..InferConfig::default()
+            },
+        )
+    }
+
+    fn value(n: usize) -> DocInference {
+        DocInference {
+            theta: vec![1.0],
+            top_topics: vec![(0, 1.0)],
+            phrases: Vec::new(),
+            n_tokens: n,
+            n_oov: 0,
+        }
+    }
+
+    #[test]
+    fn get_after_put_hits_and_counts() {
+        let cache = ResponseCache::new(4);
+        assert!(cache.get(&key("a", 1)).is_none());
+        cache.put(key("a", 1), value(1));
+        assert_eq!(cache.get(&key("a", 1)), Some(value(1)));
+        // A different seed is a different key.
+        assert!(cache.get(&key("a", 2)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert_eq!(stats.capacity, 4);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache = ResponseCache::new(2);
+        cache.put(key("a", 1), value(1));
+        cache.put(key("b", 1), value(2));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.get(&key("a", 1)).is_some());
+        cache.put(key("c", 1), value(3));
+        assert!(cache.get(&key("a", 1)).is_some(), "recently used survives");
+        assert!(cache.get(&key("b", 1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key("c", 1)).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_updates_in_place() {
+        let cache = ResponseCache::new(2);
+        cache.put(key("a", 1), value(1));
+        cache.put(key("a", 1), value(9));
+        assert_eq!(cache.get(&key("a", 1)).unwrap().n_tokens, 9);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn single_slot_cache_cycles() {
+        let cache = ResponseCache::new(1);
+        for i in 0..10u64 {
+            cache.put(key("doc", i), value(i as usize));
+            assert_eq!(cache.get(&key("doc", i)).unwrap().n_tokens, i as usize);
+            if i > 0 {
+                assert!(cache.get(&key("doc", i - 1)).is_none());
+            }
+        }
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_exact() {
+        use std::sync::Arc;
+        let cache = Arc::new(ResponseCache::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let k = key("shared", t * 1000 + i % 4);
+                        cache.put(k.clone(), value(1));
+                        let _ = cache.get(&k);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.entries <= 8);
+        assert!(stats.hits + stats.misses >= 400);
+    }
+}

@@ -1,21 +1,31 @@
 //! The concurrent query engine: a fixed pool of worker threads sharing one
-//! `Arc<FrozenModel>`.
+//! `Arc<dyn ModelBackend>` — monolithic or sharded, the engine cannot
+//! tell.
 //!
-//! The model is immutable after load, so workers need no locking — each
+//! The backend is immutable after load, so workers need no locking — each
 //! fold-in pass touches only its own scratch state. Batch inference fans
 //! documents out over the pool and reassembles results in input order;
 //! document `i` always draws from [`InferConfig::seed_for_index`]`(i)`, so
-//! results are bit-identical whatever the worker count or scheduling.
-//! (The HTTP layer runs its own connection pool and calls the inline
+//! results are bit-identical whatever the worker count, scheduling, or
+//! shard count. Single-document [`QueryEngine::infer`] calls pass through
+//! a bounded LRU [`ResponseCache`] keyed on (bundle fingerprint, text,
+//! seed, iters, top) — inference is a pure function of that tuple, so a
+//! hit returns the identical result without re-running the chain. (The
+//! HTTP layer runs its own connection pool and calls the inline
 //! [`QueryEngine::infer`] path, so request handling never blocks a batch.)
 
-use crate::frozen::FrozenModel;
-use crate::infer::{DocInference, InferConfig};
+use crate::backend::ModelBackend;
+use crate::cache::{CacheKey, CacheStats, ResponseCache};
+use crate::infer::{infer_doc, DocInference, InferConfig};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Default bound of the response cache ([`QueryEngine::new`]); tune with
+/// [`QueryEngine::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// A minimal fixed-size thread pool (no external dependencies): jobs are
 /// closures drained from one shared queue; dropping the pool joins all
@@ -75,21 +85,41 @@ impl Drop for ThreadPool {
     }
 }
 
-/// Batched fold-in inference over a shared frozen model.
+/// Batched fold-in inference over a shared model backend, with a response
+/// cache in front of the single-document path.
 pub struct QueryEngine {
-    model: Arc<FrozenModel>,
+    model: Arc<dyn ModelBackend>,
     pool: ThreadPool,
+    cache: Option<ResponseCache>,
+    /// Computed once: [`ModelBackend::fingerprint`] walks α, and the model
+    /// never changes after load.
+    fingerprint: u64,
 }
 
 impl QueryEngine {
-    pub fn new(model: Arc<FrozenModel>, n_threads: usize) -> Self {
+    /// An engine with the default response cache
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
+    pub fn new(model: Arc<dyn ModelBackend>, n_threads: usize) -> Self {
+        Self::with_cache_capacity(model, n_threads, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine whose cache holds at most `cache_capacity` responses
+    /// (0 disables caching entirely).
+    pub fn with_cache_capacity(
+        model: Arc<dyn ModelBackend>,
+        n_threads: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        let fingerprint = model.fingerprint();
         Self {
             model,
             pool: ThreadPool::new(n_threads),
+            cache: (cache_capacity > 0).then(|| ResponseCache::new(cache_capacity)),
+            fingerprint,
         }
     }
 
-    pub fn model(&self) -> &Arc<FrozenModel> {
+    pub fn model(&self) -> &Arc<dyn ModelBackend> {
         &self.model
     }
 
@@ -97,17 +127,41 @@ impl QueryEngine {
         self.pool.n_threads()
     }
 
+    /// Hit/miss counters of the response cache (all zero when caching is
+    /// disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(ResponseCache::stats)
+            .unwrap_or(CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                capacity: 0,
+            })
+    }
+
     /// Infer one document on the calling thread (no queueing); equals
-    /// `infer_batch(&[text])[0]`.
+    /// `infer_batch(&[text])[0]`. Answered from the response cache when
+    /// the same (text, seed, iters, top) was inferred before.
     pub fn infer(&self, text: &str, config: &InferConfig) -> DocInference {
-        self.model
-            .infer_seeded(text, config, config.seed_for_index(0))
+        let Some(cache) = &self.cache else {
+            return infer_doc(self.model.as_ref(), text, config, config.seed_for_index(0));
+        };
+        let key = CacheKey::new(self.fingerprint, text, config);
+        if let Some(hit) = cache.get(&key) {
+            return hit;
+        }
+        let inference = infer_doc(self.model.as_ref(), text, config, config.seed_for_index(0));
+        cache.put(key, inference.clone());
+        inference
     }
 
     /// Fan a batch out over the pool; results come back in input order and
-    /// are independent of the worker count (per-index seeds). Must not be
-    /// called from inside one of this engine's own jobs (it waits for the
-    /// fan-out to finish).
+    /// are independent of the worker count (per-index seeds). The batch
+    /// path bypasses the response cache (bulk workloads would churn it).
+    /// Must not be called from inside one of this engine's own jobs (it
+    /// waits for the fan-out to finish).
     pub fn infer_batch<S: AsRef<str>>(
         &self,
         texts: &[S],
@@ -124,7 +178,7 @@ impl QueryEngine {
             let text = text.as_ref().to_string();
             let config = config.clone();
             self.pool.execute(move || {
-                let inference = model.infer_seeded(&text, &config, config.seed_for_index(i));
+                let inference = infer_doc(model.as_ref(), &text, &config, config.seed_for_index(i));
                 let _ = tx.send((i, inference));
             });
         }
@@ -163,7 +217,7 @@ mod tests {
     #[test]
     fn batch_matches_single_and_is_ordered() {
         let model = Arc::new(tiny_model());
-        let engine = QueryEngine::new(Arc::clone(&model), 3);
+        let engine = QueryEngine::new(model.clone(), 3);
         let texts: Vec<String> = (0..12)
             .map(|i| format!("mining frequent patterns number {i}"))
             .collect();
@@ -188,8 +242,8 @@ mod tests {
             .map(|i| format!("support vector machines task {i}, data streams"))
             .collect();
         let cfg = InferConfig::default();
-        let single = QueryEngine::new(Arc::clone(&model), 1).infer_batch(&texts, &cfg);
-        let many = QueryEngine::new(Arc::clone(&model), 8).infer_batch(&texts, &cfg);
+        let single = QueryEngine::new(model.clone(), 1).infer_batch(&texts, &cfg);
+        let many = QueryEngine::new(model.clone(), 8).infer_batch(&texts, &cfg);
         assert_eq!(single, many);
     }
 
@@ -199,5 +253,38 @@ mod tests {
         assert!(engine
             .infer_batch::<&str>(&[], &InferConfig::default())
             .is_empty());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_with_identical_results() {
+        let engine = QueryEngine::new(Arc::new(tiny_model()), 2);
+        let cfg = InferConfig::default();
+        let first = engine.infer("support vector machines", &cfg);
+        let second = engine.infer("support vector machines", &cfg);
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // A different seed is a different cache entry.
+        let third = engine.infer(
+            "support vector machines",
+            &InferConfig {
+                seed: 99,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(third.theta.len(), first.theta.len());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let engine = QueryEngine::with_cache_capacity(Arc::new(tiny_model()), 1, 0);
+        let cfg = InferConfig::default();
+        let a = engine.infer("mining frequent patterns", &cfg);
+        let b = engine.infer("mining frequent patterns", &cfg);
+        assert_eq!(a, b, "determinism holds without the cache");
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.capacity), (0, 0, 0));
     }
 }

@@ -18,6 +18,7 @@
 //! any other version fails with an error naming both versions, never a
 //! panic.
 
+use crate::backend::ModelBackend;
 use crate::trie::PhraseTrie;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -122,12 +123,127 @@ fn data_err(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn remove_if_present(path: &Path) -> io::Result<()> {
+pub(crate) fn remove_if_present(path: &Path) -> io::Result<()> {
     match std::fs::remove_file(path) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
         Err(e) => Err(e),
     }
+}
+
+/// Normalize unseen text with a frozen preprocessing contract and map it
+/// through a vocabulary lookup — the one preprocessing implementation both
+/// the monolithic and sharded backends share, so their `prepare` paths
+/// cannot drift.
+pub(crate) fn prepare_with(
+    preprocess: &PreprocessConfig,
+    stopword_set: &StopwordSet,
+    lookup: impl Fn(&str) -> Option<u32>,
+    text: &str,
+) -> PreparedDoc {
+    let mut chunks: Vec<Vec<u32>> = Vec::new();
+    let mut current_chunk: Option<u32> = None;
+    let mut n_oov = 0usize;
+    for tok in tokenize_chunks(text) {
+        if current_chunk != Some(tok.chunk) {
+            chunks.push(Vec::new());
+            current_chunk = Some(tok.chunk);
+        }
+        if tok.text.chars().count() < preprocess.min_token_len {
+            continue;
+        }
+        if preprocess.remove_stopwords && stopword_set.contains(&tok.text) {
+            continue;
+        }
+        let term = if preprocess.stem {
+            porter_stem(&tok.text)
+        } else {
+            tok.text
+        };
+        if term.is_empty() {
+            continue;
+        }
+        match lookup(&term) {
+            Some(id) => chunks.last_mut().expect("chunk open").push(id),
+            None => n_oov += 1,
+        }
+    }
+    PreparedDoc {
+        doc: Document::from_chunks(chunks),
+        n_oov,
+    }
+}
+
+/// The `key<TAB>value` pairs both bundle headers share — shapes, Algorithm
+/// 2 parameters, preprocessing contract, α vector. `header.tsv` is exactly
+/// these; the sharded `manifest.tsv` wraps them with its shard topology.
+/// One builder, so the two layouts cannot drift field by field.
+pub(crate) fn bundle_header_pairs(
+    header: &ModelHeader,
+    preprocess: &PreprocessConfig,
+    min_support: u64,
+    alpha: &[f64],
+) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = vec![
+        ("n_topics".into(), header.n_topics.to_string()),
+        ("vocab_size".into(), header.vocab_size.to_string()),
+        ("n_docs".into(), header.n_docs.to_string()),
+        ("n_tokens".into(), header.n_tokens.to_string()),
+        ("seg_alpha".into(), format!("{:.17e}", header.seg_alpha)),
+        ("beta".into(), format!("{:.17e}", header.beta)),
+        ("min_support".into(), min_support.to_string()),
+        ("stem".into(), preprocess.stem.to_string()),
+        (
+            "remove_stopwords".into(),
+            preprocess.remove_stopwords.to_string(),
+        ),
+        ("min_token_len".into(), preprocess.min_token_len.to_string()),
+    ];
+    for (t, a) in alpha.iter().enumerate() {
+        pairs.push((format!("alpha{t}"), format!("{a:.17e}")));
+    }
+    pairs
+}
+
+/// Serialize a lexicon trie as `lexicon.tsv`: the `total_tokens` line,
+/// then `count<TAB>space-joined ids` in canonical (lexicographic) order.
+/// The one writer both bundle layouts share; [`load_lexicon`] is its
+/// inverse.
+pub(crate) fn save_lexicon_file(trie: &PhraseTrie, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(
+        out,
+        "total_tokens\t{}",
+        topmine_phrase::PhraseCounts::total_tokens(trie)
+    )?;
+    for (phrase, count) in trie.iter_phrases() {
+        write!(out, "{count}\t")?;
+        for (i, w) in phrase.iter().enumerate() {
+            if i > 0 {
+                write!(out, " ")?;
+            }
+            write!(out, "{w}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Read an optional stop-word file (one word per line); a missing file is
+/// the empty list, matching the save-side "presence is meaning" rule.
+pub(crate) fn load_stopword_file(path: &Path) -> io::Result<Vec<String>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let reader = BufReader::new(File::open(path)?);
+    let mut words = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if !line.is_empty() {
+            words.push(line);
+        }
+    }
+    Ok(words)
 }
 
 impl FrozenModel {
@@ -270,37 +386,12 @@ impl FrozenModel {
     /// map through the *frozen* vocabulary. Out-of-vocabulary terms are
     /// dropped (and counted) — fold-in has no estimate for them.
     pub fn prepare(&self, text: &str) -> PreparedDoc {
-        let mut chunks: Vec<Vec<u32>> = Vec::new();
-        let mut current_chunk: Option<u32> = None;
-        let mut n_oov = 0usize;
-        for tok in tokenize_chunks(text) {
-            if current_chunk != Some(tok.chunk) {
-                chunks.push(Vec::new());
-                current_chunk = Some(tok.chunk);
-            }
-            if tok.text.chars().count() < self.preprocess.min_token_len {
-                continue;
-            }
-            if self.preprocess.remove_stopwords && self.stopword_set.contains(&tok.text) {
-                continue;
-            }
-            let term = if self.preprocess.stem {
-                porter_stem(&tok.text)
-            } else {
-                tok.text
-            };
-            if term.is_empty() {
-                continue;
-            }
-            match self.vocab.id(&term) {
-                Some(id) => chunks.last_mut().expect("chunk open").push(id),
-                None => n_oov += 1,
-            }
-        }
-        PreparedDoc {
-            doc: Document::from_chunks(chunks),
-            n_oov,
-        }
+        prepare_with(
+            &self.preprocess,
+            &self.stopword_set,
+            |term| self.vocab.id(term),
+            text,
+        )
     }
 
     /// Segment a prepared document against the frozen lexicon (Algorithm 2
@@ -316,6 +407,10 @@ impl FrozenModel {
     /// `unstem.tsv` when applicable.
     pub fn save(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
+        // A sharded bundle previously saved here must not shadow this one:
+        // `load_bundle` treats manifest.tsv as the sharded format's marker.
+        remove_if_present(&dir.join("manifest.tsv"))?;
+        crate::sharded::remove_stale_shards(dir, 0)?;
         self.save_header(&dir.join("header.tsv"))?;
         corpus_io::save_vocab(&self.vocab, &dir.join("vocab.tsv"))?;
         self.save_lexicon(&dir.join("lexicon.tsv"))?;
@@ -349,47 +444,17 @@ impl FrozenModel {
     }
 
     fn save_header(&self, path: &Path) -> io::Result<()> {
-        let mut out = BufWriter::new(File::create(path)?);
-        let h = &self.header;
-        writeln!(out, "format\t{FROZEN_MODEL_FORMAT}")?;
-        writeln!(out, "n_topics\t{}", h.n_topics)?;
-        writeln!(out, "vocab_size\t{}", h.vocab_size)?;
-        writeln!(out, "n_docs\t{}", h.n_docs)?;
-        writeln!(out, "n_tokens\t{}", h.n_tokens)?;
-        writeln!(out, "seg_alpha\t{:.17e}", h.seg_alpha)?;
-        writeln!(out, "beta\t{:.17e}", h.beta)?;
-        writeln!(out, "min_support\t{}", self.lexicon.min_support())?;
-        writeln!(out, "stem\t{}", self.preprocess.stem)?;
-        writeln!(
-            out,
-            "remove_stopwords\t{}",
-            self.preprocess.remove_stopwords
-        )?;
-        writeln!(out, "min_token_len\t{}", self.preprocess.min_token_len)?;
-        for (t, a) in self.alpha.iter().enumerate() {
-            writeln!(out, "alpha{t}\t{a:.17e}")?;
-        }
-        out.flush()
+        let pairs = bundle_header_pairs(
+            &self.header,
+            &self.preprocess,
+            self.lexicon.min_support(),
+            &self.alpha,
+        );
+        topmine_lda::io::save_versioned_kv(path, FROZEN_MODEL_FORMAT, pairs)
     }
 
     fn save_lexicon(&self, path: &Path) -> io::Result<()> {
-        let mut out = BufWriter::new(File::create(path)?);
-        writeln!(
-            out,
-            "total_tokens\t{}",
-            topmine_phrase::PhraseCounts::total_tokens(&self.lexicon)
-        )?;
-        for (phrase, count) in self.lexicon.iter_phrases() {
-            write!(out, "{count}\t")?;
-            for (i, w) in phrase.iter().enumerate() {
-                if i > 0 {
-                    write!(out, " ")?;
-                }
-                write!(out, "{w}")?;
-            }
-            writeln!(out)?;
-        }
-        out.flush()
+        save_lexicon_file(&self.lexicon, path)
     }
 
     /// Load a bundle written by [`FrozenModel::save`]. The header's format
@@ -400,20 +465,7 @@ impl FrozenModel {
         let vocab = corpus_io::load_vocab(&dir.join("vocab.tsv"))?;
         let lexicon = load_lexicon(&dir.join("lexicon.tsv"), raw.min_support)?;
         let phi = topmine_lda::io::load_phi(&dir.join("phi.tsv"))?;
-        let stopwords_path = dir.join("stopwords.txt");
-        let stopwords = if stopwords_path.exists() {
-            let reader = BufReader::new(File::open(&stopwords_path)?);
-            let mut words = Vec::new();
-            for line in reader.lines() {
-                let line = line?;
-                if !line.is_empty() {
-                    words.push(line);
-                }
-            }
-            words
-        } else {
-            Vec::new()
-        };
+        let stopwords = load_stopword_file(&dir.join("stopwords.txt"))?;
         let unstem_path = dir.join("unstem.tsv");
         let unstem = if unstem_path.exists() {
             let mut table = vec![String::new(); vocab.len()];
@@ -554,7 +606,60 @@ impl RawHeader {
     }
 }
 
-fn load_lexicon(path: &Path, min_support: u64) -> io::Result<PhraseTrie> {
+/// The monolithic backend: one in-memory bundle answering every part of
+/// the contract locally (`gather_phi` copies the trained columns, which is
+/// bit-exact by construction).
+impl ModelBackend for FrozenModel {
+    fn header(&self) -> &ModelHeader {
+        &self.header
+    }
+
+    fn preprocess(&self) -> &PreprocessConfig {
+        &self.preprocess
+    }
+
+    fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    fn format_tag(&self) -> &'static str {
+        FROZEN_MODEL_FORMAT
+    }
+
+    fn n_lexicon_phrases(&self) -> usize {
+        self.lexicon.n_phrases()
+    }
+
+    fn prepare(&self, text: &str) -> PreparedDoc {
+        FrozenModel::prepare(self, text)
+    }
+
+    fn segment(&self, doc: &Document) -> Vec<(u32, u32)> {
+        FrozenModel::segment(self, doc)
+    }
+
+    fn gather_phi(&self, words: &[u32]) -> Vec<f64> {
+        let k = self.header.n_topics;
+        let n = words.len();
+        let mut out = vec![0.0f64; k * n];
+        for (t, row) in self.phi.iter().enumerate() {
+            for (j, &w) in words.iter().enumerate() {
+                out[t * n + j] = row[w as usize];
+            }
+        }
+        out
+    }
+
+    fn display_word(&self, id: u32) -> &str {
+        FrozenModel::display_word(self, id)
+    }
+
+    fn display_phrase(&self, ids: &[u32]) -> String {
+        FrozenModel::display_phrase(self, ids)
+    }
+}
+
+pub(crate) fn load_lexicon(path: &Path, min_support: u64) -> io::Result<PhraseTrie> {
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
     let first = lines

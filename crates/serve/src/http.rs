@@ -1,20 +1,23 @@
 //! A minimal std-only HTTP/1.1 front end for the query engine.
 //!
 //! No async runtime (the build is offline): a `std::net::TcpListener`
-//! accept loop hands each connection to a fixed worker pool, one request
-//! per connection (`Connection: close`). The surface is deliberately tiny:
+//! accept loop hands each connection to a fixed worker pool. Connections
+//! are persistent: HTTP/1.1 requests default to keep-alive (HTTP/1.0 must
+//! ask for it), bounded by a per-connection request cap and an idle
+//! timeout between requests; `Connection: close` is honored per request.
+//! The surface is deliberately tiny:
 //!
-//! * `GET /healthz` — liveness plus model shape;
+//! * `GET /healthz` — liveness, model shape, shard count, and the
+//!   response-cache hit/miss counters;
 //! * `GET /model`   — bundle metadata (header + preprocessing contract);
 //! * `POST /infer`  — body is one plain-text document; query parameters
 //!   `seed`, `iters`, `top` override the per-request inference knobs.
 //!
 //! Responses are JSON, hand-rendered (no serde in the dependency set);
 //! floats use Rust's shortest round-trip `Display`, so a fixed seed yields
-//! byte-identical bodies across runs and thread counts.
+//! byte-identical bodies across runs, thread counts, and shard counts.
 
 use crate::engine::{QueryEngine, ThreadPool};
-use crate::frozen::FROZEN_MODEL_FORMAT;
 use crate::infer::{DocInference, InferConfig};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -30,6 +33,12 @@ const MAX_HEAD: usize = 16 << 10;
 /// Socket read/write timeout: a stalled or silent client (slowloris) frees
 /// its worker after this long instead of occupying it forever.
 const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+/// Requests served on one keep-alive connection before the server closes
+/// it (bounds how long one client can pin a worker).
+const MAX_REQUESTS_PER_CONN: usize = 100;
+/// Idle timeout between keep-alive requests: a connection holding no
+/// in-flight request frees its worker after this long.
+const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -162,6 +171,9 @@ struct Request {
     path: String,
     query: Vec<(String, String)>,
     body: String,
+    /// The client asked to end the connection after this response
+    /// (`Connection: close`, or an HTTP/1.0 request without keep-alive).
+    close: bool,
 }
 
 #[derive(Debug, PartialEq)]
@@ -179,43 +191,96 @@ impl HttpError {
     }
 }
 
+/// Serve one connection: up to [`MAX_REQUESTS_PER_CONN`] requests on a
+/// persistent connection, closing on client request, idle timeout, the
+/// cap, or any malformed request (framing is unreliable after one).
 fn handle_connection(
     stream: TcpStream,
     engine: &QueryEngine,
     defaults: &InferConfig,
 ) -> io::Result<()> {
-    // The take-limit caps how much a connection can make us buffer: the
-    // head cap up front, widened to admit the (already length-checked)
-    // body once the headers are parsed.
+    // The reader owns the stream for the connection's lifetime (buffered
+    // bytes of a pipelined next request must survive between requests);
+    // responses go out through a cloned handle. The take-limit caps how
+    // much a connection can make us buffer per request: the head cap up
+    // front, widened to admit the (already length-checked) body once the
+    // headers are parsed, reset for the next request's head.
+    let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream.take(MAX_HEAD as u64));
-    let response = match read_request(&mut reader) {
-        Ok(req) => match route(&req, engine, defaults) {
-            Ok(body) => render_response(200, &body),
-            Err(e) => render_response(e.status, &error_json(&e.message)),
-        },
-        Err(e) => render_response(e.status, &error_json(&e.message)),
-    };
-    let mut stream = reader.into_inner().into_inner();
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    for served in 0..MAX_REQUESTS_PER_CONN {
+        if served > 0 {
+            reader.get_mut().set_limit(MAX_HEAD as u64);
+            let _ = reader
+                .get_ref()
+                .get_ref()
+                .set_read_timeout(Some(KEEP_ALIVE_IDLE));
+        }
+        let at_cap = served + 1 == MAX_REQUESTS_PER_CONN;
+        match read_request(&mut reader) {
+            Ok(None) => break, // clean close (EOF or idle timeout)
+            Ok(Some(req)) => {
+                let close = req.close || at_cap;
+                let body = match route(&req, engine, defaults) {
+                    Ok(body) => render_response(200, &body, close),
+                    Err(e) => render_response(e.status, &error_json(&e.message), close),
+                };
+                writer.write_all(body.as_bytes())?;
+                writer.flush()?;
+                if close {
+                    break;
+                }
+            }
+            Err(e) => {
+                let _ = writer
+                    .write_all(render_response(e.status, &error_json(&e.message), true).as_bytes());
+                let _ = writer.flush();
+                break;
+            }
+        }
+    }
+    Ok(())
 }
 
-fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, HttpError> {
+/// Read one request off the connection. `Ok(None)` means the client went
+/// away cleanly before sending one (EOF or idle timeout at a request
+/// boundary) — not an error, just the end of a keep-alive conversation.
+fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Request>, HttpError> {
     let bad = |m: &str| HttpError::new(400, m);
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|_| bad("unreadable request line"))?;
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        // An idle timeout with nothing read is the clean end of a
+        // keep-alive conversation; mid-request-line it is a client error.
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) && line.is_empty() =>
+        {
+            return Ok(None)
+        }
+        Err(_) => return Err(bad("unreadable request line")),
+    }
+    // A request is now in flight: the rest of it (headers + body) gets the
+    // full I/O timeout again, not the shorter between-requests idle one.
+    let _ = reader
+        .get_ref()
+        .get_ref()
+        .set_read_timeout(Some(IO_TIMEOUT));
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or_else(|| bad("empty request line"))?;
     let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => {}
+    let version = match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => v,
         _ => return Err(bad("not an HTTP/1.x request")),
-    }
+    };
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 must opt in.
+    let keep_alive_default = version != "HTTP/1.0";
     let (method, target) = (method.to_string(), target.to_string());
 
     let mut content_length = 0usize;
+    let mut close = !keep_alive_default;
     let mut head_bytes = line.len();
     loop {
         let mut header = String::new();
@@ -242,6 +307,16 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, 
                     .trim()
                     .parse()
                     .map_err(|_| bad("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                // Token list; "close" and "keep-alive" are what we honor.
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
             }
         }
     }
@@ -258,12 +333,13 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Request, 
     let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
 
     let (path, query) = parse_target(&target);
-    Ok(Request {
+    Ok(Some(Request {
         method,
         path,
         query,
         body,
-    })
+        close,
+    }))
 }
 
 /// Split a request target into path and `key=value` query pairs (no
@@ -311,30 +387,39 @@ fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let m = engine.model();
+            let cache = engine.cache_stats();
             Ok(format!(
-                "{{\"status\":\"ok\",\"format\":{},\"topics\":{},\"vocab\":{}}}",
-                json_string(FROZEN_MODEL_FORMAT),
+                "{{\"status\":\"ok\",\"format\":{},\"topics\":{},\"vocab\":{},\"shards\":{},\
+                 \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{}}}}}",
+                json_string(m.format_tag()),
                 m.n_topics(),
-                m.vocab_size()
+                m.vocab_size(),
+                m.n_shards(),
+                cache.hits,
+                cache.misses,
+                cache.entries,
+                cache.capacity
             ))
         }
         ("GET", "/model") => {
             let m = engine.model();
-            let h = &m.header;
+            let h = m.header();
+            let p = m.preprocess();
             Ok(format!(
-                "{{\"format\":{},\"topics\":{},\"vocab\":{},\"train_docs\":{},\
+                "{{\"format\":{},\"topics\":{},\"vocab\":{},\"shards\":{},\"train_docs\":{},\
                  \"train_tokens\":{},\"lexicon_phrases\":{},\"seg_alpha\":{},\"beta\":{},\
                  \"stem\":{},\"remove_stopwords\":{}}}",
-                json_string(FROZEN_MODEL_FORMAT),
+                json_string(m.format_tag()),
                 h.n_topics,
                 h.vocab_size,
+                m.n_shards(),
                 h.n_docs,
                 h.n_tokens,
-                m.lexicon.n_phrases(),
+                m.n_lexicon_phrases(),
                 h.seg_alpha,
                 h.beta,
-                m.preprocess.stem,
-                m.preprocess.remove_stopwords
+                p.stem,
+                p.remove_stopwords
             ))
         }
         ("POST", "/infer") => {
@@ -352,7 +437,7 @@ fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<
     }
 }
 
-fn render_response(status: u16, body: &str) -> String {
+fn render_response(status: u16, body: &str, close: bool) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -362,9 +447,10 @@ fn render_response(status: u16, body: &str) -> String {
         431 => "Request Header Fields Too Large",
         _ => "Error",
     };
+    let connection = if close { "close" } else { "keep-alive" };
     format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )
 }
@@ -480,12 +566,14 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
-        let r = render_response(200, "{\"x\":1}");
+    fn responses_carry_length_and_connection_intent() {
+        let r = render_response(200, "{\"x\":1}", true);
         assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(r.contains("Content-Length: 7\r\n"));
         assert!(r.contains("Connection: close\r\n"));
         assert!(r.ends_with("{\"x\":1}"));
+        let r = render_response(200, "{\"x\":1}", false);
+        assert!(r.contains("Connection: keep-alive\r\n"));
     }
 
     #[test]

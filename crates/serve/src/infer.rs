@@ -10,13 +10,28 @@
 //! p(C = k | ...) ∝ ∏_{j=1..s} (α_k + n_dk + j − 1) · φ_{k, w_j}
 //! ```
 //!
-//! — Eq. 7's document side with the word side frozen. Everything is
-//! deterministic given the seed: same seed ⇒ bit-identical θ, topic
-//! ranking, and phrase annotations, regardless of which thread runs it.
+//! — Eq. 7's document side with the word side frozen.
+//!
+//! Inference runs against any [`ModelBackend`], monolithic or sharded, in
+//! two phases:
+//!
+//! 1. **scatter-gather**: the document's tokens are remapped onto a dense
+//!    local word table and the φ columns they touch are gathered from
+//!    their owning shards ([`ModelBackend::gather_phi`]) into one
+//!    cache-friendly topic-major block — a plain copy for the monolithic
+//!    backend, a fan-out for the sharded one;
+//! 2. **local Gibbs**: the fold-in sweeps run entirely against the
+//!    gathered block, touching no shard again.
+//!
+//! Because the gathered values are the trained `f64`s bit-for-bit and the
+//! sweep order is fixed, everything is deterministic given the seed: same
+//! seed ⇒ bit-identical θ, topic ranking, and phrase annotations,
+//! regardless of backend, shard count, or which thread runs it.
 
-use crate::frozen::FrozenModel;
+use crate::backend::ModelBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use topmine_util::FxHashMap;
 
 /// Knobs of one fold-in pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,81 +89,113 @@ pub struct DocInference {
     pub n_oov: usize,
 }
 
-impl FrozenModel {
+/// Infer topics for one unseen document against any backend with an
+/// explicit seed. This is the single fold-in implementation; the
+/// monolithic and sharded models (and the [`QueryEngine`]
+/// (crate::QueryEngine)) all route here.
+pub fn infer_doc(
+    model: &dyn ModelBackend,
+    text: &str,
+    config: &InferConfig,
+    seed: u64,
+) -> DocInference {
+    let prepared = model.prepare(text);
+    let spans = model.segment(&prepared.doc);
+    let k = model.n_topics();
+    let alpha = model.alpha();
+    let tokens = &prepared.doc.tokens;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Scatter-gather: remap tokens onto a dense local word table, then
+    // fetch exactly the φ columns this document touches from their owning
+    // shards. The Gibbs sweeps below never leave the gathered block.
+    let mut local_of: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut distinct: Vec<u32> = Vec::new();
+    let local_tokens: Vec<usize> = tokens
+        .iter()
+        .map(|&w| {
+            *local_of.entry(w).or_insert_with(|| {
+                distinct.push(w);
+                (distinct.len() - 1) as u32
+            }) as usize
+        })
+        .collect();
+    let n_local = distinct.len();
+    // Topic-major `k × n_local`: φ[t][distinct[j]] at `t * n_local + j`.
+    let phi = model.gather_phi(&distinct);
+
+    // Fold-in state: per-topic token counts for this document, one
+    // topic per phrase instance (clique).
+    let mut local_ndk = vec![0u32; k];
+    let mut z: Vec<u16> = Vec::with_capacity(spans.len());
+    for &(s, e) in &spans {
+        let t = rng.gen_range(0..k) as u16;
+        local_ndk[t as usize] += e - s;
+        z.push(t);
+    }
+
+    let mut weights = vec![0.0f64; k];
+    for _ in 0..config.fold_iters {
+        for (g, &(s, e)) in spans.iter().enumerate() {
+            let old = z[g] as usize;
+            local_ndk[old] -= e - s;
+            for (t, slot) in weights.iter_mut().enumerate() {
+                let row = &phi[t * n_local..(t + 1) * n_local];
+                let mut w_t = 1.0f64;
+                for (j, i) in (s as usize..e as usize).enumerate() {
+                    w_t *= (alpha[t] + local_ndk[t] as f64 + j as f64) * row[local_tokens[i]];
+                }
+                *slot = w_t;
+            }
+            let new = sample_discrete(&mut rng, &weights) as u16;
+            z[g] = new;
+            local_ndk[new as usize] += e - s;
+        }
+    }
+
+    let alpha_sum: f64 = alpha.iter().sum();
+    let theta_den = tokens.len() as f64 + alpha_sum;
+    let theta: Vec<f64> = (0..k)
+        .map(|t| (local_ndk[t] as f64 + alpha[t]) / theta_den)
+        .collect();
+
+    let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
+    // Ties break on the lower topic id so the ranking is deterministic.
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(config.top_topics);
+
+    let phrases = spans
+        .iter()
+        .zip(&z)
+        .map(|(&(s, e), &topic)| {
+            let words = tokens[s as usize..e as usize].to_vec();
+            PhraseAssignment {
+                text: model.display_phrase(&words),
+                words,
+                topic,
+            }
+        })
+        .collect();
+
+    DocInference {
+        theta,
+        top_topics: ranked,
+        phrases,
+        n_tokens: tokens.len(),
+        n_oov: prepared.n_oov,
+    }
+}
+
+impl crate::frozen::FrozenModel {
     /// Infer topics for one unseen document with the configured seed.
     pub fn infer(&self, text: &str, config: &InferConfig) -> DocInference {
-        self.infer_seeded(text, config, config.seed)
+        infer_doc(self, text, config, config.seed)
     }
 
     /// Infer with an explicit seed (batch entry points pass
     /// [`InferConfig::seed_for_index`]).
     pub fn infer_seeded(&self, text: &str, config: &InferConfig, seed: u64) -> DocInference {
-        let prepared = self.prepare(text);
-        let spans = self.segment(&prepared.doc);
-        let k = self.n_topics();
-        let tokens = &prepared.doc.tokens;
-        let mut rng = StdRng::seed_from_u64(seed);
-
-        // Fold-in state: per-topic token counts for this document, one
-        // topic per phrase instance (clique).
-        let mut local_ndk = vec![0u32; k];
-        let mut z: Vec<u16> = Vec::with_capacity(spans.len());
-        for &(s, e) in &spans {
-            let t = rng.gen_range(0..k) as u16;
-            local_ndk[t as usize] += e - s;
-            z.push(t);
-        }
-
-        let mut weights = vec![0.0f64; k];
-        for _ in 0..config.fold_iters {
-            for (g, &(s, e)) in spans.iter().enumerate() {
-                let old = z[g] as usize;
-                local_ndk[old] -= e - s;
-                for (t, slot) in weights.iter_mut().enumerate() {
-                    let mut w_t = 1.0f64;
-                    for (j, i) in (s as usize..e as usize).enumerate() {
-                        let w = tokens[i] as usize;
-                        w_t *= (self.alpha[t] + local_ndk[t] as f64 + j as f64) * self.phi[t][w];
-                    }
-                    *slot = w_t;
-                }
-                let new = sample_discrete(&mut rng, &weights) as u16;
-                z[g] = new;
-                local_ndk[new as usize] += e - s;
-            }
-        }
-
-        let alpha_sum: f64 = self.alpha.iter().sum();
-        let theta_den = tokens.len() as f64 + alpha_sum;
-        let theta: Vec<f64> = (0..k)
-            .map(|t| (local_ndk[t] as f64 + self.alpha[t]) / theta_den)
-            .collect();
-
-        let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
-        // Ties break on the lower topic id so the ranking is deterministic.
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        ranked.truncate(config.top_topics);
-
-        let phrases = spans
-            .iter()
-            .zip(&z)
-            .map(|(&(s, e), &topic)| {
-                let words = tokens[s as usize..e as usize].to_vec();
-                PhraseAssignment {
-                    text: self.display_phrase(&words),
-                    words,
-                    topic,
-                }
-            })
-            .collect();
-
-        DocInference {
-            theta,
-            top_topics: ranked,
-            phrases,
-            n_tokens: tokens.len(),
-            n_oov: prepared.n_oov,
-        }
+        infer_doc(self, text, config, seed)
     }
 }
 

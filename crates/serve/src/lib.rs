@@ -5,19 +5,29 @@
 //! answering *"what are the topical phrases in this new document?"*, in
 //! three layers:
 //!
-//! * [`frozen`] — the **artifact**: [`FrozenModel`], an immutable,
-//!   versioned, single-directory bundle holding the preprocessing contract
-//!   (vocabulary, stemming, stop words), the phrase lexicon as a prefix
-//!   trie ([`PhraseTrie`]), and the topic model point estimate (φ, α, β);
+//! * [`backend`] — the **seam**: [`ModelBackend`], the trait everything
+//!   below the HTTP layer talks to, so nothing assumes the model is one
+//!   in-memory bundle;
+//! * [`frozen`] — the **monolithic artifact**: [`FrozenModel`], an
+//!   immutable, versioned, single-directory bundle holding the
+//!   preprocessing contract (vocabulary, stemming, stop words), the phrase
+//!   lexicon as a prefix trie ([`PhraseTrie`]), and the topic model point
+//!   estimate (φ, α, β);
+//! * [`sharded`] — the **sharded artifact**: [`ShardedModel`], N
+//!   vocabulary-range shards (each its own vocab/lexicon/φ slice, loaded
+//!   from a `manifest.tsv` + `shard-K/` layout) composing a backend that
+//!   serves bit-identically to the monolith at every shard count;
 //! * [`infer`] — **fold-in inference**: segment unseen text with the
-//!   frozen lexicon (Algorithm 2 against the trie), then run a short
-//!   fixed-φ Gibbs chain preserving the phrase-clique constraint (Eq. 7)
-//!   to get θ, topic rankings, and per-phrase topic annotations —
+//!   frozen lexicon (Algorithm 2 against the trie), scatter-gather the φ
+//!   columns the document touches from their owning shards, then run a
+//!   short fixed-φ Gibbs chain preserving the phrase-clique constraint
+//!   (Eq. 7) to get θ, topic rankings, and per-phrase topic annotations —
 //!   deterministic given a seed;
-//! * [`engine`] / [`http`] — the **query engine and server**: an
-//!   `Arc<FrozenModel>`-sharing thread pool for batched inference, fronted
-//!   by a std-only HTTP/1.1 server (`topmine serve`); `topmine infer` is
-//!   the one-shot sibling.
+//! * [`engine`] / [`cache`] / [`http`] — the **query engine and server**:
+//!   an `Arc<dyn ModelBackend>`-sharing thread pool for batched inference
+//!   with a bounded LRU response cache in front of single-document
+//!   queries, fronted by a std-only HTTP/1.1 keep-alive server
+//!   (`topmine serve`); `topmine infer` is the one-shot sibling.
 //!
 //! # Quickstart
 //!
@@ -45,14 +55,20 @@
 //! assert_eq!(result.theta.len(), 2);
 //! ```
 
+pub mod backend;
+pub mod cache;
 pub mod engine;
 pub mod frozen;
 pub mod http;
 pub mod infer;
+pub mod sharded;
 pub mod trie;
 
-pub use engine::{QueryEngine, ThreadPool};
+pub use backend::{load_bundle, ModelBackend};
+pub use cache::{CacheStats, ResponseCache};
+pub use engine::{QueryEngine, ThreadPool, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig, FROZEN_MODEL_FORMAT};
 pub use http::{inference_json, HttpServer, ServerConfig, ServerHandle};
-pub use infer::{DocInference, InferConfig, PhraseAssignment};
+pub use infer::{infer_doc, DocInference, InferConfig, PhraseAssignment};
+pub use sharded::{ModelShard, ShardedModel, SHARDED_MODEL_FORMAT};
 pub use trie::PhraseTrie;

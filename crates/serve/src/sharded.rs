@@ -1,0 +1,927 @@
+//! The sharded frozen model: N vocabulary-range shards composing one
+//! logical [`FrozenModel`](crate::FrozenModel)-equivalent backend.
+//!
+//! The partitioning follows the parameter-server cut used by distributed
+//! topic-model servers (LightLDA's vocabulary-sliced workers): the word-id
+//! space `[0, V)` is split into `N` contiguous ranges, and shard `i` owns
+//!
+//! * the **vocabulary slice** for its range (word strings and the unstem
+//!   display table), so term→id resolution scatters across shards;
+//! * the **lexicon slice**: every stored phrase whose *first* word falls
+//!   in the range, as its own [`PhraseTrie`] (all tries share the global
+//!   `L` and `ε`, so Eq. 1 significance is computed on identical numbers);
+//! * the **φ slice**: the `n_topics × range_width` block of trained
+//!   topic-word columns.
+//!
+//! Because phrase ownership is determined by the first word, every count
+//! Algorithm 2 asks for lives wholly in one shard, and fold-in gathers
+//! each word's φ column from exactly one shard: inference through a
+//! [`ShardedModel`] is **bit-identical** to the monolithic bundle at every
+//! shard count (the proptest in `tests/sharded_equivalence.rs` is the
+//! acceptance bar).
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! bundle/
+//!   manifest.tsv        versioned header: shapes, α, ε, shard ranges
+//!   stopwords.txt       (present iff the contract removes stop words)
+//!   shard-0/
+//!     vocab.tsv         global id<TAB>word, dense over the shard range
+//!     unstem.tsv        global id<TAB>surface (present iff training stemmed)
+//!     lexicon.tsv       total_tokens line + count<TAB>ids (first word in range)
+//!     phi.tsv           n_topics × range_width probability block
+//!   shard-1/ …
+//! ```
+//!
+//! `manifest.tsv` rides the same versioned `key<TAB>value` machinery as
+//! every other bundle header ([`topmine_lda::io::read_versioned_kv`]);
+//! re-saving into a directory removes stale `shard-K/` directories beyond
+//! the new count and the monolithic format's marker files, so a bundle
+//! directory always holds exactly one loadable model.
+
+use crate::backend::ModelBackend;
+use crate::frozen::{
+    bundle_header_pairs, load_lexicon, load_stopword_file, prepare_with, remove_if_present,
+    save_lexicon_file, FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig,
+};
+use crate::infer::{infer_doc, DocInference, InferConfig};
+use crate::trie::PhraseTrie;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use topmine_corpus::{Document, StopwordSet};
+use topmine_phrase::{PhraseConstructor, PhraseCounts};
+use topmine_util::FxHashMap;
+
+/// Version tag on the first line of `manifest.tsv`.
+pub const SHARDED_MODEL_FORMAT: &str = "topmine-sharded-model/1";
+
+fn data_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// One vocabulary-range shard: the slice of the model owned by word ids
+/// `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct ModelShard {
+    /// First owned word id.
+    pub lo: u32,
+    /// One past the last owned word id.
+    pub hi: u32,
+    /// Word strings, local index = global id − `lo`.
+    words: Vec<String>,
+    /// term → global id, the scatter target of vocabulary resolution.
+    term_ids: FxHashMap<String, u32>,
+    /// Display table slice (empty string = fall back to `words`); present
+    /// iff training stemmed.
+    unstem: Option<Vec<String>>,
+    /// Phrases whose first word is in `[lo, hi)`; shares the global `L`
+    /// and `ε` with every other shard.
+    pub lexicon: PhraseTrie,
+    /// φ block, `n_topics` rows × `hi − lo` columns.
+    phi: Vec<Vec<f64>>,
+}
+
+impl ModelShard {
+    pub fn width(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+}
+
+/// Structural equality over the persisted content (the derived `term_ids`
+/// index is a function of `words` and deliberately not compared).
+impl PartialEq for ModelShard {
+    fn eq(&self, other: &Self) -> bool {
+        self.lo == other.lo
+            && self.hi == other.hi
+            && self.words == other.words
+            && self.unstem == other.unstem
+            && self.lexicon == other.lexicon
+            && self.phi == other.phi
+    }
+}
+
+/// A fitted model partitioned into vocabulary-range shards.
+#[derive(Debug, Clone)]
+pub struct ShardedModel {
+    pub header: ModelHeader,
+    pub preprocess: PreprocessConfig,
+    alpha: Vec<f64>,
+    /// Membership set built from `preprocess.stopwords` (not persisted
+    /// separately).
+    stopword_set: StopwordSet,
+    /// Global `L` shared by every shard trie.
+    lexicon_total_tokens: u64,
+    /// Global ε shared by every shard trie.
+    min_support: u64,
+    /// Range starts, length `n_shards + 1`; `boundaries[0] == 0`, last
+    /// entry == `vocab_size`. Shard `i` owns `[boundaries[i],
+    /// boundaries[i+1])`.
+    boundaries: Vec<u32>,
+    shards: Vec<ModelShard>,
+}
+
+impl PartialEq for ShardedModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.header == other.header
+            && self.preprocess == other.preprocess
+            && self.alpha == other.alpha
+            && self.lexicon_total_tokens == other.lexicon_total_tokens
+            && self.min_support == other.min_support
+            && self.boundaries == other.boundaries
+            && self.shards == other.shards
+    }
+}
+
+fn term_index(words: &[String], lo: u32) -> FxHashMap<String, u32> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (w.clone(), lo + i as u32))
+        .collect()
+}
+
+impl ShardedModel {
+    /// Partition a monolithic model into `n_shards` contiguous
+    /// vocabulary ranges (near-equal widths; shards may be empty when
+    /// `n_shards > vocab_size`). The composition serves bit-identically to
+    /// the source model.
+    pub fn from_frozen(model: &FrozenModel, n_shards: usize) -> io::Result<Self> {
+        if n_shards == 0 {
+            return Err(data_err("shard count must be at least 1".into()));
+        }
+        let v = model.vocab_size();
+        let k = model.n_topics();
+        let boundaries: Vec<u32> = (0..=n_shards).map(|i| (i * v / n_shards) as u32).collect();
+        let total_tokens = PhraseCounts::total_tokens(&model.lexicon);
+        let min_support = model.lexicon.min_support();
+        let mut shards: Vec<ModelShard> = boundaries
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0], w[1]);
+                let words: Vec<String> = (lo..hi)
+                    .map(|id| model.vocab.word(id).to_string())
+                    .collect();
+                ModelShard {
+                    lo,
+                    hi,
+                    term_ids: term_index(&words, lo),
+                    words,
+                    unstem: model
+                        .unstem
+                        .as_ref()
+                        .map(|u| u[lo as usize..hi as usize].to_vec()),
+                    lexicon: PhraseTrie::new(total_tokens, min_support),
+                    phi: model
+                        .phi
+                        .iter()
+                        .map(|row| row[lo as usize..hi as usize].to_vec())
+                        .collect(),
+                }
+            })
+            .collect();
+        debug_assert!(shards.iter().all(|s| s.phi.len() == k));
+        for (phrase, count) in model.lexicon.iter_phrases() {
+            let owner = boundaries.partition_point(|&b| b <= phrase[0]) - 1;
+            shards[owner].lexicon.insert(&phrase, count);
+        }
+        let sharded = Self {
+            header: model.header.clone(),
+            preprocess: model.preprocess.clone(),
+            alpha: model.alpha.clone(),
+            stopword_set: StopwordSet::from_words(
+                model.preprocess.stopwords.iter().map(String::as_str),
+            ),
+            lexicon_total_tokens: total_tokens,
+            min_support,
+            boundaries,
+            shards,
+        };
+        sharded.validate().map_err(data_err)?;
+        Ok(sharded)
+    }
+
+    /// The shard owning word id `w`. Panics on out-of-range ids (callers
+    /// hold ids produced by [`ShardedModel::prepare`], which are always in
+    /// range).
+    fn shard_of(&self, w: u32) -> &ModelShard {
+        let i = self.boundaries.partition_point(|&b| b <= w) - 1;
+        &self.shards[i]
+    }
+
+    /// Resolve a normalized term to its global word id — the scatter side
+    /// of vocabulary lookup: each shard only knows its own slice, so the
+    /// query fans out and the unique hit (ids are disjoint) is gathered.
+    fn term_id(&self, term: &str) -> Option<u32> {
+        self.shards
+            .iter()
+            .find_map(|s| s.term_ids.get(term).copied())
+    }
+
+    pub fn n_topics(&self) -> usize {
+        self.header.n_topics
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.header.vocab_size
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shards(&self) -> &[ModelShard] {
+        &self.shards
+    }
+
+    /// Total stored phrases across all shard lexicons.
+    pub fn n_phrases(&self) -> usize {
+        self.shards.iter().map(|s| s.lexicon.n_phrases()).sum()
+    }
+
+    /// Structural invariants every loaded/assembled sharded model
+    /// satisfies.
+    pub fn validate(&self) -> Result<(), String> {
+        let h = &self.header;
+        let k = h.n_topics;
+        if self.shards.is_empty() {
+            return Err("sharded model has no shards".into());
+        }
+        if self.boundaries.len() != self.shards.len() + 1 {
+            return Err("boundary vector does not match shard count".into());
+        }
+        if self.boundaries[0] != 0 || *self.boundaries.last().unwrap() as usize != h.vocab_size {
+            return Err(format!(
+                "shard ranges must cover [0, {}), got {:?}",
+                h.vocab_size, self.boundaries
+            ));
+        }
+        if self.boundaries.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!(
+                "shard ranges must be ascending: {:?}",
+                self.boundaries
+            ));
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            if (s.lo, s.hi) != (self.boundaries[i], self.boundaries[i + 1]) {
+                return Err(format!("shard {i} range disagrees with the manifest"));
+            }
+            if s.words.len() != s.width() {
+                return Err(format!(
+                    "shard {i} has {} words for a range of width {}",
+                    s.words.len(),
+                    s.width()
+                ));
+            }
+            if s.phi.len() != k || s.phi.iter().any(|row| row.len() != s.width()) {
+                return Err(format!(
+                    "shard {i} φ block is not {k} × {} as the manifest requires",
+                    s.width()
+                ));
+            }
+            if let Some(u) = &s.unstem {
+                if u.len() != s.width() {
+                    return Err(format!("shard {i} unstem table length mismatch"));
+                }
+            }
+            if s.unstem.is_some() != self.shards[0].unstem.is_some() {
+                return Err("shards disagree on unstem table presence".into());
+            }
+            if PhraseCounts::total_tokens(&s.lexicon) != self.lexicon_total_tokens
+                || s.lexicon.min_support() != self.min_support
+            {
+                return Err(format!(
+                    "shard {i} lexicon disagrees on total tokens or min support"
+                ));
+            }
+        }
+        if self.alpha.len() != k {
+            return Err(format!(
+                "alpha has {} entries, header says {k} topics",
+                self.alpha.len()
+            ));
+        }
+        let positive = |x: f64| x > 0.0;
+        if !self.alpha.iter().copied().all(positive) || !positive(h.beta) {
+            return Err("hyperparameters must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Infer topics for one unseen document with the configured seed.
+    pub fn infer(&self, text: &str, config: &InferConfig) -> DocInference {
+        infer_doc(self, text, config, config.seed)
+    }
+
+    /// Infer with an explicit seed (batch entry points pass
+    /// [`InferConfig::seed_for_index`]).
+    pub fn infer_seeded(&self, text: &str, config: &InferConfig, seed: u64) -> DocInference {
+        infer_doc(self, text, config, seed)
+    }
+
+    // ----- persistence ------------------------------------------------------
+
+    /// Write the sharded bundle into `dir` (created if needed). Stale
+    /// `shard-K/` directories beyond the new shard count and the
+    /// monolithic format's marker files are removed, so re-saving with a
+    /// different shard count (or over a monolithic bundle) leaves exactly
+    /// this model on disk.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let stopwords_path = dir.join("stopwords.txt");
+        if self.preprocess.stopwords.is_empty() {
+            remove_if_present(&stopwords_path)?;
+        } else {
+            let mut out = BufWriter::new(File::create(&stopwords_path)?);
+            for w in &self.preprocess.stopwords {
+                writeln!(out, "{w}")?;
+            }
+            out.flush()?;
+        }
+
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard_dir = dir.join(format!("shard-{i}"));
+            // Recreate from scratch so no stale file inside the shard
+            // directory (an old unstem.tsv, say) survives as meaning.
+            if shard_dir.exists() {
+                std::fs::remove_dir_all(&shard_dir)?;
+            }
+            std::fs::create_dir_all(&shard_dir)?;
+            shard.save(&shard_dir)?;
+        }
+
+        // The manifest is the commit point: it goes down only after every
+        // shard directory is complete, so a mid-save failure over a
+        // monolithic bundle never shadows the still-loadable old model
+        // (manifest.tsv is what `load_bundle` keys the format on). It is
+        // the shared bundle header plus the shard topology.
+        let mut pairs = vec![("n_shards".to_string(), self.shards.len().to_string())];
+        pairs.extend(bundle_header_pairs(
+            &self.header,
+            &self.preprocess,
+            self.min_support,
+            &self.alpha,
+        ));
+        for (i, s) in self.shards.iter().enumerate() {
+            pairs.push((format!("shard{i}_start"), s.lo.to_string()));
+        }
+        topmine_lda::io::save_versioned_kv(&dir.join("manifest.tsv"), SHARDED_MODEL_FORMAT, pairs)?;
+
+        // Only cleanup remains after the commit point: stale shard
+        // directories beyond the new count are harmless to a loader (it
+        // reads exactly 0..n_shards), as are the monolithic format's files
+        // (manifest.tsv wins detection; `FrozenModel::save` removes
+        // manifest.tsv in the other direction).
+        remove_stale_shards(dir, self.shards.len())?;
+        for stale in [
+            "header.tsv",
+            "vocab.tsv",
+            "lexicon.tsv",
+            "phi.tsv",
+            "unstem.tsv",
+        ] {
+            remove_if_present(&dir.join(stale))?;
+        }
+        Ok(())
+    }
+
+    /// Load a bundle written by [`ShardedModel::save`]. The manifest's
+    /// format line is checked first; every other failure (missing file,
+    /// bad number, shape mismatch) is an `io::Error` naming the file.
+    pub fn load(dir: &Path) -> io::Result<Self> {
+        let manifest = RawManifest::load(&dir.join("manifest.tsv"))?;
+        let stopwords = load_stopword_file(&dir.join("stopwords.txt"))?;
+        let mut boundaries = manifest.shard_starts.clone();
+        boundaries.push(manifest.vocab_size as u32);
+        // Ranges must be checked before shard loading sizes anything by
+        // `hi - lo` (a corrupt manifest must be an error, not an underflow).
+        if boundaries.windows(2).any(|w| w[0] > w[1]) {
+            return Err(data_err(format!(
+                "manifest.tsv: shard ranges must ascend to vocab_size {}: {boundaries:?}",
+                manifest.vocab_size
+            )));
+        }
+        let mut shards = Vec::with_capacity(manifest.n_shards);
+        for (i, w) in boundaries.windows(2).enumerate() {
+            shards.push(load_shard(
+                &dir.join(format!("shard-{i}")),
+                w[0],
+                w[1],
+                manifest.min_support,
+            )?);
+        }
+        let model = Self {
+            header: ModelHeader {
+                n_topics: manifest.n_topics,
+                vocab_size: manifest.vocab_size,
+                n_docs: manifest.n_docs,
+                n_tokens: manifest.n_tokens,
+                seg_alpha: manifest.seg_alpha,
+                beta: manifest.beta,
+            },
+            stopword_set: StopwordSet::from_words(stopwords.iter().map(String::as_str)),
+            preprocess: PreprocessConfig {
+                stem: manifest.stem,
+                remove_stopwords: manifest.remove_stopwords,
+                min_token_len: manifest.min_token_len,
+                stopwords,
+            },
+            alpha: manifest.alpha,
+            lexicon_total_tokens: shards
+                .first()
+                .map(|s: &ModelShard| PhraseCounts::total_tokens(&s.lexicon))
+                .unwrap_or(0),
+            min_support: manifest.min_support,
+            boundaries,
+            shards,
+        };
+        model.validate().map_err(data_err)?;
+        Ok(model)
+    }
+}
+
+impl ModelShard {
+    fn save(&self, dir: &Path) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(dir.join("vocab.tsv"))?);
+        for (i, word) in self.words.iter().enumerate() {
+            writeln!(out, "{}\t{word}", self.lo + i as u32)?;
+        }
+        out.flush()?;
+        if let Some(unstem) = &self.unstem {
+            let mut out = BufWriter::new(File::create(dir.join("unstem.tsv"))?);
+            for (i, surface) in unstem.iter().enumerate() {
+                if !surface.is_empty() {
+                    writeln!(out, "{}\t{surface}", self.lo + i as u32)?;
+                }
+            }
+            out.flush()?;
+        }
+        save_lexicon_file(&self.lexicon, &dir.join("lexicon.tsv"))?;
+        topmine_lda::io::save_phi_matrix(&self.phi, &dir.join("phi.tsv"))
+    }
+}
+
+/// Remove `shard-K/` directories with `K >= keep` (stale remnants of a
+/// bundle saved with more shards, or of a sharded bundle being replaced by
+/// a monolithic one when `keep == 0`).
+pub(crate) fn remove_stale_shards(dir: &Path, keep: usize) -> io::Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(index) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("shard-"))
+            .and_then(|k| k.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if index >= keep && entry.file_type()?.is_dir() {
+            std::fs::remove_dir_all(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+fn load_shard(dir: &Path, lo: u32, hi: u32, min_support: u64) -> io::Result<ModelShard> {
+    let name = dir
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let width = (hi - lo) as usize;
+    let mut words = Vec::with_capacity(width);
+    let reader = BufReader::new(File::open(dir.join("vocab.tsv"))?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let (id_str, word) = line
+            .split_once('\t')
+            .ok_or_else(|| data_err(format!("{name}/vocab.tsv line {}: not id<TAB>word", i + 1)))?;
+        let id: u32 = id_str.parse().map_err(|_| {
+            data_err(format!(
+                "{name}/vocab.tsv line {}: bad id {id_str:?}",
+                i + 1
+            ))
+        })?;
+        if id != lo + words.len() as u32 {
+            return Err(data_err(format!(
+                "{name}/vocab.tsv line {}: id {id} out of order (expected {})",
+                i + 1,
+                lo + words.len() as u32
+            )));
+        }
+        words.push(word.to_string());
+    }
+    if words.len() != width {
+        return Err(data_err(format!(
+            "{name}/vocab.tsv has {} words for a range of width {width}",
+            words.len()
+        )));
+    }
+    let unstem_path = dir.join("unstem.tsv");
+    let unstem = if unstem_path.exists() {
+        let mut table = vec![String::new(); width];
+        let reader = BufReader::new(File::open(&unstem_path)?);
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let (id_str, surface) = line.split_once('\t').ok_or_else(|| {
+                data_err(format!(
+                    "{name}/unstem.tsv line {}: not id<TAB>surface",
+                    i + 1
+                ))
+            })?;
+            let id: u32 = id_str.parse().map_err(|_| {
+                data_err(format!(
+                    "{name}/unstem.tsv line {}: bad id {id_str:?}",
+                    i + 1
+                ))
+            })?;
+            if id < lo || id >= hi {
+                return Err(data_err(format!(
+                    "{name}/unstem.tsv line {}: id {id} outside shard range [{lo}, {hi})",
+                    i + 1
+                )));
+            }
+            table[(id - lo) as usize] = surface.to_string();
+        }
+        Some(table)
+    } else {
+        None
+    };
+    let lexicon = load_lexicon(&dir.join("lexicon.tsv"), min_support)?;
+    let phi = topmine_lda::io::load_phi(&dir.join("phi.tsv"))?;
+    Ok(ModelShard {
+        lo,
+        hi,
+        term_ids: term_index(&words, lo),
+        words,
+        unstem,
+        lexicon,
+        phi,
+    })
+}
+
+/// Parsed `manifest.tsv` before assembly.
+struct RawManifest {
+    n_shards: usize,
+    n_topics: usize,
+    vocab_size: usize,
+    n_docs: usize,
+    n_tokens: u64,
+    seg_alpha: f64,
+    beta: f64,
+    min_support: u64,
+    stem: bool,
+    remove_stopwords: bool,
+    min_token_len: usize,
+    alpha: Vec<f64>,
+    /// `shard{i}_start` values, dense and ascending, length `n_shards`.
+    shard_starts: Vec<u32>,
+}
+
+impl RawManifest {
+    fn load(path: &Path) -> io::Result<Self> {
+        let pairs = topmine_lda::io::read_versioned_kv(path, SHARDED_MODEL_FORMAT)?;
+        let mut n_shards = None;
+        let mut n_topics = None;
+        let mut vocab_size = None;
+        let mut n_docs = None;
+        let mut n_tokens = None;
+        let mut seg_alpha = None;
+        let mut beta = None;
+        let mut min_support = None;
+        let mut stem = None;
+        let mut remove_stopwords = None;
+        let mut min_token_len = None;
+        let mut alphas: Vec<(usize, f64)> = Vec::new();
+        let mut starts: Vec<(usize, u32)> = Vec::new();
+        for (line_no, key, value) in pairs {
+            macro_rules! parse_into {
+                ($slot:ident) => {
+                    $slot = Some(value.parse().map_err(|_| {
+                        data_err(format!(
+                            "manifest line {line_no}: bad value for {key}: {value:?}"
+                        ))
+                    })?)
+                };
+            }
+            match key.as_str() {
+                "n_shards" => parse_into!(n_shards),
+                "n_topics" => parse_into!(n_topics),
+                "vocab_size" => parse_into!(vocab_size),
+                "n_docs" => parse_into!(n_docs),
+                "n_tokens" => parse_into!(n_tokens),
+                "seg_alpha" => parse_into!(seg_alpha),
+                "beta" => parse_into!(beta),
+                "min_support" => parse_into!(min_support),
+                "stem" => parse_into!(stem),
+                "remove_stopwords" => parse_into!(remove_stopwords),
+                "min_token_len" => parse_into!(min_token_len),
+                k if k.starts_with("alpha") => {
+                    let t: usize = k["alpha".len()..]
+                        .parse()
+                        .map_err(|_| data_err(format!("manifest line {line_no}: bad key {k:?}")))?;
+                    let a: f64 = value.parse().map_err(|_| {
+                        data_err(format!(
+                            "manifest line {line_no}: bad value for {k}: {value:?}"
+                        ))
+                    })?;
+                    alphas.push((t, a));
+                }
+                k if k.starts_with("shard") && k.ends_with("_start") => {
+                    let i: usize = k["shard".len()..k.len() - "_start".len()]
+                        .parse()
+                        .map_err(|_| data_err(format!("manifest line {line_no}: bad key {k:?}")))?;
+                    let lo: u32 = value.parse().map_err(|_| {
+                        data_err(format!(
+                            "manifest line {line_no}: bad value for {k}: {value:?}"
+                        ))
+                    })?;
+                    starts.push((i, lo));
+                }
+                other => {
+                    return Err(data_err(format!(
+                        "manifest line {line_no}: unknown key {other:?}"
+                    )))
+                }
+            }
+        }
+        let missing = |k: &str| data_err(format!("manifest.tsv missing {k}"));
+        let n_shards = n_shards.ok_or_else(|| missing("n_shards"))?;
+        let n_topics = n_topics.ok_or_else(|| missing("n_topics"))?;
+        let alpha = topmine_lda::io::assemble_alpha(alphas, n_topics, "manifest.tsv")?;
+        starts.sort_by_key(|&(i, _)| i);
+        if starts.len() != n_shards || starts.iter().enumerate().any(|(i, &(j, _))| i != j) {
+            return Err(data_err(format!(
+                "manifest.tsv shard starts are not dense 0..{n_shards}"
+            )));
+        }
+        let shard_starts: Vec<u32> = starts.into_iter().map(|(_, lo)| lo).collect();
+        if shard_starts.first() != Some(&0) {
+            return Err(data_err("manifest.tsv: shard0_start must be 0".into()));
+        }
+        Ok(Self {
+            n_shards,
+            n_topics,
+            vocab_size: vocab_size.ok_or_else(|| missing("vocab_size"))?,
+            n_docs: n_docs.ok_or_else(|| missing("n_docs"))?,
+            n_tokens: n_tokens.ok_or_else(|| missing("n_tokens"))?,
+            seg_alpha: seg_alpha.ok_or_else(|| missing("seg_alpha"))?,
+            beta: beta.ok_or_else(|| missing("beta"))?,
+            min_support: min_support.ok_or_else(|| missing("min_support"))?,
+            stem: stem.ok_or_else(|| missing("stem"))?,
+            remove_stopwords: remove_stopwords.ok_or_else(|| missing("remove_stopwords"))?,
+            min_token_len: min_token_len.ok_or_else(|| missing("min_token_len"))?,
+            alpha,
+            shard_starts,
+        })
+    }
+}
+
+/// Algorithm 2's count oracle, routed: a phrase lives wholly in the shard
+/// owning its first word, so every lookup is one shard-local trie probe.
+impl PhraseCounts for ShardedModel {
+    fn count(&self, phrase: &[u32]) -> u64 {
+        match phrase.first() {
+            Some(&w) if (w as usize) < self.header.vocab_size => {
+                self.shard_of(w).lexicon.count(phrase)
+            }
+            _ => 0,
+        }
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.lexicon_total_tokens
+    }
+
+    /// `left` and `merged` share a first word, so their owner is resolved
+    /// once; only `right` may scatter to a different shard.
+    fn merge_counts(&self, left: &[u32], right: &[u32], merged: &[u32]) -> (u64, u64, u64) {
+        let (f1, f12) = match left.first() {
+            Some(&w) if (w as usize) < self.header.vocab_size => {
+                let owner = &self.shard_of(w).lexicon;
+                (owner.count(left), owner.count(merged))
+            }
+            _ => (0, 0),
+        };
+        (f1, self.count(right), f12)
+    }
+}
+
+impl ModelBackend for ShardedModel {
+    fn header(&self) -> &ModelHeader {
+        &self.header
+    }
+
+    fn preprocess(&self) -> &PreprocessConfig {
+        &self.preprocess
+    }
+
+    fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    fn format_tag(&self) -> &'static str {
+        SHARDED_MODEL_FORMAT
+    }
+
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn n_lexicon_phrases(&self) -> usize {
+        self.n_phrases()
+    }
+
+    fn prepare(&self, text: &str) -> PreparedDoc {
+        prepare_with(
+            &self.preprocess,
+            &self.stopword_set,
+            |term| self.term_id(term),
+            text,
+        )
+    }
+
+    fn segment(&self, doc: &Document) -> Vec<(u32, u32)> {
+        PhraseConstructor::new(self.header.seg_alpha).construct_doc(doc, self)
+    }
+
+    fn gather_phi(&self, words: &[u32]) -> Vec<f64> {
+        let k = self.header.n_topics;
+        let n = words.len();
+        let mut out = vec![0.0f64; k * n];
+        for (j, &w) in words.iter().enumerate() {
+            let shard = self.shard_of(w);
+            let local = (w - shard.lo) as usize;
+            for (t, row) in shard.phi.iter().enumerate() {
+                out[t * n + j] = row[local];
+            }
+        }
+        out
+    }
+
+    fn display_word(&self, id: u32) -> &str {
+        let shard = self.shard_of(id);
+        let local = (id - shard.lo) as usize;
+        match &shard.unstem {
+            Some(table) if !table[local].is_empty() => &table[local],
+            _ => &shard.words[local],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::tests::tiny_model;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("topmine-sharded-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn from_frozen_partitions_everything_exactly_once() {
+        let m = tiny_model();
+        for n in [1usize, 2, 3, 7, 64] {
+            let sharded = ShardedModel::from_frozen(&m, n).unwrap();
+            assert_eq!(sharded.n_shards(), n);
+            assert_eq!(sharded.n_phrases(), m.lexicon.n_phrases());
+            let total_words: usize = sharded.shards().iter().map(ModelShard::width).sum();
+            assert_eq!(total_words, m.vocab_size());
+            // Every count the monolithic trie knows is routed correctly.
+            for (phrase, count) in m.lexicon.iter_phrases() {
+                assert_eq!(PhraseCounts::count(&sharded, &phrase), count);
+            }
+            assert_eq!(
+                PhraseCounts::total_tokens(&sharded),
+                PhraseCounts::total_tokens(&m.lexicon)
+            );
+            // φ gathers reproduce the trained columns bit-for-bit.
+            let words: Vec<u32> = (0..m.vocab_size() as u32).collect();
+            let gathered = ModelBackend::gather_phi(&sharded, &words);
+            for t in 0..m.n_topics() {
+                for (j, &w) in words.iter().enumerate() {
+                    assert_eq!(gathered[t * words.len() + j], m.phi[t][w as usize]);
+                }
+            }
+            // Display falls back identically.
+            for w in 0..m.vocab_size() as u32 {
+                assert_eq!(ModelBackend::display_word(&sharded, w), m.display_word(w));
+            }
+        }
+        assert!(ShardedModel::from_frozen(&m, 0).is_err());
+    }
+
+    #[test]
+    fn prepare_and_segment_match_the_monolith() {
+        let m = tiny_model();
+        let sharded = ShardedModel::from_frozen(&m, 3).unwrap();
+        let text = "The support vector machines, for the data streams! quux";
+        let a = m.prepare(text);
+        let b = ModelBackend::prepare(&sharded, text);
+        assert_eq!(a.doc.tokens, b.doc.tokens);
+        assert_eq!(a.n_oov, b.n_oov);
+        assert_eq!(m.segment(&a.doc), ModelBackend::segment(&sharded, &b.doc));
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = tmpdir("roundtrip");
+        let sharded = ShardedModel::from_frozen(&tiny_model(), 3).unwrap();
+        sharded.save(&dir).unwrap();
+        let loaded = ShardedModel::load(&dir).unwrap();
+        assert_eq!(loaded, sharded);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resave_with_fewer_shards_cleans_stale_directories() {
+        let dir = tmpdir("resave");
+        let m = tiny_model();
+        ShardedModel::from_frozen(&m, 7)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+        assert!(dir.join("shard-6").exists());
+        let two = ShardedModel::from_frozen(&m, 2).unwrap();
+        two.save(&dir).unwrap();
+        assert!(dir.join("shard-1").exists());
+        for stale in 2..7 {
+            assert!(
+                !dir.join(format!("shard-{stale}")).exists(),
+                "shard-{stale} must be cleaned up"
+            );
+        }
+        assert_eq!(ShardedModel::load(&dir).unwrap(), two);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sharded_save_replaces_a_monolithic_bundle() {
+        let dir = tmpdir("replace");
+        let m = tiny_model();
+        m.save(&dir).unwrap();
+        assert!(dir.join("header.tsv").exists());
+        ShardedModel::from_frozen(&m, 2)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+        assert!(!dir.join("header.tsv").exists());
+        assert!(dir.join("manifest.tsv").exists());
+        // And the other direction: a monolithic save clears shard state.
+        m.save(&dir).unwrap();
+        assert!(!dir.join("manifest.tsv").exists());
+        assert!(!dir.join("shard-0").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn version_mismatch_and_corruption_are_clean_errors() {
+        let dir = tmpdir("corrupt");
+        let sharded = ShardedModel::from_frozen(&tiny_model(), 2).unwrap();
+        sharded.save(&dir).unwrap();
+        let manifest = dir.join("manifest.tsv");
+        let body = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(
+            &manifest,
+            body.replace(SHARDED_MODEL_FORMAT, "topmine-sharded-model/99"),
+        )
+        .unwrap();
+        let err = ShardedModel::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("topmine-sharded-model/99"), "{err}");
+        assert!(err.contains(SHARDED_MODEL_FORMAT), "{err}");
+        sharded.save(&dir).unwrap();
+        std::fs::remove_dir_all(dir.join("shard-1")).unwrap();
+        assert!(ShardedModel::load(&dir).is_err());
+        // Non-ascending ranges (vocab_size edited below a shard start) must
+        // be a clean error before any shard sizes a buffer by `hi - lo`.
+        sharded.save(&dir).unwrap();
+        let body = std::fs::read_to_string(&manifest).unwrap();
+        let vocab_size = sharded.vocab_size();
+        std::fs::write(
+            &manifest,
+            body.replace(&format!("vocab_size\t{vocab_size}"), "vocab_size\t1"),
+        )
+        .unwrap();
+        let err = ShardedModel::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("ascend"), "{err}");
+        sharded.save(&dir).unwrap();
+        std::fs::write(dir.join("shard-0").join("phi.tsv"), "topic\tw0\n0\tnope\n").unwrap();
+        assert!(ShardedModel::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -120,6 +120,98 @@ fn concurrent_infer_requests_get_consistent_answers() {
     handle.shutdown();
 }
 
+/// Read exactly one HTTP response (headers + Content-Length-framed body)
+/// from a persistent connection.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    // Read byte-wise until the blank line ending the head (keeps the rest
+    // of the stream untouched for the next response).
+    while !buf.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).expect("utf-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric content-length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("response body");
+    (status, head, String::from_utf8(body).expect("utf-8 body"))
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let engine = Arc::new(QueryEngine::new(Arc::new(fitted_model()), 2));
+    let handle = HttpServer::bind("127.0.0.1:0", engine, ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    let doc = "support vector machines for data streams";
+    let mut bodies = Vec::new();
+    for _ in 0..3 {
+        // No Connection header: HTTP/1.1 defaults to keep-alive.
+        write!(
+            stream,
+            "POST /infer?seed=5&iters=15 HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{doc}",
+            doc.len()
+        )
+        .unwrap();
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        bodies.push(body);
+    }
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "same request on one connection must reproduce byte-identically"
+    );
+    // An explicit close is honored: the server answers, then ends the
+    // connection (subsequent reads see EOF).
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, head, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    // The repeated /infer calls above were cache hits: same engine, same
+    // key. /healthz reports them.
+    assert!(body.contains("\"cache\""), "{body}");
+    assert!(body.contains("\"hits\":2"), "{body}");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "server must close after Connection: close");
+
+    // HTTP/1.0 without keep-alive closes after one response.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write!(stream, "GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+    let (status, head, _) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("EOF");
+    assert!(rest.is_empty());
+
+    handle.shutdown();
+}
+
 #[test]
 fn server_matches_direct_engine_inference() {
     let engine = Arc::new(QueryEngine::new(Arc::new(fitted_model()), 1));

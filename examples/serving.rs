@@ -11,7 +11,9 @@
 use std::io::{Read, Write};
 use std::sync::Arc;
 use topmine_repro::corpus::{CorpusBuilder, CorpusOptions};
-use topmine_repro::serve::{FrozenModel, HttpServer, InferConfig, QueryEngine, ServerConfig};
+use topmine_repro::serve::{
+    FrozenModel, HttpServer, InferConfig, QueryEngine, ServerConfig, ShardedModel,
+};
 use topmine_repro::synth::{generator, Profile};
 use topmine_repro::topmine::{ToPMine, ToPMineConfig};
 
@@ -54,6 +56,7 @@ fn main() {
     );
 
     // --- in-process inference ----------------------------------------------
+    let sharded = ShardedModel::from_frozen(&loaded, 3).expect("shard bundle");
     let engine = Arc::new(QueryEngine::new(Arc::new(loaded), 2));
     let query = &texts[0];
     let inference = engine.infer(query, &InferConfig::default());
@@ -62,6 +65,18 @@ fn main() {
     for p in inference.phrases.iter().filter(|p| p.words.len() > 1) {
         println!("  phrase {:?} -> topic {}", p.text, p.topic);
     }
+
+    // --- the same answer from a sharded backend ------------------------------
+    // Partition the bundle into vocabulary-range shards (what
+    // `topmine --save-model dir --shards 3` writes): inference
+    // scatter-gathers over the shards and is bit-identical to the monolith.
+    let sharded_engine = QueryEngine::new(Arc::new(sharded), 2);
+    let sharded_inference = sharded_engine.infer(query, &InferConfig::default());
+    assert_eq!(
+        sharded_inference, inference,
+        "sharded inference must be bit-identical"
+    );
+    println!("  sharded backend (3 shards): bit-identical answer");
 
     // --- the same answer over HTTP ------------------------------------------
     let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())

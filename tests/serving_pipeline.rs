@@ -3,7 +3,7 @@
 //! topics.
 
 use std::sync::Arc;
-use topmine_repro::serve::{FrozenModel, InferConfig, QueryEngine};
+use topmine_repro::serve::{load_bundle, FrozenModel, InferConfig, QueryEngine, ShardedModel};
 use topmine_repro::topmine::{ToPMine, ToPMineConfig};
 
 #[test]
@@ -46,6 +46,19 @@ fn fitted_pipeline_freezes_and_answers_queries() {
     assert!(inference.n_tokens > 0);
     assert_eq!(inference.theta.len(), synth.n_topics);
     assert!(!inference.phrases.is_empty());
+
+    // Shard the same fitted model, round-trip it through the sharded
+    // bundle layout, and serve through the auto-detecting loader: the
+    // answer must be bit-identical to the monolithic engine's.
+    let sharded = ShardedModel::from_frozen(&frozen, 3).unwrap();
+    sharded.save(&dir).unwrap();
+    let backend = load_bundle(&dir).unwrap();
+    assert_eq!(backend.n_shards(), 3);
+    let sharded_engine = QueryEngine::new(backend, 2);
+    assert_eq!(
+        sharded_engine.infer(&text, &InferConfig::default()),
+        inference
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
