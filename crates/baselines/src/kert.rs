@@ -116,6 +116,7 @@ impl KertModel {
                 seed: cfg.seed,
                 optimize_every: if cfg.optimize_hyperparams { 25 } else { 0 },
                 burn_in: cfg.lda_iterations / 4,
+                n_threads: 1,
             },
         );
         lda.run(cfg.lda_iterations);

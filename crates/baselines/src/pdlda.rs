@@ -26,6 +26,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topmine_corpus::Corpus;
+use topmine_lda::kernel::sample_discrete;
 use topmine_lda::TopicSummary;
 use topmine_util::{FxHashMap, TopK};
 
@@ -434,23 +435,6 @@ impl PdLdaModel {
         }
         Ok(())
     }
-}
-
-#[inline]
-fn sample_discrete(rng: &mut StdRng, weights: &[f64]) -> usize {
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        return rng.gen_range(0..weights.len());
-    }
-    let x = rng.gen_range(0.0..total);
-    let mut acc = 0.0;
-    for (i, &w) in weights.iter().enumerate() {
-        acc += w;
-        if x < acc {
-            return i;
-        }
-    }
-    weights.len() - 1
 }
 
 #[cfg(test)]

@@ -95,6 +95,7 @@ impl TurboModel {
                 seed: cfg.seed,
                 optimize_every: if cfg.optimize_hyperparams { 25 } else { 0 },
                 burn_in: cfg.lda_iterations / 4,
+                n_threads: 1,
             },
         );
         lda.run(cfg.lda_iterations);

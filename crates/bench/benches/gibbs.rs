@@ -7,6 +7,7 @@
 //! the identical token stream.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use topmine_lda::kernel::{clique_posterior, CliqueScratch, CountsView, TrainView};
 use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig};
 use topmine_phrase::Segmenter;
 use topmine_synth::{generate, Profile};
@@ -22,6 +23,7 @@ fn bench_sweep_cost(c: &mut Criterion) {
         seed: 1,
         optimize_every: 0,
         burn_in: 0,
+        n_threads: 1,
     };
     let mut group = c.benchmark_group("gibbs_sweep");
     group.sample_size(10);
@@ -49,6 +51,7 @@ fn bench_perplexity_and_hyperopt(c: &mut Criterion) {
         seed: 1,
         optimize_every: 0,
         burn_in: 0,
+        n_threads: 1,
     };
     let mut model = PhraseLda::new(GroupedDocs::unigrams(corpus), cfg);
     model.run(10);
@@ -65,5 +68,74 @@ fn bench_perplexity_and_hyperopt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_cost, bench_perplexity_and_hyperopt);
+/// The shared kernel vs the historical per-topic loop on long cliques.
+///
+/// The pre-kernel sampler recomputed the within-clique multiplicity scan
+/// once per topic — an O(K·s²) linear `seen` probe per clique. The kernel
+/// computes multiplicities once (O(s), hash-map for long cliques) and runs
+/// token-major, so long cliques cost O(K·s + s). This benchmark pins the
+/// win on a 64-token clique with a repetitive vocabulary.
+fn bench_long_clique_posterior(c: &mut Criterion) {
+    let k = 10usize;
+    let v = 500usize;
+    let clique_len = 64usize;
+    let n_wk: Vec<u32> = (0..v * k).map(|i| (i % 7) as u32).collect();
+    let n_k: Vec<u64> = (0..k).map(|t| 300 + 40 * t as u64).collect();
+    let alpha = vec![0.5f64; k];
+    let doc_ndk: Vec<u32> = (0..k as u32).collect();
+    let beta = 0.01;
+    let v_beta = beta * v as f64;
+    // Repetitive tokens: multiplicities matter, as in a long phrase clique.
+    let tokens: Vec<u32> = (0..clique_len).map(|i| (i % 12) as u32).collect();
+
+    let mut group = c.benchmark_group("clique_kernel");
+    group.throughput(Throughput::Elements(clique_len as u64));
+    group.bench_function("kernel_long_clique", |b| {
+        let view = TrainView::new(&n_wk, &n_k, k, beta, v_beta);
+        let mut scratch = CliqueScratch::default();
+        let mut weights = vec![0.0f64; k];
+        b.iter(|| {
+            clique_posterior(&view, &alpha, &doc_ndk, &tokens, &mut scratch, &mut weights);
+            weights[0]
+        });
+    });
+    group.bench_function("naive_per_topic_rescan", |b| {
+        // The pre-kernel shape: per topic, walk the clique and probe a
+        // linear `seen` list for the multiplicity.
+        let view = TrainView::new(&n_wk, &n_k, k, beta, v_beta);
+        let mut weights = vec![0.0f64; k];
+        let mut seen: Vec<(u32, u32)> = Vec::with_capacity(8);
+        b.iter(|| {
+            for (t, slot) in weights.iter_mut().enumerate() {
+                let mut w_t = 1.0f64;
+                seen.clear();
+                for (j, &w) in tokens.iter().enumerate() {
+                    let m = match seen.iter_mut().find(|(sw, _)| *sw == w) {
+                        Some((_, c)) => {
+                            let m = *c;
+                            *c += 1;
+                            m
+                        }
+                        None => {
+                            seen.push((w, 1));
+                            0
+                        }
+                    };
+                    w_t *= (alpha[t] + doc_ndk[t] as f64 + j as f64) * view.word_numerator(w, t, m)
+                        / view.word_denominator(t, j as u32);
+                }
+                *slot = w_t;
+            }
+            weights[0]
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_cost,
+    bench_perplexity_and_hyperopt,
+    bench_long_clique_posterior
+);
 criterion_main!(benches);

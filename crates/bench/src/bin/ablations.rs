@@ -219,6 +219,7 @@ fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
                 seed,
                 optimize_every,
                 burn_in: 25,
+                n_threads: 1,
             },
         );
         m.run(sweeps);
@@ -249,6 +250,7 @@ fn ablation_clique_potential(synth: &SynthCorpus, seed: u64) {
         seed,
         optimize_every: 0,
         burn_in: 0,
+        n_threads: 1,
     };
     let mut phrase_lda = PhraseLda::new(
         GroupedDocs::from_segmentation(&synth.corpus, &seg),

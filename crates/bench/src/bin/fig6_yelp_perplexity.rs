@@ -87,6 +87,7 @@ pub mod perplexity_curve {
             // perplexity calculations".
             optimize_every: opt_every,
             burn_in: 20,
+            n_threads: 1,
         };
         let phrase_fold = match std::env::var("TOPMINE_FOLD").as_deref() {
             Ok("tokens") => FoldIn::Tokens,

@@ -51,6 +51,7 @@ fn main() {
         seed,
         optimize_every: 25,
         burn_in: 50,
+        n_threads: 1,
     };
 
     let mut phrase_curve = Vec::new();

@@ -56,6 +56,7 @@ fn main() {
                 seed,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         model.run(gibbs_iters);

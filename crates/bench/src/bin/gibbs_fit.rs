@@ -1,0 +1,164 @@
+//! **gibbs_fit** — fit-path benchmark: PhraseLDA Gibbs sweeps/sec at
+//! 1/2/4 threads, plus the paper's Figure 8 runtime split (phrase mining
+//! vs topic modeling) on the same corpus.
+//!
+//! The paper's Figure 8 shows topic modeling dominating ToPMine's
+//! runtime, which is why the Gibbs sampler is the hot path worth
+//! parallelizing. This binary measures exactly that path:
+//!
+//! * `threads = 1` — the exact sequential chain (the historical sampler);
+//! * `threads = 2, 4` — thread-sharded snapshot sweeps (Newman et al.'s
+//!   AD-LDA shape), which are **bit-identical to each other** at every
+//!   thread count — asserted on every run, so CI enforces the determinism
+//!   contract alongside the speedup.
+//!
+//! The smoke-scale run writes a `BENCH_fit.json` snapshot (including
+//! `hardware_threads`, since a 1-core container cannot show wall-clock
+//! scaling no matter what the code does) for CI trending, the fit-path
+//! sibling of `BENCH_serve.json`.
+
+use std::io::Write as _;
+use std::time::Instant;
+use topmine_bench::{banner, iters, scale, seed_for};
+use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig};
+use topmine_phrase::Segmenter;
+use topmine_synth::{generate, Profile};
+use topmine_util::Table;
+
+fn main() {
+    banner(
+        "gibbs_fit: PhraseLDA sweeps/sec across thread counts + Figure 8 split",
+        "topic modeling dominates ToPMine runtime (Fig. 8); thread-sharded sweeps scale it",
+    );
+    let seed = seed_for("gibbs_fit");
+    let s = scale();
+    let sweeps = iters(30);
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let synth = generate(Profile::DblpAbstracts, s, seed);
+    let corpus = &synth.corpus;
+    let k = synth.n_topics;
+
+    // Figure 8 component 1: frequent phrase mining + segmentation.
+    let t0 = Instant::now();
+    let (_, seg) = Segmenter::with_params(topmine::ToPMineConfig::support_for_corpus(corpus), 3.0)
+        .segment(corpus);
+    let mining_secs = t0.elapsed().as_secs_f64();
+    let grouped = GroupedDocs::from_segmentation(corpus, &seg);
+    println!(
+        "corpus: {} docs, {} tokens, {} groups ({} multi-word), K={k}, {sweeps} sweeps, \
+         {hardware} hardware thread(s)",
+        corpus.n_docs(),
+        grouped.n_tokens(),
+        grouped.n_groups(),
+        seg.n_multiword(),
+    );
+
+    let config = |threads: usize| TopicModelConfig {
+        n_topics: k,
+        alpha: 50.0 / k as f64,
+        beta: 0.01,
+        seed,
+        optimize_every: 0, // paper's timed runs disable hyperparameter optimization
+        burn_in: 0,
+        n_threads: threads,
+    };
+
+    // Figure 8 component 2 + scaling: the same Gibbs fit at 1/2/4 threads.
+    let mut table = Table::new(["threads", "secs", "sweeps/sec", "speedup", "perplexity"]);
+    let mut results: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut sequential_secs = 0.0f64;
+    let mut parallel_reference: Option<(f64, Vec<Vec<f64>>)> = None;
+    for threads in [1usize, 2, 4] {
+        let mut model = PhraseLda::new(grouped.clone(), config(threads));
+        let t = Instant::now();
+        model.run(sweeps);
+        let secs = t.elapsed().as_secs_f64();
+        let sweeps_per_sec = sweeps as f64 / secs;
+        let pp = model.perplexity();
+        if threads == 1 {
+            sequential_secs = secs;
+        } else {
+            // Determinism contract: every T >= 2 samples the same chain.
+            match &parallel_reference {
+                None => parallel_reference = Some((pp, model.phi())),
+                Some((ref_pp, ref_phi)) => {
+                    assert_eq!(
+                        ref_pp.to_bits(),
+                        pp.to_bits(),
+                        "thread count changed perplexity"
+                    );
+                    assert_eq!(ref_phi, &model.phi(), "thread count changed phi");
+                }
+            }
+        }
+        let speedup = (results
+            .first()
+            .map_or(secs, |r: &(usize, f64, f64, f64)| r.1))
+            / secs;
+        table.row([
+            threads.to_string(),
+            format!("{secs:.3}"),
+            format!("{sweeps_per_sec:.2}"),
+            format!("{speedup:.2}x"),
+            format!("{pp:.3}"),
+        ]);
+        results.push((threads, secs, sweeps_per_sec, pp));
+    }
+    println!("{}", table.to_aligned());
+
+    let modeling_secs = sequential_secs;
+    let total = mining_secs + modeling_secs;
+    println!(
+        "figure-8 split (1 thread): phrase mining {mining_secs:.3}s ({:.0}%), \
+         topic modeling {modeling_secs:.3}s ({:.0}%)",
+        100.0 * mining_secs / total,
+        100.0 * modeling_secs / total,
+    );
+
+    // JSON snapshot for CI trending.
+    let base = results[0].1;
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"scale\":{s},\"sweeps\":{sweeps},\"n_tokens\":{},\"n_groups\":{},\
+         \"hardware_threads\":{hardware},\"phrase_mining_secs\":{mining_secs:.4},\
+         \"topic_modeling_secs\":{modeling_secs:.4},\"parallel_bit_identical\":true,\"runs\":[",
+        grouped.n_tokens(),
+        grouped.n_groups(),
+    ));
+    for (i, (threads, secs, sps, pp)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"threads\":{threads},\"secs\":{secs:.4},\"sweeps_per_sec\":{sps:.3},\
+             \"speedup_vs_sequential\":{:.3},\"perplexity\":{pp:.4}}}",
+            base / secs,
+        ));
+    }
+    json.push_str("]}");
+    let mut file = std::fs::File::create("BENCH_fit.json").expect("create BENCH_fit.json");
+    writeln!(file, "{json}").expect("write BENCH_fit.json");
+    println!("snapshot written to BENCH_fit.json");
+
+    // Optional regression gate: TOPMINE_MIN_SPEEDUP=<float> fails the run
+    // when the best parallel configuration does not clear the floor.
+    // Meaningless on single-core containers (hardware_threads is recorded
+    // in the snapshot for exactly that reason), so it is opt-in.
+    if let Some(floor) = std::env::var("TOPMINE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let best = results
+            .iter()
+            .skip(1)
+            .map(|(_, secs, _, _)| base / secs)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best >= floor,
+            "parallel speedup regression: best {best:.3}x < floor {floor}x \
+             ({hardware} hardware threads)"
+        );
+        println!("speedup gate passed: {best:.3}x >= {floor}x");
+    }
+}

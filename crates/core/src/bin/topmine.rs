@@ -62,8 +62,14 @@ fn run_fit(opts: &CliOptions) -> Result<(), String> {
 
     let config = opts.pipeline_config(&corpus);
     eprintln!(
-        "running ToPMine: K={}, iterations={}, min support={}, alpha={}",
-        config.n_topics, config.iterations, config.min_support, config.significance_alpha
+        "running ToPMine: K={}, iterations={}, min support={}, alpha={}, \
+         mining threads={}, gibbs threads={}",
+        config.n_topics,
+        config.iterations,
+        config.min_support,
+        config.significance_alpha,
+        config.n_threads,
+        config.lda_threads
     );
     let model = ToPMine::new(config).fit(&corpus);
     eprintln!(

@@ -23,6 +23,9 @@ pub struct CliOptions {
     pub min_support: Option<u64>,
     pub significance_alpha: f64,
     pub n_threads: usize,
+    /// Gibbs worker threads for PhraseLDA training (1 = exact sequential
+    /// chain; >= 2 = snapshot sweeps, bit-identical at any thread count).
+    pub lda_threads: usize,
     pub seed: u64,
     /// Items per topic in the printed table.
     pub top: usize,
@@ -48,6 +51,7 @@ impl Default for CliOptions {
             min_support: None,
             significance_alpha: 5.0,
             n_threads: 1,
+            lda_threads: 1,
             seed: 1,
             top: 10,
             stem: true,
@@ -72,6 +76,7 @@ impl CliOptions {
             optimize_every: 25,
             burn_in: self.iterations / 4,
             n_threads: self.n_threads,
+            lda_threads: self.lda_threads,
             seed: self.seed,
             ..ToPMineConfig::default()
         }
@@ -98,6 +103,8 @@ FIT OPTIONS:
     --min-support N       phrase minimum support        [default: auto]
     --alpha X             significance threshold        [default: 5.0]
     --threads N           mining/segmentation threads   [default: 1]
+    --lda-threads N       Gibbs sweep threads; >=2 runs snapshot sweeps,
+                          bit-identical at any thread count [default: 1]
     --seed N              RNG seed                      [default: 1]
     --top N               items per topic in output     [default: 10]
     --no-stem             disable Porter stemming
@@ -327,6 +334,12 @@ where
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--lda-threads" => {
+                opts.lda_threads = parse_num(&need(&mut args, "--lda-threads")?, "--lda-threads")?;
+                if opts.lda_threads == 0 {
+                    return Err("--lda-threads must be at least 1".into());
+                }
+            }
             "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
             "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
             "--save-model" => opts.save_model = Some(need(&mut args, "--save-model")?),
@@ -371,6 +384,7 @@ mod tests {
         let opts = parse(&["--input", "corpus.txt"]).unwrap().unwrap();
         assert_eq!(opts.input, "corpus.txt");
         assert_eq!(opts.n_topics, 10);
+        assert_eq!(opts.lda_threads, 1);
         assert!(opts.stem);
         assert!(opts.min_support.is_none());
     }
@@ -392,6 +406,8 @@ mod tests {
             "3.5",
             "--threads",
             "4",
+            "--lda-threads",
+            "3",
             "--seed",
             "42",
             "--top",
@@ -408,6 +424,7 @@ mod tests {
         assert_eq!(opts.min_support, Some(7));
         assert_eq!(opts.significance_alpha, 3.5);
         assert_eq!(opts.n_threads, 4);
+        assert_eq!(opts.lda_threads, 3);
         assert_eq!(opts.seed, 42);
         assert_eq!(opts.top, 5);
         assert!(!opts.stem);
@@ -429,6 +446,8 @@ mod tests {
         assert!(parse(&["--input", "x", "--topics", "0"]).is_err());
         assert!(parse(&["--input", "x", "--bogus"]).is_err());
         assert!(parse(&["--input", "x", "--threads", "0"]).is_err());
+        assert!(parse(&["--input", "x", "--lda-threads", "0"]).is_err());
+        assert!(parse(&["--input", "x", "--lda-threads", "two"]).is_err());
     }
 
     #[test]

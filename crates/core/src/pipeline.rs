@@ -31,6 +31,10 @@ pub struct ToPMineConfig {
     pub burn_in: usize,
     /// Worker threads for mining and segmentation.
     pub n_threads: usize,
+    /// Worker threads for the PhraseLDA Gibbs sweeps. `1` runs the exact
+    /// sequential chain; `T ≥ 2` runs thread-sharded snapshot sweeps that
+    /// are bit-identical for every `T ≥ 2` (see `topmine_lda::sampler`).
+    pub lda_threads: usize,
     /// RNG seed (initialization + sampling).
     pub seed: u64,
 }
@@ -48,6 +52,7 @@ impl Default for ToPMineConfig {
             optimize_every: 0,
             burn_in: 50,
             n_threads: 1,
+            lda_threads: 1,
             seed: 1,
         }
     }
@@ -72,6 +77,7 @@ impl ToPMineConfig {
             seed: self.seed,
             optimize_every: self.optimize_every,
             burn_in: self.burn_in,
+            n_threads: self.lda_threads,
         }
     }
 
@@ -278,6 +284,22 @@ mod tests {
         let b = ToPMine::new(quick_config(k)).fit(&corpus);
         assert_eq!(a.perplexity(), b.perplexity());
         assert_eq!(a.segmentation.n_phrases(), b.segmentation.n_phrases());
+    }
+
+    #[test]
+    fn lda_thread_count_does_not_change_the_fit() {
+        // The parallel-training contract surfaces end to end: any
+        // lda_threads >= 2 fits the identical model.
+        let (corpus, k) = small_synth();
+        let mut cfg = quick_config(k);
+        cfg.iterations = 15;
+        cfg.lda_threads = 2;
+        let a = ToPMine::new(cfg.clone()).fit(&corpus);
+        cfg.lda_threads = 4;
+        let b = ToPMine::new(cfg).fit(&corpus);
+        assert_eq!(a.perplexity(), b.perplexity());
+        assert_eq!(a.model.phi(), b.model.phi());
+        a.model.check_counts().unwrap();
     }
 
     #[test]

@@ -225,6 +225,7 @@ mod tests {
                 seed: 9,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         m.run(100);

@@ -119,6 +119,7 @@ pub fn run_method(method: Method, corpus: &Corpus, cfg: &MethodRunConfig) -> Met
                 iterations: cfg.iterations,
                 optimize_every: if cfg.optimize_hyperparams { 25 } else { 0 },
                 burn_in: cfg.iterations / 4,
+                n_threads: 1,
                 seed: cfg.seed,
                 ..ToPMineConfig::default()
             })
@@ -135,6 +136,7 @@ pub fn run_method(method: Method, corpus: &Corpus, cfg: &MethodRunConfig) -> Met
                     seed: cfg.seed,
                     optimize_every: if cfg.optimize_hyperparams { 25 } else { 0 },
                     burn_in: cfg.iterations / 4,
+                    n_threads: 1,
                 },
             );
             model.run(cfg.iterations);

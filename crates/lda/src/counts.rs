@@ -1,0 +1,161 @@
+//! The Gibbs count state: `N_dk`, `N_wk`, `N_k` behind one type.
+//!
+//! [`TopicCounts`] owns the three tables every reader of the sampler state
+//! goes through — the sequential sweep, the thread-sharded sweep's
+//! snapshot, φ/θ point estimates, perplexity, and Minka's fixed-point
+//! hyperparameter updates. Centralizing them keeps the add/remove
+//! bookkeeping in one place and gives the parallel scheduler a single
+//! thing to snapshot and merge.
+
+/// Dense count tables of a collapsed Gibbs chain over `D` documents,
+/// `V` words, and `K` topics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicCounts {
+    k: usize,
+    v: usize,
+    /// `N_{d,k}`: tokens of doc d assigned to topic k (row-major `d*K + k`).
+    pub(crate) n_dk: Vec<u32>,
+    /// `N_{w,k}`: tokens of word w assigned to topic k (row-major `w*K + k`).
+    pub(crate) n_wk: Vec<u32>,
+    /// `N_k`: tokens assigned to topic k.
+    pub(crate) n_k: Vec<u64>,
+}
+
+impl TopicCounts {
+    pub fn new(n_docs: usize, vocab_size: usize, n_topics: usize) -> Self {
+        Self {
+            k: n_topics,
+            v: vocab_size,
+            n_dk: vec![0; n_docs * n_topics],
+            n_wk: vec![0; vocab_size * n_topics],
+            n_k: vec![0; n_topics],
+        }
+    }
+
+    #[inline]
+    pub fn n_topics(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    pub fn vocab_size(&self) -> usize {
+        self.v
+    }
+
+    #[inline]
+    pub fn n_dk(&self, d: usize, t: usize) -> u32 {
+        self.n_dk[d * self.k + t]
+    }
+
+    #[inline]
+    pub fn n_wk(&self, w: u32, t: usize) -> u32 {
+        self.n_wk[w as usize * self.k + t]
+    }
+
+    #[inline]
+    pub fn n_k(&self, t: usize) -> u64 {
+        self.n_k[t]
+    }
+
+    /// This document's `N_dk` row (length K).
+    #[inline]
+    pub fn doc_row(&self, d: usize) -> &[u32] {
+        &self.n_dk[d * self.k..(d + 1) * self.k]
+    }
+
+    /// The full `N_wk` table, row-major `w*K + k` (e.g. to snapshot it or
+    /// build a [`crate::kernel::TrainView`]).
+    #[inline]
+    pub fn n_wk_table(&self) -> &[u32] {
+        &self.n_wk
+    }
+
+    /// The full `N_k` table.
+    #[inline]
+    pub fn n_k_table(&self) -> &[u64] {
+        &self.n_k
+    }
+
+    /// All `N_dk` rows, mutable (row-major `d*K + k`) — the parallel
+    /// scheduler chunks this per document shard; rows are exclusively
+    /// owned by whichever shard holds the document.
+    #[inline]
+    pub fn doc_rows_mut(&mut self) -> &mut [u32] {
+        &mut self.n_dk
+    }
+
+    /// Move a clique's tokens into topic `topic`.
+    #[inline]
+    pub fn add_group(&mut self, d: usize, tokens: &[u32], topic: u16) {
+        let kt = topic as usize;
+        for &w in tokens {
+            self.n_wk[w as usize * self.k + kt] += 1;
+        }
+        let s = tokens.len() as u32;
+        self.n_dk[d * self.k + kt] += s;
+        self.n_k[kt] += s as u64;
+    }
+
+    /// Remove a clique's tokens from topic `topic`.
+    #[inline]
+    pub fn remove_group(&mut self, d: usize, tokens: &[u32], topic: u16) {
+        let kt = topic as usize;
+        for &w in tokens {
+            self.n_wk[w as usize * self.k + kt] -= 1;
+        }
+        let s = tokens.len() as u32;
+        self.n_dk[d * self.k + kt] -= s;
+        self.n_k[kt] -= s as u64;
+    }
+
+    /// Apply one shard's signed count delta from a parallel sweep:
+    /// `delta_wk` as sparse `(row-major index, delta)` pairs (the same
+    /// index may repeat), `delta_k` dense over the K topics. Integer
+    /// addition commutes, so the merged state is independent of shard
+    /// count and application order.
+    pub fn apply_delta(&mut self, delta_wk: &[(u32, i32)], delta_k: &[i64]) {
+        debug_assert_eq!(delta_k.len(), self.n_k.len());
+        for &(i, d) in delta_wk {
+            let next = self.n_wk[i as usize] as i64 + d as i64;
+            debug_assert!(next >= 0, "n_wk went negative in merge");
+            self.n_wk[i as usize] = next as u32;
+        }
+        for (c, &d) in self.n_k.iter_mut().zip(delta_k) {
+            let next = *c as i64 + d;
+            debug_assert!(next >= 0, "n_k went negative in merge");
+            *c = next as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trips() {
+        let mut c = TopicCounts::new(2, 5, 3);
+        c.add_group(1, &[0, 4, 4], 2);
+        assert_eq!(c.n_dk(1, 2), 3);
+        assert_eq!(c.n_wk(4, 2), 2);
+        assert_eq!(c.n_k(2), 3);
+        assert_eq!(c.doc_row(1), &[0, 0, 3]);
+        c.remove_group(1, &[0, 4, 4], 2);
+        assert_eq!(c, TopicCounts::new(2, 5, 3));
+    }
+
+    #[test]
+    fn apply_delta_merges_signed_changes() {
+        let mut c = TopicCounts::new(1, 2, 2);
+        c.add_group(0, &[0, 1], 0);
+        // Move word 1 from topic 0 to topic 1, expressed as a sparse
+        // shard delta over the row-major (w, t) table.
+        let delta_wk = vec![(2u32, -1i32), (3, 1)]; // w1:[t0, t1]
+        let delta_k = vec![-1, 1];
+        c.apply_delta(&delta_wk, &delta_k);
+        assert_eq!(c.n_wk(1, 0), 0);
+        assert_eq!(c.n_wk(1, 1), 1);
+        assert_eq!(c.n_k(0), 1);
+        assert_eq!(c.n_k(1), 1);
+    }
+}

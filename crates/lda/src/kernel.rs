@@ -1,0 +1,463 @@
+//! The shared Eq. 7 clique-posterior kernel.
+//!
+//! Every Gibbs update in the workspace — training sweeps (sequential and
+//! thread-sharded), held-out fold-in, and the serving layer's frozen-φ
+//! fold-in (`topmine_serve::infer`) — samples a topic for a *clique* of
+//! tokens from the same posterior shape:
+//!
+//! ```text
+//! p(C = k | ·) ∝ ∏_{j=0..s-1} (α_k + N_dk + j) · num_k(w_j, m_j) / den_k(j)
+//! ```
+//!
+//! The document side `(α_k + N_dk + j)` is universal; what varies is where
+//! the word side reads from. [`CountsView`] abstracts exactly that seam:
+//!
+//! * training reads live Gibbs counts — `num = β + N_wk + m`,
+//!   `den = Vβ + N_k + j` (the exact Gamma-ratio form with the
+//!   within-clique multiplicity `m`);
+//! * the parallel sweep reads the same formula through a per-document
+//!   *gathered* copy of the sweep snapshot (document-local word ids);
+//! * fold-in reads a frozen φ point estimate — `num = φ_{k,w}`, `den = 1`
+//!   (φ is fixed, so there is no Gamma-ratio correction).
+//!
+//! Keeping the loop here means training and serving can never drift: there
+//! is exactly one implementation of the posterior and one
+//! [`sample_discrete`].
+//!
+//! # Numerical contract
+//!
+//! The per-topic weight is a product over clique tokens and underflows for
+//! long cliques (a 200-token clique at β = 0.01 is far below `f64::MIN`).
+//! The kernel rescales the whole weight vector by a power of two whenever
+//! its maximum drifts out of a safe window. Power-of-two scaling is exact
+//! in IEEE 754, so the *ratios* between weights — the only thing sampling
+//! consumes — are preserved bit-for-bit, and when no rescale triggers the
+//! computation is bit-identical to the pre-kernel per-topic loops.
+
+use rand::{Rng, RngCore};
+use topmine_util::FxHashMap;
+
+/// Read-side abstraction over the word factor of Eq. 7.
+///
+/// `word_numerator` receives the token `w` (in whatever id space the view
+/// was built over — global vocabulary ids for training views, document-
+/// local ids for gathered views) and `m`, the number of earlier occurrences
+/// of `w` *within the clique*. `word_denominator` receives `j`, the number
+/// of clique tokens already placed under topic `t`.
+pub trait CountsView {
+    /// Whether `word_numerator` reads its `m` argument. Frozen-φ views
+    /// don't (φ carries no Gamma-ratio correction), which lets
+    /// [`clique_posterior`] skip the multiplicity pass entirely on the
+    /// serving and held-out hot paths.
+    const USES_MULTIPLICITY: bool = true;
+
+    fn n_topics(&self) -> usize;
+    fn word_numerator(&self, w: u32, t: usize, m: u32) -> f64;
+    fn word_denominator(&self, t: usize, j: u32) -> f64;
+}
+
+/// Training view over `N_wk`/`N_k` count tables: `num = β + N_wk + m`,
+/// `den = Vβ + N_k + j`. The sequential sweep points it at the live global
+/// tables; the thread-sharded sweep points it at a per-document gathered
+/// copy of the sweep snapshot (word ids document-local) — same math, so
+/// the two training paths cannot diverge in anything but schedule.
+pub struct TrainView<'a> {
+    n_wk: &'a [u32],
+    n_k: &'a [u64],
+    k: usize,
+    beta: f64,
+    v_beta: f64,
+}
+
+impl<'a> TrainView<'a> {
+    pub fn new(n_wk: &'a [u32], n_k: &'a [u64], k: usize, beta: f64, v_beta: f64) -> Self {
+        Self {
+            n_wk,
+            n_k,
+            k,
+            beta,
+            v_beta,
+        }
+    }
+}
+
+impl CountsView for TrainView<'_> {
+    #[inline]
+    fn n_topics(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn word_numerator(&self, w: u32, t: usize, m: u32) -> f64 {
+        self.beta + self.n_wk[w as usize * self.k + t] as f64 + m as f64
+    }
+
+    #[inline]
+    fn word_denominator(&self, t: usize, j: u32) -> f64 {
+        self.v_beta + self.n_k[t] as f64 + j as f64
+    }
+}
+
+/// Fold-in view over a frozen topic-major φ block (`K × n_words`, word ids
+/// document-local): `num = φ_{k,w}`, `den = 1`. φ is a fixed point
+/// estimate, so the Gamma-ratio multiplicity correction does not apply.
+pub struct FrozenPhiView<'a> {
+    phi: &'a [f64],
+    n_words: usize,
+    k: usize,
+}
+
+impl<'a> FrozenPhiView<'a> {
+    pub fn new(phi: &'a [f64], n_words: usize, k: usize) -> Self {
+        debug_assert_eq!(phi.len(), n_words * k);
+        Self { phi, n_words, k }
+    }
+}
+
+impl CountsView for FrozenPhiView<'_> {
+    const USES_MULTIPLICITY: bool = false;
+
+    #[inline]
+    fn n_topics(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn word_numerator(&self, w: u32, t: usize, _m: u32) -> f64 {
+        self.phi[t * self.n_words + w as usize]
+    }
+
+    #[inline]
+    fn word_denominator(&self, _t: usize, _j: u32) -> f64 {
+        1.0
+    }
+}
+
+/// Held-out fold-in view: φ expressed as counts over a *fixed* denominator
+/// (`num = N_wk + β`, `den = N_k + Vβ` precomputed per topic). Like
+/// [`FrozenPhiView`] this freezes the word side, so `m`/`j` do not enter.
+pub struct FixedPhiView<'a> {
+    n_wk: &'a [u32],
+    phi_den: &'a [f64],
+    k: usize,
+    beta: f64,
+}
+
+impl<'a> FixedPhiView<'a> {
+    pub fn new(n_wk: &'a [u32], phi_den: &'a [f64], k: usize, beta: f64) -> Self {
+        Self {
+            n_wk,
+            phi_den,
+            k,
+            beta,
+        }
+    }
+}
+
+impl CountsView for FixedPhiView<'_> {
+    const USES_MULTIPLICITY: bool = false;
+
+    #[inline]
+    fn n_topics(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn word_numerator(&self, w: u32, t: usize, _m: u32) -> f64 {
+        self.n_wk[w as usize * self.k + t] as f64 + self.beta
+    }
+
+    #[inline]
+    fn word_denominator(&self, t: usize, _j: u32) -> f64 {
+        self.phi_den[t]
+    }
+}
+
+/// Reusable scratch for [`clique_posterior`]: within-clique multiplicities
+/// and the buffers that compute them.
+#[derive(Debug, Default, Clone)]
+pub struct CliqueScratch {
+    mult: Vec<u32>,
+    seen: Vec<(u32, u32)>,
+    seen_map: FxHashMap<u32, u32>,
+}
+
+/// Cliques at or below this length use a linear `seen` scan (cache-friendly
+/// and allocation-free); longer ones switch to a hash map so the pass stays
+/// O(s) instead of O(s²).
+const SMALL_CLIQUE: usize = 32;
+
+/// Fill `scratch.mult[j]` with the number of occurrences of `tokens[j]`
+/// among `tokens[..j]`. Computed once per clique (the pre-kernel code
+/// rescanned per topic, an O(K·s²) pass).
+fn fill_multiplicities(tokens: &[u32], scratch: &mut CliqueScratch) {
+    scratch.mult.clear();
+    if tokens.len() <= SMALL_CLIQUE {
+        scratch.seen.clear();
+        for &w in tokens {
+            let m = match scratch.seen.iter_mut().find(|(sw, _)| *sw == w) {
+                Some((_, c)) => {
+                    let m = *c;
+                    *c += 1;
+                    m
+                }
+                None => {
+                    scratch.seen.push((w, 1));
+                    0
+                }
+            };
+            scratch.mult.push(m);
+        }
+    } else {
+        scratch.seen_map.clear();
+        for &w in tokens {
+            let c = scratch.seen_map.entry(w).or_insert(0);
+            scratch.mult.push(*c);
+            *c += 1;
+        }
+    }
+}
+
+/// Weights whose maximum leaves `[2⁻²⁵⁶, 2²⁵⁶]` get rescaled by the
+/// opposite bound. Both are exact powers of two, so rescaling preserves
+/// weight ratios bit-for-bit.
+const RESCALE_LO: f64 = f64::from_bits(767 << 52); // 2^-256
+const RESCALE_HI: f64 = f64::from_bits(1279 << 52); // 2^256
+
+/// Compute the unnormalized Eq. 7 posterior over topics for one clique.
+///
+/// * `view` — where the word factor reads from (live counts, gathered
+///   snapshot, or frozen φ);
+/// * `alpha` — the document-topic Dirichlet (length K);
+/// * `doc_ndk` — this document's per-topic token counts *excluding the
+///   clique being resampled* (length K);
+/// * `tokens` — the clique's tokens, in the view's word-id space;
+/// * `weights` — output, length K.
+///
+/// Short cliques reproduce the historical per-topic product bit-for-bit;
+/// long cliques additionally rescale (exactly, see module docs) instead of
+/// underflowing to the all-zero vector that used to force
+/// [`sample_discrete`] into its uniform fallback.
+pub fn clique_posterior<V: CountsView>(
+    view: &V,
+    alpha: &[f64],
+    doc_ndk: &[u32],
+    tokens: &[u32],
+    scratch: &mut CliqueScratch,
+    weights: &mut [f64],
+) {
+    let k = view.n_topics();
+    debug_assert_eq!(weights.len(), k);
+    debug_assert_eq!(alpha.len(), k);
+    debug_assert_eq!(doc_ndk.len(), k);
+    if V::USES_MULTIPLICITY {
+        fill_multiplicities(tokens, scratch);
+    }
+    weights.fill(1.0);
+    // Token-major: each weight slot sees the same left-to-right product of
+    // `num_doc * num_word / den` factors as the old per-topic loop, so the
+    // result is bit-identical — but the multiplicity pass runs once instead
+    // of once per topic (or not at all for frozen-φ views), and rescaling
+    // can act on the whole vector.
+    let rescale_check = tokens.len() > 8;
+    for (j, &w) in tokens.iter().enumerate() {
+        let m = if V::USES_MULTIPLICITY {
+            scratch.mult[j]
+        } else {
+            0
+        };
+        let jf = j as f64;
+        for (t, slot) in weights.iter_mut().enumerate() {
+            let num_doc = alpha[t] + doc_ndk[t] as f64 + jf;
+            *slot *= num_doc * view.word_numerator(w, t, m) / view.word_denominator(t, j as u32);
+        }
+        if rescale_check {
+            let max = weights.iter().fold(0.0f64, |a, &b| a.max(b));
+            if max > 0.0 && max < RESCALE_LO {
+                for slot in weights.iter_mut() {
+                    *slot *= RESCALE_HI;
+                }
+            } else if max > RESCALE_HI {
+                for slot in weights.iter_mut() {
+                    *slot *= RESCALE_LO;
+                }
+            }
+        }
+    }
+    debug_assert!(
+        weights.iter().all(|w| w.is_finite()),
+        "non-finite sampling weight (group len {})",
+        tokens.len()
+    );
+}
+
+/// Sample an index proportional to `weights` (unnormalized, non-negative).
+/// This is the single definition shared by training and serving; the
+/// uniform fallback remains as a last-resort guard, but
+/// [`clique_posterior`]'s rescaling keeps well-formed inputs out of it.
+#[inline]
+pub fn sample_discrete<R: RngCore>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Degenerate: all weights zero/over/underflowed — uniform fallback.
+        return rng.gen_range(0..weights.len());
+    }
+    let x = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if x < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// The per-document RNG stream of the thread-sharded sweep: a SplitMix64
+/// mix of `(seed, sweep, doc)`. Every document draws from its own stream,
+/// so the sampled chain is a function of the snapshot alone — independent
+/// of shard layout and thread count.
+#[inline]
+pub fn doc_stream_seed(seed: u64, sweep: u64, doc: u64) -> u64 {
+    #[inline]
+    fn splitmix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    splitmix(splitmix(seed ^ sweep.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_train_view<'a>(n_wk: &'a [u32], n_k: &'a [u64], k: usize) -> TrainView<'a> {
+        TrainView::new(n_wk, n_k, k, 0.01, 0.01 * (n_wk.len() / k) as f64)
+    }
+
+    #[test]
+    fn multiplicity_paths_agree() {
+        // Same token stream through the linear-scan and hash-map paths.
+        let long: Vec<u32> = (0..100u32).map(|i| i % 7).collect();
+        let mut a = CliqueScratch::default();
+        let mut b = CliqueScratch::default();
+        fill_multiplicities(&long[..SMALL_CLIQUE], &mut a);
+        fill_multiplicities(&long, &mut b);
+        assert_eq!(a.mult[..], b.mult[..SMALL_CLIQUE]);
+        // Spot-check: token j has seen j/7 earlier copies of itself.
+        for (j, &m) in b.mult.iter().enumerate() {
+            assert_eq!(m as usize, j / 7, "position {j}");
+        }
+    }
+
+    #[test]
+    fn long_clique_does_not_underflow_to_uniform() {
+        // 200-token clique with tiny counts: the historical per-topic
+        // product underflows to an all-zero weight vector and
+        // sample_discrete degrades to a uniform draw. The kernel's exact
+        // rescaling must keep the posterior alive.
+        let k = 4;
+        let v = 50usize;
+        let mut n_wk = vec![0u32; v * k];
+        let n_k: Vec<u64> = vec![40, 1, 1, 1];
+        // Topic 0 owns every word this clique uses.
+        for w in 0..v {
+            n_wk[w * k] = 4;
+        }
+        let view = tiny_train_view(&n_wk, &n_k, k);
+        let alpha = vec![0.1; k];
+        let doc_ndk = vec![0u32; k];
+        let tokens: Vec<u32> = (0..200u32).map(|i| i % v as u32).collect();
+        let mut scratch = CliqueScratch::default();
+        let mut weights = vec![0.0; k];
+        clique_posterior(&view, &alpha, &doc_ndk, &tokens, &mut scratch, &mut weights);
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "posterior underflowed: {weights:?}"
+        );
+        // Topic 0 must dominate — a uniform fallback would have lost this.
+        let best = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+        assert!(weights[0] > 1e3 * weights[1]);
+        // And sampling never takes the uniform-fallback branch: with these
+        // weights every draw lands on topic 0.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(sample_discrete(&mut rng, &weights), 0);
+        }
+    }
+
+    #[test]
+    fn rescaling_preserves_ratios_exactly() {
+        let k = 3;
+        let v = 10usize;
+        let n_wk = vec![1u32; v * k];
+        let n_k = vec![10u64; k];
+        let view = tiny_train_view(&n_wk, &n_k, k);
+        let alpha = vec![0.5; k];
+        let doc_ndk = vec![3u32, 1, 0];
+        let tokens: Vec<u32> = (0..120u32).map(|i| i % v as u32).collect();
+        let mut scratch = CliqueScratch::default();
+        let mut weights = vec![0.0; k];
+        clique_posterior(&view, &alpha, &doc_ndk, &tokens, &mut scratch, &mut weights);
+        // Recompute the same posterior in extended precision via logs; the
+        // rescaled weights' ratios must match to FP accuracy.
+        let mut logw = vec![0.0f64; k];
+        for (j, &w) in tokens.iter().enumerate() {
+            let m = scratch.mult[j];
+            for (t, lw) in logw.iter_mut().enumerate() {
+                *lw += ((alpha[t] + doc_ndk[t] as f64 + j as f64) * view.word_numerator(w, t, m)
+                    / view.word_denominator(t, j as u32))
+                .ln();
+            }
+        }
+        let r_kernel = weights[1] / weights[0];
+        let r_log = (logw[1] - logw[0]).exp();
+        assert!(
+            (r_kernel.ln() - r_log.ln()).abs() < 1e-9,
+            "{r_kernel} vs {r_log}"
+        );
+    }
+
+    #[test]
+    fn sample_discrete_is_proportional_and_deterministic() {
+        let weights = [1.0, 3.0, 0.0, 4.0];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = [0usize; 4];
+        for _ in 0..8000 {
+            hits[sample_discrete(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(hits[2], 0);
+        assert!((hits[1] as f64 / hits[0] as f64 - 3.0).abs() < 0.5);
+        assert!((hits[3] as f64 / hits[0] as f64 - 4.0).abs() < 0.6);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(
+                sample_discrete(&mut a, &weights),
+                sample_discrete(&mut b, &weights)
+            );
+        }
+    }
+
+    #[test]
+    fn doc_streams_are_distinct_and_stable() {
+        assert_eq!(doc_stream_seed(1, 2, 3), doc_stream_seed(1, 2, 3));
+        let mut seen = std::collections::HashSet::new();
+        for sweep in 0..8 {
+            for doc in 0..64 {
+                assert!(seen.insert(doc_stream_seed(42, sweep, doc)));
+            }
+        }
+    }
+}

@@ -3,19 +3,30 @@
 //! * [`model`] — the grouped-document representation: documents as
 //!   sequences of cliques (phrase instances), of which the bag-of-words LDA
 //!   input is the singleton-group special case.
-//! * [`sampler`] — the collapsed Gibbs sampler implementing Eq. 7 (and thus
-//!   plain LDA when every group has one token), training/held-out
-//!   perplexity, and Minka fixed-point hyperparameter optimization (§5.3).
+//! * [`kernel`] — the shared Eq. 7 clique-posterior kernel behind a
+//!   [`kernel::CountsView`] seam (live counts, gathered snapshots, frozen
+//!   φ) plus the single `sample_discrete`; used by training *and* by
+//!   `topmine_serve`'s fold-in, so the two can never drift.
+//! * [`counts`] — the `N_dk`/`N_wk`/`N_k` count state the sampler mutates,
+//!   snapshots, and merges.
+//! * [`sampler`] — the sweep scheduler over the kernel: the exact
+//!   sequential chain (`n_threads == 1`) and the thread-sharded
+//!   snapshot-and-merge sweep (bit-identical across all `n_threads ≥ 2`),
+//!   training/held-out perplexity, and Minka fixed-point hyperparameter
+//!   optimization (§5.3).
 //! * [`io`] — TSV persistence for fitted models (φ, assignments,
 //!   hyperparameters) behind a versioned bundle header.
 //! * [`viz`] — topical-frequency ranking (Eq. 8) and the table renderer
 //!   regenerating the layout of the paper's Tables 1 and 4-6.
 
+pub mod counts;
 pub mod io;
+pub mod kernel;
 pub mod model;
 pub mod sampler;
 pub mod viz;
 
+pub use counts::TopicCounts;
 pub use model::{GroupedDoc, GroupedDocs};
 pub use sampler::{FoldIn, PhraseLda, TopicModelConfig};
 pub use viz::{

@@ -15,8 +15,36 @@
 //! with singleton groups — mirroring the paper's measurement setup ("the
 //! same JAVA implementation of PhraseLDA is used (as LDA is a special case
 //! of PhraseLDA)").
+//!
+//! The posterior itself lives in [`crate::kernel`] (shared with the serving
+//! layer's fold-in); this module is the *scheduler*: it owns the chain
+//! state ([`TopicCounts`] + per-group assignments) and decides how a sweep
+//! walks the corpus.
+//!
+//! # Parallel sweeps
+//!
+//! With `n_threads == 1` a sweep is the classic sequential scan: every
+//! update is visible to the next, the historical chain bit-for-bit. With
+//! `n_threads = T ≥ 2` the sweep is *thread-sharded* in the style of
+//! Newman et al.'s AD-LDA ("Distributed Algorithms for Topic Models", JMLR
+//! 2009): the global `N_wk`/`N_k` tables are snapshotted, documents are
+//! partitioned into contiguous shards, every document is sampled against
+//! `snapshot + its own in-sweep delta` with an RNG stream derived from
+//! `(seed, sweep, doc)`, and the per-shard count deltas merge at a barrier.
+//!
+//! Because each document's view and randomness are independent of which
+//! shard it landed in, the chain is **bit-identical for every `T ≥ 2`** —
+//! the same determinism contract the serving layer proves for sharded
+//! inference. The parallel chain *does* differ from the sequential one
+//! (cross-document updates within a sweep are deferred to the barrier);
+//! that is the documented snapshot-sweep approximation, property-tested in
+//! `tests/parallel_determinism.rs` rather than assumed away.
 
-use crate::model::GroupedDocs;
+use crate::counts::TopicCounts;
+use crate::kernel::{
+    clique_posterior, doc_stream_seed, sample_discrete, CliqueScratch, FixedPhiView, TrainView,
+};
+use crate::model::{GroupedDoc, GroupedDocs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topmine_util::stats::digamma;
@@ -38,6 +66,10 @@ pub struct TopicModelConfig {
     pub optimize_every: usize,
     /// Sweeps to run before the first hyperparameter update.
     pub burn_in: usize,
+    /// Gibbs worker threads. `1` runs the exact sequential chain; `T ≥ 2`
+    /// runs snapshot-and-merge sweeps whose result is bit-identical for
+    /// every `T ≥ 2` (see module docs).
+    pub n_threads: usize,
 }
 
 impl Default for TopicModelConfig {
@@ -49,6 +81,7 @@ impl Default for TopicModelConfig {
             seed: 1,
             optimize_every: 0,
             burn_in: 50,
+            n_threads: 1,
         }
     }
 }
@@ -73,6 +106,11 @@ impl TopicModelConfig {
         self.burn_in = burn_in;
         self
     }
+
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
+        self
+    }
 }
 
 /// The PhraseLDA (and LDA) collapsed Gibbs sampler.
@@ -85,14 +123,12 @@ pub struct PhraseLda {
     alpha: Vec<f64>,
     /// Symmetric topic-word Dirichlet.
     beta: f64,
-    /// N_{d,k}: tokens of doc d assigned to topic k (row-major d*K + k).
-    n_dk: Vec<u32>,
-    /// N_{x,k}: tokens of word x assigned to topic k (row-major x*K + k).
-    n_wk: Vec<u32>,
-    /// N_k: tokens assigned to topic k.
-    n_k: Vec<u64>,
+    /// The `N_dk`/`N_wk`/`N_k` tables.
+    counts: TopicCounts,
     /// Topic of each group: z[d][g].
     z: Vec<Vec<u16>>,
+    /// Sequential-path RNG (initialization and `n_threads == 1` sweeps);
+    /// parallel sweeps draw from per-document streams instead.
     rng: StdRng,
     sweeps_done: usize,
     config: TopicModelConfig,
@@ -100,6 +136,8 @@ pub struct PhraseLda {
 
 impl PhraseLda {
     /// Initialize with uniformly random topic assignments per group.
+    /// Initialization is always sequential, so a parallel run starts from
+    /// the same state as the sequential chain with the same seed.
     pub fn new(docs: GroupedDocs, config: TopicModelConfig) -> Self {
         let k = config.n_topics;
         assert!(k >= 1 && k <= u16::MAX as usize, "bad topic count");
@@ -115,9 +153,7 @@ impl PhraseLda {
             v,
             alpha: vec![config.alpha; k],
             beta: config.beta,
-            n_dk: vec![0; d * k],
-            n_wk: vec![0; v * k],
-            n_k: vec![0; k],
+            counts: TopicCounts::new(d, v, k),
             z: Vec::with_capacity(d),
             rng: StdRng::seed_from_u64(config.seed),
             sweeps_done: 0,
@@ -130,7 +166,10 @@ impl PhraseLda {
             for g in 0..n_groups {
                 let topic = model.rng.gen_range(0..model.k) as u16;
                 zs.push(topic);
-                model.add_group(d, g, topic);
+                let (start, end) = model.group_range(d, g);
+                model
+                    .counts
+                    .add_group(d, &model.docs.docs[d].tokens[start..end], topic);
             }
             model.z.push(zs);
         }
@@ -153,86 +192,13 @@ impl PhraseLda {
         (start, doc.group_ends[g] as usize)
     }
 
-    #[inline]
-    fn add_group(&mut self, d: usize, g: usize, topic: u16) {
-        let kt = topic as usize;
-        let (start, end) = self.group_range(d, g);
-        for i in start..end {
-            let w = self.docs.docs[d].tokens[i] as usize;
-            self.n_wk[w * self.k + kt] += 1;
-        }
-        let s = (end - start) as u32;
-        self.n_dk[d * self.k + kt] += s;
-        self.n_k[kt] += s as u64;
-    }
-
-    #[inline]
-    fn remove_group(&mut self, d: usize, g: usize, topic: u16) {
-        let kt = topic as usize;
-        let (start, end) = self.group_range(d, g);
-        for i in start..end {
-            let w = self.docs.docs[d].tokens[i] as usize;
-            self.n_wk[w * self.k + kt] -= 1;
-        }
-        let s = (end - start) as u32;
-        self.n_dk[d * self.k + kt] -= s;
-        self.n_k[kt] -= s as u64;
-    }
-
-    /// One full Gibbs sweep over every group (Eq. 7 update per clique).
+    /// One full Gibbs sweep over every group (Eq. 7 update per clique) —
+    /// sequential or thread-sharded according to `config.n_threads`.
     pub fn step(&mut self) {
-        let k = self.k;
-        let v_beta = self.v as f64 * self.beta;
-        let mut weights = vec![0.0f64; k];
-        // Scratch for within-clique word multiplicities.
-        let mut seen: Vec<(u32, u32)> = Vec::with_capacity(8);
-
-        for d in 0..self.docs.n_docs() {
-            let n_groups = self.z[d].len();
-            for g in 0..n_groups {
-                let old = self.z[d][g];
-                self.remove_group(d, g, old);
-
-                let (start, end) = self.group_range(d, g);
-                let s_len = end - start;
-
-                // Compute the K unnormalized posteriors.
-                for (t, weight_slot) in weights.iter_mut().enumerate() {
-                    let mut w_t = 1.0f64;
-                    let n_dk = self.n_dk[d * k + t] as f64;
-                    let n_k = self.n_k[t] as f64;
-                    let alpha_t = self.alpha[t];
-                    seen.clear();
-                    for (j, i) in (start..end).enumerate() {
-                        let w = self.docs.docs[d].tokens[i];
-                        // m = prior occurrences of w inside this clique.
-                        let m = match seen.iter_mut().find(|(sw, _)| *sw == w) {
-                            Some((_, c)) => {
-                                let m = *c;
-                                *c += 1;
-                                m
-                            }
-                            None => {
-                                seen.push((w, 1));
-                                0
-                            }
-                        };
-                        let num_doc = alpha_t + n_dk + j as f64;
-                        let num_word = self.beta + self.n_wk[w as usize * k + t] as f64 + m as f64;
-                        let den = v_beta + n_k + j as f64;
-                        w_t *= num_doc * num_word / den;
-                    }
-                    *weight_slot = w_t;
-                }
-                debug_assert!(
-                    weights.iter().all(|w| w.is_finite()),
-                    "non-finite sampling weight (group len {s_len})"
-                );
-
-                let new = sample_discrete(&mut self.rng, &weights) as u16;
-                self.z[d][g] = new;
-                self.add_group(d, g, new);
-            }
+        if self.config.n_threads > 1 {
+            self.sweep_parallel(self.config.n_threads);
+        } else {
+            self.sweep_sequential();
         }
         self.sweeps_done += 1;
         if self.config.optimize_every > 0
@@ -240,6 +206,110 @@ impl PhraseLda {
             && self.sweeps_done.is_multiple_of(self.config.optimize_every)
         {
             self.optimize_hyperparameters();
+        }
+    }
+
+    /// The exact sequential sweep: every clique update is visible to the
+    /// next. This is the historical chain, bit-for-bit.
+    fn sweep_sequential(&mut self) {
+        let k = self.k;
+        let v_beta = self.v as f64 * self.beta;
+        let mut weights = vec![0.0f64; k];
+        let mut scratch = CliqueScratch::default();
+
+        for d in 0..self.docs.n_docs() {
+            let n_groups = self.z[d].len();
+            let mut start = 0usize;
+            for g in 0..n_groups {
+                let end = self.docs.docs[d].group_ends[g] as usize;
+                let old = self.z[d][g];
+                let tokens = &self.docs.docs[d].tokens[start..end];
+                self.counts.remove_group(d, tokens, old);
+                let view = TrainView::new(
+                    self.counts.n_wk_table(),
+                    self.counts.n_k_table(),
+                    k,
+                    self.beta,
+                    v_beta,
+                );
+                clique_posterior(
+                    &view,
+                    &self.alpha,
+                    self.counts.doc_row(d),
+                    tokens,
+                    &mut scratch,
+                    &mut weights,
+                );
+                let new = sample_discrete(&mut self.rng, &weights) as u16;
+                self.z[d][g] = new;
+                self.counts.add_group(d, tokens, new);
+                start = end;
+            }
+        }
+    }
+
+    /// One thread-sharded snapshot sweep (see module docs): bit-identical
+    /// for every `threads ≥ 2`, regardless of how many cores actually run.
+    fn sweep_parallel(&mut self, threads: usize) {
+        let n_docs = self.docs.n_docs();
+        if n_docs == 0 {
+            return;
+        }
+        // Sparse merge deltas index the V×K table through u32.
+        assert!(
+            self.v.saturating_mul(self.k) <= u32::MAX as usize,
+            "vocab_size * n_topics exceeds the u32 delta index space"
+        );
+        let k = self.k;
+        let v_beta = self.v as f64 * self.beta;
+        let shards = threads.min(n_docs);
+        let chunk = n_docs.div_ceil(shards);
+        // Sweep-start snapshot every document samples against.
+        let snap_wk: Vec<u32> = self.counts.n_wk_table().to_vec();
+        let snap_k: Vec<u64> = self.counts.n_k_table().to_vec();
+        let sweep = self.sweeps_done as u64;
+        let seed = self.config.seed;
+        let alpha = &self.alpha;
+        let beta = self.beta;
+        let docs = &self.docs.docs;
+        let z = &mut self.z;
+        let ndk = self.counts.doc_rows_mut();
+        let deltas: Vec<ShardDelta> = std::thread::scope(|scope| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .zip(z.chunks_mut(chunk))
+                .zip(ndk.chunks_mut(chunk * k))
+                .enumerate()
+                .map(|(si, ((doc_shard, z_shard), ndk_shard))| {
+                    let snap_wk = &snap_wk;
+                    let snap_k = &snap_k;
+                    scope.spawn(move || {
+                        sweep_shard(ShardCtx {
+                            docs: doc_shard,
+                            z: z_shard,
+                            ndk: ndk_shard,
+                            snap_wk,
+                            snap_k,
+                            alpha,
+                            k,
+                            beta,
+                            v_beta,
+                            seed,
+                            sweep,
+                            first_doc: si * chunk,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gibbs worker panicked"))
+                .collect()
+        });
+        // Barrier merge. Integer deltas commute, so the merged tables are
+        // independent of shard count and merge order.
+        for (delta_wk, delta_k) in &deltas {
+            self.counts.apply_delta(delta_wk, delta_k);
         }
     }
 
@@ -285,6 +355,11 @@ impl PhraseLda {
         self.beta
     }
 
+    /// The live count tables (read-only).
+    pub fn counts(&self) -> &TopicCounts {
+        &self.counts
+    }
+
     /// Topic currently assigned to group `g` of document `d`.
     pub fn topic_of_group(&self, d: usize, g: usize) -> u16 {
         self.z[d][g]
@@ -295,9 +370,9 @@ impl PhraseLda {
         let v_beta = self.v as f64 * self.beta;
         (0..self.k)
             .map(|t| {
-                let den = self.n_k[t] as f64 + v_beta;
+                let den = self.counts.n_k(t) as f64 + v_beta;
                 (0..self.v)
-                    .map(|w| (self.n_wk[w * self.k + t] as f64 + self.beta) / den)
+                    .map(|w| (self.counts.n_wk(w as u32, t) as f64 + self.beta) / den)
                     .collect()
             })
             .collect()
@@ -311,7 +386,7 @@ impl PhraseLda {
                 let n_d = self.docs.docs[d].n_tokens() as f64;
                 let den = n_d + alpha_sum;
                 (0..self.k)
-                    .map(|t| (self.n_dk[d * self.k + t] as f64 + self.alpha[t]) / den)
+                    .map(|t| (self.counts.n_dk(d, t) as f64 + self.alpha[t]) / den)
                     .collect()
             })
             .collect()
@@ -323,23 +398,22 @@ impl PhraseLda {
     /// for the nonparametric prior the paper's §8 proposes as future work
     /// (run with generous K, read off the occupied topics).
     pub fn effective_topics(&self, min_share: f64) -> usize {
-        let total: u64 = self.n_k.iter().sum();
+        let total: u64 = (0..self.k).map(|t| self.counts.n_k(t)).sum();
         if total == 0 {
             return 0;
         }
-        self.n_k
-            .iter()
-            .filter(|&&c| c as f64 / total as f64 >= min_share)
+        (0..self.k)
+            .filter(|&t| self.counts.n_k(t) as f64 / total as f64 >= min_share)
             .count()
     }
 
     /// Count of word `w` in topic `t`.
     pub fn word_topic_count(&self, w: u32, t: usize) -> u32 {
-        self.n_wk[w as usize * self.k + t]
+        self.counts.n_wk(w, t)
     }
 
     pub fn topic_count(&self, t: usize) -> u64 {
-        self.n_k[t]
+        self.counts.n_k(t)
     }
 
     // ----- perplexity ------------------------------------------------------
@@ -355,7 +429,9 @@ impl PhraseLda {
         let alpha_sum: f64 = self.alpha.iter().sum();
         let v_beta = self.v as f64 * self.beta;
         // Precompute φ column denominators.
-        let phi_den: Vec<f64> = (0..self.k).map(|t| self.n_k[t] as f64 + v_beta).collect();
+        let phi_den: Vec<f64> = (0..self.k)
+            .map(|t| self.counts.n_k(t) as f64 + v_beta)
+            .collect();
         for d in 0..self.docs.n_docs() {
             let doc = &self.docs.docs[d];
             if doc.tokens.is_empty() {
@@ -363,13 +439,12 @@ impl PhraseLda {
             }
             let theta_den = doc.n_tokens() as f64 + alpha_sum;
             let theta: Vec<f64> = (0..self.k)
-                .map(|t| (self.n_dk[d * self.k + t] as f64 + self.alpha[t]) / theta_den)
+                .map(|t| (self.counts.n_dk(d, t) as f64 + self.alpha[t]) / theta_den)
                 .collect();
             for &w in &doc.tokens {
                 let mut p = 0.0;
                 for t in 0..self.k {
-                    p += theta[t] * (self.n_wk[w as usize * self.k + t] as f64 + self.beta)
-                        / phi_den[t];
+                    p += theta[t] * (self.counts.n_wk(w, t) as f64 + self.beta) / phi_den[t];
                 }
                 log_lik += p.ln();
                 n += 1;
@@ -406,12 +481,16 @@ impl PhraseLda {
         assert_eq!(heldout.vocab_size, self.v, "vocabulary mismatch");
         let mut rng = StdRng::seed_from_u64(seed);
         let v_beta = self.v as f64 * self.beta;
-        let phi_den: Vec<f64> = (0..self.k).map(|t| self.n_k[t] as f64 + v_beta).collect();
+        let phi_den: Vec<f64> = (0..self.k)
+            .map(|t| self.counts.n_k(t) as f64 + v_beta)
+            .collect();
+        let view = FixedPhiView::new(self.counts.n_wk_table(), &phi_den, self.k, self.beta);
         let alpha_sum: f64 = self.alpha.iter().sum();
 
         let mut log_lik = 0.0f64;
         let mut n = 0u64;
         let mut weights = vec![0.0f64; self.k];
+        let mut scratch = CliqueScratch::default();
 
         for doc in &heldout.docs {
             if doc.n_groups() < 2 {
@@ -445,16 +524,14 @@ impl PhraseLda {
                 for (gi, &(s, e)) in observed.iter().enumerate() {
                     let old = local_z[gi] as usize;
                     local_ndk[old] -= (e - s) as u32;
-                    for t in 0..self.k {
-                        let mut w_t = 1.0f64;
-                        for (j, i) in (s..e).enumerate() {
-                            let w = doc.tokens[i] as usize;
-                            w_t *= (self.alpha[t] + local_ndk[t] as f64 + j as f64)
-                                * (self.n_wk[w * self.k + t] as f64 + self.beta)
-                                / phi_den[t];
-                        }
-                        weights[t] = w_t;
-                    }
+                    clique_posterior(
+                        &view,
+                        &self.alpha,
+                        &local_ndk,
+                        &doc.tokens[s..e],
+                        &mut scratch,
+                        &mut weights,
+                    );
                     let new = sample_discrete(&mut rng, &weights);
                     local_z[gi] = new as u16;
                     local_ndk[new] += (e - s) as u32;
@@ -470,10 +547,10 @@ impl PhraseLda {
                     continue;
                 }
                 for i in s..e {
-                    let w = doc.tokens[i] as usize;
+                    let w = doc.tokens[i];
                     let mut p = 0.0;
                     for t in 0..self.k {
-                        p += theta[t] * (self.n_wk[w * self.k + t] as f64 + self.beta) / phi_den[t];
+                        p += theta[t] * (self.counts.n_wk(w, t) as f64 + self.beta) / phi_den[t];
                     }
                     log_lik += p.ln();
                     n += 1;
@@ -515,7 +592,7 @@ impl PhraseLda {
             for t in 0..self.k {
                 let a = self.alpha[t];
                 let num: f64 = (0..d_count)
-                    .map(|d| digamma(self.n_dk[d * self.k + t] as f64 + a))
+                    .map(|d| digamma(self.counts.n_dk(d, t) as f64 + a))
                     .sum::<f64>()
                     - d_count as f64 * digamma(a);
                 // Clamp to keep the Dirichlet proper even on degenerate counts.
@@ -533,13 +610,15 @@ impl PhraseLda {
         for _ in 0..rounds {
             let b = self.beta;
             let num: f64 = self
-                .n_wk
+                .counts
+                .n_wk_table()
                 .iter()
                 .map(|&c| digamma(c as f64 + b))
                 .sum::<f64>()
                 - kv * digamma(b);
             let den: f64 = self
-                .n_k
+                .counts
+                .n_k_table()
                 .iter()
                 .map(|&c| digamma(c as f64 + self.v as f64 * b))
                 .sum::<f64>()
@@ -553,30 +632,151 @@ impl PhraseLda {
 
     /// Internal consistency check of all count tables (tests).
     pub fn check_counts(&self) -> Result<(), String> {
-        let mut n_dk = vec![0u32; self.docs.n_docs() * self.k];
-        let mut n_wk = vec![0u32; self.v * self.k];
-        let mut n_k = vec![0u64; self.k];
+        let mut rebuilt = TopicCounts::new(self.docs.n_docs(), self.v, self.k);
         for (d, doc) in self.docs.docs.iter().enumerate() {
             for (g, (s, e)) in doc.group_ranges().enumerate() {
-                let t = self.z[d][g] as usize;
-                for i in s..e {
-                    n_wk[doc.tokens[i] as usize * self.k + t] += 1;
-                }
-                n_dk[d * self.k + t] += (e - s) as u32;
-                n_k[t] += (e - s) as u64;
+                rebuilt.add_group(d, &doc.tokens[s..e], self.z[d][g]);
             }
         }
-        if n_dk != self.n_dk {
-            return Err("n_dk out of sync".into());
-        }
-        if n_wk != self.n_wk {
-            return Err("n_wk out of sync".into());
-        }
-        if n_k != self.n_k {
-            return Err("n_k out of sync".into());
+        if rebuilt != self.counts {
+            return Err("count tables out of sync with assignments".into());
         }
         Ok(())
     }
+}
+
+/// One shard's contribution to the barrier merge: sparse `(row-major
+/// index, delta)` pairs over `N_wk` plus a dense `Δ N_k`.
+type ShardDelta = (Vec<(u32, i32)>, Vec<i64>);
+
+/// Everything one worker needs to sweep its contiguous document shard.
+struct ShardCtx<'a> {
+    docs: &'a [GroupedDoc],
+    z: &'a mut [Vec<u16>],
+    /// The shard's `N_dk` rows (documents are partitioned, so these are
+    /// exclusively owned and updated live, exactly as in the sequential
+    /// sweep).
+    ndk: &'a mut [u32],
+    snap_wk: &'a [u32],
+    snap_k: &'a [u64],
+    alpha: &'a [f64],
+    k: usize,
+    beta: f64,
+    v_beta: f64,
+    seed: u64,
+    sweep: u64,
+    first_doc: usize,
+}
+
+/// Sweep one shard against the snapshot and return its signed
+/// `(Δ N_wk, Δ N_k)` for the barrier merge — `Δ N_wk` as a sparse
+/// `(index, delta)` list, so merge cost tracks how much actually changed
+/// rather than `V × K`.
+///
+/// Each document is gathered onto a dense local word table (the same
+/// scatter-gather shape `topmine_serve::infer` uses), so the hot loop
+/// reads `snapshot + own-document delta` without ever touching shared
+/// state — the result depends only on `(snapshot, doc, its RNG stream)`,
+/// never on shard layout.
+fn sweep_shard(ctx: ShardCtx<'_>) -> ShardDelta {
+    let ShardCtx {
+        docs,
+        z,
+        ndk,
+        snap_wk,
+        snap_k,
+        alpha,
+        k,
+        beta,
+        v_beta,
+        seed,
+        sweep,
+        first_doc,
+    } = ctx;
+    let v = snap_wk.len() / k;
+    let mut delta_wk: Vec<(u32, i32)> = Vec::new();
+    let mut delta_k = vec![0i64; k];
+    let mut scratch = CliqueScratch::default();
+    let mut weights = vec![0.0f64; k];
+    // Word → doc-local id via a stamped table (O(1), no hashing; the stamp
+    // marks which document last claimed the slot).
+    let mut stamp: Vec<u32> = vec![u32::MAX; v];
+    let mut local_id: Vec<u32> = vec![0; v];
+    let mut distinct: Vec<u32> = Vec::new();
+    let mut local_tokens: Vec<u32> = Vec::new();
+    // Gathered rows stay unsigned: a document only ever removes counts its
+    // own previous-sweep assignments put into the snapshot.
+    let mut local_wk: Vec<u32> = Vec::new();
+    let mut local_nk: Vec<u64> = vec![0u64; k];
+
+    for (i, doc) in docs.iter().enumerate() {
+        if doc.group_ends.is_empty() {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(doc_stream_seed(seed, sweep, (first_doc + i) as u64));
+        // Gather: dense doc-local word ids plus their snapshot rows.
+        distinct.clear();
+        local_tokens.clear();
+        for &w in &doc.tokens {
+            let wi = w as usize;
+            if stamp[wi] != i as u32 {
+                stamp[wi] = i as u32;
+                local_id[wi] = distinct.len() as u32;
+                distinct.push(w);
+            }
+            local_tokens.push(local_id[wi]);
+        }
+        local_wk.clear();
+        for &w in &distinct {
+            let base = w as usize * k;
+            local_wk.extend_from_slice(&snap_wk[base..base + k]);
+        }
+        local_nk.copy_from_slice(snap_k);
+        let ndk_row = &mut ndk[i * k..(i + 1) * k];
+        let zs = &mut z[i];
+
+        let mut start = 0usize;
+        for (g, &end) in doc.group_ends.iter().enumerate() {
+            let end = end as usize;
+            let toks = &local_tokens[start..end];
+            let s = (end - start) as u32;
+            let old = zs[g] as usize;
+            for &lw in toks {
+                local_wk[lw as usize * k + old] -= 1;
+            }
+            local_nk[old] -= s as u64;
+            ndk_row[old] -= s;
+
+            // The same TrainView the sequential sweep uses, pointed at the
+            // doc-local gathered table instead of the global one.
+            let view = TrainView::new(&local_wk, &local_nk, k, beta, v_beta);
+            clique_posterior(&view, alpha, ndk_row, toks, &mut scratch, &mut weights);
+            let new = sample_discrete(&mut rng, &weights);
+
+            zs[g] = new as u16;
+            for &lw in toks {
+                local_wk[lw as usize * k + new] += 1;
+            }
+            local_nk[new] += s as u64;
+            ndk_row[new] += s;
+            start = end;
+        }
+
+        // Fold the document's delta into the shard delta.
+        for (li, &w) in distinct.iter().enumerate() {
+            let base = w as usize * k;
+            for t in 0..k {
+                let dv = local_wk[li * k + t] as i64 - snap_wk[base + t] as i64;
+                if dv != 0 {
+                    delta_wk.push(((base + t) as u32, dv as i32));
+                }
+            }
+        }
+        for (t, d) in delta_k.iter_mut().enumerate() {
+            *d += local_nk[t] as i64 - snap_k[t] as i64;
+        }
+    }
+    (delta_wk, delta_k)
 }
 
 /// Fold-in unit for [`PhraseLda::heldout_perplexity`].
@@ -586,25 +786,6 @@ pub enum FoldIn {
     Groups,
     /// One topic per observed token — plain LDA.
     Tokens,
-}
-
-/// Sample an index proportional to `weights` (unnormalized, non-negative).
-#[inline]
-fn sample_discrete(rng: &mut StdRng, weights: &[f64]) -> usize {
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        // Degenerate: all weights zero/over/underflowed — uniform fallback.
-        return rng.gen_range(0..weights.len());
-    }
-    let x = rng.gen_range(0.0..total);
-    let mut acc = 0.0;
-    for (i, &w) in weights.iter().enumerate() {
-        acc += w;
-        if x < acc {
-            return i;
-        }
-    }
-    weights.len() - 1
 }
 
 #[cfg(test)]
@@ -639,6 +820,17 @@ mod tests {
     }
 
     #[test]
+    fn counts_stay_consistent_through_parallel_sweeps() {
+        let mut m = PhraseLda::new(
+            separable_docs(2),
+            TopicModelConfig::new(3).with_seed(7).with_threads(3),
+        );
+        m.run(5);
+        m.check_counts().unwrap();
+        assert_eq!(m.sweeps_done(), 5);
+    }
+
+    #[test]
     fn recovers_separable_topics() {
         let mut m = PhraseLda::new(
             separable_docs(1),
@@ -649,6 +841,7 @@ mod tests {
                 seed: 42,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         m.run(60);
@@ -662,6 +855,33 @@ mod tests {
         assert_eq!(topic_of(4), 1 - t0);
         assert_eq!(topic_of(5), 1 - t0);
         // And φ should be lopsided, not uniform.
+        assert!(phi[t0][0] > 0.2);
+        assert!(phi[t0][3] < 0.05);
+    }
+
+    #[test]
+    fn parallel_chain_recovers_separable_topics_too() {
+        // The snapshot-sweep approximation must still mix to the planted
+        // structure (Newman et al. report indistinguishable quality).
+        let mut m = PhraseLda::new(
+            separable_docs(1),
+            TopicModelConfig {
+                n_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                seed: 42,
+                optimize_every: 0,
+                burn_in: 0,
+                n_threads: 4,
+            },
+        );
+        m.run(60);
+        let phi = m.phi();
+        let topic_of = |w: usize| if phi[0][w] > phi[1][w] { 0 } else { 1 };
+        let t0 = topic_of(0);
+        assert_eq!(topic_of(1), t0);
+        assert_eq!(topic_of(2), t0);
+        assert_eq!(topic_of(3), 1 - t0);
         assert!(phi[t0][0] > 0.2);
         assert!(phi[t0][3] < 0.05);
     }
@@ -704,6 +924,7 @@ mod tests {
                 seed: 5,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         let before = m.perplexity();
@@ -730,6 +951,26 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_the_parallel_chain() {
+        // The core contract: T = 2 and T = 5 produce the same chain on the
+        // same seed (the heavier sweep across {2,3,7} with φ/θ equality is
+        // property-tested in tests/parallel_determinism.rs).
+        let mut a = PhraseLda::new(
+            separable_docs(2),
+            TopicModelConfig::new(3).with_seed(99).with_threads(2),
+        );
+        let mut b = PhraseLda::new(
+            separable_docs(2),
+            TopicModelConfig::new(3).with_seed(99).with_threads(5),
+        );
+        a.run(10);
+        b.run(10);
+        assert_eq!(a.z, b.z);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.perplexity(), b.perplexity());
+    }
+
+    #[test]
     fn hyperparameter_optimization_moves_and_stays_positive() {
         let mut m = PhraseLda::new(
             separable_docs(1),
@@ -740,6 +981,7 @@ mod tests {
                 seed: 8,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         m.run(30);
@@ -767,6 +1009,7 @@ mod tests {
                 seed: 21,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         m.run(60);
@@ -798,9 +1041,15 @@ mod tests {
             ],
             vocab_size: 2,
         };
-        let mut m = PhraseLda::new(docs, TopicModelConfig::new(2).with_seed(2));
+        let mut m = PhraseLda::new(docs.clone(), TopicModelConfig::new(2).with_seed(2));
         m.run(3);
         m.check_counts().unwrap();
         assert!(m.perplexity().is_finite());
+        // Same corpus through the sharded path (more shards than non-empty
+        // docs, empty doc in its own shard).
+        let mut p = PhraseLda::new(docs, TopicModelConfig::new(2).with_seed(2).with_threads(4));
+        p.run(3);
+        p.check_counts().unwrap();
+        assert!(p.perplexity().is_finite());
     }
 }

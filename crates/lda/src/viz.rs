@@ -190,6 +190,7 @@ mod tests {
                 seed: 17,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         m.run(60);
@@ -362,6 +363,7 @@ mod background_tests {
                 seed: 23,
                 optimize_every: 0,
                 burn_in: 0,
+                n_threads: 1,
             },
         );
         m.run(80);

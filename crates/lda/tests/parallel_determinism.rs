@@ -1,0 +1,279 @@
+//! The parallel-training contract, enforced:
+//!
+//! 1. `n_threads == 1` is the **exact historical sequential chain** — a
+//!    recorded digest from before the kernel refactor guards every z
+//!    assignment, perplexity, and optimized hyperparameter bit-for-bit.
+//! 2. Any `n_threads ≥ 2` produces **one** chain: identical z, counts, φ,
+//!    and perplexity at 2, 3, and 7 threads (property-tested over seeds,
+//!    topic counts, and groupings).
+//! 3. The parallel chain is a *different* (snapshot-sweep, Newman et al.
+//!    2009) approximation than the sequential one — it must still mix and
+//!    keep its count tables consistent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topmine_lda::{GroupedDoc, GroupedDocs, PhraseLda, TopicModelConfig};
+
+// ---------------------------------------------------------------------------
+// 1. Sequential chain guard
+// ---------------------------------------------------------------------------
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The frozen corpus the digest below was recorded on. Self-contained
+/// (no rand/synth) so it can never drift with a dependency.
+fn guard_docs() -> GroupedDocs {
+    let mut s = 0xD1CEu64;
+    let mut docs = Vec::new();
+    for _ in 0..30 {
+        let len = 20 + (splitmix(&mut s) % 40) as usize;
+        let tokens: Vec<u32> = (0..len).map(|_| (splitmix(&mut s) % 40) as u32).collect();
+        let mut group_ends = Vec::new();
+        let mut pos = 0usize;
+        while pos < len {
+            let g = (1 + (splitmix(&mut s) % 5) as usize).min(len - pos);
+            pos += g;
+            group_ends.push(pos as u32);
+        }
+        docs.push(GroupedDoc { tokens, group_ends });
+    }
+    GroupedDocs {
+        docs,
+        vocab_size: 40,
+    }
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn chain_digest(m: &PhraseLda) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in 0..m.docs().n_docs() {
+        for g in 0..m.docs().docs[d].n_groups() {
+            fnv(&mut h, &m.topic_of_group(d, g).to_le_bytes());
+        }
+    }
+    fnv(&mut h, &m.perplexity().to_bits().to_le_bytes());
+    for &a in m.alpha() {
+        fnv(&mut h, &a.to_bits().to_le_bytes());
+    }
+    fnv(&mut h, &m.beta().to_bits().to_le_bytes());
+    h
+}
+
+/// Recorded against the pre-kernel sampler (commit f54229b's
+/// `PhraseLda::step`): 30 sweeps on `guard_docs()` with hyperparameter
+/// optimization on. If this moves, the refactored sequential path no
+/// longer reproduces the historical chain — every seed-pinned experiment
+/// in the repo would silently shift.
+const SEQUENTIAL_CHAIN_DIGEST: u64 = 0x9f3c_d8fd_a25a_840e;
+
+#[test]
+fn sequential_chain_matches_recorded_digest() {
+    let cfg = TopicModelConfig {
+        n_topics: 6,
+        alpha: 2.0,
+        beta: 0.05,
+        seed: 42,
+        optimize_every: 10,
+        burn_in: 5,
+        n_threads: 1,
+    };
+    let mut m = PhraseLda::new(guard_docs(), cfg);
+    m.run(30);
+    assert!((m.perplexity() - 36.353083845968506).abs() < 1e-12);
+    assert_eq!(
+        chain_digest(&m),
+        SEQUENTIAL_CHAIN_DIGEST,
+        "n_threads == 1 no longer reproduces the pre-refactor sequential chain"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Cross-thread-count bit-identity
+// ---------------------------------------------------------------------------
+
+/// Random grouped corpus: `n_docs` docs over `vocab` words, group lengths
+/// in `1..=max_group`.
+fn random_docs(seed: u64, n_docs: usize, vocab: u32, max_group: usize) -> GroupedDocs {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::new();
+    for _ in 0..n_docs {
+        let len = rng.gen_range(8..40usize);
+        let tokens: Vec<u32> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+        let mut group_ends = Vec::new();
+        let mut pos = 0usize;
+        while pos < len {
+            pos += rng.gen_range(1..=max_group).min(len - pos);
+            group_ends.push(pos as u32);
+        }
+        docs.push(GroupedDoc { tokens, group_ends });
+    }
+    GroupedDocs {
+        docs,
+        vocab_size: vocab as usize,
+    }
+}
+
+fn fit(docs: &GroupedDocs, k: usize, seed: u64, threads: usize, sweeps: usize) -> PhraseLda {
+    let mut m = PhraseLda::new(
+        docs.clone(),
+        TopicModelConfig {
+            n_topics: k,
+            alpha: 0.7,
+            beta: 0.02,
+            seed,
+            optimize_every: 7,
+            burn_in: 3,
+            n_threads: threads,
+        },
+    );
+    m.run(sweeps);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// lda_threads ∈ {2, 3, 7}: identical perplexity, z-assignments, and φ
+    /// — the thread count must be invisible in the sampled chain.
+    #[test]
+    fn parallel_chain_is_identical_at_2_3_and_7_threads(
+        corpus_seed in 0u64..1_000_000,
+        chain_seed in 0u64..1_000_000,
+        k in 2usize..7,
+        max_group in 1usize..6,
+        sweeps in 1usize..12,
+    ) {
+        let docs = random_docs(corpus_seed, 13, 25, max_group);
+        let base = fit(&docs, k, chain_seed, 2, sweeps);
+        let base_phi = base.phi();
+        let base_pp = base.perplexity();
+        for threads in [3usize, 7] {
+            let m = fit(&docs, k, chain_seed, threads, sweeps);
+            for d in 0..docs.n_docs() {
+                for g in 0..docs.docs[d].n_groups() {
+                    prop_assert_eq!(base.topic_of_group(d, g), m.topic_of_group(d, g));
+                }
+            }
+            prop_assert_eq!(&base_phi, &m.phi());
+            prop_assert_eq!(base_pp.to_bits(), m.perplexity().to_bits());
+            prop_assert_eq!(base.counts(), m.counts());
+        }
+        base.check_counts().map_err(TestCaseError::fail)?;
+    }
+}
+
+#[test]
+fn parallel_and_sequential_start_from_the_same_state() {
+    // Initialization is sequential in both modes: before any sweep the two
+    // models are indistinguishable; they diverge only through the
+    // documented snapshot-sweep approximation.
+    let docs = random_docs(5, 10, 20, 4);
+    let seq = fit(&docs, 4, 9, 1, 0);
+    let par = fit(&docs, 4, 9, 8, 0);
+    assert_eq!(seq.counts(), par.counts());
+    assert_eq!(seq.perplexity().to_bits(), par.perplexity().to_bits());
+    for d in 0..docs.n_docs() {
+        for g in 0..docs.docs[d].n_groups() {
+            assert_eq!(seq.topic_of_group(d, g), par.topic_of_group(d, g));
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_documents_is_fine() {
+    let docs = random_docs(11, 3, 15, 3);
+    let a = fit(&docs, 3, 1, 2, 6);
+    let b = fit(&docs, 3, 1, 64, 6);
+    assert_eq!(a.perplexity().to_bits(), b.perplexity().to_bits());
+    a.check_counts().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 3. The parallel approximation still behaves like a Gibbs chain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_chain_mixes_and_reduces_perplexity() {
+    let docs = random_docs(21, 24, 30, 4);
+    let mut m = PhraseLda::new(
+        docs,
+        TopicModelConfig {
+            n_topics: 4,
+            alpha: 0.5,
+            beta: 0.01,
+            seed: 3,
+            optimize_every: 0,
+            burn_in: 0,
+            n_threads: 4,
+        },
+    );
+    let before = m.perplexity();
+    m.run(40);
+    m.check_counts().unwrap();
+    assert!(
+        m.perplexity() < before,
+        "parallel chain failed to mix: {before} -> {}",
+        m.perplexity()
+    );
+}
+
+#[test]
+fn very_long_cliques_train_without_degenerating() {
+    // Regression companion to the kernel's 200-token underflow test, end
+    // to end: documents whose single clique spans 200 tokens used to give
+    // an all-zero posterior and uniform draws; now the chain must
+    // concentrate each document's clique on a dominant topic.
+    let mut docs = Vec::new();
+    for d in 0..12 {
+        let base = if d % 2 == 0 { 0u32 } else { 10 };
+        let tokens: Vec<u32> = (0..200).map(|i| base + (i % 10) as u32).collect();
+        docs.push(GroupedDoc {
+            tokens,
+            group_ends: vec![200],
+        });
+    }
+    let docs = GroupedDocs {
+        docs,
+        vocab_size: 20,
+    };
+    for threads in [1usize, 3] {
+        let mut m = PhraseLda::new(
+            docs.clone(),
+            TopicModelConfig {
+                n_topics: 2,
+                alpha: 0.5,
+                beta: 0.01,
+                seed: 17,
+                optimize_every: 0,
+                burn_in: 0,
+                n_threads: threads,
+            },
+        );
+        m.run(30);
+        m.check_counts().unwrap();
+        // Even/odd docs use disjoint vocabularies; with working posteriors
+        // the two groups of documents separate into the two topics. Under
+        // the old uniform-fallback behavior assignments stay random coin
+        // flips and this split is essentially never clean.
+        let even: Vec<u16> = (0..12).step_by(2).map(|d| m.topic_of_group(d, 0)).collect();
+        let odd: Vec<u16> = (1..12).step_by(2).map(|d| m.topic_of_group(d, 0)).collect();
+        assert!(
+            even.iter().all(|&t| t == even[0]) && odd.iter().all(|&t| t == odd[0]),
+            "threads={threads}: even={even:?} odd={odd:?}"
+        );
+        assert_ne!(even[0], odd[0], "threads={threads}");
+    }
+}

@@ -27,10 +27,16 @@
 //! sweep order is fixed, everything is deterministic given the seed: same
 //! seed ⇒ bit-identical θ, topic ranking, and phrase annotations,
 //! regardless of backend, shard count, or which thread runs it.
+//!
+//! The per-clique posterior and the discrete draw are **not** implemented
+//! here: the sweeps call into `topmine_lda::kernel` (the same code training
+//! runs), through its frozen-φ [`FrozenPhiView`] — so serving inference can
+//! never drift from the trained model's Eq. 7.
 
 use crate::backend::ModelBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use topmine_lda::kernel::{clique_posterior, sample_discrete, CliqueScratch, FrozenPhiView};
 use topmine_util::FxHashMap;
 
 /// Knobs of one fold-in pass.
@@ -111,18 +117,19 @@ pub fn infer_doc(
     // shards. The Gibbs sweeps below never leave the gathered block.
     let mut local_of: FxHashMap<u32, u32> = FxHashMap::default();
     let mut distinct: Vec<u32> = Vec::new();
-    let local_tokens: Vec<usize> = tokens
+    let local_tokens: Vec<u32> = tokens
         .iter()
         .map(|&w| {
             *local_of.entry(w).or_insert_with(|| {
                 distinct.push(w);
                 (distinct.len() - 1) as u32
-            }) as usize
+            })
         })
         .collect();
     let n_local = distinct.len();
     // Topic-major `k × n_local`: φ[t][distinct[j]] at `t * n_local + j`.
     let phi = model.gather_phi(&distinct);
+    let view = FrozenPhiView::new(&phi, n_local, k);
 
     // Fold-in state: per-topic token counts for this document, one
     // topic per phrase instance (clique).
@@ -135,18 +142,19 @@ pub fn infer_doc(
     }
 
     let mut weights = vec![0.0f64; k];
+    let mut scratch = CliqueScratch::default();
     for _ in 0..config.fold_iters {
         for (g, &(s, e)) in spans.iter().enumerate() {
             let old = z[g] as usize;
             local_ndk[old] -= e - s;
-            for (t, slot) in weights.iter_mut().enumerate() {
-                let row = &phi[t * n_local..(t + 1) * n_local];
-                let mut w_t = 1.0f64;
-                for (j, i) in (s as usize..e as usize).enumerate() {
-                    w_t *= (alpha[t] + local_ndk[t] as f64 + j as f64) * row[local_tokens[i]];
-                }
-                *slot = w_t;
-            }
+            clique_posterior(
+                &view,
+                alpha,
+                &local_ndk,
+                &local_tokens[s as usize..e as usize],
+                &mut scratch,
+                &mut weights,
+            );
             let new = sample_discrete(&mut rng, &weights) as u16;
             z[g] = new;
             local_ndk[new as usize] += e - s;
@@ -197,24 +205,6 @@ impl crate::frozen::FrozenModel {
     pub fn infer_seeded(&self, text: &str, config: &InferConfig, seed: u64) -> DocInference {
         infer_doc(self, text, config, seed)
     }
-}
-
-/// Sample an index proportional to `weights` (non-negative, unnormalized);
-/// uniform fallback when everything under/overflowed.
-fn sample_discrete(rng: &mut StdRng, weights: &[f64]) -> usize {
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        return rng.gen_range(0..weights.len());
-    }
-    let x = rng.gen_range(0.0..total);
-    let mut acc = 0.0;
-    for (i, &w) in weights.iter().enumerate() {
-        acc += w;
-        if x < acc {
-            return i;
-        }
-    }
-    weights.len() - 1
 }
 
 #[cfg(test)]

@@ -163,6 +163,7 @@ fn lda_is_phrase_lda_with_singleton_groups() {
         seed: 42,
         optimize_every: 0,
         burn_in: 0,
+        n_threads: 1,
     };
     let mut direct = PhraseLda::lda(corpus, cfg.clone());
     let mut via_groups = PhraseLda::new(GroupedDocs::unigrams(corpus), cfg);
@@ -190,6 +191,7 @@ fn heldout_perplexity_beats_uniform() {
             seed: 9,
             optimize_every: 0,
             burn_in: 0,
+            n_threads: 1,
         },
     );
     model.run(80);

@@ -117,6 +117,7 @@ proptest! {
             seed: 7,
             optimize_every: 0,
             burn_in: 0,
+            n_threads: 1,
         });
         model.run(sweeps);
         model.check_counts().map_err(TestCaseError::fail)?;
