@@ -282,9 +282,9 @@ impl PdLdaModel {
             if (s as usize) >= cs && (e as usize) <= ce {
                 for i in s..e {
                     let ctx_start = s.max(i.saturating_sub(self.cfg.max_ngram as u32 - 1));
-                    let ctx = doc.tokens[ctx_start as usize..i as usize].to_vec();
+                    let ctx = &doc.tokens[ctx_start as usize..i as usize];
                     self.lm
-                        .remove(&mut self.rng, t, &ctx, doc.tokens[i as usize]);
+                        .remove(&mut self.rng, t, ctx, doc.tokens[i as usize]);
                 }
                 self.n_dk[d * self.cfg.n_topics + t as usize] -= 1;
                 self.n_d[d] -= 1;
@@ -298,15 +298,17 @@ impl PdLdaModel {
     /// One Gibbs sweep: resample each chunk's segmentation and topics.
     fn sweep(&mut self, corpus: &Corpus) {
         let k = self.cfg.n_topics;
+        // One reusable weight buffer for the joint (length, topic) draw —
+        // the hot loop allocates nothing per position.
+        let mut weights: Vec<f64> = Vec::with_capacity(self.cfg.max_ngram * k);
         for d in 0..corpus.n_docs() {
-            let chunks: Vec<(usize, usize)> = corpus.docs[d].chunk_ranges().collect();
-            for (cs, ce) in chunks {
+            for (cs, ce) in corpus.docs[d].chunk_ranges() {
                 self.remove_doc_chunk(corpus, d, (cs, ce));
                 // Rebuild left to right, jointly sampling (length, topic).
                 let mut i = cs;
                 while i < ce {
                     let max_len = self.cfg.max_ngram.min(ce - i);
-                    let mut weights: Vec<f64> = Vec::with_capacity(max_len * k);
+                    weights.clear();
                     for len in 1..=max_len {
                         for t in 0..k {
                             let topic_f = (self.cfg.alpha + self.n_dk[d * k + t] as f64)

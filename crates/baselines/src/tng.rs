@@ -126,15 +126,17 @@ impl TngModel {
             model.x.push(xs);
         }
 
+        // One weight buffer reused across all sweeps (2K joint (x, z)
+        // states) — the fit loop allocates nothing per token or sweep.
+        let mut weights = vec![0.0f64; 2 * model.cfg.n_topics];
         for _ in 0..model.cfg.iterations {
-            model.sweep(corpus, &mut rng);
+            model.sweep(corpus, &mut rng, &mut weights);
         }
         model
     }
 
-    fn sweep(&mut self, corpus: &Corpus, rng: &mut StdRng) {
+    fn sweep(&mut self, corpus: &Corpus, rng: &mut StdRng, weights: &mut [f64]) {
         let k = self.cfg.n_topics;
-        let mut weights = vec![0.0f64; 2 * k];
         for (d, doc) in corpus.docs.iter().enumerate() {
             for (start, end) in doc.chunk_ranges() {
                 for i in start..end {

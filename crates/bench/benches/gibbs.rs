@@ -132,10 +132,130 @@ fn bench_long_clique_posterior(c: &mut Criterion) {
     group.finish();
 }
 
+/// The singleton-clique fast path against the general clique path.
+///
+/// After segmentation most cliques are unigrams, so `clique_posterior`
+/// short-circuits s = 1: no multiplicity pass, no `fill(1.0)` pre-pass, no
+/// rescale check — one flat multiply-divide per topic, bit-identical to
+/// the general loop. The "general_path_shape" case replicates the general
+/// loop's operations for s = 1 as the historical reference.
+fn bench_singleton_clique(c: &mut Criterion) {
+    let k = 10usize;
+    let v = 500usize;
+    let n_wk: Vec<u32> = (0..v * k).map(|i| (i % 7) as u32).collect();
+    let n_k: Vec<u64> = (0..k).map(|t| 300 + 40 * t as u64).collect();
+    let alpha = vec![0.5f64; k];
+    let doc_ndk: Vec<u32> = (0..k as u32).collect();
+    let beta = 0.01;
+    let v_beta = beta * v as f64;
+    let tokens: Vec<u32> = vec![17];
+
+    let mut group = c.benchmark_group("singleton_clique");
+    group.bench_function("fast_path", |b| {
+        let view = TrainView::new(&n_wk, &n_k, k, beta, v_beta);
+        let mut scratch = CliqueScratch::default();
+        let mut weights = vec![0.0f64; k];
+        b.iter(|| {
+            clique_posterior(&view, &alpha, &doc_ndk, &tokens, &mut scratch, &mut weights);
+            weights[0]
+        });
+    });
+    group.bench_function("general_path_shape", |b| {
+        // The pre-fast-path shape at s = 1: multiplicity scan, fill(1.0),
+        // then the token-major product loop.
+        let view = TrainView::new(&n_wk, &n_k, k, beta, v_beta);
+        let mut weights = vec![0.0f64; k];
+        let mut seen: Vec<(u32, u32)> = Vec::with_capacity(4);
+        let mut mult: Vec<u32> = Vec::with_capacity(4);
+        b.iter(|| {
+            mult.clear();
+            seen.clear();
+            for &w in &tokens {
+                let m = match seen.iter_mut().find(|(sw, _)| *sw == w) {
+                    Some((_, c)) => {
+                        let m = *c;
+                        *c += 1;
+                        m
+                    }
+                    None => {
+                        seen.push((w, 1));
+                        0
+                    }
+                };
+                mult.push(m);
+            }
+            weights.fill(1.0);
+            for (j, &w) in tokens.iter().enumerate() {
+                let jf = j as f64;
+                for (t, slot) in weights.iter_mut().enumerate() {
+                    let num_doc = alpha[t] + doc_ndk[t] as f64 + jf;
+                    *slot *= num_doc * view.word_numerator(w, t, mult[j])
+                        / view.word_denominator(t, j as u32);
+                }
+            }
+            weights[0]
+        });
+    });
+    group.finish();
+}
+
+/// Amortized vs clone-per-sweep parallel sweeps on a V = 100k vocabulary.
+///
+/// The corpus touches only a sliver of the vocabulary, so the historical
+/// per-sweep `N_wk` clone (O(V·K)) dwarfs the sampling work — exactly the
+/// regime that would have exposed the clone before the double-buffered
+/// snapshot landed. Both modes sample bit-identical chains.
+fn bench_large_vocab_snapshot(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use topmine_lda::GroupedDoc;
+
+    let vocab = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(13);
+    let docs: Vec<GroupedDoc> = (0..64)
+        .map(|_| {
+            let tokens: Vec<u32> = (0..48).map(|_| rng.gen_range(0..vocab as u32)).collect();
+            let group_ends = (1..=48u32).collect();
+            GroupedDoc { tokens, group_ends }
+        })
+        .collect();
+    let grouped = GroupedDocs {
+        docs,
+        vocab_size: vocab,
+    };
+    let cfg = TopicModelConfig {
+        n_topics: 32,
+        alpha: 1.5,
+        beta: 0.01,
+        seed: 5,
+        optimize_every: 0,
+        burn_in: 0,
+        n_threads: 2,
+    };
+    let mut group = c.benchmark_group("large_vocab_snapshot");
+    group.sample_size(10);
+    group.bench_function("amortized_sweep", |b| {
+        let mut model = PhraseLda::new(grouped.clone(), cfg.clone());
+        model.run(2); // pay the one-time clone outside the timer
+        b.iter(|| model.step());
+    });
+    group.bench_function("clone_per_sweep", |b| {
+        let mut model = PhraseLda::new(grouped.clone(), cfg.clone());
+        model.run(2);
+        b.iter(|| {
+            model.invalidate_snapshot();
+            model.step();
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sweep_cost,
     bench_perplexity_and_hyperopt,
-    bench_long_clique_posterior
+    bench_long_clique_posterior,
+    bench_singleton_clique,
+    bench_large_vocab_snapshot
 );
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! **gibbs_fit** — fit-path benchmark: PhraseLDA Gibbs sweeps/sec at
-//! 1/2/4 threads, plus the paper's Figure 8 runtime split (phrase mining
-//! vs topic modeling) on the same corpus.
+//! 1/2/4 threads, the paper's Figure 8 runtime split (phrase mining vs
+//! topic modeling), and the snapshot-amortization split (old
+//! clone-per-sweep vs the rolled-forward double buffer).
 //!
 //! The paper's Figure 8 shows topic modeling dominating ToPMine's
 //! runtime, which is why the Gibbs sampler is the hot path worth
@@ -12,23 +13,197 @@
 //!   thread count — asserted on every run, so CI enforces the determinism
 //!   contract alongside the speedup.
 //!
+//! The snapshot section runs the same parallel fit twice — once amortized
+//!   (the default: one full `N_wk` clone ever, then O(nnz) delta rolls)
+//!   and once with the snapshot invalidated before every sweep (the
+//!   historical O(V·K) clone-per-sweep) — on the profile corpus *and* on
+//!   a V = 100 000 synthetic corpus where the clone dominates. Heap
+//!   allocation counts per sweep are measured through a counting global
+//!   allocator; the steady-state amortized sweep allocates only the
+//!   per-shard delta buffers, never per clique.
+//!
 //! The smoke-scale run writes a `BENCH_fit.json` snapshot (including
 //! `hardware_threads`, since a 1-core container cannot show wall-clock
 //! scaling no matter what the code does) for CI trending, the fit-path
 //! sibling of `BENCH_serve.json`.
+//!
+//! Gates (both opt-in via environment, used by CI):
+//!
+//! * `TOPMINE_MIN_SPEEDUP` — floor on the best parallel-vs-sequential
+//!   wall-clock speedup (meaningless on 1-core containers);
+//! * `TOPMINE_MIN_SNAPSHOT_SPEEDUP` — floor on the amortized-vs-clone
+//!   sweeps/sec ratio of the large-vocab case. This one is valid on any
+//!   core count: the clone is pure extra work.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use topmine_bench::{banner, iters, scale, seed_for};
-use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig};
+use topmine_lda::{GroupedDoc, GroupedDocs, PhraseLda, TopicModelConfig};
 use topmine_phrase::Segmenter;
 use topmine_synth::{generate, Profile};
 use topmine_util::Table;
 
+/// Counts every heap allocation so the benchmark can report
+/// allocations-per-sweep — the direct evidence that the fit loop is
+/// allocation-free in steady state.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Run `f` and return (its result, elapsed seconds, heap allocations).
+fn measured<T>(f: impl FnOnce() -> T) -> (T, f64, u64) {
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let t = Instant::now();
+    let out = f();
+    let secs = t.elapsed().as_secs_f64();
+    (
+        out,
+        secs,
+        ALLOCATIONS.load(Ordering::Relaxed) - allocs_before,
+    )
+}
+
+/// Synthetic corpus for the snapshot-amortization case: a vocabulary far
+/// larger than any document touches, so the historical O(V·K) clone
+/// dominates the actual sampling work. This is the shape the paper's
+/// large corpora (and the ROADMAP's streaming-ingest target) have.
+fn large_vocab_docs(vocab: usize, n_docs: usize, doc_len: usize, seed: u64) -> GroupedDocs {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        let tokens: Vec<u32> = (0..doc_len)
+            .map(|_| rng.gen_range(0..vocab as u32))
+            .collect();
+        // Mostly singleton groups with occasional short phrases — the
+        // post-segmentation clique profile.
+        let mut group_ends = Vec::new();
+        let mut pos = 0usize;
+        while pos < doc_len {
+            pos += rng.gen_range(1..=3usize).min(doc_len - pos);
+            group_ends.push(pos as u32);
+        }
+        docs.push(GroupedDoc { tokens, group_ends });
+    }
+    GroupedDocs {
+        docs,
+        vocab_size: vocab,
+    }
+}
+
+struct SnapshotRun {
+    amortized_secs: f64,
+    amortized_allocs_per_sweep: f64,
+    clone_secs: f64,
+    clone_allocs_per_sweep: f64,
+    speedup: f64,
+    /// Full O(V·K) clones *within the measured window* (expected: 0 — the
+    /// one-time clone is paid in the untimed warm-up sweep).
+    full_clones: u64,
+    /// `N_wk` cells copied by the warm-up's one-time clone, for scale.
+    warmup_cells_cloned: u64,
+    merge_delta_entries: u64,
+    snapshot_secs: f64,
+}
+
+/// Fit `docs` twice at `threads`: amortized (default) and with the
+/// snapshot invalidated before every sweep (the historical clone). Both
+/// runs must land on bit-identical perplexity — asserted.
+fn snapshot_comparison(
+    docs: &GroupedDocs,
+    k: usize,
+    seed: u64,
+    threads: usize,
+    sweeps: usize,
+) -> SnapshotRun {
+    let config = TopicModelConfig {
+        n_topics: k,
+        alpha: 50.0 / k as f64,
+        beta: 0.01,
+        seed,
+        optimize_every: 0,
+        burn_in: 0,
+        n_threads: threads,
+    };
+    let mut amortized = PhraseLda::new(docs.clone(), config.clone());
+    amortized.step(); // pay the one-time clone + scratch warm-up outside the timer
+    let warmup = amortized.sweep_stats();
+    let (_, amortized_secs, amortized_allocs) = measured(|| amortized.run(sweeps));
+    // Stats are cumulative; report the measured window only, so
+    // snapshot_secs lines up with amortized_secs instead of silently
+    // including the untimed warm-up clone.
+    let stats = amortized.sweep_stats();
+
+    let mut cloned = PhraseLda::new(docs.clone(), config);
+    cloned.step();
+    let (_, clone_secs, clone_allocs) = measured(|| {
+        for _ in 0..sweeps {
+            cloned.invalidate_snapshot();
+            cloned.step();
+        }
+    });
+    assert_eq!(
+        amortized.perplexity().to_bits(),
+        cloned.perplexity().to_bits(),
+        "amortized snapshot chain diverged from the clone-per-sweep chain"
+    );
+    SnapshotRun {
+        amortized_secs,
+        amortized_allocs_per_sweep: amortized_allocs as f64 / sweeps as f64,
+        clone_secs,
+        clone_allocs_per_sweep: clone_allocs as f64 / sweeps as f64,
+        speedup: clone_secs / amortized_secs,
+        full_clones: stats.snapshot_full_clones - warmup.snapshot_full_clones,
+        warmup_cells_cloned: warmup.snapshot_cells_cloned,
+        merge_delta_entries: stats.merge_delta_entries - warmup.merge_delta_entries,
+        snapshot_secs: (stats.snapshot_nanos - warmup.snapshot_nanos) as f64 / 1e9,
+    }
+}
+
+fn snapshot_json(r: &SnapshotRun, extra: &str) -> String {
+    format!(
+        "{{{extra}\"amortized_secs\":{:.4},\"clone_secs\":{:.4},\
+         \"snapshot_speedup\":{:.3},\"allocs_per_sweep_amortized\":{:.1},\
+         \"allocs_per_sweep_clone\":{:.1},\"full_clones_measured\":{},\
+         \"warmup_cells_cloned\":{},\"merge_delta_entries\":{},\"snapshot_secs\":{:.4}}}",
+        r.amortized_secs,
+        r.clone_secs,
+        r.speedup,
+        r.amortized_allocs_per_sweep,
+        r.clone_allocs_per_sweep,
+        r.full_clones,
+        r.warmup_cells_cloned,
+        r.merge_delta_entries,
+        r.snapshot_secs,
+    )
+}
+
 fn main() {
     banner(
-        "gibbs_fit: PhraseLDA sweeps/sec across thread counts + Figure 8 split",
-        "topic modeling dominates ToPMine runtime (Fig. 8); thread-sharded sweeps scale it",
+        "gibbs_fit: PhraseLDA sweeps/sec across thread counts + Figure 8 + snapshot split",
+        "topic modeling dominates ToPMine runtime (Fig. 8); sharded sweeps + amortized snapshots scale it",
     );
     let seed = seed_for("gibbs_fit");
     let s = scale();
@@ -64,17 +239,24 @@ fn main() {
         n_threads: threads,
     };
 
-    // Figure 8 component 2 + scaling: the same Gibbs fit at 1/2/4 threads.
-    let mut table = Table::new(["threads", "secs", "sweeps/sec", "speedup", "perplexity"]);
-    let mut results: Vec<(usize, f64, f64, f64)> = Vec::new();
+    // Figure 8 component 2 + scaling: the same Gibbs fit at 1/2/4 threads,
+    // with per-sweep heap allocations measured alongside wall clock.
+    let mut table = Table::new([
+        "threads",
+        "secs",
+        "sweeps/sec",
+        "speedup",
+        "allocs/sweep",
+        "perplexity",
+    ]);
+    let mut results: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
     let mut sequential_secs = 0.0f64;
     let mut parallel_reference: Option<(f64, Vec<Vec<f64>>)> = None;
     for threads in [1usize, 2, 4] {
         let mut model = PhraseLda::new(grouped.clone(), config(threads));
-        let t = Instant::now();
-        model.run(sweeps);
-        let secs = t.elapsed().as_secs_f64();
+        let (_, secs, allocs) = measured(|| model.run(sweeps));
         let sweeps_per_sec = sweeps as f64 / secs;
+        let allocs_per_sweep = allocs as f64 / sweeps as f64;
         let pp = model.perplexity();
         if threads == 1 {
             sequential_secs = secs;
@@ -94,16 +276,17 @@ fn main() {
         }
         let speedup = (results
             .first()
-            .map_or(secs, |r: &(usize, f64, f64, f64)| r.1))
+            .map_or(secs, |r: &(usize, f64, f64, f64, f64)| r.1))
             / secs;
         table.row([
             threads.to_string(),
             format!("{secs:.3}"),
             format!("{sweeps_per_sec:.2}"),
             format!("{speedup:.2}x"),
+            format!("{allocs_per_sweep:.1}"),
             format!("{pp:.3}"),
         ]);
-        results.push((threads, secs, sweeps_per_sec, pp));
+        results.push((threads, secs, sweeps_per_sec, allocs_per_sweep, pp));
     }
     println!("{}", table.to_aligned());
 
@@ -116,6 +299,40 @@ fn main() {
         100.0 * modeling_secs / total,
     );
 
+    // Snapshot amortization on the profile corpus (small V: the clone is
+    // cheap here, so this mostly demonstrates the bookkeeping)...
+    let corpus_snap = snapshot_comparison(&grouped, k, seed, 2, sweeps);
+    println!(
+        "snapshot split (profile corpus, 2 threads): amortized {:.3}s vs clone {:.3}s \
+         ({:.2}x), {} in-window clone(s) / {} delta entries, {:.1} vs {:.1} allocs/sweep",
+        corpus_snap.amortized_secs,
+        corpus_snap.clone_secs,
+        corpus_snap.speedup,
+        corpus_snap.full_clones,
+        corpus_snap.merge_delta_entries,
+        corpus_snap.amortized_allocs_per_sweep,
+        corpus_snap.clone_allocs_per_sweep,
+    );
+
+    // ...and on a V = 100k corpus, where the O(V·K) clone dominates the
+    // sweep — the case the amortization exists for. Sized so the whole
+    // section stays in smoke-run territory.
+    let big_v = 100_000usize;
+    let big_k = 32usize;
+    let big_docs = large_vocab_docs(big_v, 96, 48, seed ^ 0xb16_50ca1e);
+    let big_sweeps = iters(30).min(12);
+    let big_snap = snapshot_comparison(&big_docs, big_k, seed, 2, big_sweeps);
+    println!(
+        "snapshot split (V={big_v} K={big_k}, 2 threads): amortized {:.3}s vs clone {:.3}s \
+         ({:.2}x), snapshot work {:.4}s, {:.1} vs {:.1} allocs/sweep",
+        big_snap.amortized_secs,
+        big_snap.clone_secs,
+        big_snap.speedup,
+        big_snap.snapshot_secs,
+        big_snap.amortized_allocs_per_sweep,
+        big_snap.clone_allocs_per_sweep,
+    );
+
     // JSON snapshot for CI trending.
     let base = results[0].1;
     let mut json = String::from("{");
@@ -126,17 +343,25 @@ fn main() {
         grouped.n_tokens(),
         grouped.n_groups(),
     ));
-    for (i, (threads, secs, sps, pp)) in results.iter().enumerate() {
+    for (i, (threads, secs, sps, aps, pp)) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
             "{{\"threads\":{threads},\"secs\":{secs:.4},\"sweeps_per_sec\":{sps:.3},\
-             \"speedup_vs_sequential\":{:.3},\"perplexity\":{pp:.4}}}",
+             \"speedup_vs_sequential\":{:.3},\"allocs_per_sweep\":{aps:.1},\
+             \"perplexity\":{pp:.4}}}",
             base / secs,
         ));
     }
-    json.push_str("]}");
+    json.push_str("],\"snapshot\":{\"corpus\":");
+    json.push_str(&snapshot_json(&corpus_snap, ""));
+    json.push_str(",\"large_vocab\":");
+    json.push_str(&snapshot_json(
+        &big_snap,
+        &format!("\"vocab\":{big_v},\"topics\":{big_k},\"sweeps\":{big_sweeps},"),
+    ));
+    json.push_str("}}");
     let mut file = std::fs::File::create("BENCH_fit.json").expect("create BENCH_fit.json");
     writeln!(file, "{json}").expect("write BENCH_fit.json");
     println!("snapshot written to BENCH_fit.json");
@@ -152,7 +377,7 @@ fn main() {
         let best = results
             .iter()
             .skip(1)
-            .map(|(_, secs, _, _)| base / secs)
+            .map(|(_, secs, _, _, _)| base / secs)
             .fold(0.0f64, f64::max);
         assert!(
             best >= floor,
@@ -160,5 +385,24 @@ fn main() {
              ({hardware} hardware threads)"
         );
         println!("speedup gate passed: {best:.3}x >= {floor}x");
+    }
+
+    // Opt-in gate on the amortization itself: unlike the thread-scaling
+    // gate this is valid on any core count — clone-per-sweep is strictly
+    // extra work, so amortized must not be slower on the large-vocab case.
+    if let Some(floor) = std::env::var("TOPMINE_MIN_SNAPSHOT_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        assert!(
+            big_snap.speedup >= floor,
+            "snapshot amortization regression: large-vocab amortized/clone {:.3}x < floor \
+             {floor}x",
+            big_snap.speedup
+        );
+        println!(
+            "snapshot gate passed: {:.3}x >= {floor}x (V={big_v})",
+            big_snap.speedup
+        );
     }
 }

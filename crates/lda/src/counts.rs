@@ -6,10 +6,28 @@
 //! hyperparameter updates. Centralizing them keeps the add/remove
 //! bookkeeping in one place and gives the parallel scheduler a single
 //! thing to snapshot and merge.
+//!
+//! # Amortized snapshots
+//!
+//! The thread-sharded sweep samples every document against a frozen copy
+//! of `N_wk`/`N_k`. Re-cloning those tables each sweep is O(V·K) — for
+//! huge vocabularies that copy dominates the sweep. [`TopicCounts`]
+//! therefore double-buffers: it keeps a second `snap_wk`/`snap_k` pair,
+//! and [`apply_delta`](TopicCounts::apply_delta) rolls each sweep's sparse
+//! `(idx, Δ)` barrier merge into *both* buffers. Because the deltas are
+//! exact integers, `snapshot = previous snapshot + merged deltas` is
+//! bit-identical to a fresh clone, but costs O(nnz) — proportional to how
+//! many counts actually moved, independent of V·K. A full copy happens
+//! only when the snapshot is stale: the first parallel sweep, or after a
+//! sequential mutation ([`add_group`](TopicCounts::add_group)/
+//! [`remove_group`](TopicCounts::remove_group) invalidate it).
 
 /// Dense count tables of a collapsed Gibbs chain over `D` documents,
-/// `V` words, and `K` topics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `V` words, and `K` topics, plus the amortized sweep-snapshot buffers.
+///
+/// Equality compares only the live chain state (`N_dk`/`N_wk`/`N_k`);
+/// the snapshot buffers are a cache and never observable.
+#[derive(Debug, Clone)]
 pub struct TopicCounts {
     k: usize,
     v: usize,
@@ -19,7 +37,26 @@ pub struct TopicCounts {
     pub(crate) n_wk: Vec<u32>,
     /// `N_k`: tokens assigned to topic k.
     pub(crate) n_k: Vec<u64>,
+    /// Double buffer of `n_wk` for parallel sweeps (empty until the first
+    /// [`refresh_snapshot`](TopicCounts::refresh_snapshot)).
+    snap_wk: Vec<u32>,
+    /// Double buffer of `n_k`.
+    snap_k: Vec<u64>,
+    /// Whether `snap_wk`/`snap_k` currently equal `n_wk`/`n_k`.
+    snap_fresh: bool,
 }
+
+impl PartialEq for TopicCounts {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.v == other.v
+            && self.n_dk == other.n_dk
+            && self.n_wk == other.n_wk
+            && self.n_k == other.n_k
+    }
+}
+
+impl Eq for TopicCounts {}
 
 impl TopicCounts {
     pub fn new(n_docs: usize, vocab_size: usize, n_topics: usize) -> Self {
@@ -29,6 +66,9 @@ impl TopicCounts {
             n_dk: vec![0; n_docs * n_topics],
             n_wk: vec![0; vocab_size * n_topics],
             n_k: vec![0; n_topics],
+            snap_wk: Vec::new(),
+            snap_k: Vec::new(),
+            snap_fresh: false,
         }
     }
 
@@ -76,17 +116,57 @@ impl TopicCounts {
         &self.n_k
     }
 
-    /// All `N_dk` rows, mutable (row-major `d*K + k`) — the parallel
-    /// scheduler chunks this per document shard; rows are exclusively
-    /// owned by whichever shard holds the document.
+    /// Bring the snapshot buffers up to date with the live tables.
+    ///
+    /// Cheap when the snapshot is already fresh (the common case: the
+    /// previous parallel sweep rolled its deltas into both buffers);
+    /// otherwise performs the one full O(V·K) copy that seeds the
+    /// amortization. Returns the number of `n_wk` cells copied (0 when
+    /// fresh), which the scheduler surfaces as a sweep statistic.
+    pub fn refresh_snapshot(&mut self) -> usize {
+        if self.snap_fresh {
+            return 0;
+        }
+        self.snap_wk.clear();
+        self.snap_wk.extend_from_slice(&self.n_wk);
+        self.snap_k.clear();
+        self.snap_k.extend_from_slice(&self.n_k);
+        self.snap_fresh = true;
+        self.snap_wk.len()
+    }
+
+    /// Drop the amortized snapshot so the next
+    /// [`refresh_snapshot`](Self::refresh_snapshot) performs a full clone.
+    /// Used by the clone-baseline benchmarks and the amortized-vs-clone
+    /// equivalence tests; never needed in normal operation.
+    pub fn invalidate_snapshot(&mut self) {
+        self.snap_fresh = false;
+    }
+
+    /// Whether the snapshot buffers currently mirror the live tables.
     #[inline]
-    pub fn doc_rows_mut(&mut self) -> &mut [u32] {
-        &mut self.n_dk
+    pub fn snapshot_is_fresh(&self) -> bool {
+        self.snap_fresh
+    }
+
+    /// Split-borrow for one parallel sweep: the frozen
+    /// `(snap_wk, snap_k)` snapshot (shared across worker threads) and
+    /// the mutable `N_dk` rows (chunked per document shard). Requires a
+    /// fresh snapshot — call [`refresh_snapshot`](Self::refresh_snapshot)
+    /// first.
+    #[inline]
+    pub fn sweep_views(&mut self) -> (&[u32], &[u64], &mut [u32]) {
+        // A real assert: a stale snapshot here would silently sample a
+        // wrong (non-bit-identical) chain, and the check is one bool read
+        // per sweep.
+        assert!(self.snap_fresh, "sweep_views needs a fresh snapshot");
+        (&self.snap_wk, &self.snap_k, &mut self.n_dk)
     }
 
     /// Move a clique's tokens into topic `topic`.
     #[inline]
     pub fn add_group(&mut self, d: usize, tokens: &[u32], topic: u16) {
+        self.snap_fresh = false;
         let kt = topic as usize;
         for &w in tokens {
             self.n_wk[w as usize * self.k + kt] += 1;
@@ -99,6 +179,7 @@ impl TopicCounts {
     /// Remove a clique's tokens from topic `topic`.
     #[inline]
     pub fn remove_group(&mut self, d: usize, tokens: &[u32], topic: u16) {
+        self.snap_fresh = false;
         let kt = topic as usize;
         for &w in tokens {
             self.n_wk[w as usize * self.k + kt] -= 1;
@@ -113,17 +194,39 @@ impl TopicCounts {
     /// index may repeat), `delta_k` dense over the K topics. Integer
     /// addition commutes, so the merged state is independent of shard
     /// count and application order.
+    ///
+    /// When the snapshot is fresh, the delta also rolls into the snapshot
+    /// buffers — this is the amortization: after the last shard of a sweep
+    /// merges, `snap_wk`/`snap_k` already *are* the next sweep's snapshot,
+    /// in O(nnz) instead of an O(V·K) re-clone, and bit-identical to one
+    /// (integer adds are exact).
     pub fn apply_delta(&mut self, delta_wk: &[(u32, i32)], delta_k: &[i64]) {
         debug_assert_eq!(delta_k.len(), self.n_k.len());
-        for &(i, d) in delta_wk {
-            let next = self.n_wk[i as usize] as i64 + d as i64;
-            debug_assert!(next >= 0, "n_wk went negative in merge");
-            self.n_wk[i as usize] = next as u32;
-        }
-        for (c, &d) in self.n_k.iter_mut().zip(delta_k) {
-            let next = *c as i64 + d;
-            debug_assert!(next >= 0, "n_k went negative in merge");
-            *c = next as u64;
+        if self.snap_fresh {
+            // Steady-state barrier merge: one pass updates both buffers.
+            for &(i, d) in delta_wk {
+                let next = self.n_wk[i as usize] as i64 + d as i64;
+                debug_assert!(next >= 0, "n_wk went negative in merge");
+                self.n_wk[i as usize] = next as u32;
+                self.snap_wk[i as usize] = (self.snap_wk[i as usize] as i64 + d as i64) as u32;
+            }
+            for ((c, s), &d) in self.n_k.iter_mut().zip(self.snap_k.iter_mut()).zip(delta_k) {
+                let next = *c as i64 + d;
+                debug_assert!(next >= 0, "n_k went negative in merge");
+                *c = next as u64;
+                *s = (*s as i64 + d) as u64;
+            }
+        } else {
+            for &(i, d) in delta_wk {
+                let next = self.n_wk[i as usize] as i64 + d as i64;
+                debug_assert!(next >= 0, "n_wk went negative in merge");
+                self.n_wk[i as usize] = next as u32;
+            }
+            for (c, &d) in self.n_k.iter_mut().zip(delta_k) {
+                let next = *c as i64 + d;
+                debug_assert!(next >= 0, "n_k went negative in merge");
+                *c = next as u64;
+            }
         }
     }
 }
@@ -142,6 +245,53 @@ mod tests {
         assert_eq!(c.doc_row(1), &[0, 0, 3]);
         c.remove_group(1, &[0, 4, 4], 2);
         assert_eq!(c, TopicCounts::new(2, 5, 3));
+    }
+
+    #[test]
+    fn snapshot_rolls_forward_through_deltas_and_invalidates_on_mutation() {
+        let mut c = TopicCounts::new(1, 3, 2);
+        c.add_group(0, &[0, 1, 2], 0);
+        assert!(!c.snapshot_is_fresh());
+        // First refresh: a full copy.
+        assert_eq!(c.refresh_snapshot(), 3 * 2);
+        assert!(c.snapshot_is_fresh());
+        {
+            let (snap_wk, snap_k, _) = c.sweep_views();
+            assert_eq!(snap_wk, &[1, 0, 1, 0, 1, 0]);
+            assert_eq!(snap_k, &[3, 0]);
+        }
+        // A barrier merge rolls into both buffers: the snapshot stays
+        // fresh and the next refresh costs nothing.
+        c.apply_delta(&[(0, -1), (1, 1)], &[-1, 1]);
+        assert!(c.snapshot_is_fresh());
+        assert_eq!(c.refresh_snapshot(), 0);
+        {
+            let (snap_wk, snap_k, _) = c.sweep_views();
+            assert_eq!(snap_wk, &[0, 1, 1, 0, 1, 0]);
+            assert_eq!(snap_k, &[2, 1]);
+        }
+        // Sequential mutation invalidates; the refresh re-clones and the
+        // result still matches the live tables exactly.
+        c.add_group(0, &[1], 1);
+        assert!(!c.snapshot_is_fresh());
+        assert_eq!(c.refresh_snapshot(), 3 * 2);
+        let live_wk = c.n_wk_table().to_vec();
+        let live_k = c.n_k_table().to_vec();
+        let (snap_wk, snap_k, _) = c.sweep_views();
+        assert_eq!(snap_wk, &live_wk[..]);
+        assert_eq!(snap_k, &live_k[..]);
+    }
+
+    #[test]
+    fn equality_ignores_snapshot_buffers() {
+        let mut a = TopicCounts::new(1, 2, 2);
+        let mut b = a.clone();
+        a.add_group(0, &[0], 0);
+        b.add_group(0, &[0], 0);
+        a.refresh_snapshot();
+        assert_eq!(a, b, "snapshot state must not affect equality");
+        a.invalidate_snapshot();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -250,6 +250,21 @@ pub fn clique_posterior<V: CountsView>(
     debug_assert_eq!(weights.len(), k);
     debug_assert_eq!(alpha.len(), k);
     debug_assert_eq!(doc_ndk.len(), k);
+    // Singleton fast path: after segmentation most cliques are unigrams,
+    // where the Eq. 7 product collapses to one factor per topic — no
+    // multiplicity pass (m = 0 always), no `fill(1.0)` pre-pass, no
+    // rescale check. The arithmetic is operation-for-operation the general
+    // loop at s = 1: `1.0 * x = x` and `y + 0.0 = y` are IEEE 754
+    // identities for the positive finite values here, so the sampled chain
+    // is bit-identical to the general path.
+    if let [w] = tokens {
+        for (t, slot) in weights.iter_mut().enumerate() {
+            *slot = (alpha[t] + doc_ndk[t] as f64) * view.word_numerator(*w, t, 0)
+                / view.word_denominator(t, 0);
+        }
+        debug_assert!(weights.iter().all(|w| w.is_finite()));
+        return;
+    }
     if V::USES_MULTIPLICITY {
         fill_multiplicities(tokens, scratch);
     }
@@ -351,6 +366,47 @@ mod tests {
         // Spot-check: token j has seen j/7 earlier copies of itself.
         for (j, &m) in b.mult.iter().enumerate() {
             assert_eq!(m as usize, j / 7, "position {j}");
+        }
+    }
+
+    #[test]
+    fn singleton_fast_path_is_bit_identical_to_the_general_loop() {
+        // The historical general path at s = 1: fill(1.0), then one
+        // `*= num_doc * num / den` factor with jf = 0.0 and m = 0.
+        let k = 6;
+        let v = 30usize;
+        let n_wk: Vec<u32> = (0..v * k).map(|i| ((i * 7) % 13) as u32).collect();
+        let n_k: Vec<u64> = (0..k).map(|t| 50 + 11 * t as u64).collect();
+        let view = tiny_train_view(&n_wk, &n_k, k);
+        let alpha: Vec<f64> = (0..k).map(|t| 0.3 + 0.17 * t as f64).collect();
+        let doc_ndk: Vec<u32> = (0..k as u32).map(|t| t * 2).collect();
+        let mut scratch = CliqueScratch::default();
+        let mut fast = vec![0.0f64; k];
+        for w in 0..v as u32 {
+            clique_posterior(&view, &alpha, &doc_ndk, &[w], &mut scratch, &mut fast);
+            for t in 0..k {
+                let mut general = 1.0f64;
+                let num_doc = alpha[t] + doc_ndk[t] as f64 + 0.0f64;
+                general *= num_doc * view.word_numerator(w, t, 0) / view.word_denominator(t, 0);
+                assert_eq!(
+                    fast[t].to_bits(),
+                    general.to_bits(),
+                    "w={w} t={t}: {} vs {general}",
+                    fast[t]
+                );
+            }
+        }
+        // Same bit-identity through a frozen-φ view (the serving path).
+        let phi: Vec<f64> = (0..k * 4).map(|i| 1e-3 + (i as f64) * 1e-2).collect();
+        let fview = FrozenPhiView::new(&phi, 4, k);
+        for w in 0..4u32 {
+            clique_posterior(&fview, &alpha, &doc_ndk, &[w], &mut scratch, &mut fast);
+            for t in 0..k {
+                let general = 1.0f64
+                    * ((alpha[t] + doc_ndk[t] as f64 + 0.0) * fview.word_numerator(w, t, 0)
+                        / fview.word_denominator(t, 0));
+                assert_eq!(fast[t].to_bits(), general.to_bits());
+            }
         }
     }
 

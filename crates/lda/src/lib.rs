@@ -28,7 +28,7 @@ pub mod viz;
 
 pub use counts::TopicCounts;
 pub use model::{GroupedDoc, GroupedDocs};
-pub use sampler::{FoldIn, PhraseLda, TopicModelConfig};
+pub use sampler::{FoldIn, PhraseLda, SweepStats, TopicModelConfig};
 pub use viz::{
     background_phrases, render_topic_table, summarize_topics, summarize_topics_filtered,
     topical_frequencies, TopicSummary,

@@ -113,6 +113,86 @@ impl TopicModelConfig {
     }
 }
 
+/// Counters of the fit loop's snapshot amortization, surfaced by
+/// [`PhraseLda::sweep_stats`] and reported by the `gibbs_fit` bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Parallel (snapshot) sweeps run so far.
+    pub parallel_sweeps: u64,
+    /// How many of those sweeps needed a full O(V·K) snapshot clone
+    /// (expected: 1 — the first; every later snapshot rolls forward).
+    pub snapshot_full_clones: u64,
+    /// Total `N_wk` cells copied by full clones.
+    pub snapshot_cells_cloned: u64,
+    /// Total sparse `(idx, Δ)` entries merged at sweep barriers — the
+    /// amortized snapshot cost scales with this, not with V·K.
+    pub merge_delta_entries: u64,
+    /// Wall-clock nanoseconds spent producing snapshots and merging
+    /// deltas (everything outside the sampling itself).
+    pub snapshot_nanos: u64,
+}
+
+/// Per-shard reusable sweep state: the scatter-gather buffers of the
+/// thread-sharded sweep plus the kernel scratch and weight vector. One of
+/// these lives per worker shard (and one for the sequential path),
+/// allocated on first use and reused across documents *and* sweeps — the
+/// steady-state fit loop performs no per-clique or per-document heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+struct SweepScratch {
+    /// Kernel scratch (within-clique multiplicities).
+    clique: CliqueScratch,
+    /// Unnormalized posterior over topics (length K).
+    weights: Vec<f64>,
+    /// Word → epoch of the document that last claimed the slot (length V).
+    stamp: Vec<u32>,
+    /// Word → doc-local id, valid when `stamp[w]` equals the current epoch.
+    local_id: Vec<u32>,
+    /// Distinct words of the current document, in first-seen order.
+    distinct: Vec<u32>,
+    /// The document's tokens remapped to doc-local ids.
+    local_tokens: Vec<u32>,
+    /// Gathered snapshot rows for the distinct words (`n_distinct × K`).
+    local_wk: Vec<u32>,
+    /// Gathered `N_k` (length K).
+    local_nk: Vec<u64>,
+    /// Stamp epoch of the document currently being gathered.
+    epoch: u32,
+}
+
+impl SweepScratch {
+    /// Size the K-dependent buffers (no-op once sized).
+    fn prepare(&mut self, k: usize) {
+        if self.weights.len() != k {
+            self.weights.clear();
+            self.weights.resize(k, 0.0);
+        }
+        if self.local_nk.len() != k {
+            self.local_nk.clear();
+            self.local_nk.resize(k, 0);
+        }
+    }
+
+    /// Advance the word-stamp epoch for a new document, (re)initializing
+    /// the stamp table when the vocabulary size changes or the u32 epoch
+    /// space wraps. Returns the epoch the document should stamp with.
+    fn next_epoch(&mut self, v: usize) -> u32 {
+        if self.stamp.len() != v {
+            self.stamp.clear();
+            self.stamp.resize(v, u32::MAX);
+            self.local_id.clear();
+            self.local_id.resize(v, 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
 /// The PhraseLDA (and LDA) collapsed Gibbs sampler.
 #[derive(Debug, Clone)]
 pub struct PhraseLda {
@@ -123,7 +203,8 @@ pub struct PhraseLda {
     alpha: Vec<f64>,
     /// Symmetric topic-word Dirichlet.
     beta: f64,
-    /// The `N_dk`/`N_wk`/`N_k` tables.
+    /// The `N_dk`/`N_wk`/`N_k` tables (plus the amortized snapshot
+    /// double-buffer, see [`TopicCounts`]).
     counts: TopicCounts,
     /// Topic of each group: z[d][g].
     z: Vec<Vec<u16>>,
@@ -132,6 +213,10 @@ pub struct PhraseLda {
     rng: StdRng,
     sweeps_done: usize,
     config: TopicModelConfig,
+    /// One reusable scratch per worker shard (index 0 doubles as the
+    /// sequential sweep's scratch), persisted across sweeps.
+    scratch: Vec<SweepScratch>,
+    stats: SweepStats,
 }
 
 impl PhraseLda {
@@ -159,6 +244,8 @@ impl PhraseLda {
             sweeps_done: 0,
             config,
             docs,
+            scratch: Vec::new(),
+            stats: SweepStats::default(),
         };
         for d in 0..model.docs.n_docs() {
             let n_groups = model.docs.docs[d].n_groups();
@@ -214,8 +301,11 @@ impl PhraseLda {
     fn sweep_sequential(&mut self) {
         let k = self.k;
         let v_beta = self.v as f64 * self.beta;
-        let mut weights = vec![0.0f64; k];
-        let mut scratch = CliqueScratch::default();
+        if self.scratch.is_empty() {
+            self.scratch.push(SweepScratch::default());
+        }
+        let scratch = &mut self.scratch[0];
+        scratch.prepare(k);
 
         for d in 0..self.docs.n_docs() {
             let n_groups = self.z[d].len();
@@ -237,10 +327,10 @@ impl PhraseLda {
                     &self.alpha,
                     self.counts.doc_row(d),
                     tokens,
-                    &mut scratch,
-                    &mut weights,
+                    &mut scratch.clique,
+                    &mut scratch.weights,
                 );
-                let new = sample_discrete(&mut self.rng, &weights) as u16;
+                let new = sample_discrete(&mut self.rng, &scratch.weights) as u16;
                 self.z[d][g] = new;
                 self.counts.add_group(d, tokens, new);
                 start = end;
@@ -250,6 +340,14 @@ impl PhraseLda {
 
     /// One thread-sharded snapshot sweep (see module docs): bit-identical
     /// for every `threads ≥ 2`, regardless of how many cores actually run.
+    ///
+    /// The sweep-start snapshot is *amortized*: instead of cloning the
+    /// full `N_wk`/`N_k` tables (O(V·K)) every sweep, [`TopicCounts`]
+    /// keeps a double buffer that the previous barrier merge already
+    /// rolled the sparse deltas into — producing this sweep's snapshot in
+    /// O(nnz of the last sweep). A full clone happens only on the first
+    /// parallel sweep (or after a sequential mutation invalidated the
+    /// buffer), and the result is bit-identical either way.
     fn sweep_parallel(&mut self, threads: usize) {
         let n_docs = self.docs.n_docs();
         if n_docs == 0 {
@@ -264,40 +362,53 @@ impl PhraseLda {
         let v_beta = self.v as f64 * self.beta;
         let shards = threads.min(n_docs);
         let chunk = n_docs.div_ceil(shards);
-        // Sweep-start snapshot every document samples against.
-        let snap_wk: Vec<u32> = self.counts.n_wk_table().to_vec();
-        let snap_k: Vec<u64> = self.counts.n_k_table().to_vec();
+        if self.scratch.len() < shards {
+            self.scratch.resize_with(shards, SweepScratch::default);
+        }
+        // Sweep-start snapshot every document samples against: rolled
+        // forward from the previous sweep when possible, cloned otherwise.
+        let snap_start = std::time::Instant::now();
+        let cells = self.counts.refresh_snapshot();
+        if cells > 0 {
+            self.stats.snapshot_full_clones += 1;
+            self.stats.snapshot_cells_cloned += cells as u64;
+        }
+        self.stats.parallel_sweeps += 1;
+        self.stats.snapshot_nanos += snap_start.elapsed().as_nanos() as u64;
+        let (snap_wk, snap_k, ndk) = self.counts.sweep_views();
         let sweep = self.sweeps_done as u64;
         let seed = self.config.seed;
         let alpha = &self.alpha;
         let beta = self.beta;
         let docs = &self.docs.docs;
         let z = &mut self.z;
-        let ndk = self.counts.doc_rows_mut();
+        let scratches = &mut self.scratch;
         let deltas: Vec<ShardDelta> = std::thread::scope(|scope| {
             let handles: Vec<_> = docs
                 .chunks(chunk)
                 .zip(z.chunks_mut(chunk))
                 .zip(ndk.chunks_mut(chunk * k))
+                .zip(scratches.iter_mut())
                 .enumerate()
-                .map(|(si, ((doc_shard, z_shard), ndk_shard))| {
-                    let snap_wk = &snap_wk;
-                    let snap_k = &snap_k;
+                .map(|(si, (((doc_shard, z_shard), ndk_shard), scratch))| {
                     scope.spawn(move || {
-                        sweep_shard(ShardCtx {
-                            docs: doc_shard,
-                            z: z_shard,
-                            ndk: ndk_shard,
-                            snap_wk,
-                            snap_k,
-                            alpha,
-                            k,
-                            beta,
-                            v_beta,
-                            seed,
-                            sweep,
-                            first_doc: si * chunk,
-                        })
+                        sweep_shard(
+                            ShardCtx {
+                                docs: doc_shard,
+                                z: z_shard,
+                                ndk: ndk_shard,
+                                snap_wk,
+                                snap_k,
+                                alpha,
+                                k,
+                                beta,
+                                v_beta,
+                                seed,
+                                sweep,
+                                first_doc: si * chunk,
+                            },
+                            scratch,
+                        )
                     })
                 })
                 .collect();
@@ -307,10 +418,15 @@ impl PhraseLda {
                 .collect()
         });
         // Barrier merge. Integer deltas commute, so the merged tables are
-        // independent of shard count and merge order.
+        // independent of shard count and merge order. apply_delta rolls
+        // each delta into the snapshot buffer too, so the *next* sweep's
+        // snapshot is already built by the time the merge finishes.
+        let merge_start = std::time::Instant::now();
         for (delta_wk, delta_k) in &deltas {
+            self.stats.merge_delta_entries += delta_wk.len() as u64;
             self.counts.apply_delta(delta_wk, delta_k);
         }
+        self.stats.snapshot_nanos += merge_start.elapsed().as_nanos() as u64;
     }
 
     /// Run `iters` sweeps.
@@ -358,6 +474,21 @@ impl PhraseLda {
     /// The live count tables (read-only).
     pub fn counts(&self) -> &TopicCounts {
         &self.counts
+    }
+
+    /// Snapshot-amortization counters accumulated over all parallel
+    /// sweeps so far.
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// Drop the amortized sweep snapshot, forcing the next parallel sweep
+    /// to re-clone the full `N_wk`/`N_k` tables. The chain is unaffected
+    /// (an amortized snapshot is bit-identical to a clone); this exists so
+    /// benchmarks can measure the historical clone-per-sweep cost and so
+    /// tests can prove the equivalence.
+    pub fn invalidate_snapshot(&mut self) {
+        self.counts.invalidate_snapshot();
     }
 
     /// Topic currently assigned to group `g` of document `d`.
@@ -677,8 +808,10 @@ struct ShardCtx<'a> {
 /// scatter-gather shape `topmine_serve::infer` uses), so the hot loop
 /// reads `snapshot + own-document delta` without ever touching shared
 /// state — the result depends only on `(snapshot, doc, its RNG stream)`,
-/// never on shard layout.
-fn sweep_shard(ctx: ShardCtx<'_>) -> ShardDelta {
+/// never on shard layout. All buffers live in the caller-owned
+/// [`SweepScratch`] and persist across documents and sweeps, so the
+/// steady-state shard sweep allocates nothing but its returned delta.
+fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
     let ShardCtx {
         docs,
         z,
@@ -696,84 +829,85 @@ fn sweep_shard(ctx: ShardCtx<'_>) -> ShardDelta {
     let v = snap_wk.len() / k;
     let mut delta_wk: Vec<(u32, i32)> = Vec::new();
     let mut delta_k = vec![0i64; k];
-    let mut scratch = CliqueScratch::default();
-    let mut weights = vec![0.0f64; k];
-    // Word → doc-local id via a stamped table (O(1), no hashing; the stamp
-    // marks which document last claimed the slot).
-    let mut stamp: Vec<u32> = vec![u32::MAX; v];
-    let mut local_id: Vec<u32> = vec![0; v];
-    let mut distinct: Vec<u32> = Vec::new();
-    let mut local_tokens: Vec<u32> = Vec::new();
-    // Gathered rows stay unsigned: a document only ever removes counts its
-    // own previous-sweep assignments put into the snapshot.
-    let mut local_wk: Vec<u32> = Vec::new();
-    let mut local_nk: Vec<u64> = vec![0u64; k];
+    scratch.prepare(k);
 
     for (i, doc) in docs.iter().enumerate() {
         if doc.group_ends.is_empty() {
             continue;
         }
         let mut rng = StdRng::seed_from_u64(doc_stream_seed(seed, sweep, (first_doc + i) as u64));
-        // Gather: dense doc-local word ids plus their snapshot rows.
-        distinct.clear();
-        local_tokens.clear();
+        // Gather: dense doc-local word ids plus their snapshot rows. The
+        // word → doc-local id map is a stamped table (O(1), no hashing);
+        // the stamp records which epoch (document) last claimed the slot.
+        let epoch = scratch.next_epoch(v);
+        scratch.distinct.clear();
+        scratch.local_tokens.clear();
         for &w in &doc.tokens {
             let wi = w as usize;
-            if stamp[wi] != i as u32 {
-                stamp[wi] = i as u32;
-                local_id[wi] = distinct.len() as u32;
-                distinct.push(w);
+            if scratch.stamp[wi] != epoch {
+                scratch.stamp[wi] = epoch;
+                scratch.local_id[wi] = scratch.distinct.len() as u32;
+                scratch.distinct.push(w);
             }
-            local_tokens.push(local_id[wi]);
+            scratch.local_tokens.push(scratch.local_id[wi]);
         }
-        local_wk.clear();
-        for &w in &distinct {
+        // Gathered rows stay unsigned: a document only ever removes counts
+        // its own previous-sweep assignments put into the snapshot.
+        scratch.local_wk.clear();
+        for &w in &scratch.distinct {
             let base = w as usize * k;
-            local_wk.extend_from_slice(&snap_wk[base..base + k]);
+            scratch.local_wk.extend_from_slice(&snap_wk[base..base + k]);
         }
-        local_nk.copy_from_slice(snap_k);
+        scratch.local_nk.copy_from_slice(snap_k);
         let ndk_row = &mut ndk[i * k..(i + 1) * k];
         let zs = &mut z[i];
 
         let mut start = 0usize;
         for (g, &end) in doc.group_ends.iter().enumerate() {
             let end = end as usize;
-            let toks = &local_tokens[start..end];
+            let toks = &scratch.local_tokens[start..end];
             let s = (end - start) as u32;
             let old = zs[g] as usize;
             for &lw in toks {
-                local_wk[lw as usize * k + old] -= 1;
+                scratch.local_wk[lw as usize * k + old] -= 1;
             }
-            local_nk[old] -= s as u64;
+            scratch.local_nk[old] -= s as u64;
             ndk_row[old] -= s;
 
             // The same TrainView the sequential sweep uses, pointed at the
             // doc-local gathered table instead of the global one.
-            let view = TrainView::new(&local_wk, &local_nk, k, beta, v_beta);
-            clique_posterior(&view, alpha, ndk_row, toks, &mut scratch, &mut weights);
-            let new = sample_discrete(&mut rng, &weights);
+            let view = TrainView::new(&scratch.local_wk, &scratch.local_nk, k, beta, v_beta);
+            clique_posterior(
+                &view,
+                alpha,
+                ndk_row,
+                toks,
+                &mut scratch.clique,
+                &mut scratch.weights,
+            );
+            let new = sample_discrete(&mut rng, &scratch.weights);
 
             zs[g] = new as u16;
             for &lw in toks {
-                local_wk[lw as usize * k + new] += 1;
+                scratch.local_wk[lw as usize * k + new] += 1;
             }
-            local_nk[new] += s as u64;
+            scratch.local_nk[new] += s as u64;
             ndk_row[new] += s;
             start = end;
         }
 
         // Fold the document's delta into the shard delta.
-        for (li, &w) in distinct.iter().enumerate() {
+        for (li, &w) in scratch.distinct.iter().enumerate() {
             let base = w as usize * k;
             for t in 0..k {
-                let dv = local_wk[li * k + t] as i64 - snap_wk[base + t] as i64;
+                let dv = scratch.local_wk[li * k + t] as i64 - snap_wk[base + t] as i64;
                 if dv != 0 {
                     delta_wk.push(((base + t) as u32, dv as i32));
                 }
             }
         }
         for (t, d) in delta_k.iter_mut().enumerate() {
-            *d += local_nk[t] as i64 - snap_k[t] as i64;
+            *d += scratch.local_nk[t] as i64 - snap_k[t] as i64;
         }
     }
     (delta_wk, delta_k)

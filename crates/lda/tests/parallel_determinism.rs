@@ -175,6 +175,99 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The amortized snapshot chain (double buffer rolled forward by the
+    /// barrier's sparse deltas) must equal a reference chain that re-clones
+    /// the full `N_wk`/`N_k` tables before every sweep — bit-for-bit, at
+    /// every intermediate sweep, for thread counts {1, 2, 3, 7}. (T = 1
+    /// never snapshots; it is included to pin that invalidation is
+    /// harmless on the sequential path.)
+    #[test]
+    fn amortized_snapshot_chain_equals_full_clone_chain(
+        corpus_seed in 0u64..1_000_000,
+        chain_seed in 0u64..1_000_000,
+        k in 2usize..6,
+        max_group in 1usize..5,
+        sweeps in 2usize..10,
+    ) {
+        let docs = random_docs(corpus_seed, 11, 22, max_group);
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = TopicModelConfig {
+                n_topics: k,
+                alpha: 0.7,
+                beta: 0.02,
+                seed: chain_seed,
+                optimize_every: 5,
+                burn_in: 2,
+                n_threads: threads,
+            };
+            let mut amortized = PhraseLda::new(docs.clone(), cfg.clone());
+            let mut cloned = PhraseLda::new(docs.clone(), cfg);
+            for sweep in 0..sweeps {
+                amortized.step();
+                // Forcing a stale snapshot makes every sweep pay the full
+                // O(V·K) clone — the historical behavior.
+                cloned.invalidate_snapshot();
+                cloned.step();
+                prop_assert_eq!(
+                    amortized.counts(),
+                    cloned.counts(),
+                    "threads={} sweep={}",
+                    threads,
+                    sweep
+                );
+            }
+            for d in 0..docs.n_docs() {
+                for g in 0..docs.docs[d].n_groups() {
+                    prop_assert_eq!(
+                        amortized.topic_of_group(d, g),
+                        cloned.topic_of_group(d, g)
+                    );
+                }
+            }
+            prop_assert_eq!(amortized.phi(), cloned.phi());
+            prop_assert_eq!(
+                amortized.perplexity().to_bits(),
+                cloned.perplexity().to_bits()
+            );
+            amortized.check_counts().map_err(TestCaseError::fail)?;
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_cloned_once_then_rolled_forward() {
+    let docs = random_docs(7, 12, 30, 4);
+    let mut m = PhraseLda::new(
+        docs,
+        TopicModelConfig {
+            n_topics: 4,
+            alpha: 0.5,
+            beta: 0.01,
+            seed: 2,
+            optimize_every: 0,
+            burn_in: 0,
+            n_threads: 3,
+        },
+    );
+    m.run(8);
+    let stats = m.sweep_stats();
+    assert_eq!(stats.parallel_sweeps, 8);
+    assert_eq!(
+        stats.snapshot_full_clones, 1,
+        "only the first parallel sweep may pay the O(V·K) clone"
+    );
+    assert_eq!(stats.snapshot_cells_cloned, (30 * 4) as u64);
+    assert!(stats.merge_delta_entries > 0);
+    // Hyperparameter optimization reads but never writes counts, so it
+    // must not invalidate the rolled-forward snapshot.
+    m.optimize_hyperparameters();
+    m.run(4);
+    assert_eq!(m.sweep_stats().snapshot_full_clones, 1);
+}
+
 #[test]
 fn parallel_and_sequential_start_from_the_same_state() {
     // Initialization is sequential in both modes: before any sweep the two

@@ -36,8 +36,30 @@
 use crate::backend::ModelBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use topmine_lda::kernel::{clique_posterior, sample_discrete, CliqueScratch, FrozenPhiView};
 use topmine_util::FxHashMap;
+
+/// Reusable fold-in buffers, kept thread-local so `QueryEngine` worker
+/// threads (and the HTTP connection handlers calling the inline path)
+/// stop re-allocating the remap/count/weight buffers on every request.
+/// Only the gathered φ block and the returned `DocInference` allocate per
+/// call. Contents are fully reset per document, so results are
+/// bit-identical to the allocate-per-call code.
+#[derive(Default)]
+struct InferScratch {
+    local_of: FxHashMap<u32, u32>,
+    distinct: Vec<u32>,
+    local_tokens: Vec<u32>,
+    local_ndk: Vec<u32>,
+    z: Vec<u16>,
+    weights: Vec<f64>,
+    clique: CliqueScratch,
+}
+
+thread_local! {
+    static INFER_SCRATCH: RefCell<InferScratch> = RefCell::new(InferScratch::default());
+}
 
 /// Knobs of one fold-in pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,86 +134,94 @@ pub fn infer_doc(
     let tokens = &prepared.doc.tokens;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Scatter-gather: remap tokens onto a dense local word table, then
-    // fetch exactly the φ columns this document touches from their owning
-    // shards. The Gibbs sweeps below never leave the gathered block.
-    let mut local_of: FxHashMap<u32, u32> = FxHashMap::default();
-    let mut distinct: Vec<u32> = Vec::new();
-    let local_tokens: Vec<u32> = tokens
-        .iter()
-        .map(|&w| {
-            *local_of.entry(w).or_insert_with(|| {
+    INFER_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+
+        // Scatter-gather: remap tokens onto a dense local word table, then
+        // fetch exactly the φ columns this document touches from their
+        // owning shards. The Gibbs sweeps below never leave the gathered
+        // block.
+        scratch.local_of.clear();
+        scratch.distinct.clear();
+        scratch.local_tokens.clear();
+        for &w in tokens {
+            let distinct = &mut scratch.distinct;
+            let id = *scratch.local_of.entry(w).or_insert_with(|| {
                 distinct.push(w);
                 (distinct.len() - 1) as u32
-            })
-        })
-        .collect();
-    let n_local = distinct.len();
-    // Topic-major `k × n_local`: φ[t][distinct[j]] at `t * n_local + j`.
-    let phi = model.gather_phi(&distinct);
-    let view = FrozenPhiView::new(&phi, n_local, k);
-
-    // Fold-in state: per-topic token counts for this document, one
-    // topic per phrase instance (clique).
-    let mut local_ndk = vec![0u32; k];
-    let mut z: Vec<u16> = Vec::with_capacity(spans.len());
-    for &(s, e) in &spans {
-        let t = rng.gen_range(0..k) as u16;
-        local_ndk[t as usize] += e - s;
-        z.push(t);
-    }
-
-    let mut weights = vec![0.0f64; k];
-    let mut scratch = CliqueScratch::default();
-    for _ in 0..config.fold_iters {
-        for (g, &(s, e)) in spans.iter().enumerate() {
-            let old = z[g] as usize;
-            local_ndk[old] -= e - s;
-            clique_posterior(
-                &view,
-                alpha,
-                &local_ndk,
-                &local_tokens[s as usize..e as usize],
-                &mut scratch,
-                &mut weights,
-            );
-            let new = sample_discrete(&mut rng, &weights) as u16;
-            z[g] = new;
-            local_ndk[new as usize] += e - s;
+            });
+            scratch.local_tokens.push(id);
         }
-    }
+        let n_local = scratch.distinct.len();
+        // Topic-major `k × n_local`: φ[t][distinct[j]] at `t * n_local + j`.
+        let phi = model.gather_phi(&scratch.distinct);
+        let view = FrozenPhiView::new(&phi, n_local, k);
 
-    let alpha_sum: f64 = alpha.iter().sum();
-    let theta_den = tokens.len() as f64 + alpha_sum;
-    let theta: Vec<f64> = (0..k)
-        .map(|t| (local_ndk[t] as f64 + alpha[t]) / theta_den)
-        .collect();
+        // Fold-in state: per-topic token counts for this document, one
+        // topic per phrase instance (clique).
+        scratch.local_ndk.clear();
+        scratch.local_ndk.resize(k, 0);
+        scratch.z.clear();
+        for &(s, e) in &spans {
+            let t = rng.gen_range(0..k) as u16;
+            scratch.local_ndk[t as usize] += e - s;
+            scratch.z.push(t);
+        }
 
-    let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
-    // Ties break on the lower topic id so the ranking is deterministic.
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    ranked.truncate(config.top_topics);
-
-    let phrases = spans
-        .iter()
-        .zip(&z)
-        .map(|(&(s, e), &topic)| {
-            let words = tokens[s as usize..e as usize].to_vec();
-            PhraseAssignment {
-                text: model.display_phrase(&words),
-                words,
-                topic,
+        if scratch.weights.len() != k {
+            scratch.weights.clear();
+            scratch.weights.resize(k, 0.0);
+        }
+        for _ in 0..config.fold_iters {
+            for (g, &(s, e)) in spans.iter().enumerate() {
+                let old = scratch.z[g] as usize;
+                scratch.local_ndk[old] -= e - s;
+                clique_posterior(
+                    &view,
+                    alpha,
+                    &scratch.local_ndk,
+                    &scratch.local_tokens[s as usize..e as usize],
+                    &mut scratch.clique,
+                    &mut scratch.weights,
+                );
+                let new = sample_discrete(&mut rng, &scratch.weights) as u16;
+                scratch.z[g] = new;
+                scratch.local_ndk[new as usize] += e - s;
             }
-        })
-        .collect();
+        }
 
-    DocInference {
-        theta,
-        top_topics: ranked,
-        phrases,
-        n_tokens: tokens.len(),
-        n_oov: prepared.n_oov,
-    }
+        let alpha_sum: f64 = alpha.iter().sum();
+        let theta_den = tokens.len() as f64 + alpha_sum;
+        let theta: Vec<f64> = (0..k)
+            .map(|t| (scratch.local_ndk[t] as f64 + alpha[t]) / theta_den)
+            .collect();
+
+        let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
+        // Ties break on the lower topic id so the ranking is deterministic.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(config.top_topics);
+
+        let phrases = spans
+            .iter()
+            .zip(&scratch.z)
+            .map(|(&(s, e), &topic)| {
+                let words = tokens[s as usize..e as usize].to_vec();
+                PhraseAssignment {
+                    text: model.display_phrase(&words),
+                    words,
+                    topic,
+                }
+            })
+            .collect();
+
+        DocInference {
+            theta,
+            top_topics: ranked,
+            phrases,
+            n_tokens: tokens.len(),
+            n_oov: prepared.n_oov,
+        }
+    })
 }
 
 impl crate::frozen::FrozenModel {

@@ -26,6 +26,65 @@ fn fitted_model() -> FrozenModel {
     FrozenModel::freeze(&corpus, &stats, 2.0, &lda, &CorpusOptions::default())
 }
 
+/// FNV-1a digest of everything observable in a batch of inferences: θ bits,
+/// topic ranking, phrase topics and word ids, token/OOV counts.
+fn inference_digest(results: &[topmine_serve::DocInference]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for inf in results {
+        for &t in &inf.theta {
+            eat(&t.to_bits().to_le_bytes());
+        }
+        for &(t, w) in &inf.top_topics {
+            eat(&(t as u64).to_le_bytes());
+            eat(&w.to_bits().to_le_bytes());
+        }
+        for p in &inf.phrases {
+            eat(&p.topic.to_le_bytes());
+            for &w in &p.words {
+                eat(&w.to_le_bytes());
+            }
+        }
+        eat(&(inf.n_tokens as u64).to_le_bytes());
+        eat(&(inf.n_oov as u64).to_le_bytes());
+    }
+    h
+}
+
+/// Recorded against the pre-fast-path kernel (commit f2d1ce3): training a
+/// model and folding in a fixed batch must reproduce this digest
+/// bit-for-bit. The singleton-clique fast path keeps the arithmetic
+/// operation-for-operation identical, so this value must never move.
+const INFER_DOC_DIGEST: u64 = 0xa5b6_c7fd_a608_5067;
+
+#[test]
+fn infer_doc_outputs_match_recorded_digest() {
+    let model = fitted_model();
+    let texts: Vec<String> = (0..6)
+        .map(|i| format!("frequent patterns of support vector machines, study {i}"))
+        .collect();
+    let cfg = InferConfig {
+        fold_iters: 15,
+        seed: 23,
+        top_topics: 2,
+    };
+    let results: Vec<_> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| model.infer_seeded(t, &cfg, cfg.seed_for_index(i)))
+        .collect();
+    let digest = inference_digest(&results);
+    assert_eq!(
+        digest, INFER_DOC_DIGEST,
+        "serve fold-in no longer reproduces the pre-fast-path kernel (digest {digest:#x})"
+    );
+}
+
 #[test]
 fn theta_is_identical_across_thread_counts_and_reloads() {
     let model = fitted_model();
