@@ -24,6 +24,7 @@ fn bench_sweep_cost(c: &mut Criterion) {
         optimize_every: 0,
         burn_in: 0,
         n_threads: 1,
+        ..TopicModelConfig::default()
     };
     let mut group = c.benchmark_group("gibbs_sweep");
     group.sample_size(10);
@@ -52,6 +53,7 @@ fn bench_perplexity_and_hyperopt(c: &mut Criterion) {
         optimize_every: 0,
         burn_in: 0,
         n_threads: 1,
+        ..TopicModelConfig::default()
     };
     let mut model = PhraseLda::new(GroupedDocs::unigrams(corpus), cfg);
     model.run(10);
@@ -199,6 +201,85 @@ fn bench_singleton_clique(c: &mut Criterion) {
     group.finish();
 }
 
+/// The bucketed O(K_active) singleton draw against the dense O(K) draw it
+/// replaces, at the V = 100k / K = 32 shape the fit benchmark gates.
+///
+/// State mirrors a mid-sweep document: the sampled word is active in one
+/// topic (the common case when the vocabulary dwarfs the corpus), the
+/// document in ~half the topics, and two topics are dirty since the last
+/// alias rebuild. Only the draw is timed — count maintenance is identical
+/// between the kernels and excluded from both sides.
+fn bench_sparse_kernel(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use topmine_lda::kernel::{
+        sample_discrete, sample_singleton_sparse, DocBucket, SmoothingBucket,
+    };
+
+    let k = 32usize;
+    let v = 100_000usize;
+    let beta = 0.01;
+    let v_beta = beta * v as f64;
+    let alpha = vec![50.0 / k as f64; k];
+    let mut rng = StdRng::seed_from_u64(0x51a7);
+    let n_k: Vec<u64> = (0..k).map(|_| 300 + rng.gen_range(0..100u64)).collect();
+    // The word appears once in the corpus: one active topic.
+    let hot_topic = 11usize;
+    let mut word_row = vec![0u32; k];
+    word_row[hot_topic] = 1;
+    let word_nz: Vec<u16> = vec![hot_topic as u16];
+    // A 48-token document over K = 32: roughly half the topics active.
+    let mut doc_ndk = vec![0u32; k];
+    for _ in 0..48 {
+        doc_ndk[rng.gen_range(0..k)] += 1;
+    }
+    let doc_nz: Vec<u16> = (0..k as u16).filter(|&t| doc_ndk[t as usize] > 0).collect();
+
+    let mut smoothing = SmoothingBucket::default();
+    smoothing.rebuild(&alpha, beta, v_beta, &n_k);
+    let mut n_k_moved = n_k.clone();
+    n_k_moved[3] += 2;
+    n_k_moved[19] -= 1;
+    smoothing.mark_dirty(3, alpha[3], beta, 1.0 / (v_beta + n_k_moved[3] as f64));
+    smoothing.mark_dirty(19, alpha[19], beta, 1.0 / (v_beta + n_k_moved[19] as f64));
+    let mut doc = DocBucket::default();
+    doc.begin_doc(&doc_nz, &doc_ndk, &n_k_moved, beta, v_beta, k);
+
+    let mut group = c.benchmark_group("sparse_kernel");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("singleton_sparse", |b| {
+        let mut draw_rng = StdRng::seed_from_u64(7);
+        let mut q_buf = Vec::new();
+        b.iter(|| {
+            sample_singleton_sparse(
+                &mut draw_rng,
+                &alpha,
+                v_beta,
+                &word_row,
+                &word_nz,
+                &doc_ndk,
+                &doc_nz,
+                &n_k_moved,
+                &doc,
+                &smoothing,
+                &mut q_buf,
+            )
+        });
+    });
+    group.bench_function("singleton_dense", |b| {
+        let view = TrainView::new(&word_row, &n_k_moved, k, beta, v_beta);
+        let mut scratch = CliqueScratch::default();
+        let mut weights = vec![0.0f64; k];
+        let tokens = vec![0u32]; // word 0 of the single-row table
+        let mut draw_rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            clique_posterior(&view, &alpha, &doc_ndk, &tokens, &mut scratch, &mut weights);
+            sample_discrete(&mut draw_rng, &weights)
+        });
+    });
+    group.finish();
+}
+
 /// Amortized vs clone-per-sweep parallel sweeps on a V = 100k vocabulary.
 ///
 /// The corpus touches only a sliver of the vocabulary, so the historical
@@ -231,6 +312,7 @@ fn bench_large_vocab_snapshot(c: &mut Criterion) {
         optimize_every: 0,
         burn_in: 0,
         n_threads: 2,
+        ..TopicModelConfig::default()
     };
     let mut group = c.benchmark_group("large_vocab_snapshot");
     group.sample_size(10);
@@ -256,6 +338,7 @@ criterion_group!(
     bench_perplexity_and_hyperopt,
     bench_long_clique_posterior,
     bench_singleton_clique,
+    bench_sparse_kernel,
     bench_large_vocab_snapshot
 );
 criterion_main!(benches);

@@ -220,6 +220,7 @@ fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
                 optimize_every,
                 burn_in: 25,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         m.run(sweeps);
@@ -251,6 +252,7 @@ fn ablation_clique_potential(synth: &SynthCorpus, seed: u64) {
         optimize_every: 0,
         burn_in: 0,
         n_threads: 1,
+        ..TopicModelConfig::default()
     };
     let mut phrase_lda = PhraseLda::new(
         GroupedDocs::from_segmentation(&synth.corpus, &seg),

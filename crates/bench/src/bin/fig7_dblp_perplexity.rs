@@ -52,6 +52,7 @@ fn main() {
         optimize_every: 25,
         burn_in: 50,
         n_threads: 1,
+        ..TopicModelConfig::default()
     };
 
     let mut phrase_curve = Vec::new();

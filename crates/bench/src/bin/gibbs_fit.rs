@@ -42,7 +42,7 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use topmine_bench::{banner, iters, scale, seed_for};
-use topmine_lda::{GroupedDoc, GroupedDocs, PhraseLda, TopicModelConfig};
+use topmine_lda::{GroupedDoc, GroupedDocs, KernelMode, PhraseLda, TopicModelConfig};
 use topmine_phrase::Segmenter;
 use topmine_synth::{generate, Profile};
 use topmine_util::Table;
@@ -90,19 +90,28 @@ fn measured<T>(f: impl FnOnce() -> T) -> (T, f64, u64) {
 /// larger than any document touches, so the historical O(V·K) clone
 /// dominates the actual sampling work. This is the shape the paper's
 /// large corpora (and the ROADMAP's streaming-ingest target) have.
-fn large_vocab_docs(vocab: usize, n_docs: usize, doc_len: usize, seed: u64) -> GroupedDocs {
+fn large_vocab_docs(
+    vocab: usize,
+    n_docs: usize,
+    doc_len: usize,
+    seed: u64,
+    max_group: usize,
+) -> GroupedDocs {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut docs = Vec::with_capacity(n_docs);
     for _ in 0..n_docs {
         let tokens: Vec<u32> = (0..doc_len)
             .map(|_| rng.gen_range(0..vocab as u32))
             .collect();
-        // Mostly singleton groups with occasional short phrases — the
-        // post-segmentation clique profile.
+        // `max_group = 3`: mostly singleton groups with occasional short
+        // phrases — the post-segmentation clique profile. `max_group = 1`:
+        // pure bag-of-words, the shape the singleton kernel comparison
+        // needs (multi-token cliques take the dense path in both modes and
+        // would only dilute the ratio).
         let mut group_ends = Vec::new();
         let mut pos = 0usize;
         while pos < doc_len {
-            pos += rng.gen_range(1..=3usize).min(doc_len - pos);
+            pos += rng.gen_range(1..=max_group).min(doc_len - pos);
             group_ends.push(pos as u32);
         }
         docs.push(GroupedDoc { tokens, group_ends });
@@ -146,6 +155,7 @@ fn snapshot_comparison(
         optimize_every: 0,
         burn_in: 0,
         n_threads: threads,
+        ..TopicModelConfig::default()
     };
     let mut amortized = PhraseLda::new(docs.clone(), config.clone());
     amortized.step(); // pay the one-time clone + scratch warm-up outside the timer
@@ -180,6 +190,83 @@ fn snapshot_comparison(
         merge_delta_entries: stats.merge_delta_entries - warmup.merge_delta_entries,
         snapshot_secs: (stats.snapshot_nanos - warmup.snapshot_nanos) as f64 / 1e9,
     }
+}
+
+struct SparseRun {
+    sparse_secs: f64,
+    dense_secs: f64,
+    sparse_sweeps_per_sec: f64,
+    dense_sweeps_per_sec: f64,
+    speedup: f64,
+    sparse_pp: f64,
+    dense_pp: f64,
+}
+
+/// Fit `docs` sequentially under the sparse bucketed kernel and under the
+/// pinned dense kernel. The two chains consume different RNG streams (same
+/// distribution, different draws), so only wall clock and sanity are
+/// compared — the distribution equivalence is property-tested in
+/// `crates/lda/tests/sparse_kernel.rs`.
+///
+/// Each kernel is timed three times with the pairs interleaved, and the
+/// minimum is reported: on a shared single-core runner the noise is
+/// one-sided (stolen cycles only ever add time), so min-of-N estimates the
+/// uncontended cost and keeps the CI ratio gate from flapping.
+fn sparse_comparison(docs: &GroupedDocs, k: usize, seed: u64, sweeps: usize) -> SparseRun {
+    let config = |kernel: KernelMode| TopicModelConfig {
+        n_topics: k,
+        alpha: 50.0 / k as f64,
+        beta: 0.01,
+        seed,
+        optimize_every: 0,
+        burn_in: 0,
+        n_threads: 1,
+        kernel,
+    };
+    let mut sparse_secs = f64::INFINITY;
+    let mut dense_secs = f64::INFINITY;
+    let mut sparse_pp = f64::NAN;
+    let mut dense_pp = f64::NAN;
+    for _ in 0..3 {
+        let mut sparse = PhraseLda::new(docs.clone(), config(KernelMode::Sparse));
+        sparse.step(); // scratch warm-up (alias table, nonzero lists) outside the timer
+        let (_, secs, _) = measured(|| sparse.run(sweeps));
+        sparse_secs = sparse_secs.min(secs);
+        let mut dense = PhraseLda::new(docs.clone(), config(KernelMode::Dense));
+        dense.step();
+        let (_, secs, _) = measured(|| dense.run(sweeps));
+        dense_secs = dense_secs.min(secs);
+        sparse_pp = sparse.perplexity();
+        dense_pp = dense.perplexity();
+        assert!(
+            sparse_pp.is_finite() && dense_pp.is_finite(),
+            "kernel comparison produced a degenerate chain"
+        );
+    }
+    SparseRun {
+        sparse_secs,
+        dense_secs,
+        sparse_sweeps_per_sec: sweeps as f64 / sparse_secs,
+        dense_sweeps_per_sec: sweeps as f64 / dense_secs,
+        speedup: dense_secs / sparse_secs,
+        sparse_pp,
+        dense_pp,
+    }
+}
+
+fn sparse_json(r: &SparseRun, extra: &str) -> String {
+    format!(
+        "{{{extra}\"sparse_secs\":{:.4},\"dense_secs\":{:.4},\
+         \"sparse_sweeps_per_sec\":{:.3},\"dense_sweeps_per_sec\":{:.3},\
+         \"sparse_speedup\":{:.3},\"sparse_perplexity\":{:.4},\"dense_perplexity\":{:.4}}}",
+        r.sparse_secs,
+        r.dense_secs,
+        r.sparse_sweeps_per_sec,
+        r.dense_sweeps_per_sec,
+        r.speedup,
+        r.sparse_pp,
+        r.dense_pp,
+    )
 }
 
 fn snapshot_json(r: &SnapshotRun, extra: &str) -> String {
@@ -237,6 +324,7 @@ fn main() {
         optimize_every: 0, // paper's timed runs disable hyperparameter optimization
         burn_in: 0,
         n_threads: threads,
+        ..TopicModelConfig::default()
     };
 
     // Figure 8 component 2 + scaling: the same Gibbs fit at 1/2/4 threads,
@@ -319,7 +407,7 @@ fn main() {
     // section stays in smoke-run territory.
     let big_v = 100_000usize;
     let big_k = 32usize;
-    let big_docs = large_vocab_docs(big_v, 96, 48, seed ^ 0xb16_50ca1e);
+    let big_docs = large_vocab_docs(big_v, 96, 48, seed ^ 0xb16_50ca1e, 3);
     let big_sweeps = iters(30).min(12);
     let big_snap = snapshot_comparison(&big_docs, big_k, seed, 2, big_sweeps);
     println!(
@@ -331,6 +419,41 @@ fn main() {
         big_snap.snapshot_secs,
         big_snap.amortized_allocs_per_sweep,
         big_snap.clone_allocs_per_sweep,
+    );
+
+    // Sparse bucketed kernel vs the pinned dense kernel, sequentially, on
+    // the profile corpus and on the large-vocab case where per-word topic
+    // rows are nearly empty — the O(K_active) win the decomposition buys.
+    let corpus_sparse = sparse_comparison(&grouped, k, seed, sweeps);
+    println!(
+        "kernel split (profile corpus, 1 thread): sparse {:.3}s vs dense {:.3}s ({:.2}x), \
+         perplexity {:.3} vs {:.3}",
+        corpus_sparse.sparse_secs,
+        corpus_sparse.dense_secs,
+        corpus_sparse.speedup,
+        corpus_sparse.sparse_pp,
+        corpus_sparse.dense_pp,
+    );
+    // Singleton-only (bag-of-words) corpus: every draw exercises the
+    // bucketed kernel, so the ratio measures the kernel itself rather than
+    // an Amdahl blend with the shared dense multi-token path. Title-length
+    // documents (16 tokens ≪ K) keep the document bucket sparse — the
+    // regime the decomposition targets (and the paper's DBLP corpus): the
+    // r-walk is O(doc topics), not O(K).
+    let singleton_docs = large_vocab_docs(big_v, 256, 48, seed ^ 0x5176_1e70, 1);
+    // The kernels are fast enough that `big_sweeps` would time a ~30ms
+    // window — pure scheduler noise on a shared single-core runner. Both
+    // fits are sequential and cheap, so measure a 10× longer chain.
+    let kernel_sweeps = big_sweeps * 10;
+    let big_sparse = sparse_comparison(&singleton_docs, big_k, seed, kernel_sweeps);
+    println!(
+        "kernel split (V={big_v} K={big_k}, singleton groups, 1 thread): sparse {:.3}s vs \
+         dense {:.3}s ({:.2}x), {:.2} vs {:.2} sweeps/sec",
+        big_sparse.sparse_secs,
+        big_sparse.dense_secs,
+        big_sparse.speedup,
+        big_sparse.sparse_sweeps_per_sec,
+        big_sparse.dense_sweeps_per_sec,
     );
 
     // JSON snapshot for CI trending.
@@ -360,6 +483,13 @@ fn main() {
     json.push_str(&snapshot_json(
         &big_snap,
         &format!("\"vocab\":{big_v},\"topics\":{big_k},\"sweeps\":{big_sweeps},"),
+    ));
+    json.push_str("},\"sparse_vs_dense\":{\"corpus\":");
+    json.push_str(&sparse_json(&corpus_sparse, ""));
+    json.push_str(",\"large_vocab\":");
+    json.push_str(&sparse_json(
+        &big_sparse,
+        &format!("\"vocab\":{big_v},\"topics\":{big_k},\"sweeps\":{kernel_sweeps},"),
     ));
     json.push_str("}}");
     let mut file = std::fs::File::create("BENCH_fit.json").expect("create BENCH_fit.json");
@@ -403,6 +533,25 @@ fn main() {
         println!(
             "snapshot gate passed: {:.3}x >= {floor}x (V={big_v})",
             big_snap.speedup
+        );
+    }
+
+    // Opt-in gate on the sparse kernel: like the snapshot gate, valid on
+    // any core count — both runs are sequential, so the ratio is pure
+    // per-draw arithmetic. Gated on the large-vocab case, where nnz per
+    // word row is tiny and the O(K_active) decomposition must pay off.
+    if let Some(floor) = std::env::var("TOPMINE_MIN_SPARSE_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        assert!(
+            big_sparse.speedup >= floor,
+            "sparse kernel regression: large-vocab sparse/dense {:.3}x < floor {floor}x",
+            big_sparse.speedup
+        );
+        println!(
+            "sparse kernel gate passed: {:.3}x >= {floor}x (V={big_v} K={big_k})",
+            big_sparse.speedup
         );
     }
 }

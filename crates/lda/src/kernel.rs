@@ -33,9 +33,44 @@
 //! in IEEE 754, so the *ratios* between weights — the only thing sampling
 //! consumes — are preserved bit-for-bit, and when no rescale triggers the
 //! computation is bit-identical to the pre-kernel per-topic loops.
+//!
+//! # Sparse bucketed singleton kernel (`KERNEL_VERSION = 2`)
+//!
+//! For singleton cliques — the majority after segmentation — the training
+//! weight factors exactly (SparseLDA, Yao et al. 2009):
+//!
+//! ```text
+//! (α_k + N_dk)(β + N_wk)        α_k β         N_dk β       (α_k + N_dk) N_wk
+//! ───────────────────────  =  ─────────  +  ─────────  +  ──────────────────
+//!       Vβ + N_k                den_k          den_k             den_k
+//!                             smoothing s_k  document r_k   topic-word q_k
+//! ```
+//!
+//! `r_k` is nonzero only where `N_dk > 0` and `q_k` only where `N_wk > 0`,
+//! so a draw costs O(K_doc + K_word) plus one dense-bucket draw served by
+//! a periodically rebuilt alias table ([`SmoothingBucket`]) instead of
+//! O(K). The decomposition preserves the sampling **distribution**
+//! exactly — per topic, `s_k + r_k + q_k` equals the dense product up to
+//! a few ulps of FP reassociation — but it consumes the RNG differently
+//! (one stratified draw plus bucket-local walks instead of one dense
+//! walk), so chains sampled by the two kernels diverge draw-by-draw while
+//! remaining equal in law. [`KERNEL_VERSION`] names the RNG-consumption
+//! contract; pinned chain digests are re-recorded exactly when it bumps.
+//! Multi-token cliques and the frozen-φ serving/held-out views keep the
+//! dense path above.
 
 use rand::{Rng, RngCore};
 use topmine_util::FxHashMap;
+
+/// The RNG-consumption contract of the training sweeps. Version 1 was the
+/// dense [`clique_posterior`] + [`sample_discrete`] walk for every clique;
+/// version 2 routes singleton cliques through the bucketed sparse draw
+/// ([`sample_singleton_sparse`]), which consumes a different (still fully
+/// deterministic) RNG stream. Chain digests in the determinism guards are
+/// re-recorded once per version bump and never otherwise; the dense
+/// kernel remains selectable (`KernelMode::Dense` in the sampler) and
+/// keeps its version-1 digests.
+pub const KERNEL_VERSION: u32 = 2;
 
 /// Read-side abstraction over the word factor of Eq. 7.
 ///
@@ -317,7 +352,16 @@ pub fn sample_discrete<R: RngCore>(rng: &mut R, weights: &[f64]) -> usize {
         // Degenerate: all weights zero/over/underflowed — uniform fallback.
         return rng.gen_range(0..weights.len());
     }
-    let x = rng.gen_range(0.0..total);
+    cumulative_pick(weights, rng.gen_range(0.0..total))
+}
+
+/// First index whose cumulative weight exceeds `x`. When FP rounding in
+/// the accumulator lets `x` run past the final partial sum, the draw must
+/// still land on a *possible* outcome: walk back to the last index with a
+/// strictly positive weight (the old `len - 1` fallback could return a
+/// zero-probability index when the vector ends in zeros).
+#[inline]
+fn cumulative_pick(weights: &[f64], x: f64) -> usize {
     let mut acc = 0.0;
     for (i, &w) in weights.iter().enumerate() {
         acc += w;
@@ -325,7 +369,17 @@ pub fn sample_discrete<R: RngCore>(rng: &mut R, weights: &[f64]) -> usize {
             return i;
         }
     }
-    weights.len() - 1
+    last_positive(weights)
+}
+
+/// Largest index with a strictly positive weight; `len - 1` for an
+/// all-zero vector (callers guard `total > 0`, so that arm is defensive).
+#[inline]
+fn last_positive(weights: &[f64]) -> usize {
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .unwrap_or(weights.len().saturating_sub(1))
 }
 
 /// The per-document RNG stream of the thread-sharded sweep: a SplitMix64
@@ -342,6 +396,414 @@ pub fn doc_stream_seed(seed: u64, sweep: u64, doc: u64) -> u64 {
         z ^ (z >> 31)
     }
     splitmix(splitmix(seed ^ sweep.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ doc)
+}
+
+/// Walker/Vose alias table: O(n) rebuild, O(1) draw from a fixed discrete
+/// distribution. Serves the dense smoothing bucket of the sparse kernel.
+#[derive(Debug, Default, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold per cell, scaled to [0, 1].
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+    // Rebuild scratch (index stacks), kept to stay allocation-free.
+    small: Vec<u32>,
+    large: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Rebuild over `weights` (non-negative, summing to `total > 0`).
+    /// Deterministic: cells are partitioned and paired in index order.
+    pub fn rebuild(&mut self, weights: &[f64], total: f64) {
+        let n = weights.len();
+        debug_assert!(n > 0 && total > 0.0);
+        self.prob.clear();
+        self.prob.resize(n, 1.0);
+        self.alias.clear();
+        self.alias.resize(n, 0);
+        self.small.clear();
+        self.large.clear();
+        let scale = n as f64 / total;
+        // First pass: provisional scaled masses, partitioned by side.
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w * scale;
+            self.prob[i] = p;
+            if p < 1.0 {
+                self.small.push(i as u32);
+            } else {
+                self.large.push(i as u32);
+            }
+        }
+        // Pair each under-full cell with an over-full donor.
+        while let (Some(&s), Some(&l)) = (self.small.last(), self.large.last()) {
+            self.small.pop();
+            self.alias[s as usize] = l;
+            let leftover = self.prob[l as usize] - (1.0 - self.prob[s as usize]);
+            self.prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                self.large.pop();
+                self.small.push(l);
+            }
+        }
+        // Leftovers on either stack are exactly full up to FP rounding.
+        for &i in self.small.iter().chain(self.large.iter()) {
+            self.prob[i as usize] = 1.0;
+        }
+    }
+
+    /// Draw a cell index. Consumes exactly one `gen_range` call.
+    #[inline]
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let u = rng.gen_range(0.0..n as f64);
+        let cell = (u as usize).min(n - 1);
+        let frac = u - cell as f64;
+        if frac < self.prob[cell] {
+            cell
+        } else {
+            self.alias[cell] as usize
+        }
+    }
+}
+
+/// After this many alias draws land on dirty topics in a row, fall back to
+/// an exact linear scan over the clean topics. The bound keeps the draw
+/// deterministic-time; the fallback draws from the same conditional
+/// distribution, so the mixture stays exact.
+const ALIAS_RETRIES: usize = 32;
+
+/// The dense smoothing bucket `s_k = α_k β / (Vβ + N_k)`, served by an
+/// alias table built against a reference `N_k` (the sweep snapshot in
+/// parallel sweeps; the live table at the last rebuild in sequential
+/// sweeps). Topics whose `N_k` moved since the rebuild are tracked in a
+/// small dirty set and served by a linear walk at their *current* mass,
+/// so the sampled distribution stays exact despite the periodic rebuild
+/// cadence:
+///
+/// * total smoothing mass = `Σ s0 − Σ_dirty s0 + Σ_dirty s_current`;
+/// * a draw below the dirty mass walks the dirty list at current values;
+/// * the remaining mass is exactly `Σ_clean s0`, and an alias draw
+///   conditioned on hitting a clean topic selects `t` with probability
+///   `s0_t / Σ_clean s0` — the rejection loop changes nothing in law.
+#[derive(Debug, Default, Clone)]
+pub struct SmoothingBucket {
+    /// `s_k` at rebuild time.
+    s0: Vec<f64>,
+    s0_total: f64,
+    alias: AliasTable,
+    /// Topics whose `N_k` changed since the rebuild, in mark order.
+    dirty: Vec<u16>,
+    dirty_mark: Vec<bool>,
+    /// `s_k` under the *current* `N_k` (equal to `s0` for clean topics).
+    s_live: Vec<f64>,
+    /// Running `Σ_dirty s_live` — kept incrementally so the per-draw mass
+    /// correction is O(1), not O(|dirty|) divisions.
+    s_dirty: f64,
+    /// Running `Σ_dirty s0`.
+    s0_dirty: f64,
+}
+
+impl SmoothingBucket {
+    /// Rebuild `s0` and the alias table against the given `(α, β, N_k)`;
+    /// clears the dirty set.
+    pub fn rebuild(&mut self, alpha: &[f64], beta: f64, v_beta: f64, n_k: &[u64]) {
+        let k = alpha.len();
+        debug_assert_eq!(n_k.len(), k);
+        self.s0.clear();
+        self.s0.extend(
+            alpha
+                .iter()
+                .zip(n_k)
+                .map(|(&a, &n)| a * beta / (v_beta + n as f64)),
+        );
+        self.s0_total = self.s0.iter().sum();
+        self.alias.rebuild(&self.s0, self.s0_total);
+        self.s_live.clear();
+        self.s_live.extend_from_slice(&self.s0);
+        self.s_dirty = 0.0;
+        self.s0_dirty = 0.0;
+        self.dirty.clear();
+        if self.dirty_mark.len() != k {
+            self.dirty_mark.clear();
+            self.dirty_mark.resize(k, false);
+        } else {
+            self.dirty_mark.fill(false);
+        }
+    }
+
+    /// Record that topic `t`'s `N_k` moved since the last rebuild, and fold
+    /// its new mass into the running corrections. `inv_den` is the
+    /// caller-precomputed `1 / (Vβ + N_k[t])` at the post-move count — the
+    /// caller shares one reciprocal between this and
+    /// [`DocBucket::update_topic`], halving the per-move division count.
+    /// O(1): the per-draw mass query stays free of the O(|dirty|) division
+    /// loop it would otherwise need.
+    #[inline]
+    pub fn mark_dirty(&mut self, t: usize, alpha_t: f64, beta: f64, inv_den: f64) {
+        let w = alpha_t * beta * inv_den;
+        if !self.dirty_mark[t] {
+            self.dirty_mark[t] = true;
+            self.dirty.push(t as u16);
+            self.s0_dirty += self.s0[t];
+            self.s_dirty += w;
+        } else {
+            self.s_dirty += w - self.s_live[t];
+        }
+        self.s_live[t] = w;
+    }
+
+    /// Forget the dirty set without rebuilding — valid only when the
+    /// reference `N_k` is current again (the parallel sweep does this at
+    /// document boundaries: each document starts from the frozen snapshot
+    /// the alias table was built over).
+    #[inline]
+    pub fn clear_dirty(&mut self) {
+        for &t in &self.dirty {
+            let t = t as usize;
+            self.dirty_mark[t] = false;
+            self.s_live[t] = self.s0[t];
+        }
+        self.dirty.clear();
+        self.s_dirty = 0.0;
+        self.s0_dirty = 0.0;
+    }
+
+    #[inline]
+    pub fn n_dirty(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Test seam: the current total smoothing mass, exactly as the draw
+    /// path computes it (rebuild-time total corrected by the running dirty
+    /// sums). Not part of the sampling API.
+    #[doc(hidden)]
+    pub fn current_total(&self) -> f64 {
+        self.masses().0
+    }
+
+    /// Current smoothing masses:
+    /// `(total, dirty_current_total, dirty_rebuild_total)`. O(1) — the
+    /// dirty corrections are maintained by [`Self::mark_dirty`]. The
+    /// running `s_dirty` accumulates one rounding error per mark; every
+    /// rebuild resets it, and the draw's region walks clamp to the last
+    /// positive entry, so the drift is bounded and harmless (the same
+    /// contract as [`DocBucket::update_topic`]).
+    #[inline]
+    fn masses(&self) -> (f64, f64, f64) {
+        (
+            self.s0_total - self.s0_dirty + self.s_dirty,
+            self.s_dirty,
+            self.s0_dirty,
+        )
+    }
+
+    /// Draw a topic from the smoothing bucket given `u ∈ [0, total)` and
+    /// the masses returned by [`Self::masses`].
+    fn draw<R: RngCore>(&self, rng: &mut R, u: f64, s_dirty: f64, s0_dirty: f64) -> usize {
+        let k = self.s0.len();
+        if (!self.dirty.is_empty() && u < s_dirty) || self.dirty.len() == k {
+            // Dirty region: walk the dirty list at current masses (every
+            // term is strictly positive, so the runoff clamp is benign).
+            let mut acc = 0.0;
+            let mut last = self.dirty[0] as usize;
+            for &t in &self.dirty {
+                let t = t as usize;
+                let w = self.s_live[t];
+                acc += w;
+                if w > 0.0 {
+                    last = t;
+                }
+                if u < acc {
+                    return t;
+                }
+            }
+            return last;
+        }
+        // Clean region: alias draws at rebuild-time masses, rejecting
+        // dirty topics (exact conditional; see type docs).
+        for _ in 0..ALIAS_RETRIES {
+            let t = self.alias.sample(rng);
+            if !self.dirty_mark[t] {
+                return t;
+            }
+        }
+        // Exact fallback: linear scan of the clean topics by `s0`.
+        let clean_total = self.s0_total - s0_dirty;
+        let x = rng.gen_range(0.0..clean_total);
+        let mut acc = 0.0;
+        let mut last = usize::MAX;
+        for t in 0..k {
+            if self.dirty_mark[t] {
+                continue;
+            }
+            let w = self.s0[t];
+            acc += w;
+            if w > 0.0 {
+                last = t;
+            }
+            if x < acc {
+                return t;
+            }
+        }
+        debug_assert!(last != usize::MAX, "no clean topic with positive mass");
+        last
+    }
+}
+
+/// The per-document bucket `r_k = N_dk β / (Vβ + N_k)`: dense mirror of
+/// the document's sparse `N_dk` row plus its running total, rebuilt at
+/// each document start and updated in O(1) per topic move.
+#[derive(Debug, Default, Clone)]
+pub struct DocBucket {
+    r: Vec<f64>,
+    r_total: f64,
+}
+
+impl DocBucket {
+    /// Recompute from scratch for one document (its nonzero topics,
+    /// `N_dk` row, and the current `N_k`). O(K_doc) after an O(K) clear.
+    pub fn begin_doc(
+        &mut self,
+        doc_nz: &[u16],
+        doc_ndk: &[u32],
+        n_k: &[u64],
+        beta: f64,
+        v_beta: f64,
+        k: usize,
+    ) {
+        if self.r.len() != k {
+            self.r.clear();
+            self.r.resize(k, 0.0);
+        } else {
+            self.r.fill(0.0);
+        }
+        let mut total = 0.0;
+        for &t in doc_nz {
+            let t = t as usize;
+            let w = doc_ndk[t] as f64 * beta / (v_beta + n_k[t] as f64);
+            self.r[t] = w;
+            total += w;
+        }
+        self.r_total = total;
+    }
+
+    /// Refresh topic `t` after its `N_dk` or `N_k` changed. `ndk_t` is the
+    /// post-move `N_dk[t]`; `inv_den` is the caller-precomputed
+    /// `1 / (Vβ + N_k[t])` shared with [`SmoothingBucket::mark_dirty`].
+    /// The running total accumulates one rounding error per update; the
+    /// per-document rebuild in [`Self::begin_doc`] bounds the drift, and
+    /// the region walk clamps to the last positive entry (same guard class
+    /// as [`sample_discrete`]'s runoff fallback).
+    #[inline]
+    pub fn update_topic(&mut self, t: usize, ndk_t: u32, beta: f64, inv_den: f64) {
+        let w = if ndk_t == 0 {
+            0.0
+        } else {
+            ndk_t as f64 * beta * inv_den
+        };
+        self.r_total += w - self.r[t];
+        self.r[t] = w;
+    }
+
+    /// Test seam: the document bucket's per-topic mass. Not part of the
+    /// sampling API.
+    #[doc(hidden)]
+    pub fn mass_of(&self, t: usize) -> f64 {
+        self.r[t]
+    }
+
+    /// Test seam: the document bucket's running total.
+    #[doc(hidden)]
+    pub fn total(&self) -> f64 {
+        self.r_total
+    }
+}
+
+/// One bucketed singleton draw under the training posterior (Eq. 7 at
+/// clique size 1), in O(K_word + K_doc + |dirty|) instead of O(K).
+///
+/// Caller contract:
+/// * `word_row[t] > 0` exactly for `t ∈ word_nz` and `doc_ndk[t] > 0`
+///   exactly for `t ∈ doc_nz` (both sorted — order is part of the
+///   deterministic RNG-consumption contract);
+/// * `doc_bucket` is in sync with `(doc_ndk, n_k)` and `smoothing`'s
+///   dirty set covers every topic whose `N_k` differs from its rebuild;
+/// * the clique being resampled is already removed from all counts.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_singleton_sparse<R: RngCore>(
+    rng: &mut R,
+    alpha: &[f64],
+    v_beta: f64,
+    word_row: &[u32],
+    word_nz: &[u16],
+    doc_ndk: &[u32],
+    doc_nz: &[u16],
+    n_k: &[u64],
+    doc_bucket: &DocBucket,
+    smoothing: &SmoothingBucket,
+    q_buf: &mut Vec<f64>,
+) -> usize {
+    // Topic-word bucket q: the only per-draw O(K_word) computation.
+    q_buf.clear();
+    let mut q_total = 0.0;
+    for &t in word_nz {
+        let t = t as usize;
+        let q = (alpha[t] + doc_ndk[t] as f64) * word_row[t] as f64 / (v_beta + n_k[t] as f64);
+        q_buf.push(q);
+        q_total += q;
+    }
+    let (s_total, s_dirty, s0_dirty) = smoothing.masses();
+    let r_total = doc_bucket.r_total;
+    let total = q_total + r_total + s_total;
+    let mut u = rng.gen_range(0.0..total);
+    // Stratify: q, then r, then s. Bucket totals are sums of strictly
+    // positive terms, so each region walk has a positive entry to clamp to.
+    if u < q_total {
+        let mut acc = 0.0;
+        let mut last = word_nz[0];
+        for (i, &t) in word_nz.iter().enumerate() {
+            let w = q_buf[i];
+            acc += w;
+            if w > 0.0 {
+                last = t;
+            }
+            if u < acc {
+                return t as usize;
+            }
+        }
+        return last as usize;
+    }
+    u -= q_total;
+    if u < r_total {
+        let mut acc = 0.0;
+        let mut last = doc_nz[0];
+        for &t in doc_nz {
+            let w = doc_bucket.r[t as usize];
+            acc += w;
+            if w > 0.0 {
+                last = t;
+            }
+            if u < acc {
+                return t as usize;
+            }
+        }
+        return last as usize;
+    }
+    u -= r_total;
+    smoothing.draw(rng, u.min(s_total), s_dirty, s0_dirty)
+}
+
+/// The dense singleton weight per topic, for cross-checking the bucket
+/// decomposition: `s_k + r_k + q_k` must equal this within a few ulps.
+#[doc(hidden)]
+pub fn singleton_dense_weight(
+    alpha: f64,
+    beta: f64,
+    v_beta: f64,
+    n_wk: u32,
+    n_dk: u32,
+    n_k: u64,
+) -> f64 {
+    (alpha + n_dk as f64) * (beta + n_wk as f64) / (v_beta + n_k as f64)
 }
 
 #[cfg(test)]
@@ -503,6 +965,116 @@ mod tests {
                 sample_discrete(&mut a, &weights),
                 sample_discrete(&mut b, &weights)
             );
+        }
+    }
+
+    #[test]
+    fn runoff_fallback_lands_on_the_last_positive_weight() {
+        // Regression: when FP rounding lets the draw run past the final
+        // partial sum, the old fallback returned `len - 1` even when that
+        // weight was exactly 0.0 — a zero-probability topic. The walk must
+        // clamp to the last positive index instead.
+        let trailing_zeros = [2.0, 1.0, 0.0, 0.0];
+        assert_eq!(cumulative_pick(&trailing_zeros, 3.0), 1);
+        assert_eq!(cumulative_pick(&trailing_zeros, f64::INFINITY), 1);
+        assert_eq!(cumulative_pick(&[0.0, 0.5, 0.0], 0.5), 1);
+        // Normal in-range draws are untouched.
+        assert_eq!(cumulative_pick(&trailing_zeros, 0.0), 0);
+        assert_eq!(cumulative_pick(&trailing_zeros, 1.9999), 0);
+        assert_eq!(cumulative_pick(&trailing_zeros, 2.5), 1);
+        // And sampling through the public entry point never yields a
+        // zero-weight index.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..4000 {
+            assert!(sample_discrete(&mut rng, &trailing_zeros) < 2);
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_the_distribution() {
+        let weights = [0.05, 4.0, 0.0, 1.0, 0.95];
+        let total: f64 = weights.iter().sum();
+        let mut alias = AliasTable::default();
+        alias.rebuild(&weights, total);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut hits = [0u64; 5];
+        let n = 200_000;
+        for _ in 0..n {
+            hits[alias.sample(&mut rng)] += 1;
+        }
+        assert_eq!(hits[2], 0, "zero-mass cell must never be drawn");
+        for (t, &h) in hits.iter().enumerate() {
+            let expect = weights[t] / total;
+            let got = h as f64 / n as f64;
+            assert!((got - expect).abs() < 0.005, "topic {t}: {got} vs {expect}");
+        }
+        // Rebuild is deterministic: same inputs, same table.
+        let mut again = AliasTable::default();
+        again.rebuild(&weights, total);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert_eq!(alias.sample(&mut a), again.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn bucket_decomposition_sums_to_the_dense_weight() {
+        let k = 8;
+        let beta = 0.01;
+        let v_beta = 500.0 * beta;
+        let alpha: Vec<f64> = (0..k).map(|t| 0.1 + 0.37 * t as f64).collect();
+        let n_k: Vec<u64> = (0..k).map(|t| 3 + 29 * t as u64).collect();
+        let doc_ndk: Vec<u32> = vec![0, 3, 0, 0, 7, 0, 1, 0];
+        let word_row: Vec<u32> = vec![2, 0, 0, 5, 0, 0, 1, 0];
+        for t in 0..k {
+            let s = alpha[t] * beta / (v_beta + n_k[t] as f64);
+            let r = doc_ndk[t] as f64 * beta / (v_beta + n_k[t] as f64);
+            let q = (alpha[t] + doc_ndk[t] as f64) * word_row[t] as f64 / (v_beta + n_k[t] as f64);
+            let dense =
+                singleton_dense_weight(alpha[t], beta, v_beta, word_row[t], doc_ndk[t], n_k[t]);
+            let sum = s + r + q;
+            assert!(
+                ((sum - dense) / dense).abs() < 1e-12,
+                "topic {t}: {sum} vs {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_bucket_stays_exact_with_dirty_topics() {
+        // Empirical check: after marking some topics dirty (with moved
+        // N_k), the bucket's draw frequencies must match the *current*
+        // smoothing distribution, not the rebuild-time one.
+        let k = 6;
+        let beta = 0.05;
+        let v_beta = 40.0 * beta;
+        let alpha: Vec<f64> = (0..k).map(|t| 0.4 + 0.2 * t as f64).collect();
+        let n_k0: Vec<u64> = vec![10, 20, 30, 40, 50, 60];
+        let mut bucket = SmoothingBucket::default();
+        bucket.rebuild(&alpha, beta, v_beta, &n_k0);
+        // Topics 1 and 4 moved a lot since the rebuild.
+        let n_k: Vec<u64> = vec![10, 200, 30, 40, 2, 60];
+        bucket.mark_dirty(1, alpha[1], beta, 1.0 / (v_beta + n_k[1] as f64));
+        bucket.mark_dirty(4, alpha[4], beta, 1.0 / (v_beta + n_k[4] as f64));
+        let s: Vec<f64> = (0..k)
+            .map(|t| alpha[t] * beta / (v_beta + n_k[t] as f64))
+            .collect();
+        let s_total: f64 = s.iter().sum();
+        let (m_total, _, _) = bucket.masses();
+        assert!(((m_total - s_total) / s_total).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut hits = vec![0u64; k];
+        let n = 300_000;
+        for _ in 0..n {
+            let (total, s_dirty, s0_dirty) = bucket.masses();
+            let u = rng.gen_range(0.0..total);
+            hits[bucket.draw(&mut rng, u, s_dirty, s0_dirty)] += 1;
+        }
+        for t in 0..k {
+            let expect = s[t] / s_total;
+            let got = hits[t] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.005, "topic {t}: {got} vs {expect}");
         }
     }
 

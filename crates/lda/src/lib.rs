@@ -6,9 +6,13 @@
 //! * [`kernel`] — the shared Eq. 7 clique-posterior kernel behind a
 //!   [`kernel::CountsView`] seam (live counts, gathered snapshots, frozen
 //!   φ) plus the single `sample_discrete`; used by training *and* by
-//!   `topmine_serve`'s fold-in, so the two can never drift.
+//!   `topmine_serve`'s fold-in, so the two can never drift. Since
+//!   `kernel::KERNEL_VERSION` 2 it also hosts the bucketed
+//!   O(active-topics) singleton draw (smoothing/document/topic-word
+//!   decomposition with an alias-served smoothing bucket).
 //! * [`counts`] — the `N_dk`/`N_wk`/`N_k` count state the sampler mutates,
-//!   snapshots, and merges.
+//!   snapshots, and merges, plus the sorted nonzero-topic indexes the
+//!   sparse kernel iterates.
 //! * [`sampler`] — the sweep scheduler over the kernel: the exact
 //!   sequential chain (`n_threads == 1`) and the thread-sharded
 //!   snapshot-and-merge sweep (bit-identical across all `n_threads ≥ 2`),
@@ -27,8 +31,9 @@ pub mod sampler;
 pub mod viz;
 
 pub use counts::TopicCounts;
+pub use kernel::KERNEL_VERSION;
 pub use model::{GroupedDoc, GroupedDocs};
-pub use sampler::{FoldIn, PhraseLda, SweepStats, TopicModelConfig};
+pub use sampler::{FoldIn, KernelMode, PhraseLda, SweepStats, TopicModelConfig};
 pub use viz::{
     background_phrases, render_topic_table, summarize_topics, summarize_topics_filtered,
     topical_frequencies, TopicSummary,

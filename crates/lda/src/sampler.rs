@@ -40,14 +40,33 @@
 //! that is the documented snapshot-sweep approximation, property-tested in
 //! `tests/parallel_determinism.rs` rather than assumed away.
 
-use crate::counts::TopicCounts;
+use crate::counts::{nz_insert, nz_remove, nz_row_insert, nz_row_remove, TopicCounts};
 use crate::kernel::{
-    clique_posterior, doc_stream_seed, sample_discrete, CliqueScratch, FixedPhiView, TrainView,
+    clique_posterior, doc_stream_seed, sample_discrete, sample_singleton_sparse, CliqueScratch,
+    DocBucket, FixedPhiView, SmoothingBucket, TrainView,
 };
 use crate::model::{GroupedDoc, GroupedDocs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use topmine_util::stats::digamma;
+
+/// Which Eq. 7 training kernel the sweeps use. Both kernels sample the
+/// exact same posterior *distribution*; they consume the RNG differently,
+/// so the two chains diverge draw-by-draw while remaining equal in law
+/// (see [`crate::kernel::KERNEL_VERSION`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Dense O(K) posterior walk for every clique — the kernel-version-1
+    /// chain, kept selectable (and digest-pinned in the determinism
+    /// guards) for comparison.
+    Dense,
+    /// Bucketed O(active-topics) draw for singleton cliques (smoothing /
+    /// document / topic-word decomposition with an alias-served smoothing
+    /// bucket); multi-token cliques fall back to the dense path. The
+    /// kernel-version-2 chain, and the default.
+    #[default]
+    Sparse,
+}
 
 /// Sampler configuration.
 #[derive(Debug, Clone)]
@@ -70,6 +89,9 @@ pub struct TopicModelConfig {
     /// runs snapshot-and-merge sweeps whose result is bit-identical for
     /// every `T ≥ 2` (see module docs).
     pub n_threads: usize,
+    /// Training kernel: sparse bucketed singleton draws (default) or the
+    /// dense version-1 path.
+    pub kernel: KernelMode,
 }
 
 impl Default for TopicModelConfig {
@@ -82,6 +104,7 @@ impl Default for TopicModelConfig {
             optimize_every: 0,
             burn_in: 50,
             n_threads: 1,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -109,6 +132,11 @@ impl TopicModelConfig {
 
     pub fn with_threads(mut self, n_threads: usize) -> Self {
         self.n_threads = n_threads;
+        self
+    }
+
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -158,6 +186,15 @@ struct SweepScratch {
     local_nk: Vec<u64>,
     /// Stamp epoch of the document currently being gathered.
     epoch: u32,
+    /// Sparse-kernel topic-word weights (length = current word's nnz).
+    q_buf: Vec<f64>,
+    /// Sparse-kernel smoothing bucket (alias table + dirty set).
+    smoothing: SmoothingBucket,
+    /// Sparse-kernel document bucket.
+    doc_bucket: DocBucket,
+    /// Gathered nonzero-topic lists for the distinct words (parallel
+    /// sparse path; mirrors `local_wk` rows).
+    local_nz: Vec<Vec<u16>>,
 }
 
 impl SweepScratch {
@@ -297,42 +334,126 @@ impl PhraseLda {
     }
 
     /// The exact sequential sweep: every clique update is visible to the
-    /// next. This is the historical chain, bit-for-bit.
+    /// next. With the dense kernel this is the historical chain,
+    /// bit-for-bit; the sparse kernel samples the same posterior through
+    /// the bucketed singleton draw (its own deterministic chain, see
+    /// [`KernelMode`]).
     fn sweep_sequential(&mut self) {
         let k = self.k;
         let v_beta = self.v as f64 * self.beta;
+        let sparse = self.config.kernel == KernelMode::Sparse;
         if self.scratch.is_empty() {
             self.scratch.push(SweepScratch::default());
         }
         let scratch = &mut self.scratch[0];
         scratch.prepare(k);
+        if sparse {
+            scratch
+                .smoothing
+                .rebuild(&self.alpha, self.beta, v_beta, self.counts.n_k_table());
+        }
 
         for d in 0..self.docs.n_docs() {
             let n_groups = self.z[d].len();
+            if sparse {
+                // Rebuild cadence: the alias table goes stale as topics
+                // dirty; refresh at document boundaries once the dirty
+                // walk would cost a meaningful fraction of a dense scan.
+                if smoothing_rebuild_due(scratch.smoothing.n_dirty(), k) {
+                    scratch.smoothing.rebuild(
+                        &self.alpha,
+                        self.beta,
+                        v_beta,
+                        self.counts.n_k_table(),
+                    );
+                }
+                scratch.doc_bucket.begin_doc(
+                    self.counts.doc_nz(d),
+                    self.counts.doc_row(d),
+                    self.counts.n_k_table(),
+                    self.beta,
+                    v_beta,
+                    k,
+                );
+            }
             let mut start = 0usize;
             for g in 0..n_groups {
                 let end = self.docs.docs[d].group_ends[g] as usize;
+                // Pull upcoming groups' word rows toward the cache while
+                // this group samples — the words are effectively random
+                // over V, so without the hint every group starts on a
+                // cold `N_wk` row. Two tokens of lookahead: one group's
+                // work is shorter than a DRAM round-trip.
+                if let Some(&w_next) = self.docs.docs[d].tokens.get(end) {
+                    self.counts.prefetch_word(w_next);
+                }
+                if let Some(&w_next2) = self.docs.docs[d].tokens.get(end + 1) {
+                    self.counts.prefetch_word(w_next2);
+                }
                 let old = self.z[d][g];
                 let tokens = &self.docs.docs[d].tokens[start..end];
                 self.counts.remove_group(d, tokens, old);
-                let view = TrainView::new(
-                    self.counts.n_wk_table(),
-                    self.counts.n_k_table(),
-                    k,
-                    self.beta,
-                    v_beta,
-                );
-                clique_posterior(
-                    &view,
-                    &self.alpha,
-                    self.counts.doc_row(d),
-                    tokens,
-                    &mut scratch.clique,
-                    &mut scratch.weights,
-                );
-                let new = sample_discrete(&mut self.rng, &scratch.weights) as u16;
+                if sparse {
+                    let t = old as usize;
+                    let inv_den = 1.0 / (v_beta + self.counts.n_k_table()[t] as f64);
+                    scratch.doc_bucket.update_topic(
+                        t,
+                        self.counts.doc_row(d)[t],
+                        self.beta,
+                        inv_den,
+                    );
+                    scratch
+                        .smoothing
+                        .mark_dirty(t, self.alpha[t], self.beta, inv_den);
+                }
+                let new = if sparse && tokens.len() == 1 {
+                    let w = tokens[0];
+                    sample_singleton_sparse(
+                        &mut self.rng,
+                        &self.alpha,
+                        v_beta,
+                        self.counts.word_row(w),
+                        self.counts.word_nz(w),
+                        self.counts.doc_row(d),
+                        self.counts.doc_nz(d),
+                        self.counts.n_k_table(),
+                        &scratch.doc_bucket,
+                        &scratch.smoothing,
+                        &mut scratch.q_buf,
+                    ) as u16
+                } else {
+                    let view = TrainView::new(
+                        self.counts.n_wk_table(),
+                        self.counts.n_k_table(),
+                        k,
+                        self.beta,
+                        v_beta,
+                    );
+                    clique_posterior(
+                        &view,
+                        &self.alpha,
+                        self.counts.doc_row(d),
+                        tokens,
+                        &mut scratch.clique,
+                        &mut scratch.weights,
+                    );
+                    sample_discrete(&mut self.rng, &scratch.weights) as u16
+                };
                 self.z[d][g] = new;
                 self.counts.add_group(d, tokens, new);
+                if sparse {
+                    let t = new as usize;
+                    let inv_den = 1.0 / (v_beta + self.counts.n_k_table()[t] as f64);
+                    scratch.doc_bucket.update_topic(
+                        t,
+                        self.counts.doc_row(d)[t],
+                        self.beta,
+                        inv_den,
+                    );
+                    scratch
+                        .smoothing
+                        .mark_dirty(t, self.alpha[t], self.beta, inv_den);
+                }
                 start = end;
             }
         }
@@ -375,7 +496,11 @@ impl PhraseLda {
         }
         self.stats.parallel_sweeps += 1;
         self.stats.snapshot_nanos += snap_start.elapsed().as_nanos() as u64;
-        let (snap_wk, snap_k, ndk) = self.counts.sweep_views();
+        let views = self.counts.sweep_views();
+        let (snap_wk, snap_k, ndk) = (views.snap_wk, views.snap_k, views.n_dk);
+        let (nz_wk, nz_wk_len) = (views.nz_wk, views.nz_wk_len);
+        let (nz_dk, nz_dk_len) = (views.nz_dk, views.nz_dk_len);
+        let sparse = self.config.kernel == KernelMode::Sparse;
         let sweep = self.sweeps_done as u64;
         let seed = self.config.seed;
         let alpha = &self.alpha;
@@ -388,29 +513,44 @@ impl PhraseLda {
                 .chunks(chunk)
                 .zip(z.chunks_mut(chunk))
                 .zip(ndk.chunks_mut(chunk * k))
+                .zip(nz_dk.chunks_mut(chunk * k))
+                .zip(nz_dk_len.chunks_mut(chunk))
                 .zip(scratches.iter_mut())
                 .enumerate()
-                .map(|(si, (((doc_shard, z_shard), ndk_shard), scratch))| {
-                    scope.spawn(move || {
-                        sweep_shard(
-                            ShardCtx {
-                                docs: doc_shard,
-                                z: z_shard,
-                                ndk: ndk_shard,
-                                snap_wk,
-                                snap_k,
-                                alpha,
-                                k,
-                                beta,
-                                v_beta,
-                                seed,
-                                sweep,
-                                first_doc: si * chunk,
-                            },
+                .map(
+                    |(
+                        si,
+                        (
+                            ((((doc_shard, z_shard), ndk_shard), nz_dk_shard), nz_dk_len_shard),
                             scratch,
-                        )
-                    })
-                })
+                        ),
+                    )| {
+                        scope.spawn(move || {
+                            sweep_shard(
+                                ShardCtx {
+                                    docs: doc_shard,
+                                    z: z_shard,
+                                    ndk: ndk_shard,
+                                    nz_dk: nz_dk_shard,
+                                    nz_dk_len: nz_dk_len_shard,
+                                    snap_wk,
+                                    snap_k,
+                                    nz_wk,
+                                    nz_wk_len,
+                                    alpha,
+                                    k,
+                                    beta,
+                                    v_beta,
+                                    seed,
+                                    sweep,
+                                    first_doc: si * chunk,
+                                    sparse,
+                                },
+                                scratch,
+                            )
+                        })
+                    },
+                )
                 .collect();
             handles
                 .into_iter()
@@ -772,8 +912,19 @@ impl PhraseLda {
         if rebuilt != self.counts {
             return Err("count tables out of sync with assignments".into());
         }
+        self.counts
+            .validate_nz()
+            .map_err(|e| format!("sparse nonzero index out of sync: {e}"))?;
         Ok(())
     }
+}
+
+/// Sequential-sweep alias rebuild cadence: refresh once the dirty walk
+/// would cost a meaningful fraction of a dense O(K) scan. The threshold
+/// floor keeps tiny-K models from rebuilding every document.
+#[inline]
+fn smoothing_rebuild_due(n_dirty: usize, k: usize) -> bool {
+    n_dirty > (k / 8).max(16)
 }
 
 /// One shard's contribution to the barrier merge: sparse `(row-major
@@ -788,8 +939,20 @@ struct ShardCtx<'a> {
     /// exclusively owned and updated live, exactly as in the sequential
     /// sweep).
     ndk: &'a mut [u32],
+    /// The shard's per-document nonzero-topic rows (flat, capacity K per
+    /// doc), owned like `ndk` and kept in sync with it (whichever kernel
+    /// runs, so the index never goes stale).
+    nz_dk: &'a mut [u16],
+    /// Live lengths of the shard's `nz_dk` rows.
+    nz_dk_len: &'a mut [u16],
     snap_wk: &'a [u32],
     snap_k: &'a [u64],
+    /// Per-word nonzero rows of the snapshot (flat, capacity K per word;
+    /// live tables are untouched during a sweep, so these describe
+    /// `snap_wk` exactly).
+    nz_wk: &'a [u16],
+    /// Live lengths of the `nz_wk` rows.
+    nz_wk_len: &'a [u16],
     alpha: &'a [f64],
     k: usize,
     beta: f64,
@@ -797,6 +960,8 @@ struct ShardCtx<'a> {
     seed: u64,
     sweep: u64,
     first_doc: usize,
+    /// Whether to run the bucketed sparse singleton kernel.
+    sparse: bool,
 }
 
 /// Sweep one shard against the snapshot and return its signed
@@ -816,8 +981,12 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
         docs,
         z,
         ndk,
+        nz_dk,
+        nz_dk_len,
         snap_wk,
         snap_k,
+        nz_wk,
+        nz_wk_len,
         alpha,
         k,
         beta,
@@ -825,11 +994,21 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
         seed,
         sweep,
         first_doc,
+        sparse,
     } = ctx;
     let v = snap_wk.len() / k;
     let mut delta_wk: Vec<(u32, i32)> = Vec::new();
     let mut delta_k = vec![0i64; k];
     scratch.prepare(k);
+    if sparse {
+        // One alias rebuild per shard per sweep, against the frozen
+        // snapshot `N_k`. Every document restarts its local `N_k` from the
+        // snapshot, so the per-document dirty set resets at doc
+        // boundaries — the table never goes stale within a sweep, and the
+        // draw is a function of (snapshot, doc, stream) exactly like the
+        // dense path, independent of shard layout.
+        scratch.smoothing.rebuild(alpha, beta, v_beta, snap_k);
+    }
 
     for (i, doc) in docs.iter().enumerate() {
         if doc.group_ends.is_empty() {
@@ -858,9 +1037,39 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
             let base = w as usize * k;
             scratch.local_wk.extend_from_slice(&snap_wk[base..base + k]);
         }
+        if sparse {
+            // Gather the snapshot's nonzero lists alongside the rows; the
+            // doc's own moves below keep them in sync with `local_wk`.
+            if scratch.local_nz.len() < scratch.distinct.len() {
+                scratch
+                    .local_nz
+                    .resize_with(scratch.distinct.len(), Vec::new);
+            }
+            for (li, &w) in scratch.distinct.iter().enumerate() {
+                let base = w as usize * k;
+                scratch.local_nz[li].clear();
+                scratch.local_nz[li]
+                    .extend_from_slice(&nz_wk[base..base + nz_wk_len[w as usize] as usize]);
+            }
+        }
         scratch.local_nk.copy_from_slice(snap_k);
         let ndk_row = &mut ndk[i * k..(i + 1) * k];
+        let nz_row = &mut nz_dk[i * k..(i + 1) * k];
+        let nz_len = &mut nz_dk_len[i];
         let zs = &mut z[i];
+        if sparse {
+            // `local_nk` just reset to the snapshot the alias table was
+            // built over: the dirty set starts empty for every document.
+            scratch.smoothing.clear_dirty();
+            scratch.doc_bucket.begin_doc(
+                &nz_row[..*nz_len as usize],
+                ndk_row,
+                &scratch.local_nk,
+                beta,
+                v_beta,
+                k,
+            );
+        }
 
         let mut start = 0usize;
         for (g, &end) in doc.group_ends.iter().enumerate() {
@@ -869,30 +1078,75 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
             let s = (end - start) as u32;
             let old = zs[g] as usize;
             for &lw in toks {
-                scratch.local_wk[lw as usize * k + old] -= 1;
+                let cell = &mut scratch.local_wk[lw as usize * k + old];
+                *cell -= 1;
+                if sparse && *cell == 0 {
+                    nz_remove(&mut scratch.local_nz[lw as usize], old as u16);
+                }
             }
             scratch.local_nk[old] -= s as u64;
             ndk_row[old] -= s;
+            if ndk_row[old] == 0 {
+                nz_row_remove(nz_row, nz_len, old as u16);
+            }
+            if sparse {
+                let inv_den = 1.0 / (v_beta + scratch.local_nk[old] as f64);
+                scratch
+                    .doc_bucket
+                    .update_topic(old, ndk_row[old], beta, inv_den);
+                scratch.smoothing.mark_dirty(old, alpha[old], beta, inv_den);
+            }
 
-            // The same TrainView the sequential sweep uses, pointed at the
-            // doc-local gathered table instead of the global one.
-            let view = TrainView::new(&scratch.local_wk, &scratch.local_nk, k, beta, v_beta);
-            clique_posterior(
-                &view,
-                alpha,
-                ndk_row,
-                toks,
-                &mut scratch.clique,
-                &mut scratch.weights,
-            );
-            let new = sample_discrete(&mut rng, &scratch.weights);
+            let new = if sparse && toks.len() == 1 {
+                let lw = toks[0] as usize;
+                sample_singleton_sparse(
+                    &mut rng,
+                    alpha,
+                    v_beta,
+                    &scratch.local_wk[lw * k..(lw + 1) * k],
+                    &scratch.local_nz[lw],
+                    ndk_row,
+                    &nz_row[..*nz_len as usize],
+                    &scratch.local_nk,
+                    &scratch.doc_bucket,
+                    &scratch.smoothing,
+                    &mut scratch.q_buf,
+                )
+            } else {
+                // The same TrainView the sequential sweep uses, pointed at
+                // the doc-local gathered table instead of the global one.
+                let view = TrainView::new(&scratch.local_wk, &scratch.local_nk, k, beta, v_beta);
+                clique_posterior(
+                    &view,
+                    alpha,
+                    ndk_row,
+                    toks,
+                    &mut scratch.clique,
+                    &mut scratch.weights,
+                );
+                sample_discrete(&mut rng, &scratch.weights)
+            };
 
             zs[g] = new as u16;
             for &lw in toks {
-                scratch.local_wk[lw as usize * k + new] += 1;
+                let cell = &mut scratch.local_wk[lw as usize * k + new];
+                if sparse && *cell == 0 {
+                    nz_insert(&mut scratch.local_nz[lw as usize], new as u16);
+                }
+                *cell += 1;
             }
             scratch.local_nk[new] += s as u64;
+            if ndk_row[new] == 0 {
+                nz_row_insert(nz_row, nz_len, new as u16);
+            }
             ndk_row[new] += s;
+            if sparse {
+                let inv_den = 1.0 / (v_beta + scratch.local_nk[new] as f64);
+                scratch
+                    .doc_bucket
+                    .update_topic(new, ndk_row[new], beta, inv_den);
+                scratch.smoothing.mark_dirty(new, alpha[new], beta, inv_den);
+            }
             start = end;
         }
 
@@ -976,6 +1230,7 @@ mod tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         m.run(60);
@@ -1007,6 +1262,7 @@ mod tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 4,
+                ..TopicModelConfig::default()
             },
         );
         m.run(60);
@@ -1059,6 +1315,7 @@ mod tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         let before = m.perplexity();
@@ -1116,6 +1373,7 @@ mod tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         m.run(30);
@@ -1144,6 +1402,7 @@ mod tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         m.run(60);

@@ -191,6 +191,7 @@ mod tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         m.run(60);
@@ -364,6 +365,7 @@ mod background_tests {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: 1,
+                ..TopicModelConfig::default()
             },
         );
         m.run(80);

@@ -1,11 +1,15 @@
 //! The parallel-training contract, enforced:
 //!
-//! 1. `n_threads == 1` is the **exact historical sequential chain** — a
-//!    recorded digest from before the kernel refactor guards every z
-//!    assignment, perplexity, and optimized hyperparameter bit-for-bit.
+//! 1. `n_threads == 1` is the **exact historical chain** for its kernel
+//!    version — recorded digests guard every z assignment, perplexity,
+//!    and optimized hyperparameter bit-for-bit. `KernelMode::Dense` still
+//!    reproduces the pre-kernel-refactor (version 1) digest; the default
+//!    sparse bucketed kernel has its own digest, recorded once at the
+//!    `KERNEL_VERSION = 2` bump (see `kernel::KERNEL_VERSION` for the
+//!    re-record policy).
 //! 2. Any `n_threads ≥ 2` produces **one** chain: identical z, counts, φ,
 //!    and perplexity at 2, 3, and 7 threads (property-tested over seeds,
-//!    topic counts, and groupings).
+//!    topic counts, and groupings) — under both kernels.
 //! 3. The parallel chain is a *different* (snapshot-sweep, Newman et al.
 //!    2009) approximation than the sequential one — it must still mix and
 //!    keep its count tables consistent.
@@ -13,7 +17,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use topmine_lda::{GroupedDoc, GroupedDocs, PhraseLda, TopicModelConfig};
+use topmine_lda::{
+    GroupedDoc, GroupedDocs, KernelMode, PhraseLda, TopicModelConfig, KERNEL_VERSION,
+};
 
 // ---------------------------------------------------------------------------
 // 1. Sequential chain guard
@@ -74,14 +80,21 @@ fn chain_digest(m: &PhraseLda) -> u64 {
 
 /// Recorded against the pre-kernel sampler (commit f54229b's
 /// `PhraseLda::step`): 30 sweeps on `guard_docs()` with hyperparameter
-/// optimization on. If this moves, the refactored sequential path no
-/// longer reproduces the historical chain — every seed-pinned experiment
-/// in the repo would silently shift.
-const SEQUENTIAL_CHAIN_DIGEST: u64 = 0x9f3c_d8fd_a25a_840e;
+/// optimization on. `KernelMode::Dense` consumes RNG exactly like that
+/// sampler, so this version-1 digest stays pinned forever — if it moves,
+/// the dense path no longer reproduces the historical chain.
+const DENSE_SEQUENTIAL_CHAIN_DIGEST: u64 = 0x9f3c_d8fd_a25a_840e;
 
-#[test]
-fn sequential_chain_matches_recorded_digest() {
-    let cfg = TopicModelConfig {
+/// Recorded once at the `KERNEL_VERSION = 2` bump: the same run under the
+/// default sparse bucketed kernel. The sparse draw consumes a different
+/// RNG stream, so the chain differs draw-by-draw from the dense one while
+/// being equal in law. Re-record only on a documented `KERNEL_VERSION`
+/// bump (see `topmine_lda::kernel`).
+const SPARSE_SEQUENTIAL_CHAIN_DIGEST: u64 = 0x7508_108e_3e16_e477;
+const SPARSE_SEQUENTIAL_PERPLEXITY: f64 = 36.41142721749446;
+
+fn digest_cfg(kernel: KernelMode) -> TopicModelConfig {
+    TopicModelConfig {
         n_topics: 6,
         alpha: 2.0,
         beta: 0.05,
@@ -89,14 +102,40 @@ fn sequential_chain_matches_recorded_digest() {
         optimize_every: 10,
         burn_in: 5,
         n_threads: 1,
-    };
-    let mut m = PhraseLda::new(guard_docs(), cfg);
+        kernel,
+    }
+}
+
+#[test]
+fn dense_sequential_chain_matches_recorded_digest() {
+    let mut m = PhraseLda::new(guard_docs(), digest_cfg(KernelMode::Dense));
     m.run(30);
     assert!((m.perplexity() - 36.353083845968506).abs() < 1e-12);
     assert_eq!(
         chain_digest(&m),
-        SEQUENTIAL_CHAIN_DIGEST,
-        "n_threads == 1 no longer reproduces the pre-refactor sequential chain"
+        DENSE_SEQUENTIAL_CHAIN_DIGEST,
+        "KernelMode::Dense no longer reproduces the pre-refactor sequential chain"
+    );
+}
+
+#[test]
+fn sparse_sequential_chain_matches_recorded_digest() {
+    assert_eq!(
+        KERNEL_VERSION, 2,
+        "KERNEL_VERSION moved — re-record the sparse digest below and document the bump"
+    );
+    let mut m = PhraseLda::new(guard_docs(), digest_cfg(KernelMode::Sparse));
+    m.run(30);
+    assert!(
+        (m.perplexity() - SPARSE_SEQUENTIAL_PERPLEXITY).abs() < 1e-12,
+        "sparse sequential perplexity drifted: got {:.15}",
+        m.perplexity()
+    );
+    assert_eq!(
+        chain_digest(&m),
+        SPARSE_SEQUENTIAL_CHAIN_DIGEST,
+        "sparse sequential chain digest drifted: got {:#018x}",
+        chain_digest(&m)
     );
 }
 
@@ -137,6 +176,7 @@ fn fit(docs: &GroupedDocs, k: usize, seed: u64, threads: usize, sweeps: usize) -
             optimize_every: 7,
             burn_in: 3,
             n_threads: threads,
+            ..TopicModelConfig::default()
         },
     );
     m.run(sweeps);
@@ -202,6 +242,7 @@ proptest! {
                 optimize_every: 5,
                 burn_in: 2,
                 n_threads: threads,
+                ..TopicModelConfig::default()
             };
             let mut amortized = PhraseLda::new(docs.clone(), cfg.clone());
             let mut cloned = PhraseLda::new(docs.clone(), cfg);
@@ -250,6 +291,7 @@ fn snapshot_is_cloned_once_then_rolled_forward() {
             optimize_every: 0,
             burn_in: 0,
             n_threads: 3,
+            ..TopicModelConfig::default()
         },
     );
     m.run(8);
@@ -311,6 +353,7 @@ fn parallel_chain_mixes_and_reduces_perplexity() {
             optimize_every: 0,
             burn_in: 0,
             n_threads: 4,
+            ..TopicModelConfig::default()
         },
     );
     let before = m.perplexity();
@@ -353,6 +396,7 @@ fn very_long_cliques_train_without_degenerating() {
                 optimize_every: 0,
                 burn_in: 0,
                 n_threads: threads,
+                ..TopicModelConfig::default()
             },
         );
         m.run(30);

@@ -1,0 +1,217 @@
+//! The sparse bucketed singleton kernel must be the dense Eq. 7 posterior
+//! in disguise: `s_k + r_k + q_k = (α_k + N_dk)(β + N_wk) / (Vβ + N_k)`
+//! for every topic, exactly (a few ulps — documented tolerance 1e-12
+//! relative), for arbitrary counts, hyperparameters, and sparsity
+//! patterns. On top of the algebra, the draw path itself (alias table,
+//! dirty-set stratification, region walks) must sample that distribution:
+//! checked empirically against the dense weights.
+//!
+//! Cross-thread chain-level bit-identity under `KERNEL_VERSION = 2` is
+//! pinned in `parallel_determinism.rs` (the proptests there run the
+//! default sparse kernel at T ∈ {1, 2, 3, 7}).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topmine_lda::kernel::{
+    sample_singleton_sparse, singleton_dense_weight, DocBucket, SmoothingBucket,
+};
+
+/// Per-topic smoothing mass, written exactly as `SmoothingBucket::rebuild`
+/// and the dirty-walk compute it.
+fn s_k(alpha: f64, beta: f64, v_beta: f64, n_k: u64) -> f64 {
+    alpha * beta / (v_beta + n_k as f64)
+}
+
+/// Per-topic topic-word mass, written exactly as the q-loop computes it.
+fn q_k(alpha: f64, n_dk: u32, n_wk: u32, v_beta: f64, n_k: u64) -> f64 {
+    (alpha + n_dk as f64) * n_wk as f64 / (v_beta + n_k as f64)
+}
+
+fn nz_of<T: Copy + PartialEq + PartialOrd + Default>(row: &[T]) -> Vec<u16> {
+    row.iter()
+        .enumerate()
+        .filter(|(_, &c)| c > T::default())
+        .map(|(t, _)| t as u16)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The bucket decomposition, per topic, against live struct state:
+    /// smoothing (formula identical to the rebuild path) + the DocBucket's
+    /// actual `r[t]` + the q formula must reproduce the dense weight.
+    #[test]
+    fn bucket_sums_match_the_dense_singleton_weight(
+        seed in 0u64..1_000_000,
+        k in 2usize..12,
+        vocab in 5usize..2000,
+        beta in 0.001f64..2.0,
+        alpha_lo in 0.01f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let v_beta = vocab as f64 * beta;
+        let alpha: Vec<f64> = (0..k).map(|_| alpha_lo + rng.gen_range(0.0..2.0)).collect();
+        let word_row: Vec<u32> = (0..k).map(|_| rng.gen_range(0..40u32)).collect();
+        let doc_ndk: Vec<u32> = (0..k).map(|_| rng.gen_range(0..25u32)).collect();
+        let n_k: Vec<u64> = word_row
+            .iter()
+            .map(|&w| u64::from(w) + rng.gen_range(0..100u64))
+            .collect();
+        let doc_nz = nz_of(&doc_ndk);
+
+        let mut smoothing = SmoothingBucket::default();
+        smoothing.rebuild(&alpha, beta, v_beta, &n_k);
+        let mut doc = DocBucket::default();
+        doc.begin_doc(&doc_nz, &doc_ndk, &n_k, beta, v_beta, k);
+
+        let mut s_sum = 0.0;
+        for t in 0..k {
+            let s = s_k(alpha[t], beta, v_beta, n_k[t]);
+            s_sum += s;
+            let bucketed = s + doc.mass_of(t) + q_k(alpha[t], doc_ndk[t], word_row[t], v_beta, n_k[t]);
+            let dense = singleton_dense_weight(alpha[t], beta, v_beta, word_row[t], doc_ndk[t], n_k[t]);
+            prop_assert!(
+                (bucketed - dense).abs() <= 1e-12 * dense.max(1e-300),
+                "topic {t}: bucketed {bucketed:.17e} vs dense {dense:.17e}"
+            );
+        }
+        let total = smoothing.current_total();
+        prop_assert!(
+            (total - s_sum).abs() <= 1e-12 * s_sum,
+            "smoothing total {total:.17e} vs per-topic sum {s_sum:.17e}"
+        );
+    }
+
+    /// `DocBucket::update_topic` after an arbitrary move sequence must
+    /// agree with a from-scratch `begin_doc` on the final state.
+    #[test]
+    fn incremental_doc_bucket_matches_a_fresh_rebuild(
+        seed in 0u64..1_000_000,
+        k in 2usize..10,
+        moves in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let beta = 0.05;
+        let v_beta = 30.0 * beta;
+        let mut doc_ndk: Vec<u32> = (0..k).map(|_| rng.gen_range(0..6u32)).collect();
+        let mut n_k: Vec<u64> = doc_ndk.iter().map(|&c| u64::from(c) + rng.gen_range(0..20u64)).collect();
+        let doc_nz = nz_of(&doc_ndk);
+
+        let mut inc = DocBucket::default();
+        inc.begin_doc(&doc_nz, &doc_ndk, &n_k, beta, v_beta, k);
+        for _ in 0..moves {
+            let t = rng.gen_range(0..k);
+            if rng.gen_bool(0.5) {
+                doc_ndk[t] += 1;
+                n_k[t] += 1;
+            } else if doc_ndk[t] > 0 {
+                doc_ndk[t] -= 1;
+                n_k[t] -= 1;
+            }
+            inc.update_topic(t, doc_ndk[t], beta, 1.0 / (v_beta + n_k[t] as f64));
+        }
+
+        let final_nz = nz_of(&doc_ndk);
+        let mut fresh = DocBucket::default();
+        fresh.begin_doc(&final_nz, &doc_ndk, &n_k, beta, v_beta, k);
+        for t in 0..k {
+            prop_assert!(
+                (inc.mass_of(t) - fresh.mass_of(t)).abs() <= 1e-12,
+                "topic {t}: incremental {:.17e} vs rebuilt {:.17e}",
+                inc.mass_of(t),
+                fresh.mass_of(t)
+            );
+        }
+        prop_assert!((inc.total() - fresh.total()).abs() <= 1e-9 * fresh.total().max(1.0));
+    }
+
+    /// The dirty-set correction keeps the smoothing total exact under any
+    /// pattern of `N_k` movement since the rebuild.
+    #[test]
+    fn dirty_corrected_smoothing_total_is_exact(
+        seed in 0u64..1_000_000,
+        k in 2usize..16,
+        n_dirty in 0usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let beta = 0.02;
+        let v_beta = 100.0 * beta;
+        let alpha: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..2.0f64)).collect();
+        let mut n_k: Vec<u64> = (0..k).map(|_| rng.gen_range(0..200u64)).collect();
+
+        let mut smoothing = SmoothingBucket::default();
+        smoothing.rebuild(&alpha, beta, v_beta, &n_k);
+        for _ in 0..n_dirty.min(k) {
+            let t = rng.gen_range(0..k);
+            n_k[t] = rng.gen_range(0..400u64);
+            smoothing.mark_dirty(t, alpha[t], beta, 1.0 / (v_beta + n_k[t] as f64));
+        }
+
+        let expected: f64 = (0..k).map(|t| s_k(alpha[t], beta, v_beta, n_k[t])).sum();
+        let total = smoothing.current_total();
+        prop_assert!(
+            (total - expected).abs() <= 1e-12 * expected,
+            "corrected total {total:.17e} vs direct sum {expected:.17e}"
+        );
+    }
+}
+
+/// End-to-end: 300k draws through `sample_singleton_sparse` — alias table,
+/// dirty stratification, q/r/s region walks — against the normalized dense
+/// posterior. Deterministic seed, 5σ binomial bands per topic.
+#[test]
+fn sparse_draw_frequencies_match_the_dense_posterior() {
+    let k = 8;
+    let beta = 0.03;
+    let v_beta = 50.0 * beta;
+    let alpha: Vec<f64> = (0..k).map(|t| 0.1 + 0.2 * t as f64).collect();
+    // A realistic sparsity pattern: the word is active in 3 topics, the
+    // document in 4, with overlap; n_k moved on two topics post-rebuild.
+    let word_row: Vec<u32> = vec![0, 7, 0, 3, 0, 0, 12, 0];
+    let doc_ndk: Vec<u32> = vec![2, 5, 0, 0, 1, 0, 3, 0];
+    let n_k0: Vec<u64> = vec![40, 55, 13, 9, 30, 2, 61, 0];
+    let mut n_k = n_k0.clone();
+
+    let mut smoothing = SmoothingBucket::default();
+    smoothing.rebuild(&alpha, beta, v_beta, &n_k0);
+    n_k[1] += 9;
+    n_k[5] -= 2;
+    smoothing.mark_dirty(1, alpha[1], beta, 1.0 / (v_beta + n_k[1] as f64));
+    smoothing.mark_dirty(5, alpha[5], beta, 1.0 / (v_beta + n_k[5] as f64));
+
+    let word_nz: Vec<u16> = vec![1, 3, 6];
+    let doc_nz: Vec<u16> = vec![0, 1, 4, 6];
+    let mut doc = DocBucket::default();
+    doc.begin_doc(&doc_nz, &doc_ndk, &n_k, beta, v_beta, k);
+
+    let dense: Vec<f64> = (0..k)
+        .map(|t| singleton_dense_weight(alpha[t], beta, v_beta, word_row[t], doc_ndk[t], n_k[t]))
+        .collect();
+    let total: f64 = dense.iter().sum();
+
+    let n = 300_000usize;
+    let mut counts = vec![0u64; k];
+    let mut rng = StdRng::seed_from_u64(0xbead);
+    let mut q_buf = Vec::new();
+    for _ in 0..n {
+        let t = sample_singleton_sparse(
+            &mut rng, &alpha, v_beta, &word_row, &word_nz, &doc_ndk, &doc_nz, &n_k, &doc,
+            &smoothing, &mut q_buf,
+        );
+        counts[t] += 1;
+    }
+    for t in 0..k {
+        let p = dense[t] / total;
+        let got = counts[t] as f64 / n as f64;
+        let band = 5.0 * (p * (1.0 - p) / n as f64).sqrt() + 1e-9;
+        assert!(
+            (got - p).abs() <= band,
+            "topic {t}: empirical {got:.5} vs dense {p:.5} (band {band:.5})"
+        );
+    }
+}

@@ -24,6 +24,10 @@ pub(crate) struct CacheKey {
     pub fold_iters: usize,
     pub top_topics: usize,
     pub text: String,
+    /// Test seam: a forced hash value, so tests can manufacture the
+    /// hash-collision paths (64-bit Fx collisions are not otherwise
+    /// reachable from a unit test). Always `None` in production keys.
+    hash_override: Option<u64>,
 }
 
 impl CacheKey {
@@ -34,10 +38,20 @@ impl CacheKey {
             fold_iters: config.fold_iters,
             top_topics: config.top_topics,
             text: text.to_string(),
+            hash_override: None,
         }
     }
 
+    #[cfg(test)]
+    fn with_forced_hash(mut self, hash: u64) -> Self {
+        self.hash_override = Some(hash);
+        self
+    }
+
     fn hash(&self) -> u64 {
+        if let Some(forced) = self.hash_override {
+            return forced;
+        }
         let mut h = FxHasher::default();
         h.write_u64(self.fingerprint);
         h.write_u64(self.seed);
@@ -177,6 +191,52 @@ impl ResponseCache {
         inner.push_front(slot);
     }
 
+    /// Structural audit for tests: every slot is linked into the recency
+    /// list exactly once, the map covers exactly the slots, and each map
+    /// entry's hash matches its slot's key. A violated invariant here is
+    /// what an "orphaned slab entry" would look like — a slot the map can
+    /// no longer reach, pinned in the slab forever.
+    #[cfg(test)]
+    fn check_invariants(&self) -> Result<(), String> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.map.len() != inner.slots.len() {
+            return Err(format!(
+                "map has {} entries for {} slots",
+                inner.map.len(),
+                inner.slots.len()
+            ));
+        }
+        let mut seen = vec![false; inner.slots.len()];
+        let mut slot = inner.head;
+        let mut prev = NIL;
+        while slot != NIL {
+            if seen[slot] {
+                return Err(format!("slot {slot} linked twice"));
+            }
+            seen[slot] = true;
+            if inner.slots[slot].prev != prev {
+                return Err(format!("slot {slot} has a stale prev link"));
+            }
+            prev = slot;
+            slot = inner.slots[slot].next;
+        }
+        if prev != inner.tail {
+            return Err("tail does not terminate the list".into());
+        }
+        if let Some(unlinked) = seen.iter().position(|&s| !s) {
+            return Err(format!("slot {unlinked} not reachable from head"));
+        }
+        for (&hash, &slot) in &inner.map {
+            if slot >= inner.slots.len() {
+                return Err(format!("map points at out-of-range slot {slot}"));
+            }
+            if inner.slots[slot].key.hash() != hash {
+                return Err(format!("map hash {hash:#x} mismatches slot {slot}'s key"));
+            }
+        }
+        Ok(())
+    }
+
     pub fn stats(&self) -> CacheStats {
         let entries = self.inner.lock().expect("cache lock poisoned").map.len();
         CacheStats {
@@ -260,6 +320,57 @@ mod tests {
             }
         }
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn forced_hash_collision_displaces_without_orphaning() {
+        let cache = ResponseCache::new(2);
+        let k1 = key("first", 1).with_forced_hash(0xdead);
+        let k2 = key("second", 2).with_forced_hash(0xdead);
+        cache.put(k1.clone(), value(1));
+        cache.check_invariants().unwrap();
+        // Colliding put: the slot now answers for k2. One slot, one map
+        // entry — nothing stranded in the slab.
+        cache.put(k2.clone(), value(2));
+        cache.check_invariants().unwrap();
+        assert_eq!(
+            cache.stats().entries,
+            1,
+            "collision must displace, not grow"
+        );
+        // The displaced key degrades to a miss (stored key is compared on
+        // every hit), never to k2's answer.
+        assert!(cache.get(&k1).is_none());
+        assert_eq!(cache.get(&k2).unwrap().n_tokens, 2);
+        // Fill past capacity so the colliding slot also survives eviction
+        // traffic around it.
+        cache.put(key("filler-a", 3), value(3));
+        cache.put(key("filler-b", 4), value(4));
+        cache.check_invariants().unwrap();
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn collision_and_eviction_workload_keeps_the_slab_exact() {
+        // Mixed natural and forced-hash traffic over a small cache: after
+        // every operation the map, slab, and recency list must still agree
+        // — the audit that `put`'s collision path cannot orphan a slot.
+        let cache = ResponseCache::new(3);
+        for round in 0u64..40 {
+            let k = if round % 3 == 0 {
+                // A rotating set of 2 forced hashes guarantees repeated
+                // collisions between distinct keys.
+                key(&format!("forced-{round}"), round).with_forced_hash(round % 2)
+            } else {
+                key(&format!("natural-{round}"), round)
+            };
+            cache.put(k.clone(), value(round as usize));
+            cache
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(cache.get(&k).unwrap().n_tokens, round as usize);
+            assert!(cache.stats().entries <= 3);
+        }
     }
 
     #[test]

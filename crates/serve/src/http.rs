@@ -271,15 +271,20 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or_else(|| bad("empty request line"))?;
     let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    // Exact-match the version token: `starts_with("HTTP/1.")` would wave
+    // through `HTTP/1.`, `HTTP/1.1x`, `HTTP/1.999`, … — garbage that no
+    // peer speaking this protocol sends and whose framing rules we'd be
+    // guessing at.
     let version = match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => v,
-        _ => return Err(bad("not an HTTP/1.x request")),
+        Some(v @ ("HTTP/1.0" | "HTTP/1.1")) => v,
+        Some(_) => return Err(HttpError::new(505, "unsupported HTTP version")),
+        None => return Err(bad("missing HTTP version")),
     };
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 must opt in.
     let keep_alive_default = version != "HTTP/1.0";
     let (method, target) = (method.to_string(), target.to_string());
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close = !keep_alive_default;
     let mut head_bytes = line.len();
     loop {
@@ -303,10 +308,21 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("bad content-length"))?;
+                // RFC 9110 §8.6: a pure digit string. `usize::parse` alone
+                // would admit a leading `+`, and silently letting a second
+                // Content-Length overwrite the first is the classic
+                // request-smuggling seam — two parsers, two framings.
+                let value = value.trim();
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(bad("bad content-length"));
+                }
+                let parsed: usize = value.parse().map_err(|_| bad("bad content-length"))?;
+                match content_length {
+                    Some(prev) if prev != parsed => {
+                        return Err(bad("conflicting content-length headers"))
+                    }
+                    _ => content_length = Some(parsed),
+                }
             } else if name.eq_ignore_ascii_case("connection") {
                 // Token list; "close" and "keep-alive" are what we honor.
                 for token in value.split(',') {
@@ -320,6 +336,7 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(HttpError::new(413, "request body too large"));
     }
@@ -445,6 +462,7 @@ fn render_response(status: u16, body: &str, close: bool) -> String {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
+        505 => "HTTP Version Not Supported",
         _ => "Error",
     };
     let connection = if close { "close" } else { "keep-alive" };

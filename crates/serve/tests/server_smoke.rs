@@ -212,6 +212,86 @@ fn keep_alive_serves_many_requests_on_one_connection() {
     handle.shutdown();
 }
 
+/// Send raw bytes on a fresh connection and return the status line's code.
+fn raw_status(addr: std::net::SocketAddr, message: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(message.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status in {response:?}"))
+        .parse()
+        .expect("numeric status")
+}
+
+#[test]
+fn malformed_framing_and_versions_are_rejected() {
+    let engine = Arc::new(QueryEngine::new(Arc::new(fitted_model()), 1));
+    let handle = HttpServer::bind("127.0.0.1:0", engine, ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    // Duplicate conflicting Content-Length is the request-smuggling seam:
+    // two framings for one message must die with 400, not let the later
+    // header win.
+    assert_eq!(
+        raw_status(
+            addr,
+            "POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\ntext seven!"
+        ),
+        400
+    );
+    // Identical duplicates carry one unambiguous framing; serve them.
+    assert_eq!(
+        raw_status(
+            addr,
+            "POST /infer?seed=1&iters=5 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\ntext"
+        ),
+        200
+    );
+    // Content-Length must be pure digits: no sign, no padding tricks, no
+    // empty value (usize::parse alone would accept "+4").
+    for cl in ["+4", "-4", " 4 x", "4x", "0x4", ""] {
+        assert_eq!(
+            raw_status(
+                addr,
+                &format!("POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: {cl}\r\n\r\ntext")
+            ),
+            400,
+            "content-length {cl:?} must be rejected"
+        );
+    }
+
+    // Only exact HTTP/1.0 and HTTP/1.1 are spoken here; lookalike version
+    // tokens used to slip through the old starts_with("HTTP/1.") check.
+    for version in [
+        "HTTP/1.",
+        "HTTP/1.2",
+        "HTTP/1.1x",
+        "HTTP/1.999",
+        "HTTP/2.0",
+        "ICY/1.1",
+    ] {
+        assert_eq!(
+            raw_status(addr, &format!("GET /healthz {version}\r\nHost: x\r\n\r\n")),
+            505,
+            "version {version:?} must get 505"
+        );
+    }
+    assert_eq!(
+        raw_status(addr, "GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n"),
+        200
+    );
+    // A request line with no version token at all is plain 400.
+    assert_eq!(raw_status(addr, "GET /healthz\r\nHost: x\r\n\r\n"), 400);
+
+    handle.shutdown();
+}
+
 #[test]
 fn server_matches_direct_engine_inference() {
     let engine = Arc::new(QueryEngine::new(Arc::new(fitted_model()), 1));

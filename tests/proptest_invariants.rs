@@ -118,6 +118,7 @@ proptest! {
             optimize_every: 0,
             burn_in: 0,
             n_threads: 1,
+            ..TopicModelConfig::default()
         });
         model.run(sweeps);
         model.check_counts().map_err(TestCaseError::fail)?;
