@@ -42,7 +42,9 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use topmine_bench::{banner, iters, scale, seed_for};
-use topmine_lda::{GroupedDoc, GroupedDocs, KernelMode, PhraseLda, TopicModelConfig};
+use topmine_lda::{
+    GroupedDoc, GroupedDocs, KernelMode, PhraseLda, SweepTelemetry, TopicModelConfig,
+};
 use topmine_phrase::Segmenter;
 use topmine_synth::{generate, Profile};
 use topmine_util::Table;
@@ -269,6 +271,27 @@ fn sparse_json(r: &SparseRun, extra: &str) -> String {
     )
 }
 
+/// The shared [`SweepTelemetry`] counters as a JSON object — the same
+/// struct the JSONL trace sink and the `--progress` reporter consume, so
+/// the snapshot can never drift from what training actually recorded.
+fn telemetry_json(t: &SweepTelemetry) -> String {
+    format!(
+        "{{\"sweeps\":{},\"parallel_sweeps\":{},\"snapshot_full_clones\":{},\
+         \"snapshot_cells_cloned\":{},\"merge_delta_entries\":{},\"snapshot_secs\":{:.4},\
+         \"draws\":{{\"topic_word\":{},\"doc\":{},\"smoothing\":{},\"dense\":{}}}}}",
+        t.sweeps,
+        t.parallel_sweeps,
+        t.snapshot_full_clones,
+        t.snapshot_cells_cloned,
+        t.merge_delta_entries,
+        t.snapshot_nanos as f64 / 1e9,
+        t.draws.topic_word,
+        t.draws.doc,
+        t.draws.smoothing,
+        t.draws.dense,
+    )
+}
+
 fn snapshot_json(r: &SnapshotRun, extra: &str) -> String {
     format!(
         "{{{extra}\"amortized_secs\":{:.4},\"clone_secs\":{:.4},\
@@ -337,7 +360,7 @@ fn main() {
         "allocs/sweep",
         "perplexity",
     ]);
-    let mut results: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
+    let mut results: Vec<(usize, f64, f64, f64, f64, SweepTelemetry)> = Vec::new();
     let mut sequential_secs = 0.0f64;
     let mut parallel_reference: Option<(f64, Vec<Vec<f64>>)> = None;
     for threads in [1usize, 2, 4] {
@@ -345,6 +368,7 @@ fn main() {
         let (_, secs, allocs) = measured(|| model.run(sweeps));
         let sweeps_per_sec = sweeps as f64 / secs;
         let allocs_per_sweep = allocs as f64 / sweeps as f64;
+        let telemetry = model.sweep_stats();
         let pp = model.perplexity();
         if threads == 1 {
             sequential_secs = secs;
@@ -364,7 +388,7 @@ fn main() {
         }
         let speedup = (results
             .first()
-            .map_or(secs, |r: &(usize, f64, f64, f64, f64)| r.1))
+            .map_or(secs, |r: &(usize, f64, f64, f64, f64, SweepTelemetry)| r.1))
             / secs;
         table.row([
             threads.to_string(),
@@ -374,9 +398,33 @@ fn main() {
             format!("{allocs_per_sweep:.1}"),
             format!("{pp:.3}"),
         ]);
-        results.push((threads, secs, sweeps_per_sec, allocs_per_sweep, pp));
+        results.push((
+            threads,
+            secs,
+            sweeps_per_sec,
+            allocs_per_sweep,
+            pp,
+            telemetry,
+        ));
     }
     println!("{}", table.to_aligned());
+
+    // Per-sweep telemetry of the sequential fit, from the shared obs
+    // structs the trace sink and `--progress` reporter read: where the
+    // stratified singleton draws resolved, and how the snapshot machinery
+    // behaved over the whole fit.
+    let seq = &results[0].5;
+    let draw_total = seq.draws.total().max(1) as f64;
+    println!(
+        "telemetry (1 thread): draws q/r/s/dense {:.1}/{:.1}/{:.1}/{:.1}%, \
+         {} snapshot clone(s), {} merge delta entries",
+        100.0 * seq.draws.topic_word as f64 / draw_total,
+        100.0 * seq.draws.doc as f64 / draw_total,
+        100.0 * seq.draws.smoothing as f64 / draw_total,
+        100.0 * seq.draws.dense as f64 / draw_total,
+        seq.snapshot_full_clones,
+        seq.merge_delta_entries,
+    );
 
     let modeling_secs = sequential_secs;
     let total = mining_secs + modeling_secs;
@@ -466,15 +514,16 @@ fn main() {
         grouped.n_tokens(),
         grouped.n_groups(),
     ));
-    for (i, (threads, secs, sps, aps, pp)) in results.iter().enumerate() {
+    for (i, (threads, secs, sps, aps, pp, telemetry)) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         json.push_str(&format!(
             "{{\"threads\":{threads},\"secs\":{secs:.4},\"sweeps_per_sec\":{sps:.3},\
              \"speedup_vs_sequential\":{:.3},\"allocs_per_sweep\":{aps:.1},\
-             \"perplexity\":{pp:.4}}}",
+             \"perplexity\":{pp:.4},\"telemetry\":{}}}",
             base / secs,
+            telemetry_json(telemetry),
         ));
     }
     json.push_str("],\"snapshot\":{\"corpus\":");
@@ -507,7 +556,7 @@ fn main() {
         let best = results
             .iter()
             .skip(1)
-            .map(|(_, secs, _, _, _)| base / secs)
+            .map(|(_, secs, ..)| base / secs)
             .fold(0.0f64, f64::max);
         assert!(
             best >= floor,

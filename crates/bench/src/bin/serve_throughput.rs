@@ -10,10 +10,17 @@
 //! exercised (and its zero-divergence claim enforced) on every CI push.
 //! The smoke-scale run writes a `BENCH_serve.json` snapshot (including the
 //! shard count) to the working directory for CI trending.
+//!
+//! Besides batch throughput, a closed-loop single-document pass (cache
+//! disabled, so every request pays full fold-in) records per-request
+//! latency into a [`topmine_obs::Histogram`] and reports p50/p95/p99/max
+//! alongside the mean — tail latency is what a serving SLO is written
+//! against, and a mean hides it.
 
 use std::io::Write as _;
 use std::sync::Arc;
 use topmine_bench::{banner, fit_topmine_on_profile, iters, scale, seed_for};
+use topmine_obs::Histogram;
 use topmine_serve::{InferConfig, ModelBackend, QueryEngine, ShardedModel};
 use topmine_synth::Profile;
 use topmine_util::Table;
@@ -105,6 +112,32 @@ fn main() {
     }
     println!("{}", table.to_aligned());
 
+    // Closed-loop per-request latency: one caller, one document at a time,
+    // cache disabled so every request runs the full preprocess → gather →
+    // fold-in path. Quantiles come from the log₂-bucketed histogram (the
+    // same estimator `/metrics` scrapes see), cross-checked by the exact
+    // recorded max.
+    let latency_engine = QueryEngine::with_cache_capacity(backend.clone(), 1, 0);
+    let hist = Histogram::new();
+    for query in &queries {
+        let start = std::time::Instant::now();
+        std::hint::black_box(latency_engine.infer(query, &config));
+        hist.record_duration(start.elapsed());
+    }
+    let snap = hist.snapshot();
+    let to_ms = 1e-6;
+    let (p50, p95, p99) = (
+        snap.p50() as f64 * to_ms,
+        snap.p95() as f64 * to_ms,
+        snap.p99() as f64 * to_ms,
+    );
+    let (mean_ms, max_ms) = (snap.mean() * to_ms, snap.max() as f64 * to_ms);
+    println!(
+        "single-doc latency over {} requests (no cache): mean {mean_ms:.3}ms  p50 {p50:.3}ms  \
+         p95 {p95:.3}ms  p99 {p99:.3}ms  max {max_ms:.3}ms",
+        snap.count()
+    );
+
     // JSON snapshot for CI trending.
     let mut json = String::from("{");
     json.push_str(&format!(
@@ -120,7 +153,13 @@ fn main() {
             "{{\"workers\":{workers},\"shards\":{shards},\"secs\":{secs:.4},\"docs_per_sec\":{dps:.2}}}"
         ));
     }
-    json.push_str("]}");
+    json.push_str("],\"latency_ms\":{");
+    json.push_str(&format!(
+        "\"requests\":{},\"mean\":{mean_ms:.4},\"p50\":{p50:.4},\"p95\":{p95:.4},\
+         \"p99\":{p99:.4},\"max\":{max_ms:.4}",
+        snap.count()
+    ));
+    json.push_str("}}");
     let mut file = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
     writeln!(file, "{json}").expect("write BENCH_serve.json");
     println!("snapshot written to BENCH_serve.json");

@@ -39,6 +39,9 @@ pub struct CliOptions {
     /// (`None` = the monolithic single-directory layout). Requires
     /// `save_model`.
     pub shards: Option<usize>,
+    /// Print periodic per-sweep telemetry (sweep rate, singleton-draw
+    /// bucket split) to stderr during the Gibbs fit.
+    pub progress: bool,
 }
 
 impl Default for CliOptions {
@@ -59,6 +62,7 @@ impl Default for CliOptions {
             filter_background: false,
             save_model: None,
             shards: None,
+            progress: false,
         }
     }
 }
@@ -78,6 +82,7 @@ impl CliOptions {
             n_threads: self.n_threads,
             lda_threads: self.lda_threads,
             seed: self.seed,
+            progress: self.progress,
             ..ToPMineConfig::default()
         }
     }
@@ -110,6 +115,9 @@ FIT OPTIONS:
     --no-stem             disable Porter stemming
     --keep-stopwords      keep stop words in the mining stream
     --filter-background   drop high-entropy background phrases (paper §8)
+    --progress            print per-sweep telemetry (sweeps/sec, draw split)
+                          to stderr during the Gibbs fit; TOPMINE_TRACE=path
+                          additionally writes one JSONL event per sweep
     --help                print this message
 
 SERVE OPTIONS:
@@ -353,6 +361,7 @@ where
             "--no-stem" => opts.stem = false,
             "--keep-stopwords" => opts.remove_stopwords = false,
             "--filter-background" => opts.filter_background = true,
+            "--progress" => opts.progress = true,
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -471,6 +480,15 @@ mod tests {
         assert!(parse(&["--input", "c.txt", "--shards", "4"]).is_err());
         assert!(parse(&["--input", "c.txt", "--save-model", "b", "--shards", "0"]).is_err());
         assert!(parse(&["--input", "c.txt", "--save-model", "b", "--shards", "x"]).is_err());
+    }
+
+    #[test]
+    fn progress_flag_is_parsed_and_reaches_the_pipeline_config() {
+        let opts = parse(&["--input", "c.txt", "--progress"]).unwrap().unwrap();
+        assert!(opts.progress);
+        assert!(!parse(&["--input", "c.txt"]).unwrap().unwrap().progress);
+        let corpus = topmine_corpus::corpus_from_texts(["alpha beta gamma"]);
+        assert!(opts.pipeline_config(&corpus).progress);
     }
 
     fn command(args: &[&str]) -> Result<Option<Command>, String> {

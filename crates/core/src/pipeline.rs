@@ -1,7 +1,7 @@
 //! The ToPMine pipeline: mine → segment → PhraseLDA.
 
 use topmine_corpus::Corpus;
-use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig, TopicSummary};
+use topmine_lda::{GroupedDocs, PhraseLda, SweepTelemetry, TopicModelConfig, TopicSummary};
 use topmine_phrase::{MinerConfig, PhraseStats, Segmentation, Segmenter, SegmenterConfig};
 use topmine_util::Stopwatch;
 
@@ -37,6 +37,9 @@ pub struct ToPMineConfig {
     pub lda_threads: usize,
     /// RNG seed (initialization + sampling).
     pub seed: u64,
+    /// Print periodic per-sweep telemetry (sweep rate, singleton-draw
+    /// bucket split, merge-delta volume) to stderr during the fit.
+    pub progress: bool,
 }
 
 impl Default for ToPMineConfig {
@@ -54,6 +57,7 @@ impl Default for ToPMineConfig {
             n_threads: 1,
             lda_threads: 1,
             seed: 1,
+            progress: false,
         }
     }
 }
@@ -160,6 +164,57 @@ impl ToPMineModel {
     }
 }
 
+/// Stderr telemetry printer behind `--progress`: every tenth sweep (and
+/// the final one), report the window's sweep rate, the singleton-draw
+/// bucket split, and the parallel merge-delta volume from the shared
+/// [`SweepTelemetry`].
+struct ProgressReporter {
+    window_start: std::time::Instant,
+    window_stats: SweepTelemetry,
+}
+
+impl ProgressReporter {
+    fn new() -> Self {
+        Self {
+            window_start: std::time::Instant::now(),
+            window_stats: SweepTelemetry::default(),
+        }
+    }
+
+    fn report(&mut self, sweep: usize, iters: usize, model: &PhraseLda) {
+        if !sweep.is_multiple_of(10) && sweep != iters {
+            return;
+        }
+        let stats = model.sweep_stats();
+        let d = stats.since(&self.window_stats);
+        let secs = self.window_start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            d.sweeps as f64 / secs
+        } else {
+            0.0
+        };
+        let total = d.draws.total();
+        let pct = |n: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                n as f64 * 100.0 / total as f64
+            }
+        };
+        eprintln!(
+            "[topmine] sweep {sweep}/{iters}  {rate:.2} sweeps/s  \
+             draws q/r/s/dense {:.1}/{:.1}/{:.1}/{:.1}%  merge-delta {}",
+            pct(d.draws.topic_word),
+            pct(d.draws.doc),
+            pct(d.draws.smoothing),
+            pct(d.draws.dense),
+            d.merge_delta_entries,
+        );
+        self.window_stats = stats;
+        self.window_start = std::time::Instant::now();
+    }
+}
+
 /// The framework entry point.
 #[derive(Debug, Clone, Default)]
 pub struct ToPMine {
@@ -185,7 +240,7 @@ impl ToPMine {
     pub fn fit_with<F: FnMut(usize, &PhraseLda)>(
         &self,
         corpus: &Corpus,
-        callback: F,
+        mut callback: F,
     ) -> ToPMineModel {
         let mut sw = Stopwatch::new();
         let segmenter = Segmenter::new(self.config.segmenter_config());
@@ -194,7 +249,14 @@ impl ToPMine {
 
         let grouped = GroupedDocs::from_segmentation(corpus, &segmentation);
         let mut model = PhraseLda::new(grouped, self.config.topic_model_config());
-        model.run_with(self.config.iterations, callback);
+        let iters = self.config.iterations;
+        let mut reporter = self.config.progress.then(ProgressReporter::new);
+        model.run_with(iters, |sweep, m| {
+            callback(sweep, m);
+            if let Some(r) = &mut reporter {
+                r.report(sweep, iters, m);
+            }
+        });
         let modeling = sw.lap("topic-modeling");
 
         ToPMineModel {

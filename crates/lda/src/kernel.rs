@@ -729,6 +729,7 @@ impl DocBucket {
 ///   dirty set covers every topic whose `N_k` differs from its rebuild;
 /// * the clique being resampled is already removed from all counts.
 #[allow(clippy::too_many_arguments)]
+#[inline]
 pub fn sample_singleton_sparse<R: RngCore>(
     rng: &mut R,
     alpha: &[f64],
@@ -742,6 +743,41 @@ pub fn sample_singleton_sparse<R: RngCore>(
     smoothing: &SmoothingBucket,
     q_buf: &mut Vec<f64>,
 ) -> usize {
+    sample_singleton_sparse_split(
+        rng, alpha, v_beta, word_row, word_nz, doc_ndk, doc_nz, n_k, doc_bucket, smoothing, q_buf,
+    )
+    .0
+}
+
+/// Which bucket of the stratified singleton draw resolved the sample.
+/// Telemetry only — the tag is derived from the already-drawn uniform, so
+/// observing it changes neither RNG consumption nor arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingletonBucket {
+    /// Topic-word bucket q (topics where the word has nonzero count).
+    TopicWord,
+    /// Document bucket r (topics active in the document).
+    Doc,
+    /// Smoothing bucket s (alias table over the α·β/(Vβ+N_k) floor).
+    Smoothing,
+}
+
+/// [`sample_singleton_sparse`] plus the resolving [`SingletonBucket`], for
+/// callers that track the draw split.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_singleton_sparse_split<R: RngCore>(
+    rng: &mut R,
+    alpha: &[f64],
+    v_beta: f64,
+    word_row: &[u32],
+    word_nz: &[u16],
+    doc_ndk: &[u32],
+    doc_nz: &[u16],
+    n_k: &[u64],
+    doc_bucket: &DocBucket,
+    smoothing: &SmoothingBucket,
+    q_buf: &mut Vec<f64>,
+) -> (usize, SingletonBucket) {
     // Topic-word bucket q: the only per-draw O(K_word) computation.
     q_buf.clear();
     let mut q_total = 0.0;
@@ -767,10 +803,10 @@ pub fn sample_singleton_sparse<R: RngCore>(
                 last = t;
             }
             if u < acc {
-                return t as usize;
+                return (t as usize, SingletonBucket::TopicWord);
             }
         }
-        return last as usize;
+        return (last as usize, SingletonBucket::TopicWord);
     }
     u -= q_total;
     if u < r_total {
@@ -783,13 +819,16 @@ pub fn sample_singleton_sparse<R: RngCore>(
                 last = t;
             }
             if u < acc {
-                return t as usize;
+                return (t as usize, SingletonBucket::Doc);
             }
         }
-        return last as usize;
+        return (last as usize, SingletonBucket::Doc);
     }
     u -= r_total;
-    smoothing.draw(rng, u.min(s_total), s_dirty, s0_dirty)
+    (
+        smoothing.draw(rng, u.min(s_total), s_dirty, s0_dirty),
+        SingletonBucket::Smoothing,
+    )
 }
 
 /// The dense singleton weight per topic, for cross-checking the bucket

@@ -42,12 +42,14 @@
 
 use crate::counts::{nz_insert, nz_remove, nz_row_insert, nz_row_remove, TopicCounts};
 use crate::kernel::{
-    clique_posterior, doc_stream_seed, sample_discrete, sample_singleton_sparse, CliqueScratch,
-    DocBucket, FixedPhiView, SmoothingBucket, TrainView,
+    clique_posterior, doc_stream_seed, sample_discrete, sample_singleton_sparse_split,
+    CliqueScratch, DocBucket, FixedPhiView, SingletonBucket, SmoothingBucket, TrainView,
 };
 use crate::model::{GroupedDoc, GroupedDocs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use topmine_obs::{DrawSplit, SweepTelemetry, TraceEvent, TraceSink};
 use topmine_util::stats::digamma;
 
 /// Which Eq. 7 training kernel the sweeps use. Both kernels sample the
@@ -141,24 +143,10 @@ impl TopicModelConfig {
     }
 }
 
-/// Counters of the fit loop's snapshot amortization, surfaced by
-/// [`PhraseLda::sweep_stats`] and reported by the `gibbs_fit` bench.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SweepStats {
-    /// Parallel (snapshot) sweeps run so far.
-    pub parallel_sweeps: u64,
-    /// How many of those sweeps needed a full O(V·K) snapshot clone
-    /// (expected: 1 — the first; every later snapshot rolls forward).
-    pub snapshot_full_clones: u64,
-    /// Total `N_wk` cells copied by full clones.
-    pub snapshot_cells_cloned: u64,
-    /// Total sparse `(idx, Δ)` entries merged at sweep barriers — the
-    /// amortized snapshot cost scales with this, not with V·K.
-    pub merge_delta_entries: u64,
-    /// Wall-clock nanoseconds spent producing snapshots and merging
-    /// deltas (everything outside the sampling itself).
-    pub snapshot_nanos: u64,
-}
+// Per-sweep telemetry (snapshot amortization, sweep timing, singleton
+// draw split) lives in the shared [`topmine_obs::SweepTelemetry`] struct,
+// surfaced by [`PhraseLda::sweep_stats`] and consumed by the `gibbs_fit`
+// bench, the `--progress` flag, and the `TOPMINE_TRACE` sink.
 
 /// Per-shard reusable sweep state: the scatter-gather buffers of the
 /// thread-sharded sweep plus the kernel scratch and weight vector. One of
@@ -253,7 +241,10 @@ pub struct PhraseLda {
     /// One reusable scratch per worker shard (index 0 doubles as the
     /// sequential sweep's scratch), persisted across sweeps.
     scratch: Vec<SweepScratch>,
-    stats: SweepStats,
+    stats: SweepTelemetry,
+    /// Optional JSONL sink receiving one event per sweep (from
+    /// `TOPMINE_TRACE` by default; see [`PhraseLda::set_trace`]).
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl PhraseLda {
@@ -282,7 +273,8 @@ impl PhraseLda {
             config,
             docs,
             scratch: Vec::new(),
-            stats: SweepStats::default(),
+            stats: SweepTelemetry::default(),
+            trace: TraceSink::from_env(),
         };
         for d in 0..model.docs.n_docs() {
             let n_groups = model.docs.docs[d].n_groups();
@@ -319,17 +311,44 @@ impl PhraseLda {
     /// One full Gibbs sweep over every group (Eq. 7 update per clique) —
     /// sequential or thread-sharded according to `config.n_threads`.
     pub fn step(&mut self) {
+        let before = self.stats;
+        let sweep_start = std::time::Instant::now();
         if self.config.n_threads > 1 {
             self.sweep_parallel(self.config.n_threads);
         } else {
             self.sweep_sequential();
         }
+        self.stats.sweeps += 1;
+        self.stats.sweep_nanos += sweep_start.elapsed().as_nanos() as u64;
         self.sweeps_done += 1;
         if self.config.optimize_every > 0
             && self.sweeps_done >= self.config.burn_in
             && self.sweeps_done.is_multiple_of(self.config.optimize_every)
         {
             self.optimize_hyperparameters();
+        }
+        if let Some(trace) = &self.trace {
+            let d = self.stats.since(&before);
+            trace.emit(
+                TraceEvent::new("sweep")
+                    .u64("sweep", self.sweeps_done as u64)
+                    .str(
+                        "kernel",
+                        match self.config.kernel {
+                            KernelMode::Sparse => "sparse",
+                            KernelMode::Dense => "dense",
+                        },
+                    )
+                    .u64("threads", self.config.n_threads.max(1) as u64)
+                    .f64("secs", d.sweep_nanos as f64 / 1e9)
+                    .f64("snapshot_secs", d.snapshot_nanos as f64 / 1e9)
+                    .u64("snapshot_full_clones", d.snapshot_full_clones)
+                    .u64("merge_delta_entries", d.merge_delta_entries)
+                    .u64("draws_topic_word", d.draws.topic_word)
+                    .u64("draws_doc", d.draws.doc)
+                    .u64("draws_smoothing", d.draws.smoothing)
+                    .u64("draws_dense", d.draws.dense),
+            );
         }
     }
 
@@ -352,6 +371,7 @@ impl PhraseLda {
                 .smoothing
                 .rebuild(&self.alpha, self.beta, v_beta, self.counts.n_k_table());
         }
+        let mut draws = DrawSplit::default();
 
         for d in 0..self.docs.n_docs() {
             let n_groups = self.z[d].len();
@@ -408,7 +428,7 @@ impl PhraseLda {
                 }
                 let new = if sparse && tokens.len() == 1 {
                     let w = tokens[0];
-                    sample_singleton_sparse(
+                    let (t, bucket) = sample_singleton_sparse_split(
                         &mut self.rng,
                         &self.alpha,
                         v_beta,
@@ -420,7 +440,9 @@ impl PhraseLda {
                         &scratch.doc_bucket,
                         &scratch.smoothing,
                         &mut scratch.q_buf,
-                    ) as u16
+                    );
+                    tally_draw(&mut draws, bucket);
+                    t as u16
                 } else {
                     let view = TrainView::new(
                         self.counts.n_wk_table(),
@@ -437,6 +459,7 @@ impl PhraseLda {
                         &mut scratch.clique,
                         &mut scratch.weights,
                     );
+                    draws.dense += 1;
                     sample_discrete(&mut self.rng, &scratch.weights) as u16
                 };
                 self.z[d][g] = new;
@@ -457,6 +480,7 @@ impl PhraseLda {
                 start = end;
             }
         }
+        self.stats.draws.merge(&draws);
     }
 
     /// One thread-sharded snapshot sweep (see module docs): bit-identical
@@ -562,9 +586,10 @@ impl PhraseLda {
         // each delta into the snapshot buffer too, so the *next* sweep's
         // snapshot is already built by the time the merge finishes.
         let merge_start = std::time::Instant::now();
-        for (delta_wk, delta_k) in &deltas {
-            self.stats.merge_delta_entries += delta_wk.len() as u64;
-            self.counts.apply_delta(delta_wk, delta_k);
+        for delta in &deltas {
+            self.stats.merge_delta_entries += delta.wk.len() as u64;
+            self.counts.apply_delta(&delta.wk, &delta.k);
+            self.stats.draws.merge(&delta.draws);
         }
         self.stats.snapshot_nanos += merge_start.elapsed().as_nanos() as u64;
     }
@@ -616,10 +641,16 @@ impl PhraseLda {
         &self.counts
     }
 
-    /// Snapshot-amortization counters accumulated over all parallel
-    /// sweeps so far.
-    pub fn sweep_stats(&self) -> SweepStats {
+    /// Cumulative sweep telemetry (timing, snapshot amortization,
+    /// singleton-draw split) accumulated over all sweeps so far.
+    pub fn sweep_stats(&self) -> SweepTelemetry {
         self.stats
+    }
+
+    /// Replace the per-sweep trace sink (defaults to the `TOPMINE_TRACE`
+    /// environment sink, or none). Pass `None` to silence tracing.
+    pub fn set_trace(&mut self, trace: Option<Arc<TraceSink>>) {
+        self.trace = trace;
     }
 
     /// Drop the amortized sweep snapshot, forcing the next parallel sweep
@@ -927,9 +958,25 @@ fn smoothing_rebuild_due(n_dirty: usize, k: usize) -> bool {
     n_dirty > (k / 8).max(16)
 }
 
+/// Fold one resolved singleton draw into the telemetry split.
+#[inline]
+fn tally_draw(draws: &mut DrawSplit, bucket: SingletonBucket) {
+    match bucket {
+        SingletonBucket::TopicWord => draws.topic_word += 1,
+        SingletonBucket::Doc => draws.doc += 1,
+        SingletonBucket::Smoothing => draws.smoothing += 1,
+    }
+}
+
 /// One shard's contribution to the barrier merge: sparse `(row-major
-/// index, delta)` pairs over `N_wk` plus a dense `Δ N_k`.
-type ShardDelta = (Vec<(u32, i32)>, Vec<i64>);
+/// index, delta)` pairs over `N_wk`, a dense `Δ N_k`, and the shard's
+/// singleton-draw telemetry (merged into [`SweepTelemetry`] at the
+/// barrier, so workers never touch shared counters).
+struct ShardDelta {
+    wk: Vec<(u32, i32)>,
+    k: Vec<i64>,
+    draws: DrawSplit,
+}
 
 /// Everything one worker needs to sweep its contiguous document shard.
 struct ShardCtx<'a> {
@@ -999,6 +1046,7 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
     let v = snap_wk.len() / k;
     let mut delta_wk: Vec<(u32, i32)> = Vec::new();
     let mut delta_k = vec![0i64; k];
+    let mut draws = DrawSplit::default();
     scratch.prepare(k);
     if sparse {
         // One alias rebuild per shard per sweep, against the frozen
@@ -1099,7 +1147,7 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
 
             let new = if sparse && toks.len() == 1 {
                 let lw = toks[0] as usize;
-                sample_singleton_sparse(
+                let (t, bucket) = sample_singleton_sparse_split(
                     &mut rng,
                     alpha,
                     v_beta,
@@ -1111,7 +1159,9 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
                     &scratch.doc_bucket,
                     &scratch.smoothing,
                     &mut scratch.q_buf,
-                )
+                );
+                tally_draw(&mut draws, bucket);
+                t
             } else {
                 // The same TrainView the sequential sweep uses, pointed at
                 // the doc-local gathered table instead of the global one.
@@ -1124,6 +1174,7 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
                     &mut scratch.clique,
                     &mut scratch.weights,
                 );
+                draws.dense += 1;
                 sample_discrete(&mut rng, &scratch.weights)
             };
 
@@ -1164,7 +1215,11 @@ fn sweep_shard(ctx: ShardCtx<'_>, scratch: &mut SweepScratch) -> ShardDelta {
             *d += scratch.local_nk[t] as i64 - snap_k[t] as i64;
         }
     }
-    (delta_wk, delta_k)
+    ShardDelta {
+        wk: delta_wk,
+        k: delta_k,
+        draws,
+    }
 }
 
 /// Fold-in unit for [`PhraseLda::heldout_perplexity`].

@@ -1,0 +1,249 @@
+//! Lock-free log₂-bucketed histogram.
+//!
+//! Values (typically nanoseconds) are binned by bit length: bucket 0 holds
+//! exactly zero, bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`. That gives a
+//! fixed 65-slot layout covering the full `u64` range at ≤2× relative
+//! error per bucket — plenty for latency percentiles — with recording cost
+//! of two relaxed `fetch_add`s plus a `fetch_max`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One bucket for zero plus one per bit position of a `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for zero, otherwise its bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive `(low, high)` range of values binned into bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < N_BUCKETS, "bucket index {index} out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// Concurrent histogram. Any number of threads may `record` while others
+/// snapshot; snapshots are internally consistent per-cell (not atomic
+/// across cells), which is fine for monitoring reads.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; N_BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]. Snapshots from independent
+/// recorders (e.g. per-shard histograms) can be merged losslessly because
+/// the bucket layout is fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; N_BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: [0; N_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        // Wrapping, to match the recorder's `fetch_add` semantics on sums
+        // that exceed u64 (irrelevant for nanosecond spans, but merging
+        // must agree with single-recorder behavior exactly).
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts, indexed as in [`bucket_bounds`].
+    pub fn bucket_counts(&self) -> &[u64; N_BUCKETS] {
+        &self.counts
+    }
+
+    /// Rank-based quantile estimate for `q ∈ [0, 1]`.
+    ///
+    /// Walks the cumulative counts to the bucket holding the rank
+    /// `ceil(q·n)` element, then interpolates linearly inside that bucket.
+    /// The estimate always lands in the same bucket as the exact order
+    /// statistic, so its error is bounded by the bucket width (<2×
+    /// relative), and it is clamped to the exact recorded max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let (lo, hi) = bucket_bounds(b);
+                // Fractional position of the target rank inside this bucket.
+                let frac = (target - cum) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(lo, hi).min(self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_partitions_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Bounds are contiguous and consistent with the index function.
+        let mut expected_lo = 0u64;
+        for b in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(lo, expected_lo);
+            assert_eq!(bucket_index(lo), b);
+            assert_eq!(bucket_index(hi), b);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn record_and_summarize() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 100, 100, 7_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum(), 7206);
+        assert_eq!(s.max(), 7_000);
+        assert!((s.mean() - 1201.0).abs() < 1e-9);
+        // p50 of [0,1,5,100,100,7000] is the rank-3 element (5): the
+        // estimate must land in 5's bucket.
+        assert_eq!(bucket_index(s.p50()), bucket_index(5));
+        assert_eq!(s.quantile(1.0), 7_000);
+        assert_eq!(s.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(3);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 1013);
+        assert_eq!(m.max(), 1000);
+    }
+}

@@ -1,0 +1,371 @@
+//! Named metric families rendered in the Prometheus text exposition format.
+
+use crate::histogram::bucket_bounds;
+use crate::{Counter, Gauge, Histogram};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram { hist: Arc<Histogram>, scale: f64 },
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A collection of metric families. Handles are `Arc`s, so callers
+/// register once (typically into a `OnceLock`-backed struct) and record
+/// without touching the registry lock again; the lock is only taken on
+/// registration and render.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry scraped by `GET /metrics`.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create a counter series under `name` with the given labels.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, MetricKind::Counter, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or create a gauge series under `name` with the given labels.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, MetricKind::Gauge, || {
+            Metric::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or create a histogram series. Recorded values are multiplied by
+    /// `scale` at render time — record nanoseconds with `scale = 1e-9` to
+    /// expose seconds, or raw quantities with `scale = 1.0`.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        scale: f64,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, MetricKind::Histogram, || {
+            Metric::Histogram {
+                hist: Arc::new(Histogram::new()),
+                scale,
+            }
+        }) {
+            Metric::Histogram { hist, .. } => hist,
+            _ => unreachable!(),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric {name} registered as {} but requested as {}",
+                    f.kind.as_str(),
+                    kind.as_str()
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
+            return clone_metric(&s.metric);
+        }
+        let metric = make();
+        debug_assert!(metric.kind() == kind);
+        family.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric: clone_metric(&metric),
+        });
+        metric
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, one sample line per
+    /// series, histograms as cumulative `_bucket{le=...}` plus `_sum` and
+    /// `_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for family in families.iter() {
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for series in &family.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            c.get()
+                        );
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            label_block(&series.labels, None),
+                            fmt_f64(g.get())
+                        );
+                    }
+                    Metric::Histogram { hist, scale } => {
+                        render_histogram(&mut out, &family.name, &series.labels, hist, *scale);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+        Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+        Metric::Histogram { hist, scale } => Metric::Histogram {
+            hist: Arc::clone(hist),
+            scale: *scale,
+        },
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    hist: &Histogram,
+    scale: f64,
+) {
+    let snap = hist.snapshot();
+    let counts = snap.bucket_counts();
+    let highest = counts
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|b| b.min(63))
+        .unwrap_or(0);
+    let mut cum = 0u64;
+    for (b, &c) in counts.iter().enumerate().take(highest + 1) {
+        cum += c;
+        let le = bucket_bounds(b).1 as f64 * scale;
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            name,
+            label_block(labels, Some(&fmt_f64(le))),
+            cum
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        name,
+        label_block(labels, Some("+Inf")),
+        snap.count()
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        name,
+        label_block(labels, None),
+        fmt_f64(snap.sum() as f64 * scale)
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        name,
+        label_block(labels, None),
+        snap.count()
+    );
+}
+
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            s.push(',');
+        }
+        let _ = write!(s, "le=\"{le}\"");
+    }
+    s.push('}');
+    s
+}
+
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "Total requests", &[("route", "/x")]);
+        let b = r.counter("requests_total", "Total requests", &[("route", "/x")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let other = r.counter("requests_total", "Total requests", &[("route", "/y")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("thing", "h", &[]);
+        let _ = r.gauge("thing", "h", &[]);
+    }
+
+    #[test]
+    fn render_counter_and_gauge() {
+        let r = Registry::new();
+        r.counter("hits_total", "Hits", &[("route", "/a")]).add(3);
+        r.gauge("temp", "Temperature", &[]).set(1.5);
+        let text = r.render();
+        assert!(text.contains("# HELP hits_total Hits\n"));
+        assert!(text.contains("# TYPE hits_total counter\n"));
+        assert!(text.contains("hits_total{route=\"/a\"} 3\n"));
+        assert!(text.contains("# TYPE temp gauge\n"));
+        assert!(text.contains("temp 1.5\n"));
+    }
+
+    #[test]
+    fn render_histogram_is_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "Latency", &[("stage", "parse")], 1.0);
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let text = r.render();
+        // Buckets: value 1 -> le=1, values 3,3 -> le=3 (bucket [2,3]).
+        assert!(text.contains("lat_seconds_bucket{stage=\"parse\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"parse\",le=\"3\"} 3\n"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_sum{stage=\"parse\"} 7\n"));
+        assert!(text.contains("lat_seconds_count{stage=\"parse\"} 3\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("c_total", "c", &[("k", "a\"b\\c\nd")]).inc();
+        let text = r.render();
+        assert!(text.contains("c_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

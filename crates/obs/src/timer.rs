@@ -1,0 +1,73 @@
+//! RAII scope timing into a [`Histogram`].
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// Records the elapsed nanoseconds of a scope into a histogram when
+/// dropped. Borrow-based, so it works with both `&'static` registry
+/// handles and locally owned histograms:
+///
+/// ```
+/// use topmine_obs::Histogram;
+/// let h = Histogram::new();
+/// {
+///     let _span = h.span();
+///     // ... timed work ...
+/// }
+/// assert_eq!(h.snapshot().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Histogram {
+    pub fn span(&self) -> SpanTimer<'_> {
+        SpanTimer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl SpanTimer<'_> {
+    /// Record now and return the elapsed nanoseconds (instead of waiting
+    /// for scope end).
+    pub fn stop(self) -> u64 {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(nanos);
+        std::mem::forget(self);
+        nanos
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new();
+        {
+            let _span = h.span();
+        }
+        assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once_and_returns_nanos() {
+        let h = Histogram::new();
+        let span = h.span();
+        let nanos = span.stop();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.sum(), nanos);
+    }
+}

@@ -1,0 +1,197 @@
+//! Append-only JSONL trace sink.
+//!
+//! Each event is one JSON object per line, e.g.
+//!
+//! ```text
+//! {"event":"sweep","sweep":12,"kernel":"sparse","secs":0.0181,...}
+//! ```
+//!
+//! The sink is opt-in: [`TraceSink::from_env`] opens the file named by the
+//! `TOPMINE_TRACE` environment variable exactly once per process and
+//! returns `None` when the variable is unset, so untraced runs pay only a
+//! `OnceLock` load.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub struct TraceSink {
+    path: PathBuf,
+    out: Mutex<BufWriter<File>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+static ENV_SINK: OnceLock<Option<Arc<TraceSink>>> = OnceLock::new();
+
+impl TraceSink {
+    /// Create (truncating) a sink at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<TraceSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(TraceSink {
+            path,
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The process-wide sink configured via `TOPMINE_TRACE=path`, opened on
+    /// first call. Returns `None` when unset/empty or when the file cannot
+    /// be created (a warning is printed once; tracing must never take down
+    /// a training run).
+    pub fn from_env() -> Option<Arc<TraceSink>> {
+        ENV_SINK
+            .get_or_init(|| {
+                let path = std::env::var("TOPMINE_TRACE").ok()?;
+                if path.is_empty() {
+                    return None;
+                }
+                match TraceSink::create(&path) {
+                    Ok(sink) => Some(Arc::new(sink)),
+                    Err(e) => {
+                        eprintln!("warning: TOPMINE_TRACE={path}: cannot create trace file: {e}");
+                        None
+                    }
+                }
+            })
+            .clone()
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one event line and flush, so the trace is readable even if
+    /// the process is killed mid-run. Write errors are swallowed after a
+    /// single warning per event — tracing is best-effort.
+    pub fn emit(&self, event: TraceEvent) {
+        let line = event.finish();
+        let mut out = self.out.lock().unwrap();
+        if let Err(e) = out.write_all(line.as_bytes()).and_then(|()| out.flush()) {
+            eprintln!(
+                "warning: trace write to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// Incremental JSON object builder for one trace line. Field order follows
+/// insertion order; values are escaped as needed.
+#[derive(Debug)]
+pub struct TraceEvent {
+    buf: String,
+}
+
+impl TraceEvent {
+    pub fn new(event: &str) -> TraceEvent {
+        let mut ev = TraceEvent {
+            buf: String::with_capacity(128),
+        };
+        ev.buf.push('{');
+        ev.push_key("event");
+        ev.push_str_value(event);
+        ev
+    }
+
+    pub fn u64(mut self, key: &str, value: u64) -> TraceEvent {
+        self.buf.push(',');
+        self.push_key(key);
+        let _ = fmt::Write::write_fmt(&mut self.buf, format_args!("{value}"));
+        self
+    }
+
+    pub fn f64(mut self, key: &str, value: f64) -> TraceEvent {
+        self.buf.push(',');
+        self.push_key(key);
+        if value.is_finite() {
+            let _ = fmt::Write::write_fmt(&mut self.buf, format_args!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> TraceEvent {
+        self.buf.push(',');
+        self.push_key(key);
+        self.push_str_value(value);
+        self
+    }
+
+    fn push_key(&mut self, key: &str) {
+        self.push_str_value(key);
+        self.buf.push(':');
+    }
+
+    fn push_str_value(&mut self, s: &str) {
+        self.buf.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ =
+                        fmt::Write::write_fmt(&mut self.buf, format_args!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push_str("}\n");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_builds_one_json_line() {
+        let line = TraceEvent::new("sweep")
+            .u64("sweep", 3)
+            .f64("secs", 0.5)
+            .str("kernel", "sparse")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"event\":\"sweep\",\"sweep\":3,\"secs\":0.5,\"kernel\":\"sparse\"}\n"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = TraceEvent::new("x").str("k", "a\"b\\c\nd").finish();
+        assert_eq!(line, "{\"event\":\"x\",\"k\":\"a\\\"b\\\\c\\nd\"}\n");
+    }
+
+    #[test]
+    fn sink_appends_lines() {
+        let path =
+            std::env::temp_dir().join(format!("topmine_trace_test_{}.jsonl", std::process::id()));
+        let sink = TraceSink::create(&path).unwrap();
+        sink.emit(TraceEvent::new("a").u64("n", 1));
+        sink.emit(TraceEvent::new("b").u64("n", 2));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"a\""));
+        assert!(lines[1].starts_with("{\"event\":\"b\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,102 @@
+//! Histogram properties: shard-merge equivalence, quantile bounds against
+//! an exact sorted reference, and concurrent recording.
+
+use proptest::prelude::*;
+use topmine_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+
+proptest! {
+    /// Splitting a value stream across per-shard recorders and merging the
+    /// snapshots must equal recording everything into one histogram —
+    /// the property that makes per-thread recording sound.
+    #[test]
+    fn merged_shards_equal_single_recorder(
+        values in proptest::collection::vec(0u64..=u64::MAX, 1..400),
+        n_shards in 1usize..6,
+    ) {
+        let single = Histogram::new();
+        let shards: Vec<Histogram> = (0..n_shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            shards[i % n_shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for s in &shards {
+            merged.merge(&s.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+
+    /// Quantile estimates must land in the same log2 bucket as the exact
+    /// order statistic at rank ceil(q*n), never exceed the recorded max,
+    /// and be off by at most that bucket's width.
+    #[test]
+    fn quantile_bounds_vs_sorted_reference(
+        mut values in proptest::collection::vec(0u64..1_000_000_000u64, 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let n = values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = values[rank - 1];
+        let est = h.snapshot().quantile(q);
+        prop_assert_eq!(bucket_index(est), bucket_index(exact),
+            "estimate {} and exact {} in different buckets", est, exact);
+        prop_assert!(est <= *values.last().unwrap());
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        prop_assert!(est.abs_diff(exact) <= hi - lo);
+    }
+
+    /// Sum, count, and max always match the exact reference regardless of
+    /// bucketing.
+    #[test]
+    fn exact_moments_survive_bucketing(
+        values in proptest::collection::vec(0u64..1_000_000u64, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(s.max(), values.iter().copied().max().unwrap_or(0));
+    }
+}
+
+/// Concurrent recording under ≥4 threads loses no events and keeps the
+/// exact sum/max.
+#[test]
+fn concurrent_recording_smoke() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across many buckets.
+                    h.record((i.wrapping_mul(2654435761) ^ t) % 1_000_000);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count(), THREADS * PER_THREAD);
+    let mut expected_sum = 0u64;
+    let mut expected_max = 0u64;
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let v = (i.wrapping_mul(2654435761) ^ t) % 1_000_000;
+            expected_sum += v;
+            expected_max = expected_max.max(v);
+        }
+    }
+    assert_eq!(s.sum(), expected_sum);
+    assert_eq!(s.max(), expected_max);
+    assert!(s.p50() <= s.p95() && s.p95() <= s.p99() && s.p99() <= s.max());
+}

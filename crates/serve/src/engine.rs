@@ -148,10 +148,14 @@ impl QueryEngine {
         let Some(cache) = &self.cache else {
             return infer_doc(self.model.as_ref(), text, config, config.seed_for_index(0));
         };
+        let metrics = crate::metrics::serve_metrics();
+        let lookup = metrics.stage(crate::metrics::Stage::CacheLookup).span();
         let key = CacheKey::new(self.fingerprint, text, config);
         if let Some(hit) = cache.get(&key) {
+            lookup.stop();
             return hit;
         }
+        lookup.stop();
         let inference = infer_doc(self.model.as_ref(), text, config, config.seed_for_index(0));
         cache.put(key, inference.clone());
         inference

@@ -7,23 +7,28 @@
 //! timeout between requests; `Connection: close` is honored per request.
 //! The surface is deliberately tiny:
 //!
-//! * `GET /healthz` — liveness, model shape, shard count, and the
-//!   response-cache hit/miss counters;
+//! * `GET /healthz` — liveness, model shape, shard count, uptime, bundle
+//!   and kernel versions, and the response-cache hit/miss counters;
 //! * `GET /model`   — bundle metadata (header + preprocessing contract);
+//! * `GET /metrics` — Prometheus text exposition of the serving metrics
+//!   (per-stage latency histograms, per-route/status counters);
 //! * `POST /infer`  — body is one plain-text document; query parameters
 //!   `seed`, `iters`, `top` override the per-request inference knobs.
 //!
-//! Responses are JSON, hand-rendered (no serde in the dependency set);
-//! floats use Rust's shortest round-trip `Display`, so a fixed seed yields
-//! byte-identical bodies across runs, thread counts, and shard counts.
+//! Responses are JSON (`/metrics` is text exposition), hand-rendered (no
+//! serde in the dependency set); floats use Rust's shortest round-trip
+//! `Display`, so a fixed seed yields byte-identical bodies across runs,
+//! thread counts, and shard counts.
 
 use crate::engine::{QueryEngine, ThreadPool};
 use crate::infer::{DocInference, InferConfig};
+use crate::metrics::{serve_metrics, ServeMetrics, Stage};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use topmine_obs::Registry;
 
 /// Hard cap on request bodies (1 MiB) — inference input is one document.
 const MAX_BODY: usize = 1 << 20;
@@ -73,6 +78,9 @@ impl HttpServer {
         engine: Arc<QueryEngine>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        // Pin uptime to server start; otherwise the first /healthz or
+        // /metrics touch would start the clock and report ~0 uptime.
+        topmine_obs::mark_process_start();
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             engine,
@@ -191,6 +199,22 @@ impl HttpError {
     }
 }
 
+/// A successful route result: a body plus its media type (JSON for the
+/// API routes, text exposition for `/metrics`).
+struct RouteResponse {
+    body: String,
+    content_type: &'static str,
+}
+
+impl RouteResponse {
+    fn json(body: String) -> Self {
+        Self {
+            body,
+            content_type: "application/json",
+        }
+    }
+}
+
 /// Serve one connection: up to [`MAX_REQUESTS_PER_CONN`] requests on a
 /// persistent connection, closing on client request, idle timeout, the
 /// cap, or any malformed request (framing is unreliable after one).
@@ -216,23 +240,33 @@ fn handle_connection(
                 .set_read_timeout(Some(KEEP_ALIVE_IDLE));
         }
         let at_cap = served + 1 == MAX_REQUESTS_PER_CONN;
+        let metrics = serve_metrics();
         match read_request(&mut reader) {
             Ok(None) => break, // clean close (EOF or idle timeout)
             Ok(Some(req)) => {
+                let handle_start = std::time::Instant::now();
                 let close = req.close || at_cap;
-                let body = match route(&req, engine, defaults) {
-                    Ok(body) => render_response(200, &body, close),
-                    Err(e) => render_response(e.status, &error_json(&e.message), close),
+                let route_label = ServeMetrics::route_label(&req.path);
+                let (status, resp) = match route(&req, engine, defaults) {
+                    Ok(resp) => (200, resp),
+                    Err(e) => (e.status, RouteResponse::json(error_json(&e.message))),
                 };
-                writer.write_all(body.as_bytes())?;
+                let serialize_span = metrics.stage(Stage::Serialize).span();
+                let payload = render_response(status, &resp.body, resp.content_type, close);
+                writer.write_all(payload.as_bytes())?;
                 writer.flush()?;
+                serialize_span.stop();
+                metrics.observe_request(route_label, status, handle_start.elapsed());
                 if close {
                     break;
                 }
             }
             Err(e) => {
-                let _ = writer
-                    .write_all(render_response(e.status, &error_json(&e.message), true).as_bytes());
+                metrics.count_request("invalid", e.status);
+                let _ = writer.write_all(
+                    render_response(e.status, &error_json(&e.message), "application/json", true)
+                        .as_bytes(),
+                );
                 let _ = writer.flush();
                 break;
             }
@@ -262,6 +296,11 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
         }
         Err(_) => return Err(bad("unreadable request line")),
     }
+    // A request is in flight: time the rest of the head + body read and
+    // parse as the `parse` stage. Starting after the first line keeps
+    // keep-alive idle waits (which block in the read above) out of the
+    // histogram.
+    let parse_start = std::time::Instant::now();
     // A request is now in flight: the rest of it (headers + body) gets the
     // full I/O timeout again, not the shorter between-requests idle one.
     let _ = reader
@@ -350,6 +389,9 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
     let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
 
     let (path, query) = parse_target(&target);
+    serve_metrics()
+        .stage(Stage::Parse)
+        .record_duration(parse_start.elapsed());
     Ok(Some(Request {
         method,
         path,
@@ -400,15 +442,24 @@ fn infer_config_from_query(
     Ok(cfg)
 }
 
-fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<String, HttpError> {
+fn route(
+    req: &Request,
+    engine: &QueryEngine,
+    defaults: &InferConfig,
+) -> Result<RouteResponse, HttpError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let m = engine.model();
             let cache = engine.cache_stats();
-            Ok(format!(
-                "{{\"status\":\"ok\",\"format\":{},\"topics\":{},\"vocab\":{},\"shards\":{},\
+            Ok(RouteResponse::json(format!(
+                "{{\"status\":\"ok\",\"format\":{},\"version\":{},\"kernel_version\":{},\
+                 \"kernel\":\"frozen-phi\",\"uptime_seconds\":{},\
+                 \"topics\":{},\"vocab\":{},\"shards\":{},\
                  \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{}}}}}",
                 json_string(m.format_tag()),
+                json_string(env!("CARGO_PKG_VERSION")),
+                topmine_lda::KERNEL_VERSION,
+                topmine_obs::uptime_seconds(),
                 m.n_topics(),
                 m.vocab_size(),
                 m.n_shards(),
@@ -416,13 +467,22 @@ fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<
                 cache.misses,
                 cache.entries,
                 cache.capacity
-            ))
+            )))
+        }
+        ("GET", "/metrics") => {
+            // Point-in-time gauges are sampled at scrape; everything else
+            // accumulated as requests were served.
+            serve_metrics().refresh_scrape_gauges(&engine.cache_stats());
+            Ok(RouteResponse {
+                body: Registry::global().render(),
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+            })
         }
         ("GET", "/model") => {
             let m = engine.model();
             let h = m.header();
             let p = m.preprocess();
-            Ok(format!(
+            Ok(RouteResponse::json(format!(
                 "{{\"format\":{},\"topics\":{},\"vocab\":{},\"shards\":{},\"train_docs\":{},\
                  \"train_tokens\":{},\"lexicon_phrases\":{},\"seg_alpha\":{},\"beta\":{},\
                  \"stem\":{},\"remove_stopwords\":{}}}",
@@ -437,16 +497,18 @@ fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<
                 h.beta,
                 p.stem,
                 p.remove_stopwords
-            ))
+            )))
         }
         ("POST", "/infer") => {
             let cfg = infer_config_from_query(&req.query, defaults)?;
             if req.body.is_empty() {
                 return Err(HttpError::new(400, "empty body: send the document text"));
             }
-            Ok(inference_json(&engine.infer(&req.body, &cfg)))
+            Ok(RouteResponse::json(inference_json(
+                &engine.infer(&req.body, &cfg),
+            )))
         }
-        (_, "/healthz" | "/model" | "/infer") => Err(HttpError::new(
+        (_, "/healthz" | "/model" | "/metrics" | "/infer") => Err(HttpError::new(
             405,
             format!("method {} not allowed", req.method),
         )),
@@ -454,7 +516,7 @@ fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> Result<
     }
 }
 
-fn render_response(status: u16, body: &str, close: bool) -> String {
+fn render_response(status: u16, body: &str, content_type: &str, close: bool) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -467,7 +529,7 @@ fn render_response(status: u16, body: &str, close: bool) -> String {
     };
     let connection = if close { "close" } else { "keep-alive" };
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )
@@ -584,14 +646,22 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_connection_intent() {
-        let r = render_response(200, "{\"x\":1}", true);
+    fn responses_carry_length_type_and_connection_intent() {
+        let r = render_response(200, "{\"x\":1}", "application/json", true);
         assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Type: application/json\r\n"));
         assert!(r.contains("Content-Length: 7\r\n"));
         assert!(r.contains("Connection: close\r\n"));
         assert!(r.ends_with("{\"x\":1}"));
-        let r = render_response(200, "{\"x\":1}", false);
+        let r = render_response(200, "{\"x\":1}", "application/json", false);
         assert!(r.contains("Connection: keep-alive\r\n"));
+        let r = render_response(
+            200,
+            "a 1\n",
+            "text/plain; version=0.0.4; charset=utf-8",
+            true,
+        );
+        assert!(r.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
     }
 
     #[test]

@@ -127,6 +127,8 @@ pub fn infer_doc(
     config: &InferConfig,
     seed: u64,
 ) -> DocInference {
+    let metrics = crate::metrics::serve_metrics();
+    metrics.infer_docs_total.inc();
     let prepared = model.prepare(text);
     let spans = model.segment(&prepared.doc);
     let k = model.n_topics();
@@ -154,7 +156,10 @@ pub fn infer_doc(
         }
         let n_local = scratch.distinct.len();
         // Topic-major `k × n_local`: φ[t][distinct[j]] at `t * n_local + j`.
+        let gather = metrics.stage(crate::metrics::Stage::PhiGather).span();
         let phi = model.gather_phi(&scratch.distinct);
+        gather.stop();
+        metrics.phi_columns_total.add(n_local as u64);
         let view = FrozenPhiView::new(&phi, n_local, k);
 
         // Fold-in state: per-topic token counts for this document, one
@@ -172,6 +177,9 @@ pub fn infer_doc(
             scratch.weights.clear();
             scratch.weights.resize(k, 0.0);
         }
+        // Timer only — the sweep body is untouched, so the fold-in chain
+        // consumes exactly the same RNG stream as before.
+        let fold = metrics.stage(crate::metrics::Stage::FoldIn).span();
         for _ in 0..config.fold_iters {
             for (g, &(s, e)) in spans.iter().enumerate() {
                 let old = scratch.z[g] as usize;
@@ -189,6 +197,7 @@ pub fn infer_doc(
                 scratch.local_ndk[new as usize] += e - s;
             }
         }
+        fold.stop();
 
         let alpha_sum: f64 = alpha.iter().sum();
         let theta_den = tokens.len() as f64 + alpha_sum;

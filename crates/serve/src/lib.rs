@@ -61,6 +61,7 @@ pub mod engine;
 pub mod frozen;
 pub mod http;
 pub mod infer;
+pub mod metrics;
 pub mod sharded;
 pub mod trie;
 
@@ -70,5 +71,6 @@ pub use engine::{QueryEngine, ThreadPool, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig, FROZEN_MODEL_FORMAT};
 pub use http::{inference_json, HttpServer, ServerConfig, ServerHandle};
 pub use infer::{infer_doc, DocInference, InferConfig, PhraseAssignment};
+pub use metrics::{serve_metrics, ServeMetrics, Stage};
 pub use sharded::{ModelShard, ShardedModel, SHARDED_MODEL_FORMAT};
 pub use trie::PhraseTrie;

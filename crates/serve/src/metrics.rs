@@ -1,0 +1,238 @@
+//! Serving-stack metrics, registered in the process-wide
+//! [`topmine_obs::Registry`] and exposed by `GET /metrics`.
+//!
+//! Handles are resolved once through a `OnceLock`, so the per-request cost
+//! is a few `Instant` reads and relaxed atomic adds — cheap enough to stay
+//! compiled in whether or not anything ever scrapes.
+
+use crate::cache::CacheStats;
+use std::sync::{Arc, OnceLock};
+use topmine_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Pipeline stages of one served inference request, each with its own
+/// latency histogram (`topmine_request_stage_seconds{stage=...}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Reading and parsing the request head + body (keep-alive idle time
+    /// between requests is not counted).
+    Parse,
+    /// Response-cache probe (hit or miss) plus the insert on miss.
+    CacheLookup,
+    /// Gathering φ columns for the document's distinct words
+    /// (scatter-gather across shards when the bundle is sharded).
+    PhiGather,
+    /// The fold-in Gibbs sweeps over the gathered columns.
+    FoldIn,
+    /// Rendering the response and writing it to the socket.
+    Serialize,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::Parse,
+        Stage::CacheLookup,
+        Stage::PhiGather,
+        Stage::FoldIn,
+        Stage::Serialize,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::PhiGather => "phi_gather",
+            Stage::FoldIn => "fold_in",
+            Stage::Serialize => "serialize",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::CacheLookup => 1,
+            Stage::PhiGather => 2,
+            Stage::FoldIn => 3,
+            Stage::Serialize => 4,
+        }
+    }
+}
+
+/// Known routes, for bounded label cardinality: anything else (404 paths)
+/// is grouped under `other`, and unparseable requests under `invalid`.
+const ROUTES: [&str; 4] = ["/healthz", "/model", "/infer", "/metrics"];
+
+/// One-time-registered handles for everything the serving stack records.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    stage_seconds: [Arc<Histogram>; 5],
+    /// Per-route handling time (dispatch through response write), indexed
+    /// like [`ROUTES`] with `other` at the end.
+    route_seconds: [Arc<Histogram>; 5],
+    /// Documents run through fold-in inference (cache misses + batch).
+    pub infer_docs_total: Arc<Counter>,
+    /// φ columns gathered for inference (distinct in-vocabulary words).
+    pub phi_columns_total: Arc<Counter>,
+    /// Distribution of gathered column counts per sharded scatter-gather.
+    pub sharded_gather_columns: Arc<Histogram>,
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+    cache_capacity: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+}
+
+static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+
+/// The process-wide serving metrics, registered on first use.
+pub fn serve_metrics() -> &'static ServeMetrics {
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        let stage_help = "Per-stage request latency in seconds";
+        let route_help = "Request handling time in seconds (route dispatch through \
+                          response write), by route";
+        ServeMetrics {
+            stage_seconds: Stage::ALL.map(|s| {
+                r.histogram(
+                    "topmine_request_stage_seconds",
+                    stage_help,
+                    &[("stage", s.as_str())],
+                    1e-9,
+                )
+            }),
+            route_seconds: [ROUTES[0], ROUTES[1], ROUTES[2], ROUTES[3], "other"].map(|route| {
+                r.histogram(
+                    "topmine_http_request_seconds",
+                    route_help,
+                    &[("route", route)],
+                    1e-9,
+                )
+            }),
+            infer_docs_total: r.counter(
+                "topmine_infer_documents_total",
+                "Documents run through fold-in inference",
+                &[],
+            ),
+            phi_columns_total: r.counter(
+                "topmine_phi_gather_columns_total",
+                "Phi columns gathered for inference (distinct in-vocabulary words)",
+                &[],
+            ),
+            sharded_gather_columns: r.histogram(
+                "topmine_sharded_gather_columns",
+                "Columns gathered per sharded phi scatter-gather",
+                &[],
+                1.0,
+            ),
+            cache_hits: r.gauge(
+                "topmine_cache_hits",
+                "Response cache hits since start (sampled at scrape)",
+                &[],
+            ),
+            cache_misses: r.gauge(
+                "topmine_cache_misses",
+                "Response cache misses since start (sampled at scrape)",
+                &[],
+            ),
+            cache_entries: r.gauge("topmine_cache_entries", "Response cache occupancy", &[]),
+            cache_capacity: r.gauge("topmine_cache_capacity", "Response cache capacity", &[]),
+            uptime_seconds: r.gauge(
+                "topmine_uptime_seconds",
+                "Seconds since process start (sampled at scrape)",
+                &[],
+            ),
+        }
+    })
+}
+
+impl ServeMetrics {
+    /// The latency histogram for one request stage.
+    #[inline]
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stage_seconds[stage.index()]
+    }
+
+    /// Bounded-cardinality route label for a request path.
+    pub fn route_label(path: &str) -> &'static str {
+        ROUTES
+            .iter()
+            .find(|&&r| r == path)
+            .copied()
+            .unwrap_or("other")
+    }
+
+    /// Record one completed request: handling-time histogram plus the
+    /// `{route, status}` counter.
+    pub fn observe_request(&self, route: &'static str, status: u16, elapsed: std::time::Duration) {
+        let idx = ROUTES
+            .iter()
+            .position(|&r| r == route)
+            .unwrap_or(ROUTES.len());
+        self.route_seconds[idx].record_duration(elapsed);
+        self.count_request(route, status);
+    }
+
+    /// Count a request that never reached a route handler (unparseable
+    /// head, oversized body, ...), without polluting the latency series.
+    pub fn count_request(&self, route: &'static str, status: u16) {
+        Registry::global()
+            .counter(
+                "topmine_http_requests_total",
+                "HTTP requests by route and status",
+                &[("route", route), ("status", status_label(status))],
+            )
+            .inc();
+    }
+
+    /// Refresh the point-in-time gauges rendered by a scrape.
+    pub fn refresh_scrape_gauges(&self, cache: &CacheStats) {
+        self.cache_hits.set(cache.hits as f64);
+        self.cache_misses.set(cache.misses as f64);
+        self.cache_entries.set(cache.entries as f64);
+        self.cache_capacity.set(cache.capacity as f64);
+        self.uptime_seconds.set(topmine_obs::uptime_seconds());
+    }
+}
+
+/// Static status label for the statuses this server emits (bounds label
+/// cardinality and avoids a per-request allocation).
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        413 => "413",
+        431 => "431",
+        505 => "505",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_labels_are_bounded() {
+        assert_eq!(ServeMetrics::route_label("/infer"), "/infer");
+        assert_eq!(ServeMetrics::route_label("/metrics"), "/metrics");
+        assert_eq!(ServeMetrics::route_label("/nope"), "other");
+    }
+
+    #[test]
+    fn status_labels_are_bounded() {
+        assert_eq!(status_label(200), "200");
+        assert_eq!(status_label(418), "other");
+    }
+
+    #[test]
+    fn recording_reaches_the_global_registry() {
+        let m = serve_metrics();
+        m.stage(Stage::FoldIn).record(1_000);
+        m.observe_request("/infer", 200, std::time::Duration::from_micros(5));
+        let text = Registry::global().render();
+        assert!(text.contains("topmine_request_stage_seconds_bucket{stage=\"fold_in\""));
+        assert!(text.contains("topmine_http_requests_total{route=\"/infer\",status=\"200\"}"));
+        assert!(text.contains("topmine_http_request_seconds_count{route=\"/infer\"}"));
+    }
+}

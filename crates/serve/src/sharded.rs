@@ -757,6 +757,9 @@ impl ModelBackend for ShardedModel {
     }
 
     fn gather_phi(&self, words: &[u32]) -> Vec<f64> {
+        crate::metrics::serve_metrics()
+            .sharded_gather_columns
+            .record(words.len() as u64);
         let k = self.header.n_topics;
         let n = words.len();
         let mut out = vec![0.0f64; k * n];
