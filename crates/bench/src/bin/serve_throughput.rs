@@ -16,12 +16,28 @@
 //! latency into a [`topmine_obs::Histogram`] and reports p50/p95/p99/max
 //! alongside the mean — tail latency is what a serving SLO is written
 //! against, and a mean hides it.
+//!
+//! Two more sections exercise the batched serving path:
+//!
+//! * **batch_amortization** — the amortized batch kernel
+//!   (`infer_batch_amortized`: one φ gather shared by the whole batch)
+//!   against the same documents folded in one at a time, min-of-5
+//!   interleaved timing, results asserted bit-identical. Set
+//!   `TOPMINE_MIN_BATCH_SPEEDUP` to gate the ratio in CI.
+//! * **open_loop** — the real HTTP server driven at a fixed offered rate
+//!   (requests fired on an absolute schedule, late or not), reporting
+//!   achieved vs offered QPS and latency measured from the *scheduled*
+//!   send time — the open-loop convention, so queueing delay is not
+//!   hidden by a slow client.
 
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::sync::Arc;
 use topmine_bench::{banner, fit_topmine_on_profile, iters, scale, seed_for};
 use topmine_obs::Histogram;
-use topmine_serve::{InferConfig, ModelBackend, QueryEngine, ShardedModel};
+use topmine_serve::{
+    infer_doc, HttpServer, InferConfig, ModelBackend, QueryEngine, ServerConfig, ShardedModel,
+};
 use topmine_synth::Profile;
 use topmine_util::Table;
 
@@ -138,6 +154,88 @@ fn main() {
         snap.count()
     );
 
+    // Batched fold-in vs one-at-a-time: same documents, same seeds, cache
+    // off. Short chains make the φ gather a meaningful share of the work —
+    // that is the cost the batch path amortizes (one remap + gather per
+    // batch instead of per document). Min-of-3 interleaved, so scheduler
+    // noise hits both sides alike.
+    let batch_cfg = InferConfig {
+        fold_iters: 1,
+        seed: 7,
+        top_topics: 3,
+    };
+    // Tile the query set up to 2048 documents so the timed section is long
+    // enough to out-shout scheduler noise even at smoke scale.
+    let batch_docs: Vec<&str> = queries
+        .iter()
+        .cycle()
+        .take(2048.max(queries.len()))
+        .map(String::as_str)
+        .collect();
+    let amortized_engine = QueryEngine::with_cache_capacity(backend.clone(), 1, 0);
+    let (mut per_doc_secs, mut batched_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let start = std::time::Instant::now();
+        let sequential: Vec<_> = batch_docs
+            .iter()
+            .enumerate()
+            .map(|(i, doc)| {
+                infer_doc(
+                    backend.as_ref(),
+                    doc,
+                    &batch_cfg,
+                    batch_cfg.seed_for_index(i),
+                )
+            })
+            .collect();
+        per_doc_secs = per_doc_secs.min(start.elapsed().as_secs_f64());
+
+        let start = std::time::Instant::now();
+        let batched = amortized_engine.infer_batch_amortized(&batch_docs, &batch_cfg);
+        batched_secs = batched_secs.min(start.elapsed().as_secs_f64());
+
+        assert_eq!(
+            sequential, batched,
+            "amortized batch diverged from sequential fold-in"
+        );
+    }
+    let batch_speedup = per_doc_secs / batched_secs;
+    println!(
+        "batch amortization over {} docs ({} sweeps): per-doc {per_doc_secs:.3}s, \
+         batched {batched_secs:.3}s, speedup {batch_speedup:.2}x (bit-identical)",
+        batch_docs.len(),
+        batch_cfg.fold_iters
+    );
+    if let Some(floor) = std::env::var("TOPMINE_MIN_BATCH_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        assert!(
+            batch_speedup >= floor,
+            "batched fold-in speedup {batch_speedup:.3}x fell below the \
+             TOPMINE_MIN_BATCH_SPEEDUP={floor} floor"
+        );
+        println!("batch speedup gate passed: {batch_speedup:.2}x >= {floor}x");
+    }
+
+    // Open-loop load against the real HTTP server: offer a fixed fraction
+    // of the measured closed-loop capacity and fire every request on its
+    // absolute schedule slot whether or not earlier ones have returned.
+    let closed_loop_rps = 1000.0 / mean_ms;
+    let open = run_open_loop(backend.clone(), &queries, &config, 0.6 * closed_loop_rps);
+    println!(
+        "open loop: offered {:.1} rps, achieved {:.1} rps over {} requests — \
+         mean {:.3}ms  p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        open.target_qps,
+        open.achieved_qps,
+        open.requests,
+        open.mean_ms,
+        open.p50_ms,
+        open.p95_ms,
+        open.p99_ms,
+        open.max_ms
+    );
+
     // JSON snapshot for CI trending.
     let mut json = String::from("{");
     json.push_str(&format!(
@@ -159,8 +257,132 @@ fn main() {
          \"p99\":{p99:.4},\"max\":{max_ms:.4}",
         snap.count()
     ));
+    json.push_str("},\"batch_amortization\":{");
+    json.push_str(&format!(
+        "\"batch_docs\":{},\"fold_iters\":{},\"per_doc_secs\":{per_doc_secs:.4},\
+         \"batched_secs\":{batched_secs:.4},\"speedup\":{batch_speedup:.3}",
+        batch_docs.len(),
+        batch_cfg.fold_iters
+    ));
+    json.push_str("},\"open_loop\":{");
+    json.push_str(&format!(
+        "\"target_qps\":{:.2},\"achieved_qps\":{:.2},\"requests\":{},\
+         \"mean\":{:.4},\"p50\":{:.4},\"p95\":{:.4},\"p99\":{:.4},\"max\":{:.4}",
+        open.target_qps,
+        open.achieved_qps,
+        open.requests,
+        open.mean_ms,
+        open.p50_ms,
+        open.p95_ms,
+        open.p99_ms,
+        open.max_ms
+    ));
     json.push_str("}}");
     let mut file = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
     writeln!(file, "{json}").expect("write BENCH_serve.json");
     println!("snapshot written to BENCH_serve.json");
+}
+
+struct OpenLoopStats {
+    target_qps: f64,
+    achieved_qps: f64,
+    requests: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// One raw HTTP/1.1 `/infer` request against `addr`; panics on a non-200.
+fn http_infer(addr: std::net::SocketAddr, body: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let message = format!(
+        "POST /infer HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "open-loop request failed: {}",
+        response.lines().next().unwrap_or("")
+    );
+}
+
+/// Drive the real HTTP server at `target_qps`: request `i` is fired at
+/// absolute slot `t0 + i/target_qps` (sleeping only if early), and its
+/// latency is measured **from the slot**, so server-side queueing under
+/// overload shows up instead of silently throttling the client.
+fn run_open_loop(
+    backend: Arc<dyn ModelBackend>,
+    queries: &[String],
+    config: &InferConfig,
+    target_qps: f64,
+) -> OpenLoopStats {
+    // Cache off so every request costs a real fold-in; a couple of
+    // dispatcher workers so batch coalescing has someone to feed.
+    let engine = Arc::new(QueryEngine::with_cache_capacity(backend, 1, 0));
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            n_threads: 2,
+            infer_defaults: config.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind open-loop server")
+    .spawn()
+    .expect("spawn open-loop server");
+    let addr = server.addr();
+
+    let n_requests = queries.len().min(300);
+    let n_clients = 4usize;
+    let interval = std::time::Duration::from_secs_f64(1.0 / target_qps.max(1.0));
+    let hist = Arc::new(Histogram::new());
+    let t0 = std::time::Instant::now();
+    let clients: Vec<_> = (0..n_clients)
+        .map(|c| {
+            let hist = Arc::clone(&hist);
+            let docs: Vec<(usize, String)> = queries
+                .iter()
+                .take(n_requests)
+                .enumerate()
+                .filter(|(i, _)| i % n_clients == c)
+                .map(|(i, q)| (i, q.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                for (i, doc) in docs {
+                    let slot = t0 + interval * (i as u32);
+                    if let Some(early) = slot.checked_duration_since(std::time::Instant::now()) {
+                        std::thread::sleep(early);
+                    }
+                    http_infer(addr, &doc);
+                    // Latency from the schedule slot: waiting in the
+                    // admission queue (or behind a slow dispatch) counts.
+                    hist.record_duration(slot.elapsed());
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("open-loop client");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let snap = hist.snapshot();
+    let to_ms = 1e-6;
+    OpenLoopStats {
+        target_qps,
+        achieved_qps: n_requests as f64 / elapsed,
+        requests: n_requests,
+        mean_ms: snap.mean() * to_ms,
+        p50_ms: snap.p50() as f64 * to_ms,
+        p95_ms: snap.p95() as f64 * to_ms,
+        p99_ms: snap.p99() as f64 * to_ms,
+        max_ms: snap.max() as f64 * to_ms,
+    }
 }

@@ -14,7 +14,8 @@ use topmine::cli::{parse_command, CliOptions, Command, InferOptions, ServeOption
 use topmine::ToPMine;
 use topmine_corpus::{io as corpus_io, CorpusOptions, StopwordSet};
 use topmine_serve::{
-    load_bundle, HttpServer, InferConfig, ModelBackend, QueryEngine, ServerConfig, ShardedModel,
+    load_bundle, FrontEnd, HttpServer, InferConfig, ModelBackend, QueryEngine, ServerConfig,
+    ShardedModel,
 };
 
 fn main() -> ExitCode {
@@ -147,9 +148,9 @@ fn run_serve(opts: &ServeOptions) -> Result<(), String> {
         model.n_shards(),
         model.header().n_docs
     );
-    // Concurrency comes from the server's connection pool (one inference
-    // per connection, inline); the engine's own batch pool would sit idle
-    // behind HTTP, so keep it at one worker.
+    // Concurrency comes from the server's dispatcher workers (batches of
+    // queued requests, coalesced); the engine's own batch pool would sit
+    // idle behind HTTP, so keep it at one worker.
     let engine = Arc::new(QueryEngine::new(model, 1));
     let server = HttpServer::bind(
         (opts.host.as_str(), opts.port),
@@ -161,14 +162,25 @@ fn run_serve(opts: &ServeOptions) -> Result<(), String> {
                 seed: opts.seed,
                 top_topics: opts.top,
             },
+            queue_depth: opts.queue_depth,
+            max_batch: opts.max_batch,
+            deadline: (opts.deadline_ms > 0)
+                .then(|| std::time::Duration::from_millis(opts.deadline_ms)),
+            front_end: FrontEnd::Auto,
         },
     )
     .map_err(|e| format!("binding {}:{}: {e}", opts.host, opts.port))?;
     let addr = server
         .local_addr()
         .map_err(|e| format!("resolving bound address: {e}"))?;
-    eprintln!("listening on {addr} ({} workers)", opts.n_threads);
-    eprintln!("endpoints: GET /healthz, GET /model, POST /infer?seed=N&iters=N&top=N");
+    eprintln!(
+        "listening on {addr} ({} dispatchers, queue depth {}, max batch {})",
+        opts.n_threads, opts.queue_depth, opts.max_batch
+    );
+    eprintln!(
+        "endpoints: GET /healthz, GET /model, GET /metrics, \
+         POST /infer?seed=N&iters=N&top=N&deadline_ms=N, POST /infer_batch"
+    );
     server.run().map_err(|e| format!("serving: {e}"))
 }
 

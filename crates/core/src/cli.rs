@@ -124,10 +124,16 @@ SERVE OPTIONS:
     --model DIR           frozen bundle from --save-model (required)
     --port N              TCP port (0 = ephemeral)      [default: 7878]
     --host ADDR           bind address                  [default: 127.0.0.1]
-    --threads N           connection worker threads     [default: 4]
+    --threads N           dispatcher worker threads     [default: 4]
     --iters N             default fold-in sweeps        [default: 20]
     --seed N              default RNG seed              [default: 1]
     --top N               default top topics reported   [default: 3]
+    --queue-depth N       admission queue bound; overflow
+                          answers 429 + Retry-After     [default: 128]
+    --max-batch N         most documents coalesced into one
+                          dispatch (shared phi gather)  [default: 16]
+    --deadline-ms N       default per-request deadline; queued
+                          past it answers 504 (0 = none) [default: 30000]
 
 INFER OPTIONS:
     --model DIR           frozen bundle from --save-model (required)
@@ -150,6 +156,12 @@ pub struct ServeOptions {
     pub fold_iters: usize,
     pub seed: u64,
     pub top: usize,
+    /// Admission-queue bound (pending inference requests before 429).
+    pub queue_depth: usize,
+    /// Most documents coalesced into one dispatch batch.
+    pub max_batch: usize,
+    /// Default per-request deadline in milliseconds; 0 disables.
+    pub deadline_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -162,6 +174,9 @@ impl Default for ServeOptions {
             fold_iters: 20,
             seed: 1,
             top: 3,
+            queue_depth: 128,
+            max_batch: 16,
+            deadline_ms: 30_000,
         }
     }
 }
@@ -249,6 +264,21 @@ fn parse_serve_args<I: Iterator<Item = String>>(
             }
             "--seed" => opts.seed = parse_num(&need(&mut args, "--seed")?, "--seed")?,
             "--top" => opts.top = parse_num(&need(&mut args, "--top")?, "--top")?,
+            "--queue-depth" => {
+                opts.queue_depth = parse_num(&need(&mut args, "--queue-depth")?, "--queue-depth")?;
+                if opts.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+            }
+            "--max-batch" => {
+                opts.max_batch = parse_num(&need(&mut args, "--max-batch")?, "--max-batch")?;
+                if opts.max_batch == 0 {
+                    return Err("--max-batch must be at least 1".into());
+                }
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = parse_num(&need(&mut args, "--deadline-ms")?, "--deadline-ms")?;
+            }
             other => return Err(format!("serve: unknown argument: {other}")),
         }
     }
@@ -536,6 +566,12 @@ mod tests {
             "5",
             "--top",
             "4",
+            "--queue-depth",
+            "32",
+            "--max-batch",
+            "8",
+            "--deadline-ms",
+            "500",
         ])
         .unwrap()
         .unwrap();
@@ -548,6 +584,9 @@ mod tests {
                 assert_eq!(opts.fold_iters, 30);
                 assert_eq!(opts.seed, 5);
                 assert_eq!(opts.top, 4);
+                assert_eq!(opts.queue_depth, 32);
+                assert_eq!(opts.max_batch, 8);
+                assert_eq!(opts.deadline_ms, 500);
             }
             other => panic!("expected Serve, got {other:?}"),
         }
@@ -556,11 +595,24 @@ mod tests {
             Command::Serve(opts) => {
                 assert_eq!(opts.port, 7878);
                 assert_eq!(opts.host, "127.0.0.1");
+                assert_eq!(opts.queue_depth, 128);
+                assert_eq!(opts.max_batch, 16);
+                assert_eq!(opts.deadline_ms, 30_000);
             }
+            other => panic!("{other:?}"),
+        }
+        // --deadline-ms 0 is the documented way to disable the deadline.
+        match command(&["serve", "--model", "m", "--deadline-ms", "0"])
+            .unwrap()
+            .unwrap()
+        {
+            Command::Serve(opts) => assert_eq!(opts.deadline_ms, 0),
             other => panic!("{other:?}"),
         }
         assert!(command(&["serve"]).is_err()); // missing --model
         assert!(command(&["serve", "--model", "m", "--threads", "0"]).is_err());
+        assert!(command(&["serve", "--model", "m", "--queue-depth", "0"]).is_err());
+        assert!(command(&["serve", "--model", "m", "--max-batch", "0"]).is_err());
         assert!(command(&["serve", "--model", "m", "--port", "xyz"]).is_err());
         assert!(command(&["serve", "--model", "m", "--bogus"]).is_err());
         assert_eq!(command(&["serve", "--help"]).unwrap(), None);

@@ -72,6 +72,16 @@ pub trait ModelBackend: Send + Sync {
     /// is the trained `φ[t][words[j]]`, bit-exact.
     fn gather_phi(&self, words: &[u32]) -> Vec<f64>;
 
+    /// Batch scatter-gather: the same contract as
+    /// [`gather_phi`](ModelBackend::gather_phi), but `words` is the union
+    /// of a whole dispatch batch's distinct words, so a sharded backend can
+    /// do one fan-out per *batch* instead of per document. Must return the
+    /// exact bytes `gather_phi` would — the default simply delegates;
+    /// overrides may only reorganize the traversal, never the values.
+    fn gather_phi_batch(&self, words: &[u32]) -> Vec<f64> {
+        self.gather_phi(words)
+    }
+
     /// Preferred display string for one word id (unstemmed when the bundle
     /// carries a surface table).
     fn display_word(&self, id: u32) -> &str;

@@ -32,9 +32,23 @@ pub(crate) struct CacheKey {
 
 impl CacheKey {
     pub(crate) fn new(fingerprint: u64, text: &str, config: &InferConfig) -> Self {
+        Self::new_seeded(fingerprint, text, config, config.seed)
+    }
+
+    /// Key an inference by its *effective* RNG seed rather than the config
+    /// seed. Document `i` of a batch runs with `config.seed_for_index(i)`,
+    /// so its result is legitimately shared with any single `/infer` whose
+    /// seed equals that derived value (index 0 derives the config seed
+    /// itself, so single-document keys are unchanged).
+    pub(crate) fn new_seeded(
+        fingerprint: u64,
+        text: &str,
+        config: &InferConfig,
+        effective_seed: u64,
+    ) -> Self {
         Self {
             fingerprint,
-            seed: config.seed,
+            seed: effective_seed,
             fold_iters: config.fold_iters,
             top_topics: config.top_topics,
             text: text.to_string(),

@@ -16,7 +16,7 @@
 
 use crate::backend::ModelBackend;
 use crate::cache::{CacheKey, CacheStats, ResponseCache};
-use crate::infer::{infer_doc, DocInference, InferConfig};
+use crate::infer::{infer_doc, infer_docs_amortized, BatchItem, DocInference, InferConfig};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -196,6 +196,80 @@ impl QueryEngine {
             .map(|r| r.expect("worker completed every index"))
             .collect()
     }
+
+    /// Cache-aware amortized batch on the calling thread: every item
+    /// probes the LRU individually (hits skip fold-in entirely), and the
+    /// misses share **one** φ scatter-gather via
+    /// [`infer_docs_amortized`]. Results come back in item order and are
+    /// bit-identical to per-item [`infer_doc`] calls with the items'
+    /// seeds, whatever mix of hits and misses occurs.
+    pub fn infer_items_amortized(&self, items: &[BatchItem]) -> Vec<DocInference> {
+        let metrics = crate::metrics::serve_metrics();
+        let mut results: Vec<Option<DocInference>> = (0..items.len()).map(|_| None).collect();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        if let Some(cache) = &self.cache {
+            for (i, item) in items.iter().enumerate() {
+                let lookup = metrics.stage(crate::metrics::Stage::CacheLookup).span();
+                let key =
+                    CacheKey::new_seeded(self.fingerprint, &item.text, &item.config, item.seed);
+                let hit = cache.get(&key);
+                lookup.stop();
+                match hit {
+                    Some(found) => results[i] = Some(found),
+                    None => miss_idx.push(i),
+                }
+            }
+        } else {
+            miss_idx.extend(0..items.len());
+        }
+        if !miss_idx.is_empty() {
+            // All-miss batches (and cacheless engines) fold the caller's
+            // slice directly; only a mixed batch pays for compacting the
+            // misses into their own buffer.
+            let inferred = if miss_idx.len() == items.len() {
+                infer_docs_amortized(self.model.as_ref(), items)
+            } else {
+                let misses: Vec<BatchItem> = miss_idx.iter().map(|&i| items[i].clone()).collect();
+                infer_docs_amortized(self.model.as_ref(), &misses)
+            };
+            for (&i, inference) in miss_idx.iter().zip(inferred) {
+                if let Some(cache) = &self.cache {
+                    let item = &items[i];
+                    cache.put(
+                        CacheKey::new_seeded(self.fingerprint, &item.text, &item.config, item.seed),
+                        inference.clone(),
+                    );
+                }
+                results[i] = Some(inference);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every item resolved"))
+            .collect()
+    }
+
+    /// Amortized batch over one config: document `i` draws
+    /// [`InferConfig::seed_for_index`]`(i)` — the same seeds as
+    /// [`infer_batch`](QueryEngine::infer_batch) — but the whole batch
+    /// shares a single φ gather instead of fanning out per-document
+    /// gathers over the pool.
+    pub fn infer_batch_amortized<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+        config: &InferConfig,
+    ) -> Vec<DocInference> {
+        let items: Vec<BatchItem> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, text)| BatchItem {
+                text: text.as_ref().to_string(),
+                config: config.clone(),
+                seed: config.seed_for_index(i),
+            })
+            .collect();
+        self.infer_items_amortized(&items)
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +353,28 @@ mod tests {
         assert_eq!(third.theta.len(), first.theta.len());
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn amortized_batch_matches_pool_batch_and_fills_the_cache() {
+        let model = Arc::new(tiny_model());
+        let engine = QueryEngine::new(model.clone(), 2);
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("mining frequent patterns number {i}"))
+            .collect();
+        let cfg = InferConfig::default();
+        let amortized = engine.infer_batch_amortized(&texts, &cfg);
+        assert_eq!(amortized, engine.infer_batch(&texts, &cfg));
+        // Second amortized pass answers every document from the cache.
+        let before = engine.cache_stats();
+        let again = engine.infer_batch_amortized(&texts, &cfg);
+        assert_eq!(again, amortized);
+        let after = engine.cache_stats();
+        assert_eq!(after.hits, before.hits + texts.len() as u64);
+        // Document 0 keys on the config seed, so a single `infer` of the
+        // same text is a hit too.
+        assert_eq!(engine.infer(&texts[0], &cfg), amortized[0]);
+        assert_eq!(engine.cache_stats().hits, after.hits + 1);
     }
 
     #[test]

@@ -1,0 +1,867 @@
+//! A std-only epoll front end for the HTTP server (Linux/x86-64).
+//!
+//! One thread owns every connection: a readiness loop accepts, reads
+//! request bytes incrementally, and parses with the same request-line /
+//! header / framing rules as the blocking front end (the helpers in
+//! [`crate::http`] are shared, not duplicated). Cheap read routes
+//! (`/healthz`, `/model`, `/metrics`) are answered inline on the loop —
+//! which is what keeps them responsive when the admission queue is
+//! saturated — while inference requests are submitted to the
+//! [`InferService`](crate::dispatch::InferService); its dispatcher threads
+//! push completions back and wake the loop through an `eventfd`.
+//!
+//! epoll and eventfd are driven by raw syscalls (the crate deliberately
+//! has no libc dependency — the same pattern as `madvise` in
+//! `topmine_lda`). Everything is level-triggered; per-connection interest
+//! is narrowed to the state machine's current need (`EPOLLIN` while
+//! reading, nothing while a dispatch is in flight, `EPOLLOUT` while a
+//! response drains), so a slow or saturating client cannot spin the loop.
+//!
+//! Shutdown drains: once the stop flag is observed the loop stops
+//! accepting, drops idle keep-alive connections, and keeps serving until
+//! every in-flight request has its response written (bounded by
+//! [`DRAIN_DEADLINE`]).
+
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+use crate::dispatch::{InferJob, InferService};
+use crate::engine::QueryEngine;
+use crate::http::{
+    self, effective_deadline, error_json, render_response, HttpError, Request, RouteOutcome,
+    ServerConfig,
+};
+use crate::metrics::{serve_metrics, ServeMetrics, Stage};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a shutdown waits for in-flight responses before closing their
+/// connections anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+/// epoll_wait tick, bounding how stale the timeout sweep can be.
+const TICK_MS: i32 = 100;
+/// Per-`read` chunk size while accumulating a request.
+const READ_CHUNK: usize = 8 << 10;
+
+/// Raw epoll/eventfd syscalls — no libc in the dependency tree.
+mod sys {
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: usize = 1;
+    pub const EPOLL_CTL_DEL: usize = 2;
+    pub const EPOLL_CTL_MOD: usize = 3;
+
+    const SYS_READ: isize = 0;
+    const SYS_WRITE: isize = 1;
+    const SYS_CLOSE: isize = 3;
+    const SYS_EPOLL_WAIT: isize = 232;
+    const SYS_EPOLL_CTL: isize = 233;
+    const SYS_EVENTFD2: isize = 290;
+    const SYS_EPOLL_CREATE1: isize = 291;
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EFD_CLOEXEC: usize = 0o2000000;
+    const EFD_NONBLOCK: usize = 0o4000;
+    const EINTR: isize = -4;
+    const EAGAIN: isize = -11;
+
+    /// The kernel's `epoll_event` — packed (12 bytes) on x86-64.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// One `syscall` instruction, 4 argument slots (unused ones pass 0).
+    unsafe fn syscall4(n: isize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        unsafe { check(syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0)).map(|fd| fd as i32) }
+    }
+
+    pub fn epoll_ctl(ep: i32, op: usize, fd: i32, events: u32, data: u64) -> io::Result<()> {
+        let ev = EpollEvent { events, data };
+        let ptr = if op == EPOLL_CTL_DEL {
+            0usize // kernels ignore the event for DEL; pass NULL like libc does
+        } else {
+            &ev as *const EpollEvent as usize
+        };
+        unsafe { check(syscall4(SYS_EPOLL_CTL, ep as usize, op, fd as usize, ptr)).map(|_| ()) }
+    }
+
+    /// Wait for readiness; EINTR surfaces as an empty wake.
+    pub fn epoll_wait(ep: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = unsafe {
+            syscall4(
+                SYS_EPOLL_WAIT,
+                ep as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+            )
+        };
+        if ret == EINTR {
+            return Ok(0);
+        }
+        check(ret)
+    }
+
+    pub fn eventfd() -> io::Result<i32> {
+        unsafe {
+            check(syscall4(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0)).map(|fd| fd as i32)
+        }
+    }
+
+    /// Add 1 to the eventfd counter (wakes an epoll waiting on it).
+    pub fn eventfd_write(fd: i32) {
+        let one = 1u64.to_ne_bytes();
+        unsafe {
+            let _ = syscall4(SYS_WRITE, fd as usize, one.as_ptr() as usize, one.len(), 0);
+        }
+    }
+
+    /// Reset the eventfd counter so level-triggered epoll goes quiet.
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            let ret = syscall4(
+                SYS_READ,
+                fd as usize,
+                buf.as_mut_ptr() as usize,
+                buf.len(),
+                0,
+            );
+            debug_assert!(ret > 0 || ret == EAGAIN || ret == EINTR);
+        }
+    }
+
+    pub fn close(fd: i32) {
+        unsafe {
+            let _ = syscall4(SYS_CLOSE, fd as usize, 0, 0, 0);
+        }
+    }
+}
+
+/// Shared handle dispatcher threads use to wake the loop; owns the
+/// eventfd (closed when the last clone drops, after the loop has exited
+/// and every in-flight responder has fired or been dropped).
+struct Waker {
+    fd: i32,
+}
+
+impl Waker {
+    fn wake(&self) {
+        sys::eventfd_write(self.fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close(self.fd);
+    }
+}
+
+/// A finished dispatch, posted by a responder closure from a dispatcher
+/// thread. `gen` guards against slot reuse: if the connection died while
+/// its request was in flight, the completion is silently dropped.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    status: u16,
+    body: String,
+}
+
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// A request was submitted to the admission queue; awaiting its
+    /// completion (no read interest — the socket backpressures).
+    Dispatched,
+    /// Draining `write_buf`.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    state: ConnState,
+    /// Unconsumed request bytes (may hold pipelined followers).
+    buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    close_after: bool,
+    served: usize,
+    last_activity: Instant,
+    /// First-byte instant of the in-progress request (None while idle
+    /// between keep-alive requests) — the `parse` stage clock.
+    req_started: Option<Instant>,
+    /// Set when a request is being handled; cleared after `observe`.
+    handle_start: Instant,
+    route_label: &'static str,
+    /// Whether response completion records `observe_request` (false for
+    /// pre-route parse errors, which only `count_request`).
+    observe: bool,
+    status: u16,
+    interest: u32,
+}
+
+const DATA_LISTENER: u64 = 0;
+const DATA_WAKER: u64 = 1;
+const DATA_CONN_BASE: u64 = 2;
+
+struct EventLoop {
+    ep: i32,
+    waker: Arc<Waker>,
+    engine: Arc<QueryEngine>,
+    service: Arc<InferService>,
+    config: ServerConfig,
+    conns: Vec<Option<Conn>>,
+    free_slots: Vec<usize>,
+    next_gen: u64,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    accepting: bool,
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        sys::close(self.ep);
+    }
+}
+
+/// Run the event loop over an already-bound listener until `stop` is set
+/// and every in-flight response has drained.
+pub(crate) fn run(
+    listener: &TcpListener,
+    engine: Arc<QueryEngine>,
+    service: Arc<InferService>,
+    config: ServerConfig,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let ep = sys::epoll_create1()?;
+    let waker_fd = match sys::eventfd() {
+        Ok(fd) => fd,
+        Err(e) => {
+            sys::close(ep);
+            return Err(e);
+        }
+    };
+    let waker = Arc::new(Waker { fd: waker_fd });
+    let mut el = EventLoop {
+        ep,
+        waker,
+        engine,
+        service,
+        config,
+        conns: Vec::new(),
+        free_slots: Vec::new(),
+        next_gen: 0,
+        completions: Arc::new(Mutex::new(Vec::new())),
+        accepting: true,
+    };
+    sys::epoll_ctl(
+        el.ep,
+        sys::EPOLL_CTL_ADD,
+        listener.as_raw_fd(),
+        sys::EPOLLIN,
+        DATA_LISTENER,
+    )?;
+    sys::epoll_ctl(
+        el.ep,
+        sys::EPOLL_CTL_ADD,
+        el.waker.fd,
+        sys::EPOLLIN,
+        DATA_WAKER,
+    )?;
+
+    let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        if stopping {
+            if el.accepting {
+                el.accepting = false;
+                let _ = sys::epoll_ctl(el.ep, sys::EPOLL_CTL_DEL, listener.as_raw_fd(), 0, 0);
+                drain_started = Some(Instant::now());
+            }
+            // Every tick: a keep-alive connection whose in-flight response
+            // just finished is idle again and must not pin the drain open.
+            el.close_idle_conns();
+            let expired = drain_started.is_some_and(|t| t.elapsed() > DRAIN_DEADLINE);
+            if el.conns.iter().all(Option::is_none) || expired {
+                break;
+            }
+        }
+        let n = sys::epoll_wait(el.ep, &mut events, TICK_MS)?;
+        for ev in events.iter().take(n) {
+            let (data, bits) = (ev.data, ev.events);
+            match data {
+                DATA_LISTENER => el.accept_ready(listener),
+                DATA_WAKER => {
+                    sys::eventfd_drain(el.waker.fd);
+                    el.flush_completions();
+                }
+                d => el.conn_ready((d - DATA_CONN_BASE) as usize, bits),
+            }
+        }
+        // Completions can also land between waits (posted before the
+        // waker registration's level-trigger is observed) — flush
+        // unconditionally, it's one uncontended lock when empty.
+        el.flush_completions();
+        el.sweep_timeouts();
+    }
+    Ok(())
+}
+
+impl EventLoop {
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if !self.accepting {
+                        continue; // drain mode: accept-and-drop unblocks shutdown connects
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.register_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept error; retry on next readiness
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        let fd = stream.as_raw_fd();
+        self.next_gen += 1;
+        let conn = Conn {
+            stream,
+            gen: self.next_gen,
+            state: ConnState::Reading,
+            buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            close_after: false,
+            served: 0,
+            last_activity: Instant::now(),
+            req_started: None,
+            handle_start: Instant::now(),
+            route_label: "other",
+            observe: false,
+            status: 0,
+            interest: sys::EPOLLIN | sys::EPOLLRDHUP,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.conns[s] = Some(conn);
+                s
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        let interest = self.conns[slot].as_ref().map(|c| c.interest).unwrap_or(0);
+        if sys::epoll_ctl(
+            self.ep,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            interest,
+            DATA_CONN_BASE + slot as u64,
+        )
+        .is_err()
+        {
+            self.drop_conn(slot);
+        }
+    }
+
+    fn drop_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = sys::epoll_ctl(self.ep, sys::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+            self.free_slots.push(slot);
+            // `conn.stream` drops here, closing the socket.
+        }
+    }
+
+    /// Point the connection's epoll interest at what its state needs.
+    fn set_interest(&mut self, slot: usize, want: u32) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.interest == want {
+            return;
+        }
+        conn.interest = want;
+        let _ = sys::epoll_ctl(
+            self.ep,
+            sys::EPOLL_CTL_MOD,
+            conn.stream.as_raw_fd(),
+            want,
+            DATA_CONN_BASE + slot as u64,
+        );
+    }
+
+    fn conn_ready(&mut self, slot: usize, bits: u32) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return; // stale event for a recycled slot
+        };
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.drop_conn(slot);
+            return;
+        }
+        match conn.state {
+            ConnState::Reading => {
+                if bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+                    self.read_ready(slot);
+                }
+            }
+            ConnState::Writing => {
+                if bits & sys::EPOLLOUT != 0 {
+                    self.write_ready(slot);
+                }
+            }
+            // Dispatched connections have no interest bits; a spurious
+            // event here is ignored until the completion arrives.
+            ConnState::Dispatched => {}
+        }
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed. Mid-request bytes die with it.
+                    self.drop_conn(slot);
+                    return;
+                }
+                Ok(n) => {
+                    if conn.buf.is_empty() {
+                        conn.req_started = Some(Instant::now());
+                    }
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(slot);
+                    return;
+                }
+            }
+        }
+        self.process_buffer(slot);
+    }
+
+    /// Try to carve one complete request out of the connection's buffer
+    /// and act on it. At most one request is in flight per connection;
+    /// pipelined followers wait in `buf`.
+    fn process_buffer(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if !matches!(conn.state, ConnState::Reading) || conn.buf.is_empty() {
+            return;
+        }
+        let head_end = match find_head_end(&conn.buf) {
+            Some(end) => end,
+            None => {
+                if conn.buf.len() >= http::MAX_HEAD {
+                    self.fail_request(slot, HttpError::new(431, "request head too large"));
+                }
+                return; // need more bytes
+            }
+        };
+        if head_end > http::MAX_HEAD {
+            self.fail_request(slot, HttpError::new(431, "request head too large"));
+            return;
+        }
+        let parsed = parse_head(&conn.buf[..head_end]);
+        let (method, target, close_requested, content_length) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                self.fail_request(slot, e);
+                return;
+            }
+        };
+        if content_length > http::MAX_BODY {
+            self.fail_request(slot, HttpError::new(413, "request body too large"));
+            return;
+        }
+        let total = head_end + content_length;
+        if conn.buf.len() < total {
+            return; // body still arriving
+        }
+        let body = match String::from_utf8(conn.buf[head_end..total].to_vec()) {
+            Ok(b) => b,
+            Err(_) => {
+                self.fail_request(slot, HttpError::new(400, "body is not UTF-8"));
+                return;
+            }
+        };
+        conn.buf.drain(..total);
+        let (path, query) = http::parse_target(&target);
+        if let Some(started) = conn.req_started.take() {
+            serve_metrics()
+                .stage(Stage::Parse)
+                .record_duration(started.elapsed());
+        }
+        conn.served += 1;
+        let at_cap = conn.served >= http::MAX_REQUESTS_PER_CONN;
+        let req = Request {
+            method,
+            path,
+            query,
+            body,
+            close: close_requested,
+        };
+        conn.close_after = req.close || at_cap;
+        conn.handle_start = Instant::now();
+        conn.route_label = ServeMetrics::route_label(&req.path);
+        conn.observe = true;
+        let gen = conn.gen;
+
+        match http::route(&req, &self.engine, &self.config.infer_defaults) {
+            RouteOutcome::Done(status, resp) => {
+                self.start_response(slot, status, &resp.body, resp.content_type);
+            }
+            RouteOutcome::Dispatch {
+                docs,
+                config,
+                kind,
+                deadline,
+            } => {
+                let completions = Arc::clone(&self.completions);
+                let waker = Arc::clone(&self.waker);
+                let job = InferJob {
+                    docs,
+                    config,
+                    kind,
+                    deadline: effective_deadline(deadline, self.config.deadline),
+                    respond: Box::new(move |status, body| {
+                        completions
+                            .lock()
+                            .expect("completions poisoned")
+                            .push(Completion {
+                                slot,
+                                gen,
+                                status,
+                                body,
+                            });
+                        waker.wake();
+                    }),
+                };
+                match self.service.try_submit(job) {
+                    Ok(()) => {
+                        if let Some(conn) = self.conns[slot].as_mut() {
+                            conn.state = ConnState::Dispatched;
+                        }
+                        self.set_interest(slot, 0);
+                    }
+                    Err(_job) => {
+                        serve_metrics().requests_rejected_total.inc();
+                        self.start_response(
+                            slot,
+                            429,
+                            &error_json("admission queue full; retry shortly"),
+                            "application/json",
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A pre-route failure: counted (not latency-observed, matching the
+    /// blocking front end) and answered with a closing error response.
+    fn fail_request(&mut self, slot: usize, e: HttpError) {
+        serve_metrics().count_request("invalid", e.status);
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.close_after = true;
+            conn.observe = false;
+        }
+        let body = error_json(&e.message);
+        self.start_response(slot, e.status, &body, "application/json");
+    }
+
+    fn start_response(&mut self, slot: usize, status: u16, body: &str, content_type: &str) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let serialize = serve_metrics().stage(Stage::Serialize).span();
+        let payload = render_response(status, body, content_type, conn.close_after);
+        conn.write_buf = payload.into_bytes();
+        conn.written = 0;
+        conn.status = status;
+        conn.state = ConnState::Writing;
+        let finished = self.try_write(slot);
+        serialize.stop();
+        if !finished {
+            self.set_interest(slot, sys::EPOLLOUT);
+        }
+    }
+
+    fn write_ready(&mut self, slot: usize) {
+        self.try_write(slot);
+    }
+
+    /// Push buffered response bytes; returns true when the response fully
+    /// drained (and the connection was reset or closed).
+    fn try_write(&mut self, slot: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return true;
+            };
+            if conn.written == conn.write_buf.len() {
+                break;
+            }
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => {
+                    self.drop_conn(slot);
+                    return true;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(slot);
+                    return true;
+                }
+            }
+        }
+        self.finish_response(slot);
+        true
+    }
+
+    fn finish_response(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.observe {
+            serve_metrics().observe_request(
+                conn.route_label,
+                conn.status,
+                conn.handle_start.elapsed(),
+            );
+            conn.observe = false;
+        }
+        if conn.close_after {
+            self.drop_conn(slot);
+            return;
+        }
+        conn.write_buf.clear();
+        conn.written = 0;
+        conn.state = ConnState::Reading;
+        conn.last_activity = Instant::now();
+        conn.req_started = (!conn.buf.is_empty()).then(Instant::now);
+        self.set_interest(slot, sys::EPOLLIN | sys::EPOLLRDHUP);
+        // A pipelined follower may already be buffered in full.
+        self.process_buffer(slot);
+    }
+
+    fn flush_completions(&mut self) {
+        let drained: Vec<Completion> = {
+            let mut guard = self.completions.lock().expect("completions poisoned");
+            std::mem::take(&mut *guard)
+        };
+        for c in drained {
+            let live = self
+                .conns
+                .get(c.slot)
+                .and_then(Option::as_ref)
+                .is_some_and(|conn| {
+                    conn.gen == c.gen && matches!(conn.state, ConnState::Dispatched)
+                });
+            if live {
+                self.start_response(c.slot, c.status, &c.body, "application/json");
+            }
+        }
+    }
+
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        let mut expired_idle = Vec::new();
+        let mut expired_stalled = Vec::new();
+        for (slot, conn) in self.conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            match conn.state {
+                ConnState::Reading => match conn.req_started {
+                    // Mid-request stall (slowloris): answer and close.
+                    Some(started) if now.duration_since(started) > http::IO_TIMEOUT => {
+                        expired_stalled.push(slot);
+                    }
+                    // Idle between keep-alive requests: quiet close.
+                    None if now.duration_since(conn.last_activity) > http::KEEP_ALIVE_IDLE => {
+                        expired_idle.push(slot);
+                    }
+                    _ => {}
+                },
+                ConnState::Writing if now.duration_since(conn.last_activity) > http::IO_TIMEOUT => {
+                    expired_idle.push(slot);
+                }
+                _ => {}
+            }
+        }
+        for slot in expired_idle {
+            self.drop_conn(slot);
+        }
+        for slot in expired_stalled {
+            self.fail_request(slot, HttpError::new(408, "timed out reading request"));
+        }
+    }
+
+    /// Drain mode: connections with no request in flight are closed so a
+    /// shutdown is not held hostage by keep-alive clients.
+    fn close_idle_conns(&mut self) {
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, conn)| match conn {
+                Some(c) if matches!(c.state, ConnState::Reading) => Some(slot),
+                _ => None,
+            })
+            .collect();
+        for slot in idle {
+            self.drop_conn(slot);
+        }
+    }
+}
+
+/// Find the end of the request head: the first blank line, with or
+/// without carriage returns (the blocking reader's `read_line` +
+/// `trim_end` accepts both, so this parser must too).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse a complete request head (through the blank line) into
+/// `(method, target, close, content_length)` using the same shared
+/// request-line and header rules as the blocking front end.
+fn parse_head(head: &[u8]) -> Result<(String, String, bool, usize), HttpError> {
+    let head =
+        std::str::from_utf8(head).map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?;
+    let (method, target, keep_alive_default) = http::parse_request_line(request_line)?;
+    let mut content_length: Option<usize> = None;
+    let mut close = !keep_alive_default;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        http::apply_header_line(line, &mut content_length, &mut close)?;
+    }
+    Ok((method, target, close, content_length.unwrap_or(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection_handles_both_line_endings() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(
+            find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n\r\nBODY"),
+            Some(27)
+        );
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost:"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn parse_head_mirrors_the_blocking_rules() {
+        let (method, target, close, len) =
+            parse_head(b"POST /infer?seed=3 HTTP/1.1\r\nContent-Length: 5\r\n\r\n").unwrap();
+        assert_eq!(
+            (method.as_str(), target.as_str()),
+            ("POST", "/infer?seed=3")
+        );
+        assert!(!close);
+        assert_eq!(len, 5);
+        // HTTP/1.0 defaults to close; keep-alive opts back in.
+        let (_, _, close, _) = parse_head(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(close);
+        let (_, _, close, _) =
+            parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!close);
+        // The shared validators reject exactly what the blocking path does.
+        assert_eq!(
+            parse_head(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status,
+            505
+        );
+        assert_eq!(parse_head(b"GET /\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse_head(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse_head(b"POST / HTTP/1.1\r\nContent-Length: +2\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn epoll_event_is_kernel_sized() {
+        assert_eq!(std::mem::size_of::<sys::EpollEvent>(), 12);
+    }
+}

@@ -13,13 +13,28 @@
 //! * `GET /metrics` — Prometheus text exposition of the serving metrics
 //!   (per-stage latency histograms, per-route/status counters);
 //! * `POST /infer`  — body is one plain-text document; query parameters
-//!   `seed`, `iters`, `top` override the per-request inference knobs.
+//!   `seed`, `iters`, `top`, `deadline_ms` override the per-request knobs;
+//! * `POST /infer_batch` — body is newline-delimited documents; one
+//!   response carries every result in input order, bit-identical to the
+//!   same documents sent as sequential `/infer` calls with per-index
+//!   seeds.
+//!
+//! Two interchangeable front ends feed one shared admission pipeline
+//! ([`dispatch`](crate::dispatch)): the default on Linux/x86-64 is a
+//! single-threaded epoll event loop ([`event_loop`](crate::event_loop))
+//! that parses requests incrementally and answers the cheap read routes
+//! inline; elsewhere (or via [`ServerConfig::front_end`]) a
+//! thread-per-connection loop does the same job. Either way, inference
+//! requests enter a **bounded admission queue** — full queue ⇒ `429` +
+//! `Retry-After`, deadline expired while queued ⇒ `504` — and dispatcher
+//! workers drain them in batches that share one φ gather.
 //!
 //! Responses are JSON (`/metrics` is text exposition), hand-rendered (no
 //! serde in the dependency set); floats use Rust's shortest round-trip
 //! `Display`, so a fixed seed yields byte-identical bodies across runs,
 //! thread counts, and shard counts.
 
+use crate::dispatch::{DispatchOptions, InferJob, InferService, JobKind};
 use crate::engine::{QueryEngine, ThreadPool};
 use crate::infer::{DocInference, InferConfig};
 use crate::metrics::{serve_metrics, ServeMetrics, Stage};
@@ -28,31 +43,63 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use topmine_obs::Registry;
 
 /// Hard cap on request bodies (1 MiB) — inference input is one document.
-const MAX_BODY: usize = 1 << 20;
+pub(crate) const MAX_BODY: usize = 1 << 20;
 /// Hard cap on the request head (request line + headers). Enforced via
 /// `Read::take`, so a newline-free request line cannot allocate past it.
-const MAX_HEAD: usize = 16 << 10;
+pub(crate) const MAX_HEAD: usize = 16 << 10;
 /// Socket read/write timeout: a stalled or silent client (slowloris) frees
 /// its worker after this long instead of occupying it forever.
-const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// Requests served on one keep-alive connection before the server closes
 /// it (bounds how long one client can pin a worker).
-const MAX_REQUESTS_PER_CONN: usize = 100;
+pub(crate) const MAX_REQUESTS_PER_CONN: usize = 100;
 /// Idle timeout between keep-alive requests: a connection holding no
 /// in-flight request frees its worker after this long.
-const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::from_secs(5);
+pub(crate) const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+/// Most documents accepted in one `/infer_batch` body.
+pub(crate) const MAX_BATCH_DOCS: usize = 1024;
+/// `Retry-After` seconds advertised with a 429.
+pub(crate) const RETRY_AFTER_SECS: u64 = 1;
+
+/// Which connection front end drives the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Event loop on Linux/x86-64, blocking elsewhere.
+    Auto,
+    /// Single-threaded epoll readiness loop (Linux/x86-64 only; falls back
+    /// to `Blocking` elsewhere).
+    EventLoop,
+    /// Thread-per-connection with a worker pool (the pre-event-loop
+    /// design, kept as the portable fallback).
+    Blocking,
+}
 
 /// Server tuning.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Connection-handling worker threads.
+    /// Dispatcher worker threads draining the admission queue (and, for
+    /// the blocking front end, the connection-handling pool size).
     pub n_threads: usize,
     /// Default inference knobs; `/infer` query parameters override per
     /// request.
     pub infer_defaults: InferConfig,
+    /// Admission-queue bound (pending inference requests). One more
+    /// request than this is answered `429` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Most documents a dispatcher folds in per batch (coalescing queued
+    /// requests up to this many documents).
+    pub max_batch: usize,
+    /// Default per-request deadline, checked when a queued request reaches
+    /// a dispatcher (`504` if already expired). `None` disables; the
+    /// `deadline_ms` query parameter overrides per request.
+    pub deadline: Option<Duration>,
+    /// Connection front end ([`FrontEnd::Auto`] picks the event loop where
+    /// supported).
+    pub front_end: FrontEnd,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +107,10 @@ impl Default for ServerConfig {
         Self {
             n_threads: 4,
             infer_defaults: InferConfig::default(),
+            queue_depth: 128,
+            max_batch: 16,
+            deadline: Some(Duration::from_secs(30)),
+            front_end: FrontEnd::Auto,
         }
     }
 }
@@ -95,7 +146,7 @@ impl HttpServer {
     /// Serve until the process exits (the CLI path).
     pub fn run(self) -> io::Result<()> {
         let stop = Arc::new(AtomicBool::new(false));
-        self.accept_loop(&stop)
+        self.serve(&stop)
     }
 
     /// Serve on a background thread; the returned handle stops the accept
@@ -107,7 +158,7 @@ impl HttpServer {
         let join = std::thread::Builder::new()
             .name("topmine-serve-accept".into())
             .spawn(move || {
-                let _ = self.accept_loop(&stop_loop);
+                let _ = self.serve(&stop_loop);
             })?;
         Ok(ServerHandle {
             addr,
@@ -116,7 +167,47 @@ impl HttpServer {
         })
     }
 
-    fn accept_loop(&self, stop: &AtomicBool) -> io::Result<()> {
+    /// The resolved front end for this build and config.
+    fn front_end(&self) -> FrontEnd {
+        match self.config.front_end {
+            FrontEnd::Blocking => FrontEnd::Blocking,
+            FrontEnd::Auto | FrontEnd::EventLoop => {
+                if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+                    FrontEnd::EventLoop
+                } else {
+                    FrontEnd::Blocking
+                }
+            }
+        }
+    }
+
+    /// Run the selected front end over one shared admission pipeline. The
+    /// [`InferService`] outlives the front end and is dropped last, so a
+    /// shutdown drains: the front end stops accepting and finishes its
+    /// in-flight work, then the dispatchers finish every queued job.
+    fn serve(&self, stop: &Arc<AtomicBool>) -> io::Result<()> {
+        let service = Arc::new(InferService::start(
+            Arc::clone(&self.engine),
+            DispatchOptions {
+                queue_depth: self.config.queue_depth,
+                max_batch: self.config.max_batch,
+                n_workers: self.config.n_threads,
+            },
+        ));
+        match self.front_end() {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            FrontEnd::EventLoop => crate::event_loop::run(
+                &self.listener,
+                Arc::clone(&self.engine),
+                Arc::clone(&service),
+                self.config.clone(),
+                stop,
+            ),
+            _ => self.accept_loop(stop, &service),
+        }
+    }
+
+    fn accept_loop(&self, stop: &AtomicBool, service: &Arc<InferService>) -> io::Result<()> {
         let pool = ThreadPool::new(self.config.n_threads);
         for stream in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
@@ -129,9 +220,10 @@ impl HttpServer {
             let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
             let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
             let engine = Arc::clone(&self.engine);
-            let defaults = self.config.infer_defaults.clone();
+            let service = Arc::clone(service);
+            let config = self.config.clone();
             pool.execute(move || {
-                let _ = handle_connection(stream, &engine, &defaults);
+                let _ = handle_connection(stream, &engine, &service, &config);
             });
         }
         Ok(())
@@ -174,24 +266,24 @@ impl Drop for ServerHandle {
 
 // ----- request handling -----------------------------------------------------
 
-struct Request {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: String,
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: Vec<(String, String)>,
+    pub(crate) body: String,
     /// The client asked to end the connection after this response
     /// (`Connection: close`, or an HTTP/1.0 request without keep-alive).
-    close: bool,
+    pub(crate) close: bool,
 }
 
 #[derive(Debug, PartialEq)]
-struct HttpError {
-    status: u16,
-    message: String,
+pub(crate) struct HttpError {
+    pub(crate) status: u16,
+    pub(crate) message: String,
 }
 
 impl HttpError {
-    fn new(status: u16, message: impl Into<String>) -> Self {
+    pub(crate) fn new(status: u16, message: impl Into<String>) -> Self {
         Self {
             status,
             message: message.into(),
@@ -201,18 +293,43 @@ impl HttpError {
 
 /// A successful route result: a body plus its media type (JSON for the
 /// API routes, text exposition for `/metrics`).
-struct RouteResponse {
-    body: String,
-    content_type: &'static str,
+pub(crate) struct RouteResponse {
+    pub(crate) body: String,
+    pub(crate) content_type: &'static str,
 }
 
 impl RouteResponse {
-    fn json(body: String) -> Self {
+    pub(crate) fn json(body: String) -> Self {
         Self {
             body,
             content_type: "application/json",
         }
     }
+}
+
+/// What a routed request needs next: an immediate response (the cheap read
+/// routes and every error), or a trip through the admission queue (the
+/// inference routes — the front end must not run fold-in inline).
+pub(crate) enum RouteOutcome {
+    Done(u16, RouteResponse),
+    Dispatch {
+        docs: Vec<String>,
+        config: InferConfig,
+        kind: JobKind,
+        /// Per-request deadline override from `deadline_ms`.
+        deadline: Option<Duration>,
+    },
+}
+
+/// The deadline instant for a request admitted now: the per-request
+/// override wins, else the server default, else none.
+pub(crate) fn effective_deadline(
+    request_override: Option<Duration>,
+    server_default: Option<Duration>,
+) -> Option<Instant> {
+    request_override
+        .or(server_default)
+        .map(|d| Instant::now() + d)
 }
 
 /// Serve one connection: up to [`MAX_REQUESTS_PER_CONN`] requests on a
@@ -221,7 +338,8 @@ impl RouteResponse {
 fn handle_connection(
     stream: TcpStream,
     engine: &QueryEngine,
-    defaults: &InferConfig,
+    service: &Arc<InferService>,
+    config: &ServerConfig,
 ) -> io::Result<()> {
     // The reader owns the stream for the connection's lifetime (buffered
     // bytes of a pipelined next request must survive between requests);
@@ -244,12 +362,51 @@ fn handle_connection(
         match read_request(&mut reader) {
             Ok(None) => break, // clean close (EOF or idle timeout)
             Ok(Some(req)) => {
-                let handle_start = std::time::Instant::now();
+                let handle_start = Instant::now();
                 let close = req.close || at_cap;
                 let route_label = ServeMetrics::route_label(&req.path);
-                let (status, resp) = match route(&req, engine, defaults) {
-                    Ok(resp) => (200, resp),
-                    Err(e) => (e.status, RouteResponse::json(error_json(&e.message))),
+                let (status, resp) = match route(&req, engine, &config.infer_defaults) {
+                    RouteOutcome::Done(status, resp) => (status, resp),
+                    RouteOutcome::Dispatch {
+                        docs,
+                        config: infer_config,
+                        kind,
+                        deadline,
+                    } => {
+                        // Block this connection's thread on the dispatcher
+                        // verdict: the admission queue, not the connection
+                        // pool, is what bounds concurrent inference.
+                        let (tx, rx) = std::sync::mpsc::channel::<(u16, String)>();
+                        let job = InferJob {
+                            docs,
+                            config: infer_config,
+                            kind,
+                            deadline: effective_deadline(deadline, config.deadline),
+                            respond: Box::new(move |status, body| {
+                                let _ = tx.send((status, body));
+                            }),
+                        };
+                        match service.try_submit(job) {
+                            Ok(()) => match rx.recv() {
+                                Ok((status, body)) => (status, RouteResponse::json(body)),
+                                Err(_) => (
+                                    503,
+                                    RouteResponse::json(error_json(
+                                        "server shutting down before dispatch",
+                                    )),
+                                ),
+                            },
+                            Err(_job) => {
+                                metrics.requests_rejected_total.inc();
+                                (
+                                    429,
+                                    RouteResponse::json(error_json(
+                                        "admission queue full; retry shortly",
+                                    )),
+                                )
+                            }
+                        }
+                    }
                 };
                 let serialize_span = metrics.stage(Stage::Serialize).span();
                 let payload = render_response(status, &resp.body, resp.content_type, close);
@@ -307,21 +464,7 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
         .get_ref()
         .get_ref()
         .set_read_timeout(Some(IO_TIMEOUT));
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
-    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    // Exact-match the version token: `starts_with("HTTP/1.")` would wave
-    // through `HTTP/1.`, `HTTP/1.1x`, `HTTP/1.999`, … — garbage that no
-    // peer speaking this protocol sends and whose framing rules we'd be
-    // guessing at.
-    let version = match parts.next() {
-        Some(v @ ("HTTP/1.0" | "HTTP/1.1")) => v,
-        Some(_) => return Err(HttpError::new(505, "unsupported HTTP version")),
-        None => return Err(bad("missing HTTP version")),
-    };
-    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 must opt in.
-    let keep_alive_default = version != "HTTP/1.0";
-    let (method, target) = (method.to_string(), target.to_string());
+    let (method, target, keep_alive_default) = parse_request_line(&line)?;
 
     let mut content_length: Option<usize> = None;
     let mut close = !keep_alive_default;
@@ -345,35 +488,7 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
         if header.is_empty() {
             break;
         }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                // RFC 9110 §8.6: a pure digit string. `usize::parse` alone
-                // would admit a leading `+`, and silently letting a second
-                // Content-Length overwrite the first is the classic
-                // request-smuggling seam — two parsers, two framings.
-                let value = value.trim();
-                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
-                    return Err(bad("bad content-length"));
-                }
-                let parsed: usize = value.parse().map_err(|_| bad("bad content-length"))?;
-                match content_length {
-                    Some(prev) if prev != parsed => {
-                        return Err(bad("conflicting content-length headers"))
-                    }
-                    _ => content_length = Some(parsed),
-                }
-            } else if name.eq_ignore_ascii_case("connection") {
-                // Token list; "close" and "keep-alive" are what we honor.
-                for token in value.split(',') {
-                    let token = token.trim();
-                    if token.eq_ignore_ascii_case("close") {
-                        close = true;
-                    } else if token.eq_ignore_ascii_case("keep-alive") {
-                        close = false;
-                    }
-                }
-            }
-        }
+        apply_header_line(header, &mut content_length, &mut close)?;
     }
     let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
@@ -401,9 +516,77 @@ fn read_request(reader: &mut BufReader<io::Take<TcpStream>>) -> Result<Option<Re
     }))
 }
 
+/// Parse an HTTP/1.x request line into `(method, target,
+/// keep_alive_default)`. Shared by the blocking reader and the event
+/// loop's incremental parser, so both front ends enforce identical
+/// request-line rules.
+pub(crate) fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
+    let bad = |m: &str| HttpError::new(400, m);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    // Exact-match the version token: `starts_with("HTTP/1.")` would wave
+    // through `HTTP/1.`, `HTTP/1.1x`, `HTTP/1.999`, … — garbage that no
+    // peer speaking this protocol sends and whose framing rules we'd be
+    // guessing at.
+    let version = match parts.next() {
+        Some(v @ ("HTTP/1.0" | "HTTP/1.1")) => v,
+        Some(_) => return Err(HttpError::new(505, "unsupported HTTP version")),
+        None => return Err(bad("missing HTTP version")),
+    };
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 must opt in.
+    Ok((
+        method.to_string(),
+        target.to_string(),
+        version != "HTTP/1.0",
+    ))
+}
+
+/// Fold one header line (already stripped of its line terminator) into the
+/// request's framing state. Shared by both front ends: the
+/// Content-Length validation (pure digits, duplicates must agree) and the
+/// Connection token handling live exactly once.
+pub(crate) fn apply_header_line(
+    header: &str,
+    content_length: &mut Option<usize>,
+    close: &mut bool,
+) -> Result<(), HttpError> {
+    let bad = |m: &str| HttpError::new(400, m);
+    if let Some((name, value)) = header.split_once(':') {
+        if name.eq_ignore_ascii_case("content-length") {
+            // RFC 9110 §8.6: a pure digit string. `usize::parse` alone
+            // would admit a leading `+`, and silently letting a second
+            // Content-Length overwrite the first is the classic
+            // request-smuggling seam — two parsers, two framings.
+            let value = value.trim();
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad("bad content-length"));
+            }
+            let parsed: usize = value.parse().map_err(|_| bad("bad content-length"))?;
+            match *content_length {
+                Some(prev) if prev != parsed => {
+                    return Err(bad("conflicting content-length headers"))
+                }
+                _ => *content_length = Some(parsed),
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token list; "close" and "keep-alive" are what we honor.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    *close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    *close = false;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Split a request target into path and `key=value` query pairs (no
 /// percent-decoding: the API's parameters are plain integers).
-fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+pub(crate) fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
     match target.split_once('?') {
         None => (target.to_string(), Vec::new()),
         Some((path, query)) => (
@@ -420,11 +603,15 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
     }
 }
 
+/// Parse the inference query parameters: the [`InferConfig`] knobs plus
+/// the `deadline_ms` admission override (not part of the config — it never
+/// enters the cache key or the RNG stream).
 fn infer_config_from_query(
     query: &[(String, String)],
     defaults: &InferConfig,
-) -> Result<InferConfig, HttpError> {
+) -> Result<(InferConfig, Option<Duration>), HttpError> {
     let mut cfg = defaults.clone();
+    let mut deadline = None;
     for (key, value) in query {
         let bad = || HttpError::new(400, format!("bad value for {key}: {value:?}"));
         match key.as_str() {
@@ -436,22 +623,42 @@ fn infer_config_from_query(
                 }
             }
             "top" => cfg.top_topics = value.parse().map_err(|_| bad())?,
+            "deadline_ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad())?;
+                if ms == 0 || ms > 600_000 {
+                    return Err(HttpError::new(400, "deadline_ms must be in 1..=600000"));
+                }
+                deadline = Some(Duration::from_millis(ms));
+            }
             other => return Err(HttpError::new(400, format!("unknown parameter {other:?}"))),
         }
     }
-    Ok(cfg)
+    Ok((cfg, deadline))
 }
 
-fn route(
+/// Route one parsed request. The cheap read routes are answered inline
+/// (the event loop relies on this to keep `/healthz` and `/metrics`
+/// responsive when the admission queue is saturated); the inference
+/// routes come back as [`RouteOutcome::Dispatch`] for the caller to
+/// submit.
+pub(crate) fn route(req: &Request, engine: &QueryEngine, defaults: &InferConfig) -> RouteOutcome {
+    match route_inner(req, engine, defaults) {
+        Ok(outcome) => outcome,
+        Err(e) => RouteOutcome::Done(e.status, RouteResponse::json(error_json(&e.message))),
+    }
+}
+
+fn route_inner(
     req: &Request,
     engine: &QueryEngine,
     defaults: &InferConfig,
-) -> Result<RouteResponse, HttpError> {
+) -> Result<RouteOutcome, HttpError> {
+    let done = |resp: RouteResponse| Ok(RouteOutcome::Done(200, resp));
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let m = engine.model();
             let cache = engine.cache_stats();
-            Ok(RouteResponse::json(format!(
+            done(RouteResponse::json(format!(
                 "{{\"status\":\"ok\",\"format\":{},\"version\":{},\"kernel_version\":{},\
                  \"kernel\":\"frozen-phi\",\"uptime_seconds\":{},\
                  \"topics\":{},\"vocab\":{},\"shards\":{},\
@@ -473,7 +680,7 @@ fn route(
             // Point-in-time gauges are sampled at scrape; everything else
             // accumulated as requests were served.
             serve_metrics().refresh_scrape_gauges(&engine.cache_stats());
-            Ok(RouteResponse {
+            done(RouteResponse {
                 body: Registry::global().render(),
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
             })
@@ -482,7 +689,7 @@ fn route(
             let m = engine.model();
             let h = m.header();
             let p = m.preprocess();
-            Ok(RouteResponse::json(format!(
+            done(RouteResponse::json(format!(
                 "{{\"format\":{},\"topics\":{},\"vocab\":{},\"shards\":{},\"train_docs\":{},\
                  \"train_tokens\":{},\"lexicon_phrases\":{},\"seg_alpha\":{},\"beta\":{},\
                  \"stem\":{},\"remove_stopwords\":{}}}",
@@ -500,15 +707,48 @@ fn route(
             )))
         }
         ("POST", "/infer") => {
-            let cfg = infer_config_from_query(&req.query, defaults)?;
+            let (cfg, deadline) = infer_config_from_query(&req.query, defaults)?;
             if req.body.is_empty() {
                 return Err(HttpError::new(400, "empty body: send the document text"));
             }
-            Ok(RouteResponse::json(inference_json(
-                &engine.infer(&req.body, &cfg),
-            )))
+            Ok(RouteOutcome::Dispatch {
+                docs: vec![req.body.clone()],
+                config: cfg,
+                kind: JobKind::Single,
+                deadline,
+            })
         }
-        (_, "/healthz" | "/model" | "/metrics" | "/infer") => Err(HttpError::new(
+        ("POST", "/infer_batch") => {
+            let (cfg, deadline) = infer_config_from_query(&req.query, defaults)?;
+            // One document per non-empty line; document `i` draws
+            // `seed_for_index(i)`, exactly as `QueryEngine::infer_batch`
+            // numbers its inputs.
+            let docs: Vec<String> = req
+                .body
+                .lines()
+                .filter(|line| !line.trim().is_empty())
+                .map(str::to_string)
+                .collect();
+            if docs.is_empty() {
+                return Err(HttpError::new(
+                    400,
+                    "empty batch: send newline-delimited documents",
+                ));
+            }
+            if docs.len() > MAX_BATCH_DOCS {
+                return Err(HttpError::new(
+                    400,
+                    format!("batch of {} documents exceeds {MAX_BATCH_DOCS}", docs.len()),
+                ));
+            }
+            Ok(RouteOutcome::Dispatch {
+                docs,
+                config: cfg,
+                kind: JobKind::Batch,
+                deadline,
+            })
+        }
+        (_, "/healthz" | "/model" | "/metrics" | "/infer" | "/infer_batch") => Err(HttpError::new(
             405,
             format!("method {} not allowed", req.method),
         )),
@@ -516,21 +756,32 @@ fn route(
     }
 }
 
-fn render_response(status: u16, body: &str, content_type: &str, close: bool) -> String {
+pub(crate) fn render_response(status: u16, body: &str, content_type: &str, close: bool) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Error",
     };
     let connection = if close { "close" } else { "keep-alive" };
+    // Admission rejections advertise when to come back; both front ends
+    // render through here, so the header can never be forgotten.
+    let retry_after = if status == 429 {
+        format!("Retry-After: {RETRY_AFTER_SECS}\r\n")
+    } else {
+        String::new()
+    };
     format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+         Content-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n{body}",
         body.len()
     )
 }
@@ -556,7 +807,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn error_json(message: &str) -> String {
+pub(crate) fn error_json(message: &str) -> String {
     format!("{{\"error\":{}}}", json_string(message))
 }
 
@@ -597,6 +848,22 @@ pub fn inference_json(inference: &DocInference) -> String {
     out
 }
 
+/// Render a batch of results as the `/infer_batch` response body: each
+/// entry is exactly what `/infer` would have returned for that document.
+pub fn batch_inference_json(results: &[DocInference]) -> String {
+    let mut out = String::from("{\"batch_size\":");
+    out.push_str(&results.len().to_string());
+    out.push_str(",\"results\":[");
+    for (i, inference) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&inference_json(inference));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,7 +887,7 @@ mod tests {
     #[test]
     fn query_overrides_defaults() {
         let defaults = InferConfig::default();
-        let cfg = infer_config_from_query(
+        let (cfg, deadline) = infer_config_from_query(
             &[
                 ("seed".into(), "42".into()),
                 ("iters".into(), "5".into()),
@@ -632,8 +899,14 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.fold_iters, 5);
         assert_eq!(cfg.top_topics, 2);
+        assert_eq!(deadline, None);
+        let (cfg, deadline) =
+            infer_config_from_query(&[("deadline_ms".into(), "250".into())], &defaults).unwrap();
+        assert_eq!(cfg, defaults, "deadline_ms never enters the config");
+        assert_eq!(deadline, Some(Duration::from_millis(250)));
         assert!(infer_config_from_query(&[("seed".into(), "x".into())], &defaults).is_err());
         assert!(infer_config_from_query(&[("iters".into(), "0".into())], &defaults).is_err());
+        assert!(infer_config_from_query(&[("deadline_ms".into(), "0".into())], &defaults).is_err());
         assert!(infer_config_from_query(&[("bogus".into(), "1".into())], &defaults).is_err());
     }
 
@@ -662,6 +935,37 @@ mod tests {
             true,
         );
         assert!(r.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+    }
+
+    #[test]
+    fn rejections_carry_retry_after() {
+        let r = render_response(429, "{}", "application/json", false);
+        assert!(r.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(r.contains(&format!("Retry-After: {RETRY_AFTER_SECS}\r\n")));
+        let r = render_response(504, "{}", "application/json", false);
+        assert!(r.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"));
+        assert!(!r.contains("Retry-After"));
+    }
+
+    #[test]
+    fn batch_json_wraps_per_document_bodies() {
+        let inf = DocInference {
+            theta: vec![1.0],
+            top_topics: vec![(0, 1.0)],
+            phrases: Vec::new(),
+            n_tokens: 0,
+            n_oov: 2,
+        };
+        let batch = batch_inference_json(&[inf.clone(), inf.clone()]);
+        let single = inference_json(&inf);
+        assert_eq!(
+            batch,
+            format!("{{\"batch_size\":2,\"results\":[{single},{single}]}}")
+        );
+        assert_eq!(
+            batch_inference_json(&[]),
+            "{\"batch_size\":0,\"results\":[]}"
+        );
     }
 
     #[test]

@@ -117,6 +117,107 @@ pub struct DocInference {
     pub n_oov: usize,
 }
 
+/// Run one document's fold-in Gibbs chain against a gathered φ view.
+/// `local_tokens` index columns of `view`; `spans` are the phrase cliques
+/// over it. Pure code motion out of [`infer_doc`] — same draw order, same
+/// arithmetic — so the per-document and batched paths share exactly one
+/// implementation of the chain (the pinned fold-in digest is the witness).
+#[allow(clippy::too_many_arguments)]
+fn fold_in_chain(
+    view: &FrozenPhiView,
+    alpha: &[f64],
+    spans: &[(u32, u32)],
+    local_tokens: &[u32],
+    k: usize,
+    fold_iters: usize,
+    rng: &mut StdRng,
+    local_ndk: &mut Vec<u32>,
+    z: &mut Vec<u16>,
+    weights: &mut Vec<f64>,
+    clique: &mut CliqueScratch,
+) {
+    // Fold-in state: per-topic token counts for this document, one topic
+    // per phrase instance (clique).
+    local_ndk.clear();
+    local_ndk.resize(k, 0);
+    z.clear();
+    for &(s, e) in spans {
+        let t = rng.gen_range(0..k) as u16;
+        local_ndk[t as usize] += e - s;
+        z.push(t);
+    }
+
+    if weights.len() != k {
+        weights.clear();
+        weights.resize(k, 0.0);
+    }
+    for _ in 0..fold_iters {
+        for (g, &(s, e)) in spans.iter().enumerate() {
+            let old = z[g] as usize;
+            local_ndk[old] -= e - s;
+            clique_posterior(
+                view,
+                alpha,
+                local_ndk,
+                &local_tokens[s as usize..e as usize],
+                clique,
+                weights,
+            );
+            let new = sample_discrete(rng, weights) as u16;
+            z[g] = new;
+            local_ndk[new as usize] += e - s;
+        }
+    }
+}
+
+/// Assemble the response struct from a finished chain's state (θ from the
+/// final counts, ranking with deterministic ties, phrase annotations in
+/// document order). Shared verbatim by both inference paths.
+#[allow(clippy::too_many_arguments)]
+fn assemble_inference(
+    model: &dyn ModelBackend,
+    alpha: &[f64],
+    k: usize,
+    tokens: &[u32],
+    spans: &[(u32, u32)],
+    local_ndk: &[u32],
+    z: &[u16],
+    top_topics: usize,
+    n_oov: usize,
+) -> DocInference {
+    let alpha_sum: f64 = alpha.iter().sum();
+    let theta_den = tokens.len() as f64 + alpha_sum;
+    let theta: Vec<f64> = (0..k)
+        .map(|t| (local_ndk[t] as f64 + alpha[t]) / theta_den)
+        .collect();
+
+    let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
+    // Ties break on the lower topic id so the ranking is deterministic.
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(top_topics);
+
+    let phrases = spans
+        .iter()
+        .zip(z)
+        .map(|(&(s, e), &topic)| {
+            let words = tokens[s as usize..e as usize].to_vec();
+            PhraseAssignment {
+                text: model.display_phrase(&words),
+                words,
+                topic,
+            }
+        })
+        .collect();
+
+    DocInference {
+        theta,
+        top_topics: ranked,
+        phrases,
+        n_tokens: tokens.len(),
+        n_oov,
+    }
+}
+
 /// Infer topics for one unseen document against any backend with an
 /// explicit seed. This is the single fold-in implementation; the
 /// monolithic and sharded models (and the [`QueryEngine`]
@@ -162,75 +263,147 @@ pub fn infer_doc(
         metrics.phi_columns_total.add(n_local as u64);
         let view = FrozenPhiView::new(&phi, n_local, k);
 
-        // Fold-in state: per-topic token counts for this document, one
-        // topic per phrase instance (clique).
-        scratch.local_ndk.clear();
-        scratch.local_ndk.resize(k, 0);
-        scratch.z.clear();
-        for &(s, e) in &spans {
-            let t = rng.gen_range(0..k) as u16;
-            scratch.local_ndk[t as usize] += e - s;
-            scratch.z.push(t);
-        }
-
-        if scratch.weights.len() != k {
-            scratch.weights.clear();
-            scratch.weights.resize(k, 0.0);
-        }
-        // Timer only — the sweep body is untouched, so the fold-in chain
-        // consumes exactly the same RNG stream as before.
         let fold = metrics.stage(crate::metrics::Stage::FoldIn).span();
-        for _ in 0..config.fold_iters {
-            for (g, &(s, e)) in spans.iter().enumerate() {
-                let old = scratch.z[g] as usize;
-                scratch.local_ndk[old] -= e - s;
-                clique_posterior(
-                    &view,
-                    alpha,
-                    &scratch.local_ndk,
-                    &scratch.local_tokens[s as usize..e as usize],
-                    &mut scratch.clique,
-                    &mut scratch.weights,
-                );
-                let new = sample_discrete(&mut rng, &scratch.weights) as u16;
-                scratch.z[g] = new;
-                scratch.local_ndk[new as usize] += e - s;
-            }
-        }
+        fold_in_chain(
+            &view,
+            alpha,
+            &spans,
+            &scratch.local_tokens,
+            k,
+            config.fold_iters,
+            &mut rng,
+            &mut scratch.local_ndk,
+            &mut scratch.z,
+            &mut scratch.weights,
+            &mut scratch.clique,
+        );
         fold.stop();
 
-        let alpha_sum: f64 = alpha.iter().sum();
-        let theta_den = tokens.len() as f64 + alpha_sum;
-        let theta: Vec<f64> = (0..k)
-            .map(|t| (scratch.local_ndk[t] as f64 + alpha[t]) / theta_den)
-            .collect();
-
-        let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
-        // Ties break on the lower topic id so the ranking is deterministic.
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        ranked.truncate(config.top_topics);
-
-        let phrases = spans
-            .iter()
-            .zip(&scratch.z)
-            .map(|(&(s, e), &topic)| {
-                let words = tokens[s as usize..e as usize].to_vec();
-                PhraseAssignment {
-                    text: model.display_phrase(&words),
-                    words,
-                    topic,
-                }
-            })
-            .collect();
-
-        DocInference {
-            theta,
-            top_topics: ranked,
-            phrases,
-            n_tokens: tokens.len(),
-            n_oov: prepared.n_oov,
-        }
+        assemble_inference(
+            model,
+            alpha,
+            k,
+            tokens,
+            &spans,
+            &scratch.local_ndk,
+            &scratch.z,
+            config.top_topics,
+            prepared.n_oov,
+        )
     })
+}
+
+/// One document of a shared-gather batch: the text plus its fully resolved
+/// RNG seed (the caller applies [`InferConfig::seed_for_index`] or keeps
+/// the config seed — the batch path never derives seeds itself).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    pub text: String,
+    pub config: InferConfig,
+    /// Effective per-document RNG seed.
+    pub seed: u64,
+}
+
+/// Fold in a batch of documents with **one** φ scatter-gather for the
+/// whole batch: the union of every document's distinct words is gathered
+/// once ([`ModelBackend::gather_phi_batch`] — a single fan-out on a
+/// sharded backend), then each document's chain runs against its slice of
+/// the shared table.
+///
+/// Bit-identical to calling [`infer_doc`] per document with the same
+/// seeds: the gathered entries are the exact trained `f64`s whichever
+/// table they sit in, each document's tokens index the same values, and
+/// each chain consumes its own freshly seeded RNG — only the column
+/// *addressing* changes, never an operand or a draw.
+pub fn infer_docs_amortized(model: &dyn ModelBackend, items: &[BatchItem]) -> Vec<DocInference> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let metrics = crate::metrics::serve_metrics();
+    let k = model.n_topics();
+    let alpha = model.alpha();
+
+    let prepared: Vec<_> = items.iter().map(|it| model.prepare(&it.text)).collect();
+    let spans: Vec<Vec<(u32, u32)>> = prepared.iter().map(|p| model.segment(&p.doc)).collect();
+
+    // Batch-level remap: one dense column per distinct word across the
+    // whole batch. `last_doc` tracks, per column, the last document that
+    // touched it, which yields the per-document distinct count (what N
+    // separate gathers would have fetched) without a second hash map.
+    let mut col_of: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut batch_distinct: Vec<u32> = Vec::new();
+    let mut last_doc: Vec<usize> = Vec::new();
+    let mut naive_columns = 0u64;
+    let mut local_tokens: Vec<Vec<u32>> = Vec::with_capacity(items.len());
+    for (d, p) in prepared.iter().enumerate() {
+        let mut lt = Vec::with_capacity(p.doc.tokens.len());
+        for &w in &p.doc.tokens {
+            let col = *col_of.entry(w).or_insert_with(|| {
+                batch_distinct.push(w);
+                last_doc.push(usize::MAX);
+                (batch_distinct.len() - 1) as u32
+            });
+            if last_doc[col as usize] != d {
+                last_doc[col as usize] = d;
+                naive_columns += 1;
+            }
+            lt.push(col);
+        }
+        local_tokens.push(lt);
+    }
+
+    let gather = metrics.stage(crate::metrics::Stage::PhiGather).span();
+    let phi = model.gather_phi_batch(&batch_distinct);
+    gather.stop();
+    metrics.phi_columns_total.add(batch_distinct.len() as u64);
+    metrics
+        .batch_phi_columns_gathered
+        .add(batch_distinct.len() as u64);
+    metrics.batch_phi_columns_naive.add(naive_columns);
+    let view = FrozenPhiView::new(&phi, batch_distinct.len(), k);
+
+    // Chain buffers are reused across the batch's documents; each chain
+    // fully resets them, exactly as the thread-local scratch path does.
+    let mut local_ndk: Vec<u32> = Vec::new();
+    let mut z: Vec<u16> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut clique = CliqueScratch::default();
+
+    let fold = metrics.stage(crate::metrics::Stage::FoldIn).span();
+    let results = items
+        .iter()
+        .enumerate()
+        .map(|(d, item)| {
+            metrics.infer_docs_total.inc();
+            let mut rng = StdRng::seed_from_u64(item.seed);
+            fold_in_chain(
+                &view,
+                alpha,
+                &spans[d],
+                &local_tokens[d],
+                k,
+                item.config.fold_iters,
+                &mut rng,
+                &mut local_ndk,
+                &mut z,
+                &mut weights,
+                &mut clique,
+            );
+            assemble_inference(
+                model,
+                alpha,
+                k,
+                &prepared[d].doc.tokens,
+                &spans[d],
+                &local_ndk,
+                &z,
+                item.config.top_topics,
+                prepared[d].n_oov,
+            )
+        })
+        .collect();
+    fold.stop();
+    results
 }
 
 impl crate::frozen::FrozenModel {
@@ -349,5 +522,33 @@ mod tests {
         let cfg = InferConfig::default();
         assert_eq!(cfg.seed_for_index(0), cfg.seed);
         assert_ne!(cfg.seed_for_index(1), cfg.seed_for_index(2));
+    }
+
+    #[test]
+    fn amortized_batch_is_bit_identical_to_sequential() {
+        let m = tiny_model();
+        let cfg = InferConfig::default();
+        let texts = [
+            "support vector machines for data streams",
+            "mining frequent patterns in data streams",
+            "",
+            "zzzz qqqq",
+            "support vector machines, mining frequent patterns",
+        ];
+        let items: Vec<BatchItem> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| BatchItem {
+                text: t.to_string(),
+                config: cfg.clone(),
+                seed: cfg.seed_for_index(i),
+            })
+            .collect();
+        let batched = infer_docs_amortized(&m, &items);
+        for (i, item) in items.iter().enumerate() {
+            let single = infer_doc(&m, &item.text, &cfg, cfg.seed_for_index(i));
+            assert_eq!(batched[i], single, "doc {i} diverged");
+        }
+        assert!(infer_docs_amortized(&m, &[]).is_empty());
     }
 }

@@ -27,7 +27,15 @@
 //!   an `Arc<dyn ModelBackend>`-sharing thread pool for batched inference
 //!   with a bounded LRU response cache in front of single-document
 //!   queries, fronted by a std-only HTTP/1.1 keep-alive server
-//!   (`topmine serve`); `topmine infer` is the one-shot sibling.
+//!   (`topmine serve`); `topmine infer` is the one-shot sibling. The
+//!   server runs one of two front ends over a shared admission pipeline
+//!   (`dispatch`): a single-threaded epoll event loop on Linux/x86-64
+//!   (`event_loop`, raw syscalls — no libc) or a portable blocking
+//!   accept loop. Inference requests pass through a **bounded admission
+//!   queue** (overflow ⇒ `429` + `Retry-After`, deadline expiry ⇒ `504`)
+//!   and are drained in coalesced batches that share one φ gather across
+//!   documents (`/infer_batch`, or adjacent queued `/infer` requests) —
+//!   bit-identical to running each document alone.
 //!
 //! # Quickstart
 //!
@@ -57,7 +65,10 @@
 
 pub mod backend;
 pub mod cache;
+mod dispatch;
 pub mod engine;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod event_loop;
 pub mod frozen;
 pub mod http;
 pub mod infer;
@@ -69,8 +80,12 @@ pub use backend::{load_bundle, ModelBackend};
 pub use cache::{CacheStats, ResponseCache};
 pub use engine::{QueryEngine, ThreadPool, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig, FROZEN_MODEL_FORMAT};
-pub use http::{inference_json, HttpServer, ServerConfig, ServerHandle};
-pub use infer::{infer_doc, DocInference, InferConfig, PhraseAssignment};
+pub use http::{
+    batch_inference_json, inference_json, FrontEnd, HttpServer, ServerConfig, ServerHandle,
+};
+pub use infer::{
+    infer_doc, infer_docs_amortized, BatchItem, DocInference, InferConfig, PhraseAssignment,
+};
 pub use metrics::{serve_metrics, ServeMetrics, Stage};
 pub use sharded::{ModelShard, ShardedModel, SHARDED_MODEL_FORMAT};
 pub use trie::PhraseTrie;

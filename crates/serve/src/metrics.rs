@@ -59,7 +59,7 @@ impl Stage {
 
 /// Known routes, for bounded label cardinality: anything else (404 paths)
 /// is grouped under `other`, and unparseable requests under `invalid`.
-const ROUTES: [&str; 4] = ["/healthz", "/model", "/infer", "/metrics"];
+const ROUTES: [&str; 5] = ["/healthz", "/model", "/infer", "/infer_batch", "/metrics"];
 
 /// One-time-registered handles for everything the serving stack records.
 #[derive(Debug)]
@@ -67,13 +67,29 @@ pub struct ServeMetrics {
     stage_seconds: [Arc<Histogram>; 5],
     /// Per-route handling time (dispatch through response write), indexed
     /// like [`ROUTES`] with `other` at the end.
-    route_seconds: [Arc<Histogram>; 5],
+    route_seconds: [Arc<Histogram>; 6],
     /// Documents run through fold-in inference (cache misses + batch).
     pub infer_docs_total: Arc<Counter>,
     /// φ columns gathered for inference (distinct in-vocabulary words).
     pub phi_columns_total: Arc<Counter>,
     /// Distribution of gathered column counts per sharded scatter-gather.
     pub sharded_gather_columns: Arc<Histogram>,
+    /// Inference jobs currently waiting in the admission queue.
+    pub admission_queue_depth: Arc<Gauge>,
+    /// Documents folded in per dispatcher batch (how well coalescing and
+    /// `/infer_batch` fill each dispatch).
+    pub dispatch_batch_docs: Arc<Histogram>,
+    /// φ columns actually gathered by batched dispatches (one column per
+    /// distinct word across the whole batch).
+    pub batch_phi_columns_gathered: Arc<Counter>,
+    /// φ columns the same batches would have gathered one document at a
+    /// time (Σ per-document distinct words). The ratio naive/gathered is
+    /// the cross-document amortization factor.
+    pub batch_phi_columns_naive: Arc<Counter>,
+    /// Requests refused at admission (429: queue full).
+    pub requests_rejected_total: Arc<Counter>,
+    /// Requests whose deadline expired while queued (504).
+    pub requests_expired_total: Arc<Counter>,
     cache_hits: Arc<Gauge>,
     cache_misses: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
@@ -99,7 +115,10 @@ pub fn serve_metrics() -> &'static ServeMetrics {
                     1e-9,
                 )
             }),
-            route_seconds: [ROUTES[0], ROUTES[1], ROUTES[2], ROUTES[3], "other"].map(|route| {
+            route_seconds: [
+                ROUTES[0], ROUTES[1], ROUTES[2], ROUTES[3], ROUTES[4], "other",
+            ]
+            .map(|route| {
                 r.histogram(
                     "topmine_http_request_seconds",
                     route_help,
@@ -122,6 +141,37 @@ pub fn serve_metrics() -> &'static ServeMetrics {
                 "Columns gathered per sharded phi scatter-gather",
                 &[],
                 1.0,
+            ),
+            admission_queue_depth: r.gauge(
+                "topmine_admission_queue_depth",
+                "Inference jobs waiting in the admission queue",
+                &[],
+            ),
+            dispatch_batch_docs: r.histogram(
+                "topmine_dispatch_batch_docs",
+                "Documents folded in per dispatcher batch",
+                &[],
+                1.0,
+            ),
+            batch_phi_columns_gathered: r.counter(
+                "topmine_batch_phi_columns_gathered_total",
+                "Phi columns gathered by batched dispatches (union of distinct words)",
+                &[],
+            ),
+            batch_phi_columns_naive: r.counter(
+                "topmine_batch_phi_columns_naive_total",
+                "Phi columns the same batches would gather one document at a time",
+                &[],
+            ),
+            requests_rejected_total: r.counter(
+                "topmine_requests_rejected_total",
+                "Requests refused at admission because the queue was full (429)",
+                &[],
+            ),
+            requests_expired_total: r.counter(
+                "topmine_requests_expired_total",
+                "Requests whose deadline expired while queued (504)",
+                &[],
             ),
             cache_hits: r.gauge(
                 "topmine_cache_hits",
@@ -201,8 +251,12 @@ fn status_label(status: u16) -> &'static str {
         400 => "400",
         404 => "404",
         405 => "405",
+        408 => "408",
         413 => "413",
+        429 => "429",
         431 => "431",
+        503 => "503",
+        504 => "504",
         505 => "505",
         _ => "other",
     }
