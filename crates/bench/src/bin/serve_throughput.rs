@@ -29,14 +29,24 @@
 //!   achieved vs offered QPS and latency measured from the *scheduled*
 //!   send time — the open-loop convention, so queueing delay is not
 //!   hidden by a slow client.
+//! * **fleet** — the multi-process serving claim at the comms level: a
+//!   `RemoteShardedModel` router gathering φ from shard servers over
+//!   loopback TCP (one batched frame per shard, persistent pipelined
+//!   connections) against the in-process monolith, min-of-N interleaved,
+//!   results asserted bit-identical. Reports the router/monolith time
+//!   ratio, bytes on the wire, and frames per request, and gates the
+//!   ratio when `TOPMINE_MAX_FLEET_OVERHEAD` is set (with a small
+//!   absolute-gap floor so loopback noise on a tiny run cannot fail CI).
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use topmine_bench::{banner, fit_topmine_on_profile, iters, scale, seed_for};
 use topmine_obs::Histogram;
 use topmine_serve::{
-    infer_doc, HttpServer, InferConfig, ModelBackend, QueryEngine, ServerConfig, ShardedModel,
+    infer_doc, HttpServer, InferConfig, ModelBackend, PoolConfig, QueryEngine, RemoteShardedModel,
+    ServerConfig, ShardServer, ShardSlice, ShardedModel,
 };
 use topmine_synth::Profile;
 use topmine_util::Table;
@@ -218,6 +228,150 @@ fn main() {
         println!("batch speedup gate passed: {batch_speedup:.2}x >= {floor}x");
     }
 
+    // Fleet serving: the same queries through a RemoteShardedModel router
+    // whose φ gathers cross real loopback TCP sockets to shard servers
+    // (in-process threads here — the wire cost is identical to separate
+    // processes, and process isolation itself is covered by the CLI
+    // integration tests and the CI fleet smoke step). One worker, cache
+    // off on both sides, so the only difference being measured is the
+    // wire: one batched gather frame per shard per batch, pipelined over
+    // persistent connections.
+    let fleet_shards = shards.max(2);
+    let fleet_dir =
+        std::env::temp_dir().join(format!("topmine-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+    ShardedModel::from_frozen(&frozen, fleet_shards)
+        .expect("shard model for fleet")
+        .save(&fleet_dir)
+        .expect("save fleet bundle");
+    let mut fleet_handles = Vec::new();
+    let mut fleet_addrs = Vec::new();
+    for k in 0..fleet_shards {
+        let slice = ShardSlice::load(&fleet_dir, k).expect("load shard slice");
+        let handle = ShardServer::bind("127.0.0.1:0", slice)
+            .expect("bind shard server")
+            .spawn()
+            .expect("spawn shard server");
+        fleet_addrs.push(handle.addr().to_string());
+        fleet_handles.push(handle);
+    }
+    let router = Arc::new(
+        RemoteShardedModel::connect(&fleet_dir, &fleet_addrs, PoolConfig::default())
+            .expect("connect router to fleet"),
+    );
+    let mono_backend: Arc<dyn ModelBackend> = frozen.clone();
+    let fleet_backend: Arc<dyn ModelBackend> = router.clone();
+    let mono_fleet_engine = QueryEngine::with_cache_capacity(mono_backend, 1, 0);
+    let fleet_engine = QueryEngine::with_cache_capacity(fleet_backend, 1, 0);
+
+    let wire0 = {
+        let s = router.wire_stats();
+        [
+            s.rpcs.load(Ordering::Relaxed),
+            s.frames_sent.load(Ordering::Relaxed),
+            s.frames_received.load(Ordering::Relaxed),
+            s.bytes_sent.load(Ordering::Relaxed),
+            s.bytes_received.load(Ordering::Relaxed),
+        ]
+    };
+    const FLEET_ROUNDS: usize = 3;
+    let (mut mono_secs, mut fleet_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..FLEET_ROUNDS {
+        // The amortized batch path is the one the claim is about: ONE
+        // gather — one frame per shard — shared by the whole batch.
+        let start = std::time::Instant::now();
+        let mono_out = mono_fleet_engine.infer_batch_amortized(&queries, &config);
+        mono_secs = mono_secs.min(start.elapsed().as_secs_f64());
+
+        let start = std::time::Instant::now();
+        let fleet_out = fleet_engine.infer_batch_amortized(&queries, &config);
+        fleet_secs = fleet_secs.min(start.elapsed().as_secs_f64());
+
+        assert_eq!(
+            mono_out, fleet_out,
+            "fleet router diverged from the in-process monolith"
+        );
+        assert_eq!(
+            baseline.as_ref().expect("baseline computed"),
+            &fleet_out,
+            "fleet router diverged from the single-worker baseline"
+        );
+    }
+    let wire1 = {
+        let s = router.wire_stats();
+        [
+            s.rpcs.load(Ordering::Relaxed),
+            s.frames_sent.load(Ordering::Relaxed),
+            s.frames_received.load(Ordering::Relaxed),
+            s.bytes_sent.load(Ordering::Relaxed),
+            s.bytes_received.load(Ordering::Relaxed),
+        ]
+    };
+    let [rpcs, frames_sent, frames_received, bytes_sent, bytes_received] =
+        [0, 1, 2, 3, 4].map(|i| wire1[i] - wire0[i]);
+    // One HTTP-level request == one document; the batched path shares one
+    // gather (one frame per shard) across the whole batch, which is the
+    // entire point — frames per request should be far below one per shard.
+    let fleet_requests = (FLEET_ROUNDS * queries.len()) as f64;
+    let fleet_overhead = fleet_secs / mono_secs;
+    println!(
+        "fleet: {fleet_shards} shard(s) over loopback — monolith {mono_secs:.3}s, \
+         router {fleet_secs:.3}s ({fleet_overhead:.2}x), {:.1} vs {:.1} docs/sec \
+         (bit-identical)",
+        queries.len() as f64 / mono_secs,
+        queries.len() as f64 / fleet_secs,
+    );
+    println!(
+        "fleet wire: {rpcs} gather RPCs, {frames_sent} frames out / {frames_received} in, \
+         {bytes_sent} B out / {bytes_received} B in — {:.4} frames, {:.1} B sent per request",
+        frames_sent as f64 / fleet_requests,
+        bytes_sent as f64 / fleet_requests,
+    );
+
+    // Per-request worst case: single documents, each paying its own gather
+    // round-trip (no batch to amortize over) — the latency number a fleet
+    // deployment's SLO is written against.
+    let single_n = queries.len().min(200);
+    let mono_lat = Histogram::new();
+    let fleet_lat = Histogram::new();
+    for query in queries.iter().take(single_n) {
+        let start = std::time::Instant::now();
+        let mono_one = mono_fleet_engine.infer(query, &config);
+        mono_lat.record_duration(start.elapsed());
+        let start = std::time::Instant::now();
+        let fleet_one = fleet_engine.infer(query, &config);
+        fleet_lat.record_duration(start.elapsed());
+        assert_eq!(mono_one, fleet_one, "single-doc fleet inference diverged");
+    }
+    let (mono_snap, fleet_snap) = (mono_lat.snapshot(), fleet_lat.snapshot());
+    println!(
+        "fleet single-doc over {single_n} requests (no cache, per-request gather): \
+         monolith mean {:.3}ms p95 {:.3}ms — router mean {:.3}ms p95 {:.3}ms",
+        mono_snap.mean() * to_ms,
+        mono_snap.p95() as f64 * to_ms,
+        fleet_snap.mean() * to_ms,
+        fleet_snap.p95() as f64 * to_ms,
+    );
+    if let Some(cap) = std::env::var("TOPMINE_MAX_FLEET_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        // Absolute-gap floor: at smoke scale both sides finish in tens of
+        // milliseconds, where a single scheduler hiccup can dwarf the wire
+        // cost; a ratio only fails the gate when the gap is real time.
+        let gap = fleet_secs - mono_secs;
+        assert!(
+            fleet_overhead <= cap || gap < 0.050,
+            "fleet overhead regression: router/monolith {fleet_overhead:.3}x > \
+             TOPMINE_MAX_FLEET_OVERHEAD={cap} (gap {gap:.3}s)"
+        );
+        println!("fleet overhead gate passed: {fleet_overhead:.2}x vs cap {cap}x");
+    }
+    for handle in fleet_handles {
+        handle.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&fleet_dir);
+
     // Open-loop load against the real HTTP server: offer a fixed fraction
     // of the measured closed-loop capacity and fire every request on its
     // absolute schedule slot whether or not earlier ones have returned.
@@ -263,6 +417,27 @@ fn main() {
          \"batched_secs\":{batched_secs:.4},\"speedup\":{batch_speedup:.3}",
         batch_docs.len(),
         batch_cfg.fold_iters
+    ));
+    json.push_str("},\"fleet\":{");
+    json.push_str(&format!(
+        "\"shards\":{fleet_shards},\"rounds\":{FLEET_ROUNDS},\"n_queries\":{},\
+         \"mono_secs\":{mono_secs:.4},\"fleet_secs\":{fleet_secs:.4},\
+         \"overhead\":{fleet_overhead:.3},\"mono_docs_per_sec\":{:.2},\
+         \"fleet_docs_per_sec\":{:.2},\"wire\":{{\"rpcs\":{rpcs},\
+         \"frames_sent\":{frames_sent},\"frames_received\":{frames_received},\
+         \"bytes_sent\":{bytes_sent},\"bytes_received\":{bytes_received},\
+         \"frames_per_request\":{:.4},\"bytes_sent_per_request\":{:.2}}},\
+         \"single_doc_ms\":{{\"requests\":{single_n},\"mono_mean\":{:.4},\
+         \"mono_p95\":{:.4},\"fleet_mean\":{:.4},\"fleet_p95\":{:.4}}}",
+        queries.len(),
+        queries.len() as f64 / mono_secs,
+        queries.len() as f64 / fleet_secs,
+        frames_sent as f64 / fleet_requests,
+        bytes_sent as f64 / fleet_requests,
+        mono_snap.mean() * to_ms,
+        mono_snap.p95() as f64 * to_ms,
+        fleet_snap.mean() * to_ms,
+        fleet_snap.p95() as f64 * to_ms
     ));
     json.push_str("},\"open_loop\":{");
     json.push_str(&format!(

@@ -2,20 +2,24 @@
 //! plus serving: freeze a fitted model and query it over HTTP.
 //!
 //! ```text
-//! topmine --input corpus.txt --topics 20 --save-model bundle/
-//! topmine serve --model bundle/ --port 7878
+//! topmine --input corpus.txt --topics 20 --save-model bundle/ --shards 3
+//! topmine serve-shard --model bundle/ --shard 0 --port 7979
+//! topmine serve --model bundle/ --fleet 127.0.0.1:7979,127.0.0.1:7980,127.0.0.1:7981
 //! topmine infer --model bundle/ --input unseen.txt
 //! ```
 
+use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
-use topmine::cli::{parse_command, CliOptions, Command, InferOptions, ServeOptions, USAGE};
+use topmine::cli::{
+    parse_command, CliOptions, Command, InferOptions, ServeOptions, ServeShardOptions, USAGE,
+};
 use topmine::ToPMine;
 use topmine_corpus::{io as corpus_io, CorpusOptions, StopwordSet};
 use topmine_serve::{
-    load_bundle, FrontEnd, HttpServer, InferConfig, ModelBackend, QueryEngine, ServerConfig,
-    ShardedModel,
+    load_bundle, FrontEnd, HttpServer, InferConfig, ModelBackend, PoolConfig, QueryEngine,
+    RemoteShardedModel, ServerConfig, ShardServer, ShardSlice, ShardedModel,
 };
 
 fn main() -> ExitCode {
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
     let result = match command {
         Command::Fit(opts) => run_fit(&opts),
         Command::Serve(opts) => run_serve(&opts),
+        Command::ServeShard(opts) => run_serve_shard(&opts),
         Command::Infer(opts) => run_infer(&opts),
     };
     match result {
@@ -139,7 +144,22 @@ fn load_model(dir: &str) -> Result<Arc<dyn ModelBackend>, String> {
 }
 
 fn run_serve(opts: &ServeOptions) -> Result<(), String> {
-    let model = load_model(&opts.model_dir)?;
+    let model: Arc<dyn ModelBackend> = if opts.fleet.is_empty() {
+        load_model(&opts.model_dir)?
+    } else {
+        let router = RemoteShardedModel::connect(
+            Path::new(&opts.model_dir),
+            &opts.fleet,
+            PoolConfig::default(),
+        )
+        .map_err(|e| format!("connecting to fleet {}: {e}", opts.fleet.join(",")))?;
+        eprintln!(
+            "fleet: {} shard(s) at {} (all healthy at startup)",
+            opts.fleet.len(),
+            opts.fleet.join(", ")
+        );
+        Arc::new(router)
+    };
     eprintln!(
         "model: {} topics, vocabulary {}, {} lexicon phrases, {} shard(s) (trained on {} docs)",
         model.n_topics(),
@@ -182,6 +202,27 @@ fn run_serve(opts: &ServeOptions) -> Result<(), String> {
          POST /infer?seed=N&iters=N&top=N&deadline_ms=N, POST /infer_batch"
     );
     server.run().map_err(|e| format!("serving: {e}"))
+}
+
+fn run_serve_shard(opts: &ServeShardOptions) -> Result<(), String> {
+    let slice = ShardSlice::load(Path::new(&opts.model_dir), opts.shard)
+        .map_err(|e| format!("loading shard {} of {}: {e}", opts.shard, opts.model_dir))?;
+    eprintln!(
+        "shard {}: word ids [{}, {}), {} topics, digest {:016x}",
+        slice.index, slice.lo, slice.hi, slice.n_topics, slice.digest
+    );
+    let server = ShardServer::bind((opts.host.as_str(), opts.port), slice)
+        .map_err(|e| format!("binding {}:{}: {e}", opts.host, opts.port))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving bound address: {e}"))?;
+    // Printed to stdout (and flushed) so a supervisor using `--port 0` can
+    // read the ephemeral address before pointing a router at it.
+    println!("listening on {addr}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flushing stdout: {e}"))?;
+    server.run().map_err(|e| format!("serving shard: {e}"))
 }
 
 fn run_infer(opts: &InferOptions) -> Result<(), String> {

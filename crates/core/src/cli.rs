@@ -3,9 +3,12 @@
 //! Argument parsing is hand-rolled (the offline dependency set has no
 //! `clap`) and lives here, separate from the binary, so it is unit-testable.
 //!
-//! Three commands share the binary: the original fit path (no subcommand,
+//! Four commands share the binary: the original fit path (no subcommand,
 //! for compatibility), `topmine serve` (load a frozen bundle and answer
-//! HTTP queries), and `topmine infer` (one-shot fold-in over a file).
+//! HTTP queries — in-process, or routing φ gathers to a fleet of shard
+//! processes via `--fleet`), `topmine serve-shard` (host one shard of a
+//! sharded bundle over the binary wire protocol), and `topmine infer`
+//! (one-shot fold-in over a file).
 
 use crate::pipeline::ToPMineConfig;
 
@@ -95,6 +98,8 @@ topmine — scalable topical phrase mining (El-Kishky et al., VLDB 2014)
 USAGE:
     topmine --input FILE [OPTIONS]          fit a model (mine + segment + PhraseLDA)
     topmine serve --model DIR --port N      serve a frozen model over HTTP
+    topmine serve-shard --model DIR --shard K   host one shard of a sharded
+                                            bundle over the binary wire protocol
     topmine infer --model DIR --input FILE  one-shot fold-in inference
 
 FIT OPTIONS:
@@ -134,6 +139,19 @@ SERVE OPTIONS:
                           dispatch (shared phi gather)  [default: 16]
     --deadline-ms N       default per-request deadline; queued
                           past it answers 504 (0 = none) [default: 30000]
+    --fleet ADDRS         comma-separated shard addresses (host:port, one per
+                          shard, in shard order); the model dir must be a
+                          sharded bundle and phi gathers are routed to the
+                          fleet over the wire protocol instead of loaded
+                          in-process
+
+SERVE-SHARD OPTIONS:
+    --model DIR           sharded bundle from --save-model --shards (required)
+    --shard K             which shard directory to host (required)
+    --port N              TCP port (0 = ephemeral)      [default: 7979]
+    --host ADDR           bind address                  [default: 127.0.0.1]
+                          the bound address is printed to stdout as
+                          `listening on HOST:PORT` once ready
 
 INFER OPTIONS:
     --model DIR           frozen bundle from --save-model (required)
@@ -162,6 +180,10 @@ pub struct ServeOptions {
     pub max_batch: usize,
     /// Default per-request deadline in milliseconds; 0 disables.
     pub deadline_ms: u64,
+    /// Shard addresses (`host:port`, one per shard, shard order). Empty =
+    /// load the bundle in-process; non-empty = route φ gathers to these
+    /// shard processes over the wire protocol.
+    pub fleet: Vec<String>,
 }
 
 impl Default for ServeOptions {
@@ -177,6 +199,29 @@ impl Default for ServeOptions {
             queue_depth: 128,
             max_batch: 16,
             deadline_ms: 30_000,
+            fleet: Vec::new(),
+        }
+    }
+}
+
+/// Options of `topmine serve-shard`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeShardOptions {
+    /// Sharded bundle directory (must contain `manifest.tsv`).
+    pub model_dir: String,
+    /// Which `shard-K/` directory to host.
+    pub shard: usize,
+    pub host: String,
+    pub port: u16,
+}
+
+impl Default for ServeShardOptions {
+    fn default() -> Self {
+        Self {
+            model_dir: String::new(),
+            shard: 0,
+            host: "127.0.0.1".into(),
+            port: 7979,
         }
     }
 }
@@ -212,6 +257,7 @@ pub enum Command {
     /// The original pipeline run (no subcommand).
     Fit(CliOptions),
     Serve(ServeOptions),
+    ServeShard(ServeShardOptions),
     Infer(InferOptions),
 }
 
@@ -227,6 +273,10 @@ where
         Some("serve") => {
             args.next();
             Ok(parse_serve_args(args)?.map(Command::Serve))
+        }
+        Some("serve-shard") => {
+            args.next();
+            Ok(parse_serve_shard_args(args)?.map(Command::ServeShard))
         }
         Some("infer") => {
             args.next();
@@ -279,12 +329,53 @@ fn parse_serve_args<I: Iterator<Item = String>>(
             "--deadline-ms" => {
                 opts.deadline_ms = parse_num(&need(&mut args, "--deadline-ms")?, "--deadline-ms")?;
             }
+            "--fleet" => {
+                let list = need(&mut args, "--fleet")?;
+                opts.fleet = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if opts.fleet.is_empty() {
+                    return Err("--fleet requires at least one host:port address".into());
+                }
+                if let Some(bad) = opts.fleet.iter().find(|a| !a.contains(':')) {
+                    return Err(format!("--fleet: {bad:?} is not a host:port address"));
+                }
+            }
             other => return Err(format!("serve: unknown argument: {other}")),
         }
     }
     if opts.model_dir.is_empty() {
         return Err("serve: --model is required".into());
     }
+    Ok(Some(opts))
+}
+
+fn parse_serve_shard_args<I: Iterator<Item = String>>(
+    mut args: I,
+) -> Result<Option<ServeShardOptions>, String> {
+    let mut opts = ServeShardOptions::default();
+    let mut shard: Option<usize> = None;
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--model" => opts.model_dir = need(&mut args, "--model")?,
+            "--shard" => shard = Some(parse_num(&need(&mut args, "--shard")?, "--shard")?),
+            "--host" => opts.host = need(&mut args, "--host")?,
+            "--port" => opts.port = parse_num(&need(&mut args, "--port")?, "--port")?,
+            other => return Err(format!("serve-shard: unknown argument: {other}")),
+        }
+    }
+    if opts.model_dir.is_empty() {
+        return Err("serve-shard: --model is required".into());
+    }
+    opts.shard = shard.ok_or("serve-shard: --shard is required")?;
     Ok(Some(opts))
 }
 
@@ -616,6 +707,78 @@ mod tests {
         assert!(command(&["serve", "--model", "m", "--port", "xyz"]).is_err());
         assert!(command(&["serve", "--model", "m", "--bogus"]).is_err());
         assert_eq!(command(&["serve", "--help"]).unwrap(), None);
+    }
+
+    #[test]
+    fn serve_fleet_flag_parses_comma_separated_addresses() {
+        match command(&[
+            "serve",
+            "--model",
+            "bundle",
+            "--fleet",
+            "127.0.0.1:7979, 127.0.0.1:7980,127.0.0.1:7981",
+        ])
+        .unwrap()
+        .unwrap()
+        {
+            Command::Serve(opts) => {
+                assert_eq!(
+                    opts.fleet,
+                    vec!["127.0.0.1:7979", "127.0.0.1:7980", "127.0.0.1:7981"]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // No --fleet means the in-process backend.
+        match command(&["serve", "--model", "m"]).unwrap().unwrap() {
+            Command::Serve(opts) => assert!(opts.fleet.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(command(&["serve", "--model", "m", "--fleet", ""]).is_err());
+        assert!(command(&["serve", "--model", "m", "--fleet", ","]).is_err());
+        assert!(command(&["serve", "--model", "m", "--fleet", "noport"]).is_err());
+        assert!(command(&["serve", "--model", "m", "--fleet"]).is_err());
+    }
+
+    #[test]
+    fn serve_shard_subcommand_parses() {
+        match command(&[
+            "serve-shard",
+            "--model",
+            "bundle",
+            "--shard",
+            "2",
+            "--host",
+            "0.0.0.0",
+            "--port",
+            "9100",
+        ])
+        .unwrap()
+        .unwrap()
+        {
+            Command::ServeShard(opts) => {
+                assert_eq!(opts.model_dir, "bundle");
+                assert_eq!(opts.shard, 2);
+                assert_eq!(opts.host, "0.0.0.0");
+                assert_eq!(opts.port, 9100);
+            }
+            other => panic!("expected ServeShard, got {other:?}"),
+        }
+        match command(&["serve-shard", "--model", "m", "--shard", "0"])
+            .unwrap()
+            .unwrap()
+        {
+            Command::ServeShard(opts) => {
+                assert_eq!(opts.port, 7979);
+                assert_eq!(opts.host, "127.0.0.1");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(command(&["serve-shard", "--shard", "0"]).is_err()); // missing model
+        assert!(command(&["serve-shard", "--model", "m"]).is_err()); // missing shard
+        assert!(command(&["serve-shard", "--model", "m", "--shard", "x"]).is_err());
+        assert!(command(&["serve-shard", "--model", "m", "--shard", "0", "--bogus"]).is_err());
+        assert_eq!(command(&["serve-shard", "--help"]).unwrap(), None);
     }
 
     #[test]

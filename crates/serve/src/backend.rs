@@ -24,11 +24,82 @@
 
 use crate::frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig};
 use crate::sharded::ShardedModel;
+use std::fmt;
 use std::hash::Hasher;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 use topmine_corpus::Document;
+
+/// Why a φ gather against a remote backend failed. In-memory backends
+/// never construct one; the router maps each variant to an HTTP status
+/// (`Timeout` → 504, everything else → 503).
+#[derive(Debug, Clone)]
+pub enum BackendError {
+    /// The shard is down (connect refused, circuit open, retries spent).
+    ShardUnavailable {
+        shard: usize,
+        addr: String,
+        detail: String,
+    },
+    /// The request deadline (or the per-RPC timeout) expired first.
+    Timeout { shard: usize, addr: String },
+    /// The shard answered, but with bytes that violate the wire protocol
+    /// or the handshake contract. Not retryable: the peer is the wrong
+    /// model or the wrong software, and retrying can't fix either.
+    Protocol {
+        shard: usize,
+        addr: String,
+        detail: String,
+    },
+}
+
+impl BackendError {
+    /// HTTP status the serving layer reports this failure as.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            BackendError::Timeout { .. } => 504,
+            _ => 503,
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::ShardUnavailable {
+                shard,
+                addr,
+                detail,
+            } => {
+                write!(f, "shard {shard} ({addr}) unavailable: {detail}")
+            }
+            BackendError::Timeout { shard, addr } => {
+                write!(f, "shard {shard} ({addr}) deadline expired")
+            }
+            BackendError::Protocol {
+                shard,
+                addr,
+                detail,
+            } => {
+                write!(f, "shard {shard} ({addr}) protocol error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Caller-side context for a φ gather — today just the request deadline,
+/// which a remote backend propagates into its RPC timeouts so a stalled
+/// shard fails the request instead of hanging it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatherOptions {
+    /// Absolute deadline inherited from `?deadline_ms=`; `None` means the
+    /// backend's own per-RPC timeout is the only bound.
+    pub deadline: Option<Instant>,
+}
 
 /// Read access to a fitted, frozen ToPMine model, however it is stored.
 ///
@@ -80,6 +151,36 @@ pub trait ModelBackend: Send + Sync {
     /// overrides may only reorganize the traversal, never the values.
     fn gather_phi_batch(&self, words: &[u32]) -> Vec<f64> {
         self.gather_phi(words)
+    }
+
+    /// Fallible [`gather_phi`](ModelBackend::gather_phi): remote backends
+    /// surface shard failures here instead of panicking. In-memory
+    /// backends keep the infallible default.
+    fn try_gather_phi(
+        &self,
+        words: &[u32],
+        opts: &GatherOptions,
+    ) -> Result<Vec<f64>, BackendError> {
+        let _ = opts;
+        Ok(self.gather_phi(words))
+    }
+
+    /// Fallible [`gather_phi_batch`](ModelBackend::gather_phi_batch); same
+    /// contract, batch-union flavor.
+    fn try_gather_phi_batch(
+        &self,
+        words: &[u32],
+        opts: &GatherOptions,
+    ) -> Result<Vec<f64>, BackendError> {
+        let _ = opts;
+        Ok(self.gather_phi_batch(words))
+    }
+
+    /// Per-shard fleet health as a JSON array, when this backend fronts
+    /// remote shard processes (`None` for in-memory backends). Rendered
+    /// into the router's `/healthz` body.
+    fn fleet_status_json(&self) -> Option<String> {
+        None
     }
 
     /// Preferred display string for one word id (unstemmed when the bundle

@@ -21,6 +21,7 @@
 //! (new submissions fail), wakes every worker, and joins them after they
 //! finish all remaining queued jobs.
 
+use crate::backend::GatherOptions;
 use crate::engine::QueryEngine;
 use crate::http::{batch_inference_json, error_json, inference_json};
 use crate::infer::{BatchItem, InferConfig};
@@ -204,7 +205,33 @@ fn dispatch_batch(engine: &QueryEngine, batch: Vec<InferJob>) {
         }
     }
     metrics.dispatch_batch_docs.record(items.len() as u64);
-    let results = engine.infer_items_amortized(&items);
+    // Deadline propagation into the shared gather: the batch's RPCs are
+    // bounded by the *latest* live deadline (any job without one leaves
+    // the gather bounded only by the backend's per-RPC timeout — a
+    // tighter clamp would let one impatient request fail patient ones).
+    let gather_deadline = if live.iter().all(|j| j.deadline.is_some()) {
+        live.iter().filter_map(|j| j.deadline).max()
+    } else {
+        None
+    };
+    let results = match engine.try_infer_items_amortized(
+        &items,
+        &GatherOptions {
+            deadline: gather_deadline,
+        },
+    ) {
+        Ok(results) => results,
+        Err(e) => {
+            // A shard failure fails every job of the batch the same way —
+            // the gather was shared, so there is no per-document blame.
+            let status = e.http_status();
+            let body = error_json(&e.to_string());
+            for job in live {
+                (job.respond)(status, body.clone());
+            }
+            return;
+        }
+    };
 
     let mut offset = 0;
     for job in live {

@@ -14,9 +14,9 @@
 //! HTTP layer runs its own connection pool and calls the inline
 //! [`QueryEngine::infer`] path, so request handling never blocks a batch.)
 
-use crate::backend::ModelBackend;
+use crate::backend::{BackendError, GatherOptions, ModelBackend};
 use crate::cache::{CacheKey, CacheStats, ResponseCache};
-use crate::infer::{infer_doc, infer_docs_amortized, BatchItem, DocInference, InferConfig};
+use crate::infer::{infer_doc, try_infer_docs_amortized, BatchItem, DocInference, InferConfig};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -204,6 +204,20 @@ impl QueryEngine {
     /// bit-identical to per-item [`infer_doc`] calls with the items'
     /// seeds, whatever mix of hits and misses occurs.
     pub fn infer_items_amortized(&self, items: &[BatchItem]) -> Vec<DocInference> {
+        self.try_infer_items_amortized(items, &GatherOptions::default())
+            .unwrap_or_else(|e| panic!("phi gather failed: {e}"))
+    }
+
+    /// Fallible [`infer_items_amortized`](QueryEngine::infer_items_amortized):
+    /// a shard failure during the shared gather fails the whole miss set
+    /// (cache hits found before the failure are discarded with it — the
+    /// dispatcher answers every queued request with the error). Identical
+    /// results on the success path.
+    pub fn try_infer_items_amortized(
+        &self,
+        items: &[BatchItem],
+        gather_opts: &GatherOptions,
+    ) -> Result<Vec<DocInference>, BackendError> {
         let metrics = crate::metrics::serve_metrics();
         let mut results: Vec<Option<DocInference>> = (0..items.len()).map(|_| None).collect();
         let mut miss_idx: Vec<usize> = Vec::new();
@@ -227,10 +241,10 @@ impl QueryEngine {
             // slice directly; only a mixed batch pays for compacting the
             // misses into their own buffer.
             let inferred = if miss_idx.len() == items.len() {
-                infer_docs_amortized(self.model.as_ref(), items)
+                try_infer_docs_amortized(self.model.as_ref(), items, gather_opts)?
             } else {
                 let misses: Vec<BatchItem> = miss_idx.iter().map(|&i| items[i].clone()).collect();
-                infer_docs_amortized(self.model.as_ref(), &misses)
+                try_infer_docs_amortized(self.model.as_ref(), &misses, gather_opts)?
             };
             for (&i, inference) in miss_idx.iter().zip(inferred) {
                 if let Some(cache) = &self.cache {
@@ -243,10 +257,10 @@ impl QueryEngine {
                 results[i] = Some(inference);
             }
         }
-        results
+        Ok(results
             .into_iter()
             .map(|r| r.expect("every item resolved"))
-            .collect()
+            .collect())
     }
 
     /// Amortized batch over one config: document `i` draws

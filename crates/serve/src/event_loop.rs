@@ -222,6 +222,11 @@ struct Conn {
     write_buf: Vec<u8>,
     written: usize,
     close_after: bool,
+    /// Peer shut down its write side (read returned 0). A complete
+    /// buffered request still gets its response — matching the blocking
+    /// front end, which reads the full request before noticing EOF — but
+    /// nothing further will arrive, so the connection closes after it.
+    peer_half_closed: bool,
     served: usize,
     last_activity: Instant,
     /// First-byte instant of the in-progress request (None while idle
@@ -376,6 +381,7 @@ impl EventLoop {
             write_buf: Vec::new(),
             written: 0,
             close_after: false,
+            peer_half_closed: false,
             served: 0,
             last_activity: Instant::now(),
             req_started: None,
@@ -468,9 +474,13 @@ impl EventLoop {
             };
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
-                    // Peer closed. Mid-request bytes die with it.
-                    self.drop_conn(slot);
-                    return;
+                    // Peer half-closed (FIN). A complete request already
+                    // buffered must still be answered — clients that send
+                    // a request and `shutdown(Write)` are valid HTTP — so
+                    // fall through to `process_buffer` and only drop the
+                    // connection if what's buffered can never complete.
+                    conn.peer_half_closed = true;
+                    break;
                 }
                 Ok(n) => {
                     if conn.buf.is_empty() {
@@ -488,6 +498,13 @@ impl EventLoop {
             }
         }
         self.process_buffer(slot);
+        // After a half-close, a connection still in `Reading` holds an
+        // incomplete (or no) request that can never finish arriving.
+        if let Some(conn) = self.conns[slot].as_ref() {
+            if conn.peer_half_closed && matches!(conn.state, ConnState::Reading) {
+                self.drop_conn(slot);
+            }
+        }
     }
 
     /// Try to carve one complete request out of the connection's buffer
@@ -552,7 +569,7 @@ impl EventLoop {
             body,
             close: close_requested,
         };
-        conn.close_after = req.close || at_cap;
+        conn.close_after = req.close || at_cap || conn.peer_half_closed;
         conn.handle_start = Instant::now();
         conn.route_label = ServeMetrics::route_label(&req.path);
         conn.observe = true;

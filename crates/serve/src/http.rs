@@ -658,11 +658,22 @@ fn route_inner(
         ("GET", "/healthz") => {
             let m = engine.model();
             let cache = engine.cache_stats();
+            // A fleet router aggregates per-shard health: overall status
+            // degrades when any shard fails its ping, and the per-shard
+            // snapshot rides along under "fleet".
+            let fleet = m.fleet_status_json();
+            let status = match &fleet {
+                Some(json) if json.contains("\"ok\":false") => "degraded",
+                _ => "ok",
+            };
+            let fleet = fleet
+                .map(|json| format!(",\"fleet\":{json}"))
+                .unwrap_or_default();
             done(RouteResponse::json(format!(
-                "{{\"status\":\"ok\",\"format\":{},\"version\":{},\"kernel_version\":{},\
+                "{{\"status\":\"{status}\",\"format\":{},\"version\":{},\"kernel_version\":{},\
                  \"kernel\":\"frozen-phi\",\"uptime_seconds\":{},\
                  \"topics\":{},\"vocab\":{},\"shards\":{},\
-                 \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{}}}}}",
+                 \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{}}}{fleet}}}",
                 json_string(m.format_tag()),
                 json_string(env!("CARGO_PKG_VERSION")),
                 topmine_lda::KERNEL_VERSION,
@@ -789,7 +800,7 @@ pub(crate) fn render_response(status: u16, body: &str, content_type: &str, close
 // ----- JSON rendering -------------------------------------------------------
 
 /// Escape and quote a string for JSON output.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -33,7 +33,7 @@
 //! runs), through its frozen-φ [`FrozenPhiView`] — so serving inference can
 //! never drift from the trained model's Eq. 7.
 
-use crate::backend::ModelBackend;
+use crate::backend::{BackendError, GatherOptions, ModelBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -228,6 +228,20 @@ pub fn infer_doc(
     config: &InferConfig,
     seed: u64,
 ) -> DocInference {
+    try_infer_doc(model, text, config, seed, &GatherOptions::default())
+        .unwrap_or_else(|e| panic!("phi gather failed: {e} (fallible backends use try_infer_doc)"))
+}
+
+/// Fallible [`infer_doc`]: a remote backend's shard failure surfaces as a
+/// [`BackendError`] instead of a panic. Identical draws and results on the
+/// success path.
+pub fn try_infer_doc(
+    model: &dyn ModelBackend,
+    text: &str,
+    config: &InferConfig,
+    seed: u64,
+    gather_opts: &GatherOptions,
+) -> Result<DocInference, BackendError> {
     let metrics = crate::metrics::serve_metrics();
     metrics.infer_docs_total.inc();
     let prepared = model.prepare(text);
@@ -258,7 +272,7 @@ pub fn infer_doc(
         let n_local = scratch.distinct.len();
         // Topic-major `k × n_local`: φ[t][distinct[j]] at `t * n_local + j`.
         let gather = metrics.stage(crate::metrics::Stage::PhiGather).span();
-        let phi = model.gather_phi(&scratch.distinct);
+        let phi = model.try_gather_phi(&scratch.distinct, gather_opts)?;
         gather.stop();
         metrics.phi_columns_total.add(n_local as u64);
         let view = FrozenPhiView::new(&phi, n_local, k);
@@ -279,7 +293,7 @@ pub fn infer_doc(
         );
         fold.stop();
 
-        assemble_inference(
+        Ok(assemble_inference(
             model,
             alpha,
             k,
@@ -289,7 +303,7 @@ pub fn infer_doc(
             &scratch.z,
             config.top_topics,
             prepared.n_oov,
-        )
+        ))
     })
 }
 
@@ -316,8 +330,21 @@ pub struct BatchItem {
 /// each chain consumes its own freshly seeded RNG — only the column
 /// *addressing* changes, never an operand or a draw.
 pub fn infer_docs_amortized(model: &dyn ModelBackend, items: &[BatchItem]) -> Vec<DocInference> {
+    try_infer_docs_amortized(model, items, &GatherOptions::default()).unwrap_or_else(|e| {
+        panic!("phi gather failed: {e} (fallible backends use try_infer_docs_amortized)")
+    })
+}
+
+/// Fallible [`infer_docs_amortized`] — the dispatcher's entry point, so a
+/// down shard becomes one batch-wide [`BackendError`] (each queued request
+/// is answered with the mapped HTTP status) instead of a worker panic.
+pub fn try_infer_docs_amortized(
+    model: &dyn ModelBackend,
+    items: &[BatchItem],
+    gather_opts: &GatherOptions,
+) -> Result<Vec<DocInference>, BackendError> {
     if items.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let metrics = crate::metrics::serve_metrics();
     let k = model.n_topics();
@@ -353,7 +380,7 @@ pub fn infer_docs_amortized(model: &dyn ModelBackend, items: &[BatchItem]) -> Ve
     }
 
     let gather = metrics.stage(crate::metrics::Stage::PhiGather).span();
-    let phi = model.gather_phi_batch(&batch_distinct);
+    let phi = model.try_gather_phi_batch(&batch_distinct, gather_opts)?;
     gather.stop();
     metrics.phi_columns_total.add(batch_distinct.len() as u64);
     metrics
@@ -403,7 +430,7 @@ pub fn infer_docs_amortized(model: &dyn ModelBackend, items: &[BatchItem]) -> Ve
         })
         .collect();
     fold.stop();
-    results
+    Ok(results)
 }
 
 impl crate::frozen::FrozenModel {

@@ -35,7 +35,17 @@
 //!   queue** (overflow ⇒ `429` + `Retry-After`, deadline expiry ⇒ `504`)
 //!   and are drained in coalesced batches that share one φ gather across
 //!   documents (`/infer_batch`, or adjacent queued `/infer` requests) —
-//!   bit-identical to running each document alone.
+//!   bit-identical to running each document alone;
+//! * [`wire`] / [`shard`] / [`pool`] / [`router`] — **fleet serving**:
+//!   the shards of a [`ShardedModel`] split across processes. A
+//!   `topmine serve-shard` process loads one `shard-K/` φ slice
+//!   ([`ShardSlice`]) and answers a compact length-prefixed binary
+//!   protocol ([`wire`]); the router loads everything *except* φ and
+//!   fans each batch gather out as one pipelined frame per shard over
+//!   persistent pooled connections ([`RemoteShardedModel`]), with
+//!   deadline propagation, bounded retry/backoff, fail-fast 503s, and
+//!   per-shard health in `/healthz` + `/metrics` — still bit-identical
+//!   to the in-process monolith.
 //!
 //! # Quickstart
 //!
@@ -73,10 +83,14 @@ pub mod frozen;
 pub mod http;
 pub mod infer;
 pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod shard;
 pub mod sharded;
 pub mod trie;
+pub mod wire;
 
-pub use backend::{load_bundle, ModelBackend};
+pub use backend::{load_bundle, BackendError, GatherOptions, ModelBackend};
 pub use cache::{CacheStats, ResponseCache};
 pub use engine::{QueryEngine, ThreadPool, DEFAULT_CACHE_CAPACITY};
 pub use frozen::{FrozenModel, ModelHeader, PreparedDoc, PreprocessConfig, FROZEN_MODEL_FORMAT};
@@ -87,5 +101,9 @@ pub use infer::{
     infer_doc, infer_docs_amortized, BatchItem, DocInference, InferConfig, PhraseAssignment,
 };
 pub use metrics::{serve_metrics, ServeMetrics, Stage};
+pub use pool::{PoolConfig, ShardClient, ShardHealth, WireStats};
+pub use router::{RemoteShardedModel, FLEET_MODEL_FORMAT};
+pub use shard::{ShardServer, ShardServerHandle, ShardSlice};
 pub use sharded::{ModelShard, ShardedModel, SHARDED_MODEL_FORMAT};
 pub use trie::PhraseTrie;
+pub use wire::{WireError, MAX_FRAME, WIRE_VERSION};

@@ -243,6 +243,77 @@ impl ServeMetrics {
     }
 }
 
+/// Per-shard fleet RPC metrics, labeled `{shard="K"}`. Registered once
+/// per shard client at pool construction (shard counts are small and
+/// fixed for a process lifetime, so the label stays bounded).
+#[derive(Debug, Clone)]
+pub struct FleetShardMetrics {
+    /// Round-trip latency of one shard RPC (send through matched reply).
+    pub rpc_seconds: Arc<Histogram>,
+    pub bytes_sent: Arc<Counter>,
+    pub bytes_received: Arc<Counter>,
+    pub frames_sent: Arc<Counter>,
+    pub frames_received: Arc<Counter>,
+    /// RPC attempts re-sent after a retryable transport failure.
+    pub retries: Arc<Counter>,
+    /// Fresh connections dialed after the first (reconnects after drops).
+    pub reconnects: Arc<Counter>,
+    /// RPCs that exhausted retries (or hit the deadline) and surfaced an
+    /// error to the caller.
+    pub failures: Arc<Counter>,
+}
+
+/// Build (or re-resolve — the registry dedupes) the metric handles for
+/// shard `shard` of the fleet.
+pub fn fleet_shard_metrics(shard: usize) -> FleetShardMetrics {
+    let r = Registry::global();
+    let label = shard.to_string();
+    let labels: &[(&str, &str)] = &[("shard", &label)];
+    FleetShardMetrics {
+        rpc_seconds: r.histogram(
+            "topmine_fleet_rpc_seconds",
+            "Fleet shard RPC round-trip latency in seconds",
+            labels,
+            1e-9,
+        ),
+        bytes_sent: r.counter(
+            "topmine_fleet_bytes_sent_total",
+            "Bytes written to fleet shard connections",
+            labels,
+        ),
+        bytes_received: r.counter(
+            "topmine_fleet_bytes_received_total",
+            "Bytes read from fleet shard connections",
+            labels,
+        ),
+        frames_sent: r.counter(
+            "topmine_fleet_frames_sent_total",
+            "Frames written to fleet shard connections",
+            labels,
+        ),
+        frames_received: r.counter(
+            "topmine_fleet_frames_received_total",
+            "Frames read from fleet shard connections",
+            labels,
+        ),
+        retries: r.counter(
+            "topmine_fleet_retries_total",
+            "Fleet RPC attempts re-sent after a retryable transport failure",
+            labels,
+        ),
+        reconnects: r.counter(
+            "topmine_fleet_reconnects_total",
+            "Fresh fleet shard connections dialed after the first",
+            labels,
+        ),
+        failures: r.counter(
+            "topmine_fleet_failures_total",
+            "Fleet RPCs that surfaced an error after exhausting retries",
+            labels,
+        ),
+    }
+}
+
 /// Static status label for the statuses this server emits (bounds label
 /// cardinality and avoids a per-request allocation).
 fn status_label(status: u16) -> &'static str {

@@ -70,17 +70,18 @@ pub struct ModelShard {
     /// One past the last owned word id.
     pub hi: u32,
     /// Word strings, local index = global id − `lo`.
-    words: Vec<String>,
+    pub(crate) words: Vec<String>,
     /// term → global id, the scatter target of vocabulary resolution.
-    term_ids: FxHashMap<String, u32>,
+    pub(crate) term_ids: FxHashMap<String, u32>,
     /// Display table slice (empty string = fall back to `words`); present
     /// iff training stemmed.
-    unstem: Option<Vec<String>>,
+    pub(crate) unstem: Option<Vec<String>>,
     /// Phrases whose first word is in `[lo, hi)`; shares the global `L`
     /// and `ε` with every other shard.
     pub lexicon: PhraseTrie,
-    /// φ block, `n_topics` rows × `hi − lo` columns.
-    phi: Vec<Vec<f64>>,
+    /// φ block, `n_topics` rows × `hi − lo` columns (empty in a router's
+    /// phi-less local view — see [`ShardedModel::load_without_phi`]).
+    pub(crate) phi: Vec<Vec<f64>>,
 }
 
 impl ModelShard {
@@ -206,8 +207,18 @@ impl ShardedModel {
     /// hold ids produced by [`ShardedModel::prepare`], which are always in
     /// range).
     fn shard_of(&self, w: u32) -> &ModelShard {
-        let i = self.boundaries.partition_point(|&b| b <= w) - 1;
-        &self.shards[i]
+        &self.shards[self.owner_index(w)]
+    }
+
+    /// Index of the shard owning word id `w` (the router groups a batch
+    /// gather into one frame per owner).
+    pub(crate) fn owner_index(&self, w: u32) -> usize {
+        self.boundaries.partition_point(|&b| b <= w) - 1
+    }
+
+    /// Range starts plus the trailing `vocab_size`, length `n_shards + 1`.
+    pub(crate) fn boundaries(&self) -> &[u32] {
+        &self.boundaries
     }
 
     /// Resolve a normalized term to its global word id — the scatter side
@@ -243,6 +254,13 @@ impl ShardedModel {
     /// Structural invariants every loaded/assembled sharded model
     /// satisfies.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_with(true)
+    }
+
+    /// Like [`ShardedModel::validate`], but `with_phi = false` accepts the
+    /// router's phi-less local view (φ lives in remote shard processes;
+    /// every shard's block must then be absent, not merely misshapen).
+    pub(crate) fn validate_with(&self, with_phi: bool) -> Result<(), String> {
         let h = &self.header;
         let k = h.n_topics;
         if self.shards.is_empty() {
@@ -274,11 +292,15 @@ impl ShardedModel {
                     s.width()
                 ));
             }
-            if s.phi.len() != k || s.phi.iter().any(|row| row.len() != s.width()) {
-                return Err(format!(
-                    "shard {i} φ block is not {k} × {} as the manifest requires",
-                    s.width()
-                ));
+            if with_phi {
+                if s.phi.len() != k || s.phi.iter().any(|row| row.len() != s.width()) {
+                    return Err(format!(
+                        "shard {i} φ block is not {k} × {} as the manifest requires",
+                        s.width()
+                    ));
+                }
+            } else if !s.phi.is_empty() {
+                return Err(format!("shard {i} carries φ in a phi-less view"));
             }
             if let Some(u) = &s.unstem {
                 if u.len() != s.width() {
@@ -390,6 +412,17 @@ impl ShardedModel {
     /// format line is checked first; every other failure (missing file,
     /// bad number, shape mismatch) is an `io::Error` naming the file.
     pub fn load(dir: &Path) -> io::Result<Self> {
+        Self::load_with(dir, true)
+    }
+
+    /// Load everything *except* φ — the router's local view. Vocabulary,
+    /// lexicons, and display tables are small; φ is the bulk of the bundle
+    /// and stays in the shard processes that own it.
+    pub(crate) fn load_without_phi(dir: &Path) -> io::Result<Self> {
+        Self::load_with(dir, false)
+    }
+
+    fn load_with(dir: &Path, load_phi: bool) -> io::Result<Self> {
         let manifest = RawManifest::load(&dir.join("manifest.tsv"))?;
         let stopwords = load_stopword_file(&dir.join("stopwords.txt"))?;
         let mut boundaries = manifest.shard_starts.clone();
@@ -409,6 +442,7 @@ impl ShardedModel {
                 w[0],
                 w[1],
                 manifest.min_support,
+                load_phi,
             )?);
         }
         let model = Self {
@@ -436,7 +470,7 @@ impl ShardedModel {
             boundaries,
             shards,
         };
-        model.validate().map_err(data_err)?;
+        model.validate_with(load_phi).map_err(data_err)?;
         Ok(model)
     }
 }
@@ -488,7 +522,13 @@ pub(crate) fn remove_stale_shards(dir: &Path, keep: usize) -> io::Result<()> {
     Ok(())
 }
 
-fn load_shard(dir: &Path, lo: u32, hi: u32, min_support: u64) -> io::Result<ModelShard> {
+fn load_shard(
+    dir: &Path,
+    lo: u32,
+    hi: u32,
+    min_support: u64,
+    load_phi: bool,
+) -> io::Result<ModelShard> {
     let name = dir
         .file_name()
         .map(|s| s.to_string_lossy().into_owned())
@@ -559,7 +599,11 @@ fn load_shard(dir: &Path, lo: u32, hi: u32, min_support: u64) -> io::Result<Mode
         None
     };
     let lexicon = load_lexicon(&dir.join("lexicon.tsv"), min_support)?;
-    let phi = topmine_lda::io::load_phi(&dir.join("phi.tsv"))?;
+    let phi = if load_phi {
+        topmine_lda::io::load_phi(&dir.join("phi.tsv"))?
+    } else {
+        Vec::new()
+    };
     Ok(ModelShard {
         lo,
         hi,
@@ -571,26 +615,28 @@ fn load_shard(dir: &Path, lo: u32, hi: u32, min_support: u64) -> io::Result<Mode
     })
 }
 
-/// Parsed `manifest.tsv` before assembly.
-struct RawManifest {
-    n_shards: usize,
-    n_topics: usize,
-    vocab_size: usize,
-    n_docs: usize,
-    n_tokens: u64,
-    seg_alpha: f64,
-    beta: f64,
-    min_support: u64,
-    stem: bool,
-    remove_stopwords: bool,
-    min_token_len: usize,
-    alpha: Vec<f64>,
+/// Parsed `manifest.tsv` before assembly. `pub(crate)` because a shard
+/// process ([`crate::shard::ShardSlice`]) reads the manifest for topology
+/// and hyperparameters without assembling a full model.
+pub(crate) struct RawManifest {
+    pub(crate) n_shards: usize,
+    pub(crate) n_topics: usize,
+    pub(crate) vocab_size: usize,
+    pub(crate) n_docs: usize,
+    pub(crate) n_tokens: u64,
+    pub(crate) seg_alpha: f64,
+    pub(crate) beta: f64,
+    pub(crate) min_support: u64,
+    pub(crate) stem: bool,
+    pub(crate) remove_stopwords: bool,
+    pub(crate) min_token_len: usize,
+    pub(crate) alpha: Vec<f64>,
     /// `shard{i}_start` values, dense and ascending, length `n_shards`.
-    shard_starts: Vec<u32>,
+    pub(crate) shard_starts: Vec<u32>,
 }
 
 impl RawManifest {
-    fn load(path: &Path) -> io::Result<Self> {
+    pub(crate) fn load(path: &Path) -> io::Result<Self> {
         let pairs = topmine_lda::io::read_versioned_kv(path, SHARDED_MODEL_FORMAT)?;
         let mut n_shards = None;
         let mut n_topics = None;

@@ -1,0 +1,343 @@
+//! Hostile-input hardening for the fleet wire protocol, both directions:
+//!
+//! * **shard side** — a rogue client sending truncated frames, oversize
+//!   length prefixes, unknown opcodes, or disconnecting mid-frame gets a
+//!   best-effort `Error` frame and a clean close; the server never panics
+//!   and keeps serving fresh connections;
+//! * **router side** — a rogue or stalled shard (garbage handshake,
+//!   silence, mid-RPC disconnect, oversize reply) surfaces as a typed
+//!   [`BackendError`] within its deadline; the client never hangs.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use topmine_serve::pool::ExpectedShard;
+use topmine_serve::wire::{self, Opcode, ShardMeta};
+use topmine_serve::{
+    BackendError, PoolConfig, ShardClient, ShardServer, ShardServerHandle, ShardSlice, WireError,
+    WireStats, WIRE_VERSION,
+};
+
+fn test_slice() -> ShardSlice {
+    // 2 topics x ids [10, 14)
+    ShardSlice::from_parts(
+        0,
+        10,
+        14,
+        0xFEED,
+        vec![vec![0.1, 0.2, 0.3, 0.4], vec![0.5, 0.6, 0.7, 0.8]],
+    )
+    .unwrap()
+}
+
+fn spawn_server() -> ShardServerHandle {
+    ShardServer::bind("127.0.0.1:0", test_slice())
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+/// Connect and complete a valid handshake; returns (reader, writer).
+fn handshaken(addr: std::net::SocketAddr) -> (std::io::BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    wire::write_frame(&mut writer, 1, Opcode::Hello, &[&wire::encode_hello()]).unwrap();
+    let meta = wire::read_frame(&mut reader).unwrap();
+    assert_eq!(meta.opcode, Opcode::Meta);
+    (reader, writer)
+}
+
+#[test]
+fn shard_rejects_oversize_length_prefix_with_error_then_close() {
+    let handle = spawn_server();
+    let (mut reader, mut writer) = handshaken(handle.addr());
+    // A length prefix far past MAX_FRAME; no payload ever follows.
+    writer.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    writer.flush().unwrap();
+    let err = wire::read_frame(&mut reader).unwrap();
+    assert_eq!(err.opcode, Opcode::Error);
+    assert!(
+        String::from_utf8_lossy(&err.payload).contains("cap"),
+        "{:?}",
+        String::from_utf8_lossy(&err.payload)
+    );
+    assert!(matches!(
+        wire::read_frame(&mut reader),
+        Err(WireError::Closed)
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn shard_rejects_unknown_opcode_with_error_then_close() {
+    let handle = spawn_server();
+    let (mut reader, mut writer) = handshaken(handle.addr());
+    // Hand-rolled frame with opcode 99: len=9 (req id + opcode), no payload.
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&9u32.to_le_bytes());
+    raw.extend_from_slice(&77u64.to_le_bytes());
+    raw.push(99);
+    writer.write_all(&raw).unwrap();
+    writer.flush().unwrap();
+    let err = wire::read_frame(&mut reader).unwrap();
+    assert_eq!(err.opcode, Opcode::Error);
+    assert!(matches!(
+        wire::read_frame(&mut reader),
+        Err(WireError::Closed)
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn shard_reports_truncated_frame_on_half_close() {
+    let handle = spawn_server();
+    let (mut reader, mut writer) = handshaken(handle.addr());
+    // Claim 100 bytes, deliver 10, then half-close: the server must see
+    // Truncated, answer with an Error frame, and close — not hang waiting
+    // for the other 90 bytes.
+    writer.write_all(&100u32.to_le_bytes()).unwrap();
+    writer.write_all(&[0u8; 10]).unwrap();
+    writer.flush().unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    let err = wire::read_frame(&mut reader).unwrap();
+    assert_eq!(err.opcode, Opcode::Error);
+    assert!(matches!(
+        wire::read_frame(&mut reader),
+        Err(WireError::Closed)
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn shard_survives_mid_frame_disconnect_and_keeps_serving() {
+    let handle = spawn_server();
+    for _ in 0..3 {
+        let (_reader, mut writer) = handshaken(handle.addr());
+        writer.write_all(&1000u32.to_le_bytes()).unwrap();
+        writer.write_all(&[1u8; 7]).unwrap();
+        writer.flush().unwrap();
+        drop(writer); // vanish mid-frame
+    }
+    // The server is still healthy: a well-behaved connection works.
+    let (mut reader, mut writer) = handshaken(handle.addr());
+    wire::write_frame(
+        &mut writer,
+        5,
+        Opcode::GatherPhiBatch,
+        &[&wire::encode_gather(&[11, 12])],
+    )
+    .unwrap();
+    let phi = wire::read_frame(&mut reader).unwrap();
+    assert_eq!((phi.request_id, phi.opcode), (5, Opcode::PhiBlock));
+    assert_eq!(
+        wire::decode_phi_block(&phi.payload, 2, 2).unwrap(),
+        vec![0.2, 0.3, 0.6, 0.7]
+    );
+    handle.shutdown();
+}
+
+// ----- router side ----------------------------------------------------------
+
+fn fast_config() -> PoolConfig {
+    PoolConfig {
+        connect_timeout: Duration::from_millis(500),
+        rpc_timeout: Duration::from_millis(700),
+        retries: 1,
+        backoff: Duration::from_millis(5),
+        cooldown: Duration::from_millis(100),
+    }
+}
+
+fn expected() -> ExpectedShard {
+    ExpectedShard {
+        index: 0,
+        lo: 10,
+        hi: 14,
+        n_topics: 2,
+        digest: 0xFEED,
+    }
+}
+
+fn client_for(addr: std::net::SocketAddr) -> ShardClient {
+    ShardClient::new(
+        expected(),
+        addr.to_string(),
+        fast_config(),
+        Arc::new(WireStats::default()),
+    )
+}
+
+/// A fake shard: accepts connections forever, handing each to `behave`.
+/// The thread is deliberately detached — it dies with the test process.
+fn rogue_shard(behave: impl Fn(TcpStream) + Send + Sync + 'static) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            behave(stream);
+        }
+    });
+    addr
+}
+
+/// Complete the shard side of a valid handshake on `stream`.
+fn answer_handshake(stream: &TcpStream) -> bool {
+    let e = expected();
+    let meta = ShardMeta {
+        version: WIRE_VERSION,
+        shard_index: e.index as u32,
+        lo: e.lo,
+        hi: e.hi,
+        n_topics: e.n_topics,
+        digest: e.digest,
+    };
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    });
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    match wire::read_frame(&mut reader) {
+        Ok(f) if f.opcode == Opcode::Hello => wire::write_frame(
+            &mut writer,
+            f.request_id,
+            Opcode::Meta,
+            &[&wire::encode_meta(&meta)],
+        )
+        .is_ok(),
+        _ => false,
+    }
+}
+
+fn gather_call(
+    client: &ShardClient,
+    deadline: Option<Instant>,
+) -> Result<wire::Frame, BackendError> {
+    client.call(
+        Opcode::GatherPhiBatch,
+        wire::encode_gather(&[11]),
+        Opcode::PhiBlock,
+        deadline,
+    )
+}
+
+#[test]
+fn garbage_handshake_is_a_clean_bounded_error() {
+    let addr = rogue_shard(|mut stream| {
+        let _ = stream.write_all(b"HTTP/1.1 200 OK\r\n\r\nnot a shard");
+    });
+    let client = client_for(addr);
+    let started = Instant::now();
+    let err = gather_call(&client, Some(Instant::now() + Duration::from_secs(2)))
+        .expect_err("garbage handshake must fail");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "took {:?}",
+        started.elapsed()
+    );
+    // Depending on which byte the framing dies on this is Unavailable
+    // (transport) or Protocol (bad Meta) — either way a typed error, 5xx.
+    assert!(err.http_status() >= 500, "{err}");
+}
+
+#[test]
+fn silent_server_times_out_the_handshake() {
+    let addr = rogue_shard(|stream| {
+        // Accept, say nothing, keep the socket open for a while.
+        std::thread::sleep(Duration::from_secs(30));
+        drop(stream);
+    });
+    let client = client_for(addr);
+    let started = Instant::now();
+    let err = gather_call(&client, Some(Instant::now() + Duration::from_millis(400)))
+        .expect_err("silent handshake must time out");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "took {:?}",
+        started.elapsed()
+    );
+    assert!(err.http_status() >= 500, "{err}");
+}
+
+#[test]
+fn stalled_shard_fires_the_request_deadline() {
+    let addr = rogue_shard(|stream| {
+        if !answer_handshake(&stream) {
+            return;
+        }
+        // Swallow every request, answer none.
+        let mut reader = std::io::BufReader::new(stream);
+        while wire::read_frame(&mut reader).is_ok() {}
+    });
+    let client = client_for(addr);
+    let started = Instant::now();
+    let err = gather_call(&client, Some(Instant::now() + Duration::from_millis(300)))
+        .expect_err("stalled gather must time out");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, BackendError::Timeout { .. }),
+        "want Timeout, got {err}"
+    );
+    assert_eq!(err.http_status(), 504);
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+}
+
+#[test]
+fn mid_rpc_disconnect_is_a_bounded_unavailable_error() {
+    let addr = rogue_shard(|stream| {
+        if !answer_handshake(&stream) {
+            return;
+        }
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        // Read the gather request, then send half a reply frame and die.
+        if wire::read_frame(&mut reader).is_ok() {
+            let mut writer = stream;
+            let _ = writer.write_all(&500u32.to_le_bytes());
+            let _ = writer.write_all(&[0u8; 6]);
+            let _ = writer.flush();
+        }
+    });
+    let client = client_for(addr);
+    let started = Instant::now();
+    let err = gather_call(&client, Some(Instant::now() + Duration::from_secs(2)))
+        .expect_err("mid-frame disconnect must fail");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "took {:?}",
+        started.elapsed()
+    );
+    assert!(err.http_status() >= 500, "{err}");
+}
+
+#[test]
+fn oversize_reply_length_prefix_cannot_wedge_the_client() {
+    let addr = rogue_shard(|stream| {
+        if !answer_handshake(&stream) {
+            return;
+        }
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        if wire::read_frame(&mut reader).is_ok() {
+            let mut writer = stream;
+            let _ = writer.write_all(&u32::MAX.to_le_bytes());
+            let _ = writer.flush();
+            std::thread::sleep(Duration::from_secs(30));
+        }
+    });
+    let client = client_for(addr);
+    let started = Instant::now();
+    let err = gather_call(&client, Some(Instant::now() + Duration::from_secs(1)))
+        .expect_err("oversize reply must fail");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "took {:?}",
+        started.elapsed()
+    );
+    assert!(err.http_status() >= 500, "{err}");
+}
