@@ -15,7 +15,7 @@
 use topmine_bench::{banner, iters, scale, seed_for};
 use topmine_corpus::{Corpus, Document};
 use topmine_lda::{GroupedDocs, PhraseLda, TopicModelConfig};
-use topmine_phrase::{FrequentPhraseMiner, MinerConfig, Segmenter, SegmenterConfig};
+use topmine_phrase::{FrequentPhraseMiner, MinerConfig, Segmentation, Segmenter, SegmenterConfig};
 use topmine_synth::{generate, Profile, SynthCorpus};
 use topmine_util::{FxHashSet, Table};
 
@@ -37,8 +37,13 @@ fn main() {
     ablation_doc_pruning(&synth);
     ablation_alpha(&synth);
     ablation_min_support(&synth);
-    ablation_hyperopt(&synth, seed);
-    ablation_clique_potential(&synth, seed);
+    // (e) and (f) fit PhraseLDA on the same ε/α partition — mine and
+    // segment once, share the result.
+    let seg = Segmenter::with_params(support(&synth.corpus), 4.0)
+        .segment(&synth.corpus)
+        .1;
+    ablation_hyperopt(&synth, &seg, seed);
+    ablation_clique_potential(&synth, &seg, seed);
     ablation_scoring_measure(&synth);
 }
 
@@ -200,10 +205,8 @@ fn ablation_min_support(synth: &SynthCorpus) {
 }
 
 /// (e) Hyperparameter optimization on/off.
-fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
+fn ablation_hyperopt(synth: &SynthCorpus, seg: &Segmentation, seed: u64) {
     println!("\n--- (e) hyperparameter optimization (Minka fixed point) ---");
-    let eps = support(&synth.corpus);
-    let (_, seg) = Segmenter::with_params(eps, 4.0).segment(&synth.corpus);
     let sweeps = iters(150);
     let mut table = Table::new(["variant", "perplexity", "alpha sum", "beta"]);
     for (label, optimize_every) in [
@@ -211,7 +214,7 @@ fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
         ("optimized (paper §5.3)", 25),
     ] {
         let mut m = PhraseLda::new(
-            GroupedDocs::from_segmentation(&synth.corpus, &seg),
+            GroupedDocs::from_segmentation(&synth.corpus, seg),
             TopicModelConfig {
                 n_topics: synth.n_topics,
                 alpha: 50.0 / synth.n_topics as f64,
@@ -237,12 +240,10 @@ fn ablation_hyperopt(synth: &SynthCorpus, seed: u64) {
 /// (f) The clique potential itself: PhraseLDA vs plain LDA on the very same
 /// token stream — what fraction of planted phrase instances end up with all
 /// tokens in one topic?
-fn ablation_clique_potential(synth: &SynthCorpus, seed: u64) {
+fn ablation_clique_potential(synth: &SynthCorpus, seg: &Segmentation, seed: u64) {
     println!(
         "\n--- (f) clique potential: PhraseLDA vs LDA topic agreement within planted phrases ---"
     );
-    let eps = support(&synth.corpus);
-    let (_, seg) = Segmenter::with_params(eps, 4.0).segment(&synth.corpus);
     let sweeps = iters(150);
     let cfg = TopicModelConfig {
         n_topics: synth.n_topics,
@@ -255,7 +256,7 @@ fn ablation_clique_potential(synth: &SynthCorpus, seed: u64) {
         ..TopicModelConfig::default()
     };
     let mut phrase_lda = PhraseLda::new(
-        GroupedDocs::from_segmentation(&synth.corpus, &seg),
+        GroupedDocs::from_segmentation(&synth.corpus, seg),
         cfg.clone(),
     );
     phrase_lda.run(sweeps);

@@ -37,6 +37,11 @@
 //! * `TOPMINE_MIN_SNAPSHOT_SPEEDUP` — floor on the amortized-vs-clone
 //!   sweeps/sec ratio of the large-vocab case. This one is valid on any
 //!   core count: the clone is pure extra work.
+//! * `TOPMINE_MIN_MINE_SPEEDUP` — floor on the legacy-vs-prefix-id
+//!   Algorithm 1 ratio at one thread (same reasoning: both runs are
+//!   sequential, so the ratio is pure per-window arithmetic);
+//!   `TOPMINE_MIN_MINE_PARALLEL_SPEEDUP` gates the miner's own thread
+//!   scaling and skips loudly when every parallel run is oversubscribed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,10 +50,11 @@ use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use topmine_bench::{banner, iters, scale, seed_for};
+use topmine_corpus::Corpus;
 use topmine_lda::{
     GroupedDoc, GroupedDocs, KernelMode, PhraseLda, SweepTelemetry, TopicModelConfig,
 };
-use topmine_phrase::Segmenter;
+use topmine_phrase::{FrequentPhraseMiner, MinerConfig, MiningTelemetry, PhraseStats, Segmenter};
 use topmine_synth::{generate, Profile};
 use topmine_util::Table;
 
@@ -259,6 +265,142 @@ fn sparse_comparison(docs: &GroupedDocs, k: usize, seed: u64, sweeps: usize) -> 
     }
 }
 
+struct MineScalingRun {
+    threads: usize,
+    secs: f64,
+    oversubscribed: bool,
+}
+
+struct MiningComparison {
+    legacy_secs: f64,
+    prefix_secs: f64,
+    speedup: f64,
+    allocs_per_occurrence: f64,
+    occurrences: u64,
+    candidates: u64,
+    frequent: u64,
+    levels: usize,
+    runs: Vec<MineScalingRun>,
+}
+
+/// Algorithm 1 head-to-head: the seed-era hashmap miner (boxed-slice keys,
+/// per-level whole-map merges) vs the prefix-id open-addressing engine, on
+/// the same corpus. The two single-thread runs are interleaved three times
+/// and the minimum kept — the same one-sided-noise reasoning as
+/// [`sparse_comparison`] — and the ratio is valid on any core count because
+/// both chains are sequential. The prefix engine is then timed at 1/2/4
+/// threads for the scaling record. Every run, at every thread count, must
+/// produce the identical `PhraseStats` — asserted, so CI enforces the
+/// mining determinism contract alongside the speedup.
+fn mining_comparison(corpus: &Corpus, min_support: u64, hardware: usize) -> MiningComparison {
+    let config = |threads: usize| MinerConfig {
+        min_support,
+        n_threads: threads,
+        ..MinerConfig::default()
+    };
+    let sequential = FrequentPhraseMiner::with_config(config(1));
+    let mut legacy_secs = f64::INFINITY;
+    let mut prefix_secs = f64::INFINITY;
+    let mut prefix_allocs = u64::MAX;
+    let mut reference: Option<(PhraseStats, MiningTelemetry)> = None;
+    for _ in 0..3 {
+        let (legacy, secs, _) = measured(|| sequential.mine_legacy(corpus));
+        legacy_secs = legacy_secs.min(secs);
+        let ((stats, tel), secs, allocs) = measured(|| sequential.mine_with_telemetry(corpus));
+        prefix_secs = prefix_secs.min(secs);
+        prefix_allocs = prefix_allocs.min(allocs);
+        assert_eq!(
+            stats.unigram_counts, legacy.unigram_counts,
+            "prefix-id unigram counts diverged from the legacy miner"
+        );
+        assert_eq!(
+            stats.ngram_counts, legacy.ngram_counts,
+            "prefix-id n-gram counts diverged from the legacy miner"
+        );
+        reference = Some((stats, tel));
+    }
+    let (reference, tel) = reference.expect("three comparison rounds ran");
+    // The counting pass allocates nothing per counted window occurrence: a
+    // whole mine allocates only O(docs) state vectors, O(survivors) output
+    // phrase boxes, and O(log candidates) table growth steps. Enforce that
+    // with the same counting-allocator evidence the sweep loop uses — the
+    // budget scales with documents and surviving phrases, never with the
+    // number of windows counted, so a per-occurrence allocation (the
+    // seed-era boxed-key pattern) blows it by orders of magnitude.
+    let alloc_budget = 10 * corpus.n_docs() as u64 + 8 * tel.frequent() + 4096;
+    assert!(
+        prefix_allocs <= alloc_budget,
+        "mining allocated {prefix_allocs} heap blocks for {} docs / {} frequent phrases \
+         (budget {alloc_budget}) — per-occurrence allocation crept back into the counting pass",
+        corpus.n_docs(),
+        tel.frequent(),
+    );
+    let allocs_per_occurrence = prefix_allocs as f64 / tel.occurrences().max(1) as f64;
+    let mut runs = vec![MineScalingRun {
+        threads: 1,
+        secs: prefix_secs,
+        oversubscribed: false,
+    }];
+    for threads in [2usize, 4] {
+        let miner = FrequentPhraseMiner::with_config(config(threads));
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let (stats, secs, _) = measured(|| miner.mine(corpus));
+            best = best.min(secs);
+            assert_eq!(
+                stats.ngram_counts, reference.ngram_counts,
+                "thread count changed the mined PhraseStats"
+            );
+        }
+        runs.push(MineScalingRun {
+            threads,
+            secs: best,
+            oversubscribed: threads > hardware,
+        });
+    }
+    MiningComparison {
+        legacy_secs,
+        prefix_secs,
+        speedup: legacy_secs / prefix_secs,
+        allocs_per_occurrence,
+        occurrences: tel.occurrences(),
+        candidates: tel.candidates(),
+        frequent: tel.frequent(),
+        levels: tel.levels.len(),
+        runs,
+    }
+}
+
+fn mining_json(m: &MiningComparison, extra: &str) -> String {
+    let mut runs = String::new();
+    for (i, r) in m.runs.iter().enumerate() {
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&format!(
+            "{{\"threads\":{},\"secs\":{:.4},\"speedup_vs_sequential\":{:.3},\
+             \"oversubscribed\":{}}}",
+            r.threads,
+            r.secs,
+            m.prefix_secs / r.secs,
+            r.oversubscribed,
+        ));
+    }
+    format!(
+        "{{{extra}\"legacy_secs\":{:.4},\"prefix_secs\":{:.4},\"mine_speedup\":{:.3},\
+         \"allocs_per_occurrence\":{:.6},\"occurrences\":{},\"candidates\":{},\
+         \"frequent\":{},\"levels\":{},\"stats_identical\":true,\"runs\":[{runs}]}}",
+        m.legacy_secs,
+        m.prefix_secs,
+        m.speedup,
+        m.allocs_per_occurrence,
+        m.occurrences,
+        m.candidates,
+        m.frequent,
+        m.levels,
+    )
+}
+
 fn sparse_json(r: &SparseRun, extra: &str) -> String {
     format!(
         "{{{extra}\"sparse_secs\":{:.4},\"dense_secs\":{:.4},\
@@ -327,11 +469,17 @@ fn main() {
     let corpus = &synth.corpus;
     let k = synth.n_topics;
 
-    // Figure 8 component 1: frequent phrase mining + segmentation.
+    // Figure 8 component 1: frequent phrase mining + segmentation — mined
+    // once, then segmented from the shared stats (the mine-once path every
+    // repeat-segmentation caller uses), each half timed separately.
+    let segmenter = Segmenter::with_params(topmine::ToPMineConfig::support_for_corpus(corpus), 3.0);
     let t0 = Instant::now();
-    let (_, seg) = Segmenter::with_params(topmine::ToPMineConfig::support_for_corpus(corpus), 3.0)
-        .segment(corpus);
-    let mining_secs = t0.elapsed().as_secs_f64();
+    let (stats, _) = segmenter.mine(corpus);
+    let mine_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let seg = segmenter.segment_with_stats(corpus, &stats);
+    let segment_secs = t0.elapsed().as_secs_f64();
+    let mining_secs = mine_secs + segment_secs;
     let grouped = GroupedDocs::from_segmentation(corpus, &seg);
     println!(
         "corpus: {} docs, {} tokens, {} groups ({} multi-word), K={k}, {sweeps} sweeps, \
@@ -432,7 +580,8 @@ fn main() {
     let modeling_secs = sequential_secs;
     let total = mining_secs + modeling_secs;
     println!(
-        "figure-8 split (1 thread): phrase mining {mining_secs:.3}s ({:.0}%), \
+        "figure-8 split (1 thread): phrase mining {mining_secs:.3}s ({:.0}%; \
+         mine {mine_secs:.3}s + segment {segment_secs:.3}s), \
          topic modeling {modeling_secs:.3}s ({:.0}%)",
         100.0 * mining_secs / total,
         100.0 * modeling_secs / total,
@@ -507,12 +656,50 @@ fn main() {
         big_sparse.dense_sweeps_per_sec,
     );
 
+    // Algorithm 1 legacy-vs-prefix head-to-head on a dedicated corpus,
+    // floored at scale 0.5 so the CI smoke run (TOPMINE_SCALE=0.05) still
+    // times a window long enough for the min-of-3 to mean something.
+    let mine_scale = s.max(0.5);
+    let mine_synth = generate(Profile::DblpAbstracts, mine_scale, seed ^ 0x0a16_0b17);
+    let mine_corpus = &mine_synth.corpus;
+    let mine_support = topmine::ToPMineConfig::support_for_corpus(mine_corpus);
+    let mining = mining_comparison(mine_corpus, mine_support, hardware);
+    println!(
+        "mining split (scale {mine_scale}, {} docs, {} tokens, ε={mine_support}, 1 thread): \
+         legacy {:.3}s vs prefix-id {:.3}s ({:.2}x), {:.4} allocs/occurrence \
+         ({} occurrences, {} candidates, {} frequent, {} levels)",
+        mine_corpus.n_docs(),
+        mine_corpus.n_tokens(),
+        mining.legacy_secs,
+        mining.prefix_secs,
+        mining.speedup,
+        mining.allocs_per_occurrence,
+        mining.occurrences,
+        mining.candidates,
+        mining.frequent,
+        mining.levels,
+    );
+    for r in &mining.runs {
+        println!(
+            "mining scaling: {} thread(s) {:.3}s ({:.2}x{})",
+            r.threads,
+            r.secs,
+            mining.prefix_secs / r.secs,
+            if r.oversubscribed {
+                ", oversubscribed"
+            } else {
+                ""
+            },
+        );
+    }
+
     // JSON snapshot for CI trending.
     let base = results[0].1;
     let mut json = String::from("{");
     json.push_str(&format!(
         "\"scale\":{s},\"sweeps\":{sweeps},\"n_tokens\":{},\"n_groups\":{},\
          \"hardware_threads\":{hardware},\"phrase_mining_secs\":{mining_secs:.4},\
+         \"mine_secs\":{mine_secs:.4},\"segment_secs\":{segment_secs:.4},\
          \"topic_modeling_secs\":{modeling_secs:.4},\"parallel_bit_identical\":true,\"runs\":[",
         grouped.n_tokens(),
         grouped.n_groups(),
@@ -545,7 +732,16 @@ fn main() {
         &big_sparse,
         &format!("\"vocab\":{big_v},\"topics\":{big_k},\"sweeps\":{kernel_sweeps},"),
     ));
-    json.push_str("}}");
+    json.push_str("},\"mining\":");
+    json.push_str(&mining_json(
+        &mining,
+        &format!(
+            "\"scale\":{mine_scale},\"n_docs\":{},\"n_tokens\":{},\"min_support\":{mine_support},",
+            mine_corpus.n_docs(),
+            mine_corpus.n_tokens(),
+        ),
+    ));
+    json.push('}');
     let mut file = std::fs::File::create("BENCH_fit.json").expect("create BENCH_fit.json");
     writeln!(file, "{json}").expect("write BENCH_fit.json");
     println!("snapshot written to BENCH_fit.json");
@@ -621,5 +817,56 @@ fn main() {
             "sparse kernel gate passed: {:.3}x >= {floor}x (V={big_v} K={big_k})",
             big_sparse.speedup
         );
+    }
+
+    // Opt-in gate on Algorithm 1 itself: legacy vs prefix-id at one thread.
+    // Like the snapshot and sparse gates, this is valid on any core count —
+    // both runs are sequential, so the ratio is pure per-window arithmetic.
+    if let Some(floor) = std::env::var("TOPMINE_MIN_MINE_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        assert!(
+            mining.speedup >= floor,
+            "phrase mining regression: legacy/prefix-id {:.3}x < floor {floor}x",
+            mining.speedup
+        );
+        println!(
+            "mining gate passed: {:.3}x >= {floor}x (ε={mine_support})",
+            mining.speedup
+        );
+    }
+
+    // Opt-in gate on the miner's own thread scaling. Same oversubscription
+    // rule as the sweep gate: a run with more mining threads than cores
+    // time-slices one core, so those runs are excluded, and on a 1-core
+    // container the gate reports itself skipped instead of silently not
+    // applying.
+    if let Some(floor) = std::env::var("TOPMINE_MIN_MINE_PARALLEL_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let eligible: Vec<&MineScalingRun> = mining
+            .runs
+            .iter()
+            .filter(|r| r.threads > 1 && !r.oversubscribed)
+            .collect();
+        if eligible.is_empty() {
+            println!(
+                "mining parallel gate skipped: every parallel run is oversubscribed \
+                 ({hardware} hardware thread(s))"
+            );
+        } else {
+            let best = eligible
+                .iter()
+                .map(|r| mining.prefix_secs / r.secs)
+                .fold(0.0f64, f64::max);
+            assert!(
+                best >= floor,
+                "mining parallel speedup regression: best {best:.3}x < floor {floor}x \
+                 ({hardware} hardware threads)"
+            );
+            println!("mining parallel gate passed: {best:.3}x >= {floor}x");
+        }
     }
 }

@@ -69,11 +69,12 @@ fn run_fit(opts: &CliOptions) -> Result<(), String> {
     let config = opts.pipeline_config(&corpus);
     eprintln!(
         "running ToPMine: K={}, iterations={}, min support={}, alpha={}, \
-         mining threads={}, gibbs threads={}",
+         mining threads={}, segmentation threads={}, gibbs threads={}",
         config.n_topics,
         config.iterations,
         config.min_support,
         config.significance_alpha,
+        config.resolved_mine_threads(),
         config.n_threads,
         config.lda_threads
     );

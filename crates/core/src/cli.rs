@@ -26,6 +26,8 @@ pub struct CliOptions {
     pub min_support: Option<u64>,
     pub significance_alpha: f64,
     pub n_threads: usize,
+    /// Algorithm 1 counting threads; 0 = follow `n_threads`.
+    pub mine_threads: usize,
     /// Gibbs worker threads for PhraseLDA training (1 = exact sequential
     /// chain; >= 2 = snapshot sweeps, bit-identical at any thread count).
     pub lda_threads: usize,
@@ -57,6 +59,7 @@ impl Default for CliOptions {
             min_support: None,
             significance_alpha: 5.0,
             n_threads: 1,
+            mine_threads: 0,
             lda_threads: 1,
             seed: 1,
             top: 10,
@@ -83,6 +86,7 @@ impl CliOptions {
             optimize_every: 25,
             burn_in: self.iterations / 4,
             n_threads: self.n_threads,
+            mine_threads: self.mine_threads,
             lda_threads: self.lda_threads,
             seed: self.seed,
             progress: self.progress,
@@ -113,6 +117,8 @@ FIT OPTIONS:
     --min-support N       phrase minimum support        [default: auto]
     --alpha X             significance threshold        [default: 5.0]
     --threads N           mining/segmentation threads   [default: 1]
+    --mine-threads N      Algorithm 1 counting threads; the result is
+                          bit-identical at any thread count [default: --threads]
     --lda-threads N       Gibbs sweep threads; >=2 runs snapshot sweeps,
                           bit-identical at any thread count [default: 1]
     --seed N              RNG seed                      [default: 1]
@@ -463,6 +469,13 @@ where
                     return Err("--threads must be at least 1".into());
                 }
             }
+            "--mine-threads" => {
+                opts.mine_threads =
+                    parse_num(&need(&mut args, "--mine-threads")?, "--mine-threads")?;
+                if opts.mine_threads == 0 {
+                    return Err("--mine-threads must be at least 1".into());
+                }
+            }
             "--lda-threads" => {
                 opts.lda_threads = parse_num(&need(&mut args, "--lda-threads")?, "--lda-threads")?;
                 if opts.lda_threads == 0 {
@@ -514,6 +527,7 @@ mod tests {
         let opts = parse(&["--input", "corpus.txt"]).unwrap().unwrap();
         assert_eq!(opts.input, "corpus.txt");
         assert_eq!(opts.n_topics, 10);
+        assert_eq!(opts.mine_threads, 0); // 0 = follow --threads
         assert_eq!(opts.lda_threads, 1);
         assert!(opts.stem);
         assert!(opts.min_support.is_none());
@@ -536,6 +550,8 @@ mod tests {
             "3.5",
             "--threads",
             "4",
+            "--mine-threads",
+            "2",
             "--lda-threads",
             "3",
             "--seed",
@@ -554,6 +570,7 @@ mod tests {
         assert_eq!(opts.min_support, Some(7));
         assert_eq!(opts.significance_alpha, 3.5);
         assert_eq!(opts.n_threads, 4);
+        assert_eq!(opts.mine_threads, 2);
         assert_eq!(opts.lda_threads, 3);
         assert_eq!(opts.seed, 42);
         assert_eq!(opts.top, 5);
@@ -576,6 +593,7 @@ mod tests {
         assert!(parse(&["--input", "x", "--topics", "0"]).is_err());
         assert!(parse(&["--input", "x", "--bogus"]).is_err());
         assert!(parse(&["--input", "x", "--threads", "0"]).is_err());
+        assert!(parse(&["--input", "x", "--mine-threads", "0"]).is_err());
         assert!(parse(&["--input", "x", "--lda-threads", "0"]).is_err());
         assert!(parse(&["--input", "x", "--lda-threads", "two"]).is_err());
     }

@@ -2,7 +2,9 @@
 
 use topmine_corpus::Corpus;
 use topmine_lda::{GroupedDocs, PhraseLda, SweepTelemetry, TopicModelConfig, TopicSummary};
-use topmine_phrase::{MinerConfig, PhraseStats, Segmentation, Segmenter, SegmenterConfig};
+use topmine_phrase::{
+    MinerConfig, MiningTelemetry, PhraseStats, Segmentation, Segmenter, SegmenterConfig,
+};
 use topmine_util::Stopwatch;
 
 /// All knobs of the framework, with the paper's defaults.
@@ -31,6 +33,10 @@ pub struct ToPMineConfig {
     pub burn_in: usize,
     /// Worker threads for mining and segmentation.
     pub n_threads: usize,
+    /// Worker threads for the Algorithm 1 counting passes specifically;
+    /// `0` follows `n_threads`. Mining and segmentation scale differently
+    /// (table merges vs. independent documents), so they can be tuned apart.
+    pub mine_threads: usize,
     /// Worker threads for the PhraseLDA Gibbs sweeps. `1` runs the exact
     /// sequential chain; `T ≥ 2` runs thread-sharded snapshot sweeps that
     /// are bit-identical for every `T ≥ 2` (see `topmine_lda::sampler`).
@@ -55,6 +61,7 @@ impl Default for ToPMineConfig {
             optimize_every: 0,
             burn_in: 50,
             n_threads: 1,
+            mine_threads: 0,
             lda_threads: 1,
             seed: 1,
             progress: false,
@@ -67,6 +74,16 @@ impl ToPMineConfig {
     /// size (here: 5 per million tokens, floored at 3).
     pub fn support_for_corpus(corpus: &Corpus) -> u64 {
         ((corpus.n_tokens() as f64 / 1_000_000.0 * 5.0).round() as u64).max(3)
+    }
+
+    /// The Algorithm 1 counting thread count actually used: `mine_threads`
+    /// when set, else `n_threads`.
+    pub fn resolved_mine_threads(&self) -> usize {
+        if self.mine_threads > 0 {
+            self.mine_threads
+        } else {
+            self.n_threads
+        }
     }
 
     fn topic_model_config(&self) -> TopicModelConfig {
@@ -91,7 +108,7 @@ impl ToPMineConfig {
             miner: MinerConfig {
                 min_support: self.min_support,
                 max_phrase_len: self.max_phrase_len,
-                n_threads: self.n_threads,
+                n_threads: self.resolved_mine_threads(),
                 disable_doc_pruning: false,
             },
             alpha: self.significance_alpha,
@@ -162,6 +179,30 @@ impl ToPMineModel {
     pub fn perplexity(&self) -> f64 {
         self.model.perplexity()
     }
+}
+
+/// Stderr rendering of the per-level Algorithm 1 telemetry behind
+/// `--progress`. Printed after the mine completes — the counters are
+/// collected unconditionally (a few updates per level, well inside the <2%
+/// instrumentation-overhead budget), so reporting adds no work to the
+/// counting hot loop.
+fn report_mining(tel: &MiningTelemetry) {
+    for l in &tel.levels {
+        eprintln!(
+            "[topmine] mine level {}: {} candidates, {} frequent, {} docs active ({:.1} ms)",
+            l.level,
+            l.candidates,
+            l.frequent,
+            l.docs_out,
+            l.nanos as f64 / 1e6,
+        );
+    }
+    eprintln!(
+        "[topmine] mining done: {} frequent phrases, {} occurrences counted ({:.1} ms)",
+        tel.frequent(),
+        tel.occurrences(),
+        tel.total_nanos as f64 / 1e6,
+    );
 }
 
 /// Stderr telemetry printer behind `--progress`: every tenth sweep (and
@@ -244,7 +285,11 @@ impl ToPMine {
     ) -> ToPMineModel {
         let mut sw = Stopwatch::new();
         let segmenter = Segmenter::new(self.config.segmenter_config());
-        let (stats, segmentation) = segmenter.segment(corpus);
+        let (stats, mining_tel) = segmenter.mine(corpus);
+        if self.config.progress {
+            report_mining(&mining_tel);
+        }
+        let segmentation = segmenter.segment_with_stats(corpus, &stats);
         let mining = sw.lap("phrase-mining");
 
         let grouped = GroupedDocs::from_segmentation(corpus, &segmentation);

@@ -15,6 +15,9 @@
 //!   `TOPMINE_TRACE` environment variable.
 //! - [`SweepTelemetry`] / [`DrawSplit`]: the shared per-sweep training
 //!   telemetry structs consumed by benches and the `--progress` flag.
+//! - [`MiningTelemetry`] / [`MiningLevel`]: per-level Algorithm 1 phrase
+//!   mining telemetry (candidates, frequent survivors, active documents,
+//!   level timings), same consumers.
 //!
 //! Everything is `std`-only and cheap enough to stay compiled in: recording
 //! is a handful of relaxed atomic adds, and the trace sink is entirely
@@ -30,7 +33,7 @@ mod trace;
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, N_BUCKETS};
 pub use metrics::{Counter, Gauge};
 pub use registry::{MetricKind, Registry};
-pub use telemetry::{DrawSplit, SweepTelemetry};
+pub use telemetry::{DrawSplit, MiningLevel, MiningTelemetry, SweepTelemetry};
 pub use timer::SpanTimer;
 pub use trace::{TraceEvent, TraceSink};
 

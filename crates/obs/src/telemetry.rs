@@ -99,6 +99,65 @@ impl SweepTelemetry {
     }
 }
 
+/// One level of the Algorithm 1 frequent-phrase miner: the counting pass
+/// for candidates of length `level` and the prune that follows it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MiningLevel {
+    /// Candidate phrase length n (level 2 = bigrams).
+    pub level: u32,
+    /// Distinct candidate keys counted at this level.
+    pub candidates: u64,
+    /// Candidates that met minimum support.
+    pub frequent: u64,
+    /// Window occurrences counted (table probes in the hot loop).
+    pub occurrences: u64,
+    /// Documents entering the level's counting pass.
+    pub docs_in: u64,
+    /// Documents still active after the level's prune (data
+    /// antimonotonicity drop).
+    pub docs_out: u64,
+    /// Wall time of the level (count + merge + prune).
+    pub nanos: u64,
+}
+
+/// Per-run telemetry of the Algorithm 1 miner, one entry per level.
+///
+/// Collection cost is a handful of counter updates per *level* (not per
+/// occurrence), so it stays far inside the <2% instrumentation-overhead
+/// budget and is always on; `--progress` and the `gibbs_fit` bench render
+/// it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiningTelemetry {
+    pub levels: Vec<MiningLevel>,
+    /// Wall time of the whole mine (unigram pass included).
+    pub total_nanos: u64,
+}
+
+impl MiningTelemetry {
+    /// Total window occurrences counted across all levels.
+    pub fn occurrences(&self) -> u64 {
+        self.levels.iter().map(|l| l.occurrences).sum()
+    }
+
+    /// Total distinct candidates across all levels.
+    pub fn candidates(&self) -> u64 {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+
+    /// Total frequent phrases (length >= 2) across all levels.
+    pub fn frequent(&self) -> u64 {
+        self.levels.iter().map(|l| l.frequent).sum()
+    }
+
+    /// Documents dropped by data antimonotonicity, summed over levels.
+    pub fn docs_dropped(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.docs_in.saturating_sub(l.docs_out))
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,10 @@
 //! Complexity: each chunk of length `m` performs at most `m−1` merges, each
 //! `O(log m)` heap work (lazy deletion via version stamps), matching the
 //! paper's `O(log N_d)` per-merge claim.
+//!
+//! The node arrays and the heap live in a reusable [`ConstructScratch`] —
+//! one per worker thread — so constructing a corpus allocates per *document*
+//! (the output spans), not per chunk or per merge.
 
 use crate::counter::PhraseCounts;
 use crate::significance::significance;
@@ -80,60 +84,71 @@ impl Ord for Candidate {
     }
 }
 
-/// Mutable node state for the in-place linked list of phrase instances.
-struct Nodes<'a> {
-    tokens: &'a [u32],
+/// Reusable Algorithm 2 working memory: the linked-list node arrays and the
+/// candidate max-heap. Each worker thread keeps one scratch and reuses it
+/// for every chunk it constructs; `reset` keeps all allocations, so
+/// steady-state construction allocates nothing beyond the output spans.
+#[derive(Debug, Default)]
+pub struct ConstructScratch {
     start: Vec<u32>,
     end: Vec<u32>,
     prev: Vec<i32>,
     next: Vec<i32>,
     alive: Vec<bool>,
     version: Vec<u32>,
+    heap: BinaryHeap<Candidate>,
 }
 
-impl<'a> Nodes<'a> {
-    fn new(tokens: &'a [u32]) -> Self {
-        let n = tokens.len();
-        Self {
-            tokens,
-            start: (0..n as u32).collect(),
-            end: (1..=n as u32).collect(),
-            prev: (0..n as i32).map(|i| i - 1).collect(),
-            next: (0..n as i32)
-                .map(|i| if i + 1 < n as i32 { i + 1 } else { -1 })
-                .collect(),
-            alive: vec![true; n],
-            version: vec![0; n],
+impl ConstructScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-initialize for a chunk of `n` tokens, keeping capacity.
+    fn reset(&mut self, n: usize) {
+        self.start.clear();
+        self.start.extend(0..n as u32);
+        self.end.clear();
+        self.end.extend(1..=n as u32);
+        self.prev.clear();
+        self.prev.extend((0..n as i32).map(|i| i - 1));
+        self.next.clear();
+        self.next
+            .extend((0..n as i32).map(|i| if i + 1 < n as i32 { i + 1 } else { -1 }));
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.version.clear();
+        self.version.resize(n, 0);
+        self.heap.clear();
+    }
+
+    fn span<'t>(&self, tokens: &'t [u32], i: u32) -> &'t [u32] {
+        &tokens[self.start[i as usize] as usize..self.end[i as usize] as usize]
+    }
+
+    /// Score the merge of nodes `(a, b)` and push it if it can ever be taken.
+    fn push_candidate<C: PhraseCounts + ?Sized>(
+        &mut self,
+        tokens: &[u32],
+        stats: &C,
+        alpha: f64,
+        a: u32,
+        b: u32,
+    ) {
+        let merged = &tokens[self.start[a as usize] as usize..self.end[b as usize] as usize];
+        let (f1, f2, f12) = stats.merge_counts(self.span(tokens, a), self.span(tokens, b), merged);
+        let sig = significance(f12, f1, f2, stats.total_tokens());
+        // Entries below α can never be merged (their score is immutable until
+        // a neighbor merge invalidates them), so skip the heap traffic.
+        if sig >= alpha {
+            self.heap.push(Candidate {
+                sig,
+                left: a,
+                right: b,
+                left_version: self.version[a as usize],
+                right_version: self.version[b as usize],
+            });
         }
-    }
-
-    fn span(&self, i: u32) -> &[u32] {
-        &self.tokens[self.start[i as usize] as usize..self.end[i as usize] as usize]
-    }
-}
-
-/// Score the merge of nodes `(a, b)` and push it if it can ever be taken.
-fn push_candidate<C: PhraseCounts + ?Sized>(
-    heap: &mut BinaryHeap<Candidate>,
-    nodes: &Nodes,
-    stats: &C,
-    alpha: f64,
-    a: u32,
-    b: u32,
-) {
-    let merged = &nodes.tokens[nodes.start[a as usize] as usize..nodes.end[b as usize] as usize];
-    let (f1, f2, f12) = stats.merge_counts(nodes.span(a), nodes.span(b), merged);
-    let sig = significance(f12, f1, f2, stats.total_tokens());
-    // Entries below α can never be merged (their score is immutable until a
-    // neighbor merge invalidates them), so skip the heap traffic.
-    if sig >= alpha {
-        heap.push(Candidate {
-            sig,
-            left: a,
-            right: b,
-            left_version: nodes.version[a as usize],
-            right_version: nodes.version[b as usize],
-        });
     }
 }
 
@@ -143,69 +158,84 @@ pub fn construct_chunk<C: PhraseCounts + ?Sized>(
     tokens: &[u32],
     stats: &C,
     alpha: f64,
-    mut trace: Option<&mut MergeTrace>,
+    trace: Option<&mut MergeTrace>,
 ) -> ChunkPartition {
+    let mut scratch = ConstructScratch::default();
+    let mut spans = Vec::new();
+    construct_chunk_into(tokens, stats, alpha, trace, &mut scratch, 0, &mut spans);
+    ChunkPartition { spans }
+}
+
+/// Run Algorithm 2 on one chunk using caller-provided scratch, appending
+/// spans shifted by `offset` (the chunk's document offset) to `out`. Trace
+/// spans are shifted the same way; trace iterations restart per chunk.
+pub fn construct_chunk_into<C: PhraseCounts + ?Sized>(
+    tokens: &[u32],
+    stats: &C,
+    alpha: f64,
+    mut trace: Option<&mut MergeTrace>,
+    scratch: &mut ConstructScratch,
+    offset: u32,
+    out: &mut Vec<(u32, u32)>,
+) {
     let n = tokens.len();
     if n == 0 {
-        return ChunkPartition { spans: Vec::new() };
+        return;
     }
-    let mut nodes = Nodes::new(tokens);
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n);
+    scratch.reset(n);
     for i in 0..n.saturating_sub(1) as u32 {
-        push_candidate(&mut heap, &nodes, stats, alpha, i, i + 1);
+        scratch.push_candidate(tokens, stats, alpha, i, i + 1);
     }
 
     let mut iteration = 0usize;
-    while let Some(cand) = heap.pop() {
+    while let Some(cand) = scratch.heap.pop() {
         let (a, b) = (cand.left as usize, cand.right as usize);
         // Lazy invalidation: either side changed or died since scoring.
-        if !nodes.alive[a]
-            || !nodes.alive[b]
-            || nodes.version[a] != cand.left_version
-            || nodes.version[b] != cand.right_version
-            || nodes.next[a] != cand.right as i32
+        if !scratch.alive[a]
+            || !scratch.alive[b]
+            || scratch.version[a] != cand.left_version
+            || scratch.version[b] != cand.right_version
+            || scratch.next[a] != cand.right as i32
         {
             continue;
         }
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(MergeStep {
                 iteration,
-                left: (nodes.start[a], nodes.end[a]),
-                right: (nodes.start[b], nodes.end[b]),
+                left: (scratch.start[a] + offset, scratch.end[a] + offset),
+                right: (scratch.start[b] + offset, scratch.end[b] + offset),
                 significance: cand.sig,
             });
         }
         iteration += 1;
         // Merge b into a.
-        nodes.end[a] = nodes.end[b];
-        nodes.alive[b] = false;
-        nodes.version[a] = nodes.version[a].wrapping_add(1);
-        let after = nodes.next[b];
-        nodes.next[a] = after;
+        scratch.end[a] = scratch.end[b];
+        scratch.alive[b] = false;
+        scratch.version[a] = scratch.version[a].wrapping_add(1);
+        let after = scratch.next[b];
+        scratch.next[a] = after;
         if after >= 0 {
-            nodes.prev[after as usize] = a as i32;
+            scratch.prev[after as usize] = a as i32;
         }
         // Re-score against the new neighbors (Algorithm 2 line 8).
-        let before = nodes.prev[a];
+        let before = scratch.prev[a];
         if before >= 0 {
-            push_candidate(&mut heap, &nodes, stats, alpha, before as u32, a as u32);
+            scratch.push_candidate(tokens, stats, alpha, before as u32, a as u32);
         }
         if after >= 0 {
-            push_candidate(&mut heap, &nodes, stats, alpha, a as u32, after as u32);
+            scratch.push_candidate(tokens, stats, alpha, a as u32, after as u32);
         }
     }
 
     // Collect surviving instances left-to-right. Node 0 is always a head
     // (merges only ever kill the right member).
-    let mut spans = Vec::new();
     let mut cursor = 0i32;
     while cursor >= 0 {
         let i = cursor as usize;
-        debug_assert!(nodes.alive[i]);
-        spans.push((nodes.start[i], nodes.end[i]));
-        cursor = nodes.next[i];
+        debug_assert!(scratch.alive[i]);
+        out.push((scratch.start[i] + offset, scratch.end[i] + offset));
+        cursor = scratch.next[i];
     }
-    ChunkPartition { spans }
 }
 
 /// Convenience wrapper applying [`construct_chunk`] to every chunk of a
@@ -227,7 +257,32 @@ impl PhraseConstructor {
         doc: &Document,
         stats: &C,
     ) -> Vec<(u32, u32)> {
-        self.construct_doc_impl(doc, stats, None).0
+        let mut scratch = ConstructScratch::default();
+        self.construct_doc_with(doc, stats, &mut scratch)
+    }
+
+    /// Partition a whole document reusing caller-provided scratch — the
+    /// allocation-free path: per document only the returned span vector is
+    /// allocated.
+    pub fn construct_doc_with<C: PhraseCounts + ?Sized>(
+        &self,
+        doc: &Document,
+        stats: &C,
+        scratch: &mut ConstructScratch,
+    ) -> Vec<(u32, u32)> {
+        let mut spans = Vec::with_capacity(doc.n_tokens());
+        for (cstart, cend) in doc.chunk_ranges() {
+            construct_chunk_into(
+                &doc.tokens[cstart..cend],
+                stats,
+                self.alpha,
+                None,
+                scratch,
+                cstart as u32,
+                &mut spans,
+            );
+        }
+        spans
     }
 
     /// Same, also returning the concatenated merge trace (chunk-relative
@@ -237,36 +292,21 @@ impl PhraseConstructor {
         doc: &Document,
         stats: &C,
     ) -> (Vec<(u32, u32)>, MergeTrace) {
+        let mut scratch = ConstructScratch::default();
         let mut trace = MergeTrace::new();
-        let spans = self.construct_doc_impl(doc, stats, Some(&mut trace)).0;
-        (spans, trace)
-    }
-
-    fn construct_doc_impl<C: PhraseCounts + ?Sized>(
-        &self,
-        doc: &Document,
-        stats: &C,
-        mut trace: Option<&mut MergeTrace>,
-    ) -> (Vec<(u32, u32)>, ()) {
         let mut spans = Vec::with_capacity(doc.n_tokens());
         for (cstart, cend) in doc.chunk_ranges() {
-            let chunk = &doc.tokens[cstart..cend];
-            let mut local_trace = trace.as_ref().map(|_| MergeTrace::new());
-            let part = construct_chunk(chunk, stats, self.alpha, local_trace.as_mut());
-            for (s, e) in part.spans {
-                spans.push((s + cstart as u32, e + cstart as u32));
-            }
-            if let (Some(trace), Some(local)) = (trace.as_deref_mut(), local_trace) {
-                for mut step in local {
-                    step.left.0 += cstart as u32;
-                    step.left.1 += cstart as u32;
-                    step.right.0 += cstart as u32;
-                    step.right.1 += cstart as u32;
-                    trace.push(step);
-                }
-            }
+            construct_chunk_into(
+                &doc.tokens[cstart..cend],
+                stats,
+                self.alpha,
+                Some(&mut trace),
+                &mut scratch,
+                cstart as u32,
+                &mut spans,
+            );
         }
-        (spans, ())
+        (spans, trace)
     }
 }
 
@@ -406,6 +446,28 @@ mod tests {
         let width = |s: (u32, u32)| s.1 - s.0;
         assert_eq!(width(trace[1].left) + width(trace[1].right), 3);
         assert!(trace[0].significance >= 3.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        use topmine_corpus::Document;
+        let st = stats(
+            vec![60, 55, 70, 5],
+            &[(&[0, 1], 50), (&[1, 2], 48), (&[0, 1, 2], 46)],
+            1_000_000,
+        );
+        let docs = [
+            Document::from_chunks([&[0u32, 1, 2][..], &[3, 0, 1]]),
+            Document::from_chunks([&[3u32][..]]),
+            Document::from_chunks([&[0u32, 1, 2, 3, 0, 1][..]]),
+        ];
+        let ctor = PhraseConstructor::new(2.0);
+        let mut scratch = ConstructScratch::new();
+        for doc in &docs {
+            let reused = ctor.construct_doc_with(doc, &st, &mut scratch);
+            let fresh = ctor.construct_doc(doc, &st);
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

@@ -19,11 +19,17 @@
 pub mod construction;
 pub mod counter;
 pub mod miner;
+pub mod prefix;
 pub mod segmenter;
 pub mod significance;
 
-pub use construction::{construct_chunk, ChunkPartition, MergeTrace, PhraseConstructor};
+pub use construction::{
+    construct_chunk, construct_chunk_into, ChunkPartition, ConstructScratch, MergeTrace,
+    PhraseConstructor,
+};
 pub use counter::{Phrase, PhraseCounts, PhraseStats};
 pub use miner::{FrequentPhraseMiner, MinerConfig};
+pub use prefix::U64Map;
 pub use segmenter::{Segmentation, SegmentedDoc, Segmenter, SegmenterConfig};
 pub use significance::{significance, significance_pmi};
+pub use topmine_obs::{MiningLevel, MiningTelemetry};

@@ -17,9 +17,35 @@
 //! (paper §4.1): no candidate may cross a chunk boundary, which bounds the
 //! per-document work by the (constant) chunk size and makes the whole miner
 //! effectively linear in corpus size.
+//!
+//! # Prefix-id counting
+//!
+//! The production engine ([`FrequentPhraseMiner::mine`]) never hashes a
+//! phrase while counting. Each frequent (n−1)-gram gets a dense `u32` id at
+//! its level (at level 2 the id of a unigram is the word id itself), so a
+//! level-n candidate is the pair `(prefix_id, next_word)` packed into one
+//! `u64` and counted in flat open-addressing [`U64Map`] tables — no
+//! per-occurrence allocation, no variable-length hashing. Word-id phrases
+//! are materialized only for candidates that survive min-support.
+//!
+//! Parallel counting hands out fixed-size blocks of documents through an
+//! atomic work queue (no static per-thread split, so skewed documents don't
+//! strand threads), and the per-thread tables are folded by a deterministic
+//! key-sharded merge: worker `s` owns exactly the keys with
+//! `hash(key) % n_shards == s`, sums them across all thread tables
+//! (addition commutes, so arrival order is irrelevant), and survivors are
+//! globally sorted by packed key before ids are assigned. The result is
+//! bit-identical to the sequential mine at every thread count.
+//!
+//! The seed-era hashmap miner is kept as [`FrequentPhraseMiner::mine_legacy`]
+//! — it is the benchmark baseline and the equivalence-proptest reference.
 
 use crate::counter::{Phrase, PhraseStats};
+use crate::prefix::{fib_hash, U64Map};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 use topmine_corpus::{Corpus, Document};
+use topmine_obs::{MiningLevel, MiningTelemetry};
 use topmine_util::FxHashMap;
 
 /// Configuration for [`FrequentPhraseMiner`].
@@ -53,8 +79,18 @@ pub struct FrequentPhraseMiner {
     config: MinerConfig,
 }
 
-/// Per-document mining state: the active indices of the current level and
-/// the (lazily built) chunk-limit table.
+/// Per-document mining state for the prefix-id engine.
+struct PrefixDocState {
+    doc_idx: usize,
+    /// Sorted `(position, prefix_id)` pairs: the positions whose
+    /// current-level (n−1)-gram is frequent, each tagged with that gram's
+    /// dense id. At level 2 the id is the word id itself.
+    active: Vec<(u32, u32)>,
+    /// `limit[i]` = exclusive end of the chunk containing position `i`.
+    limit: Vec<u32>,
+}
+
+/// Per-document mining state for the legacy hashmap engine.
 struct DocState {
     doc_idx: usize,
     /// Sorted positions whose current-level (n−1)-gram is frequent and fits
@@ -85,25 +121,186 @@ impl FrequentPhraseMiner {
 
     /// Run Algorithm 1 over `corpus`, returning all aggregate counts.
     pub fn mine(&self, corpus: &Corpus) -> PhraseStats {
-        let eps = self.config.min_support.max(1);
+        self.mine_with_telemetry(corpus).0
+    }
 
-        // Level 1: dense unigram counts (the paper's line 3).
-        let mut unigram_counts = vec![0u64; corpus.vocab.len()];
-        let mut total_tokens = 0u64;
-        for doc in &corpus.docs {
-            total_tokens += doc.tokens.len() as u64;
-            for &t in &doc.tokens {
-                unigram_counts[t as usize] += 1;
+    /// Run the prefix-id engine, also returning per-level telemetry.
+    pub fn mine_with_telemetry(&self, corpus: &Corpus) -> (PhraseStats, MiningTelemetry) {
+        let t_total = Instant::now();
+        let eps = self.config.min_support.max(1);
+        assert!(
+            (corpus.vocab.len() as u64) < u32::MAX as u64,
+            "vocabulary too large for packed prefix keys"
+        );
+
+        let mut stats = self.unigram_pass(corpus, eps);
+        let mut tel = MiningTelemetry::default();
+
+        // Initialize per-document active sets (line 2): every position whose
+        // unigram is frequent, tagged with the word id as its prefix id.
+        let mut states: Vec<PrefixDocState> = corpus
+            .docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(doc_idx, doc)| PrefixDocState {
+                doc_idx,
+                active: doc
+                    .tokens
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| stats.unigram_counts[t as usize] >= eps)
+                    .map(|(i, &t)| (i as u32, t))
+                    .collect(),
+                limit: chunk_limits(doc),
+            })
+            .collect();
+        states.retain(|s| !s.active.is_empty() || self.config.disable_doc_pruning);
+
+        // Scratch reused across levels: per-thread count tables, per-shard
+        // merge tables, the survivor→id table, and the double-buffered
+        // phrase arena. Steady-state counting therefore allocates nothing
+        // per occurrence (tables only grow while the biggest level is first
+        // filled).
+        let n_threads = self.config.n_threads.max(1);
+        let mut count_tables: Vec<U64Map> = (0..n_threads).map(|_| U64Map::new()).collect();
+        let mut merge_tables: Vec<U64Map> = if n_threads > 1 {
+            (0..n_threads).map(|_| U64Map::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut id_map = U64Map::new();
+        // Word ids of the previous level's frequent (n−1)-grams, stride
+        // (n−1), indexed by prefix id. Empty at level 2 (prefix = word id).
+        let mut arena: Vec<u32> = Vec::new();
+        let mut next_arena: Vec<u32> = Vec::new();
+
+        let mut n = 2usize; // current candidate length (line 4)
+        while !states.is_empty() {
+            if self.config.max_phrase_len != 0 && n > self.config.max_phrase_len {
+                break;
             }
+            let t_level = Instant::now();
+            let docs_in = states.len() as u64;
+
+            // Count level-n candidates (lines 12-15).
+            for t in &mut count_tables {
+                t.clear();
+            }
+            let occurrences = if n_threads > 1 && states.len() > 1 {
+                count_level_queued(corpus, &states, n, &mut count_tables)
+            } else {
+                let mut occ = 0u64;
+                for st in &states {
+                    occ += count_level_doc_prefix(
+                        &corpus.docs[st.doc_idx],
+                        st,
+                        n,
+                        &mut count_tables[0],
+                    );
+                }
+                occ
+            };
+
+            // Deterministic merge + min-support prune (line 22's filter):
+            // survivors arrive sorted by packed key, which fixes the id
+            // assignment below independently of thread count.
+            let (survivors, candidates) = merge_frequent(&count_tables, &mut merge_tables, eps);
+
+            if survivors.is_empty() {
+                tel.levels.push(MiningLevel {
+                    level: n as u32,
+                    candidates,
+                    frequent: 0,
+                    occurrences,
+                    docs_in,
+                    docs_out: docs_in,
+                    nanos: t_level.elapsed().as_nanos() as u64,
+                });
+                break;
+            }
+            assert!(
+                survivors.len() < u32::MAX as usize,
+                "too many frequent phrases at one level for u32 prefix ids"
+            );
+            stats.max_len = n;
+
+            // Materialize the survivors (the only place phrases are built)
+            // and assign their dense ids for the next level.
+            next_arena.clear();
+            id_map.clear();
+            for (idx, &(key, count)) in survivors.iter().enumerate() {
+                let prefix = (key >> 32) as u32;
+                let word = key as u32;
+                let start = next_arena.len();
+                if n == 2 {
+                    next_arena.push(prefix);
+                } else {
+                    let p = prefix as usize * (n - 1);
+                    next_arena.extend_from_slice(&arena[p..p + (n - 1)]);
+                }
+                next_arena.push(word);
+                let phrase: Phrase = next_arena[start..].to_vec().into_boxed_slice();
+                stats.ngram_counts.insert(phrase, count);
+                id_map.set(key, idx as u64);
+            }
+            std::mem::swap(&mut arena, &mut next_arena);
+
+            // Advance active indices (line 7): a position stays active for
+            // level n+1 iff its level-n candidate was countable and survived.
+            if n_threads > 1 && states.len() > 1 {
+                let chunk = states.len().div_ceil(n_threads);
+                let id_map = &id_map;
+                std::thread::scope(|scope| {
+                    for shard in states.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for st in shard {
+                                advance_state(&corpus.docs[st.doc_idx], st, n, id_map);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for st in &mut states {
+                    advance_state(&corpus.docs[st.doc_idx], st, n, &id_map);
+                }
+            }
+
+            // Drop exhausted documents (lines 9-10, data antimonotonicity).
+            let docs_out = if self.config.disable_doc_pruning {
+                states.iter().filter(|s| !s.active.is_empty()).count()
+            } else {
+                states.retain(|s| !s.active.is_empty());
+                states.len()
+            };
+            tel.levels.push(MiningLevel {
+                level: n as u32,
+                candidates,
+                frequent: survivors.len() as u64,
+                occurrences,
+                docs_in,
+                docs_out: docs_out as u64,
+                nanos: t_level.elapsed().as_nanos() as u64,
+            });
+            if self.config.disable_doc_pruning && docs_out == 0 {
+                // Keep documents alive but stop once *all* are exhausted.
+                break;
+            }
+            n += 1;
         }
 
-        let mut stats = PhraseStats {
-            unigram_counts,
-            ngram_counts: FxHashMap::default(),
-            total_tokens,
-            min_support: eps,
-            max_len: 1,
-        };
+        tel.total_nanos = t_total.elapsed().as_nanos() as u64;
+        debug_assert!(stats.check_downward_closure().is_ok());
+        (stats, tel)
+    }
+
+    /// The seed-era Algorithm 1: phrases counted as boxed word-id slices in
+    /// hash maps, one static document chunk per thread, maps merged at a
+    /// barrier per level. Kept as the benchmark baseline and as the
+    /// reference implementation the prefix-id engine is proptested against.
+    pub fn mine_legacy(&self, corpus: &Corpus) -> PhraseStats {
+        let eps = self.config.min_support.max(1);
+        let mut stats = self.unigram_pass(corpus, eps);
 
         // Initialize per-document active sets (line 2): every position whose
         // unigram is frequent.
@@ -176,6 +373,26 @@ impl FrequentPhraseMiner {
         debug_assert!(stats.check_downward_closure().is_ok());
         stats
     }
+
+    /// Level 1: dense unigram counts (the paper's line 3), shared by both
+    /// engines.
+    fn unigram_pass(&self, corpus: &Corpus, eps: u64) -> PhraseStats {
+        let mut unigram_counts = vec![0u64; corpus.vocab.len()];
+        let mut total_tokens = 0u64;
+        for doc in &corpus.docs {
+            total_tokens += doc.tokens.len() as u64;
+            for &t in &doc.tokens {
+                unigram_counts[t as usize] += 1;
+            }
+        }
+        PhraseStats {
+            unigram_counts,
+            ngram_counts: FxHashMap::default(),
+            total_tokens,
+            min_support: eps,
+            max_len: 1,
+        }
+    }
 }
 
 /// Build the chunk-limit table: `limit[i]` is the exclusive end of the chunk
@@ -190,11 +407,177 @@ fn chunk_limits(doc: &Document) -> Vec<u32> {
     limit
 }
 
-/// Count all level-`n` candidate occurrences of one document into `counts`.
+/// Count all level-`n` candidate occurrences of one document into `counts`,
+/// returning the number of occurrences counted.
 ///
 /// A candidate at active position `i` is counted iff `i+1` is also active
 /// (both constituent (n−1)-grams frequent — downward closure) and the n-gram
-/// fits inside `i`'s chunk.
+/// fits inside `i`'s chunk. The candidate key is the position's prefix id
+/// packed with the word that extends it — one `u64`, no allocation.
+#[inline]
+fn count_level_doc_prefix(
+    doc: &Document,
+    st: &PrefixDocState,
+    n: usize,
+    counts: &mut U64Map,
+) -> u64 {
+    let mut occ = 0u64;
+    for w in st.active.windows(2) {
+        let (pos, pid) = w[0];
+        if w[1].0 != pos + 1 {
+            continue; // not adjacent: prefix or suffix (n−1)-gram infrequent
+        }
+        let i = pos as usize;
+        if i + n > st.limit[i] as usize {
+            continue; // would cross a chunk boundary
+        }
+        counts.add(((pid as u64) << 32) | doc.tokens[i + n - 1] as u64, 1);
+        occ += 1;
+    }
+    occ
+}
+
+/// Work-queue counting pass: fixed-size blocks of documents are handed to
+/// whichever thread is free next (an atomic cursor), so a few long documents
+/// can't strand the other workers the way a static per-thread split does.
+/// Each worker owns one count table; determinism comes from the sharded
+/// merge, not from the schedule.
+fn count_level_queued(
+    corpus: &Corpus,
+    states: &[PrefixDocState],
+    n: usize,
+    tables: &mut [U64Map],
+) -> u64 {
+    const BLOCK: usize = 32;
+    let n_blocks = states.len().div_ceil(BLOCK);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tables
+            .iter_mut()
+            .map(|table| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut occ = 0u64;
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        let start = b * BLOCK;
+                        let end = (start + BLOCK).min(states.len());
+                        for st in &states[start..end] {
+                            occ += count_level_doc_prefix(&corpus.docs[st.doc_idx], st, n, table);
+                        }
+                    }
+                    occ
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mining worker panicked"))
+            .sum()
+    })
+}
+
+/// Which merge shard owns a key. Any pure function of the key works; the
+/// high multiplicative-hash bits keep shards balanced and independent of the
+/// table's own slot indexing.
+#[inline]
+fn shard_of(key: u64, n_shards: usize) -> usize {
+    ((fib_hash(key) >> 32) as usize) % n_shards
+}
+
+/// Fold the per-thread count tables into the global level result:
+/// `(survivors sorted by packed key, distinct candidate count)`.
+///
+/// With several tables, merge worker `s` owns exactly the keys whose
+/// [`shard_of`] is `s` and sums them across *all* thread tables — addition
+/// commutes, so the result is independent of which thread counted which
+/// occurrence. Shards partition the key space, so concatenating the shard
+/// survivor lists and sorting by key yields one canonical order at every
+/// thread count.
+fn merge_frequent(
+    tables: &[U64Map],
+    merge_scratch: &mut [U64Map],
+    eps: u64,
+) -> (Vec<(u64, u64)>, u64) {
+    if tables.len() == 1 || merge_scratch.is_empty() {
+        let mut candidates = 0u64;
+        let mut survivors = Vec::new();
+        for t in tables {
+            candidates += t.len() as u64;
+            survivors.extend(t.iter().filter(|&(_, c)| c >= eps));
+        }
+        survivors.sort_unstable_by_key(|&(k, _)| k);
+        return (survivors, candidates);
+    }
+
+    let n_shards = merge_scratch.len();
+    let sharded: Vec<(Vec<(u64, u64)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = merge_scratch
+            .iter_mut()
+            .enumerate()
+            .map(|(s, local)| {
+                scope.spawn(move || {
+                    local.clear();
+                    for t in tables {
+                        for (k, v) in t.iter() {
+                            if shard_of(k, n_shards) == s {
+                                local.add(k, v);
+                            }
+                        }
+                    }
+                    let mut survivors: Vec<(u64, u64)> =
+                        local.iter().filter(|&(_, c)| c >= eps).collect();
+                    survivors.sort_unstable_by_key(|&(k, _)| k);
+                    (survivors, local.len() as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect()
+    });
+
+    let mut candidates = 0u64;
+    let mut survivors = Vec::with_capacity(sharded.iter().map(|(v, _)| v.len()).sum());
+    for (shard, cand) in sharded {
+        candidates += cand;
+        survivors.extend(shard);
+    }
+    survivors.sort_unstable_by_key(|&(k, _)| k);
+    (survivors, candidates)
+}
+
+/// Rebuild one document's active set after level `n`: position `i` survives
+/// iff the pair `(i, i+1)` was countable at level n and its n-gram is in
+/// `id_map` (i.e. met min-support); the entry is retagged with the n-gram's
+/// dense id. Rewrites `active` in place (the write cursor never passes the
+/// read cursor).
+fn advance_state(doc: &Document, st: &mut PrefixDocState, n: usize, id_map: &U64Map) {
+    let mut w = 0usize;
+    for r in 0..st.active.len().saturating_sub(1) {
+        let (pos, pid) = st.active[r];
+        if st.active[r + 1].0 != pos + 1 {
+            continue;
+        }
+        let i = pos as usize;
+        if i + n > st.limit[i] as usize {
+            continue;
+        }
+        let key = ((pid as u64) << 32) | doc.tokens[i + n - 1] as u64;
+        if let Some(id) = id_map.get(key) {
+            st.active[w] = (pos, id as u32);
+            w += 1;
+        }
+    }
+    st.active.truncate(w);
+}
+
+/// Count all level-`n` candidate occurrences of one document into `counts`
+/// (legacy engine: phrases as boxed word-id slices).
 fn count_level_doc(doc: &Document, st: &DocState, n: usize, counts: &mut FxHashMap<Phrase, u64>) {
     let active = &st.active;
     for w in active.windows(2) {
@@ -214,8 +597,9 @@ fn count_level_doc(doc: &Document, st: &DocState, n: usize, counts: &mut FxHashM
     }
 }
 
-/// Map-reduce version of the counting pass: documents are sharded across
-/// `n_threads` scoped threads with thread-local counters that are merged.
+/// Map-reduce version of the legacy counting pass: documents are sharded
+/// across `n_threads` scoped threads (one static chunk each) with
+/// thread-local counters that are merged at a barrier.
 fn count_level_parallel(
     corpus: &Corpus,
     states: &[DocState],
@@ -270,7 +654,8 @@ fn count_level_parallel(
 
 /// Reference miner used by tests: enumerate every within-chunk n-gram
 /// (2 ≤ n ≤ `max_len`), count by type, and keep those meeting support.
-/// Quadratic and allocation-happy, but obviously correct.
+/// Quadratic, but obviously correct. Probes with the borrowed window first
+/// and allocates a key only on first insert.
 pub fn naive_frequent_phrases(
     corpus: &Corpus,
     min_support: u64,
@@ -281,7 +666,11 @@ pub fn naive_frequent_phrases(
         for chunk in doc.chunks() {
             for n in 2..=max_len.min(chunk.len()) {
                 for window in chunk.windows(n) {
-                    *all.entry(window.to_vec().into_boxed_slice()).or_insert(0) += 1;
+                    if let Some(c) = all.get_mut(window) {
+                        *c += 1;
+                    } else {
+                        all.insert(window.to_vec().into_boxed_slice(), 1);
+                    }
                 }
             }
         }
@@ -318,6 +707,32 @@ mod tests {
             provenance: None,
             unstem: None,
         }
+    }
+
+    /// Deterministic pseudo-random corpus with heavy repetition.
+    fn lcg_corpus(n_docs: usize, chunks: usize, chunk_len: usize, vocab: u64, seed: u64) -> Corpus {
+        let mut docs: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut x = seed;
+        for _ in 0..n_docs {
+            let mut doc = Vec::new();
+            for _ in 0..chunks {
+                let mut chunk = Vec::new();
+                for _ in 0..chunk_len {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    chunk.push(((x >> 33) % vocab) as u32);
+                }
+                doc.push(chunk);
+            }
+            docs.push(doc);
+        }
+        let doc_slices: Vec<Vec<&[u32]>> = docs
+            .iter()
+            .map(|d| d.iter().map(|c| c.as_slice()).collect())
+            .collect();
+        let doc_refs: Vec<&[&[u32]]> = doc_slices.iter().map(|d| d.as_slice()).collect();
+        corpus(&doc_refs)
     }
 
     #[test]
@@ -409,29 +824,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        // Deterministic pseudo-random corpus with heavy repetition.
-        let mut docs: Vec<Vec<Vec<u32>>> = Vec::new();
-        let mut x = 42u64;
-        for _ in 0..64 {
-            let mut doc = Vec::new();
-            for _ in 0..4 {
-                let mut chunk = Vec::new();
-                for _ in 0..12 {
-                    x = x
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    chunk.push(((x >> 33) % 7) as u32);
-                }
-                doc.push(chunk);
-            }
-            docs.push(doc);
-        }
-        let doc_slices: Vec<Vec<&[u32]>> = docs
-            .iter()
-            .map(|d| d.iter().map(|c| c.as_slice()).collect())
-            .collect();
-        let doc_refs: Vec<&[&[u32]]> = doc_slices.iter().map(|d| d.as_slice()).collect();
-        let c = corpus(&doc_refs);
+        let c = lcg_corpus(64, 4, 12, 7, 42);
         let seq = FrequentPhraseMiner::new(4).mine(&c);
         let par = FrequentPhraseMiner::with_config(MinerConfig {
             min_support: 4,
@@ -468,6 +861,37 @@ mod tests {
         let stats = FrequentPhraseMiner::new(3).mine(&c);
         let naive = naive_frequent_phrases(&c, 3, 32);
         assert_eq!(stats.ngram_counts, naive);
+    }
+
+    #[test]
+    fn legacy_engine_matches_prefix_engine() {
+        let c = lcg_corpus(48, 3, 14, 6, 9001);
+        for min_support in [1u64, 3, 5] {
+            let miner = FrequentPhraseMiner::new(min_support);
+            let new = miner.mine(&c);
+            let old = miner.mine_legacy(&c);
+            assert_eq!(new.unigram_counts, old.unigram_counts);
+            assert_eq!(new.ngram_counts, old.ngram_counts);
+            assert_eq!(new.max_len, old.max_len);
+            assert_eq!(new.total_tokens, old.total_tokens);
+        }
+    }
+
+    #[test]
+    fn telemetry_levels_are_consistent() {
+        let c = lcg_corpus(32, 2, 16, 5, 77);
+        let (stats, tel) = FrequentPhraseMiner::new(3).mine_with_telemetry(&c);
+        assert!(!tel.levels.is_empty());
+        // Levels are consecutive starting at 2.
+        for (i, l) in tel.levels.iter().enumerate() {
+            assert_eq!(l.level as usize, i + 2);
+            assert!(l.frequent <= l.candidates);
+            assert!(l.candidates <= l.occurrences);
+            assert!(l.docs_out <= l.docs_in);
+        }
+        // Total frequent multiword phrases match the stats map.
+        assert_eq!(tel.frequent(), stats.n_frequent_ngrams() as u64);
+        assert!(tel.total_nanos > 0);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! after segmentation, a quadratic pool of candidates has been reduced to at
 //! most a linear number of attested instances (paper §4.2).
 
-use crate::construction::PhraseConstructor;
+use crate::construction::{ConstructScratch, PhraseConstructor};
 use crate::counter::{Phrase, PhraseStats};
 use crate::miner::{FrequentPhraseMiner, MinerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use topmine_corpus::Corpus;
+use topmine_obs::MiningTelemetry;
 use topmine_util::FxHashMap;
 
 /// Configuration for the end-to-end segmenter.
@@ -149,74 +151,119 @@ impl Segmentation {
 /// assert!(seg.n_multiword() > 0);
 /// seg.validate(&corpus).unwrap();
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Segmenter {
     config: SegmenterConfig,
+    miner: FrequentPhraseMiner,
+}
+
+impl Default for Segmenter {
+    fn default() -> Self {
+        Self::new(SegmenterConfig::default())
+    }
 }
 
 impl Segmenter {
     pub fn new(config: SegmenterConfig) -> Self {
-        Self { config }
+        // The miner is built once here, not cloned per segment() call.
+        let miner = FrequentPhraseMiner::with_config(config.miner.clone());
+        Self { config, miner }
     }
 
     /// Convenience constructor with the two parameters that matter most.
     pub fn with_params(min_support: u64, alpha: f64) -> Self {
-        Self {
-            config: SegmenterConfig {
-                miner: MinerConfig {
-                    min_support,
-                    ..MinerConfig::default()
-                },
-                alpha,
-                n_threads: 1,
+        Self::new(SegmenterConfig {
+            miner: MinerConfig {
+                min_support,
+                ..MinerConfig::default()
             },
-        }
+            alpha,
+            n_threads: 1,
+        })
     }
 
     pub fn config(&self) -> &SegmenterConfig {
         &self.config
     }
 
+    /// Run Algorithm 1 once, returning the phrase statistics and per-level
+    /// mining telemetry. Callers that segment repeatedly (α sweeps, benches)
+    /// should mine once here and then use [`Segmenter::segment_with_stats`].
+    pub fn mine(&self, corpus: &Corpus) -> (PhraseStats, MiningTelemetry) {
+        self.miner.mine_with_telemetry(corpus)
+    }
+
     /// Mine frequent phrases, then segment every document.
     pub fn segment(&self, corpus: &Corpus) -> (PhraseStats, Segmentation) {
-        let stats = FrequentPhraseMiner::with_config(self.config.miner.clone()).mine(corpus);
+        let (stats, _) = self.mine(corpus);
         let seg = self.segment_with_stats(corpus, &stats);
         (stats, seg)
     }
 
-    /// Segment using pre-mined statistics (lets experiments share one mining
-    /// pass across several α values).
+    /// Segment using pre-mined statistics — the primary path for anything
+    /// that already mined (or segments more than once: α sweeps, benches,
+    /// ablations share one mining pass this way).
     pub fn segment_with_stats(&self, corpus: &Corpus, stats: &PhraseStats) -> Segmentation {
         let ctor = PhraseConstructor::new(self.config.alpha);
         let docs: Vec<SegmentedDoc> = if self.config.n_threads > 1 && corpus.docs.len() > 1 {
+            // Work-queue scheduling: fixed-size blocks of documents go to
+            // whichever worker is free next, so a run of long documents
+            // can't strand the other threads. Workers tag results with doc
+            // indices; placement below restores corpus order.
+            const BLOCK: usize = 32;
             let n_threads = self.config.n_threads.min(corpus.docs.len());
-            let chunk = corpus.docs.len().div_ceil(n_threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = corpus
-                    .docs
-                    .chunks(chunk)
-                    .map(|shard| {
+            let n_blocks = corpus.docs.len().div_ceil(BLOCK);
+            let cursor = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, SegmentedDoc)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_threads)
+                    .map(|_| {
+                        let cursor = &cursor;
                         scope.spawn(move || {
-                            shard
-                                .iter()
-                                .map(|doc| SegmentedDoc {
-                                    spans: ctor.construct_doc(doc, stats),
-                                })
-                                .collect::<Vec<_>>()
+                            let mut scratch = ConstructScratch::default();
+                            let mut done = Vec::new();
+                            loop {
+                                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                                if b >= n_blocks {
+                                    break;
+                                }
+                                let start = b * BLOCK;
+                                let end = (start + BLOCK).min(corpus.docs.len());
+                                for (i, doc) in corpus.docs[start..end].iter().enumerate() {
+                                    done.push((
+                                        start + i,
+                                        SegmentedDoc {
+                                            spans: ctor.construct_doc_with(
+                                                doc,
+                                                stats,
+                                                &mut scratch,
+                                            ),
+                                        },
+                                    ));
+                                }
+                            }
+                            done
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("segmentation worker panicked"))
+                    .map(|h| h.join().expect("segmentation worker panicked"))
                     .collect()
-            })
+            });
+            let mut docs = vec![SegmentedDoc::default(); corpus.docs.len()];
+            for worker in per_worker {
+                for (i, sd) in worker {
+                    docs[i] = sd;
+                }
+            }
+            docs
         } else {
+            let mut scratch = ConstructScratch::default();
             corpus
                 .docs
                 .iter()
                 .map(|doc| SegmentedDoc {
-                    spans: ctor.construct_doc(doc, stats),
+                    spans: ctor.construct_doc_with(doc, stats, &mut scratch),
                 })
                 .collect()
         };

@@ -1,0 +1,133 @@
+//! The prefix-id mining contract, enforced: the production engine
+//! ([`FrequentPhraseMiner::mine`] — packed `(prefix_id, next_word)` keys in
+//! open-addressing tables, work-queue scheduling, deterministic sharded
+//! merge) produces a `PhraseStats` **identical** to the seed-era hashmap
+//! miner ([`FrequentPhraseMiner::mine_legacy`]) — unigram vector bit-equal,
+//! multiword map set-equal — on every configuration, at every thread count.
+//!
+//! Property-tested over corpus shape, `min_support`, `max_phrase_len` caps,
+//! and the `disable_doc_pruning` ablation knob, with thread counts
+//! {1, 2, 3, 7} like `parallel_determinism.rs` does for the sampler.
+
+use proptest::prelude::*;
+use topmine_corpus::{Corpus, Document, Vocab};
+use topmine_phrase::miner::naive_frequent_phrases;
+use topmine_phrase::{FrequentPhraseMiner, MinerConfig};
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic corpus with a small vocabulary (heavy repetition → deep
+/// levels), variable chunking, and occasional empty chunks/documents.
+fn random_corpus(seed: u64, n_docs: usize, vocab_size: u64) -> Corpus {
+    let mut s = seed;
+    let mut vocab = Vocab::new();
+    for i in 0..vocab_size {
+        vocab.intern(&format!("w{i}"));
+    }
+    let mut docs = Vec::new();
+    for _ in 0..n_docs {
+        let n_chunks = (splitmix(&mut s) % 4) as usize; // may be 0: empty doc
+        let mut chunks: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..n_chunks {
+            let len = (splitmix(&mut s) % 13) as usize; // may be 0: empty chunk
+            chunks.push(
+                (0..len)
+                    .map(|_| (splitmix(&mut s) % vocab_size) as u32)
+                    .collect(),
+            );
+        }
+        docs.push(Document::from_chunks(chunks.iter().map(Vec::as_slice)));
+    }
+    Corpus {
+        vocab,
+        docs,
+        provenance: None,
+        unstem: None,
+    }
+}
+
+fn assert_stats_equal(
+    config: &MinerConfig,
+    corpus: &Corpus,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let legacy = FrequentPhraseMiner::with_config(MinerConfig {
+        n_threads: 1,
+        ..config.clone()
+    })
+    .mine_legacy(corpus);
+    let miner = FrequentPhraseMiner::with_config(MinerConfig {
+        n_threads: threads,
+        ..config.clone()
+    });
+    let (stats, tel) = miner.mine_with_telemetry(corpus);
+    prop_assert_eq!(
+        &stats.unigram_counts,
+        &legacy.unigram_counts,
+        "unigrams diverged at {} threads",
+        threads
+    );
+    prop_assert_eq!(
+        &stats.ngram_counts,
+        &legacy.ngram_counts,
+        "ngram map diverged at {} threads (cfg {:?})",
+        threads,
+        config
+    );
+    prop_assert_eq!(stats.max_len, legacy.max_len);
+    prop_assert_eq!(stats.total_tokens, legacy.total_tokens);
+    prop_assert_eq!(stats.min_support, legacy.min_support);
+    // Telemetry must agree with the result it describes.
+    prop_assert_eq!(tel.frequent(), stats.n_frequent_ngrams() as u64);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: prefix-id mining ≡ legacy hashmap mining at
+    /// thread counts {1, 2, 3, 7}, across support thresholds, length caps,
+    /// and the doc-pruning ablation.
+    #[test]
+    fn prefix_engine_equals_legacy_engine(
+        corpus_seed in 0u64..1_000_000,
+        n_docs in 1usize..48,
+        vocab_size in 2u64..9,
+        min_support in 1u64..7,
+        max_phrase_len in 0usize..6,
+        prune_flag in 0u32..2,
+    ) {
+        let corpus = random_corpus(corpus_seed, n_docs, vocab_size);
+        let config = MinerConfig {
+            min_support,
+            max_phrase_len,
+            n_threads: 1,
+            disable_doc_pruning: prune_flag == 1,
+        };
+        for threads in [1usize, 2, 3, 7] {
+            assert_stats_equal(&config, &corpus, threads)?;
+        }
+    }
+
+    /// Cross-check both engines against the quadratic enumerate-everything
+    /// reference when the length cap is inactive.
+    #[test]
+    fn both_engines_match_naive_reference(
+        corpus_seed in 0u64..1_000_000,
+        n_docs in 1usize..32,
+        vocab_size in 2u64..6,
+        min_support in 2u64..6,
+    ) {
+        let corpus = random_corpus(corpus_seed, n_docs, vocab_size);
+        let naive = naive_frequent_phrases(&corpus, min_support, 64);
+        let miner = FrequentPhraseMiner::new(min_support);
+        prop_assert_eq!(&miner.mine(&corpus).ngram_counts, &naive);
+        prop_assert_eq!(&miner.mine_legacy(&corpus).ngram_counts, &naive);
+    }
+}
